@@ -1,0 +1,57 @@
+// Command dcanalyze runs DeepContext's automated performance analyzer over a
+// saved profile database and prints the findings.
+//
+// Example:
+//
+//	dcanalyze -p unet.dcp -hotspot-frac 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deepcontext"
+)
+
+func main() {
+	var (
+		path        = flag.String("p", "", "profile database (.dcp)")
+		hotspotFrac = flag.Float64("hotspot-frac", 0, "override hotspot fraction threshold")
+		bwdRatio    = flag.Float64("bwd-ratio", 0, "override backward/forward ratio threshold")
+		jsonOut     = flag.Bool("json", false, "dump the profile as JSON instead of analyzing")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := deepcontext.LoadProfile(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := deepcontext.ExportJSON(os.Stdout, p); err != nil {
+			fmt.Fprintln(os.Stderr, "dcanalyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	th := deepcontext.DefaultThresholds()
+	if *hotspotFrac > 0 {
+		th.HotspotFrac = *hotspotFrac
+	}
+	if *bwdRatio > 0 {
+		th.BwdFwdRatio = *bwdRatio
+	}
+	rep := deepcontext.AnalyzeWith(p, th)
+	fmt.Printf("%s on %s (%s, %s): %d findings\n",
+		p.Meta.Workload, p.Meta.Device, p.Meta.Framework, p.Meta.Substrate, len(rep.Issues))
+	for _, is := range rep.Issues {
+		fmt.Println(" ", is)
+		if is.Suggestion != "" {
+			fmt.Println("      suggestion:", is.Suggestion)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"deepcontext"
+	"deepcontext/internal/cct"
+	"deepcontext/internal/dlmonitor"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/framework/jaxsim"
+	"deepcontext/internal/framework/torchsim"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/gpu/cupti"
+	"deepcontext/internal/vtime"
+)
+
+// fig3 prints the unified call path at a kernel launch with and without
+// DLMonitor's context sources (paper Figs. 1 and 3).
+func fig3() error {
+	m := framework.NewMachine(gpu.A100())
+	e := torchsim.New(m)
+	tr, err := cupti.New(m.GPU)
+	if err != nil {
+		return err
+	}
+	mn, err := dlmonitor.Init(dlmonitor.Config{Machine: m, Frameworks: []framework.Hooks{e}, Tracer: tr})
+	if err != nil {
+		return err
+	}
+	th := m.NewThread("python-main")
+	var with, without []cct.Frame
+	mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel {
+			with = mn.CallPath(th, dlmonitor.FullContext()).Frames
+			without = mn.CallPath(th, dlmonitor.PathOptions{Native: true}).Frames
+		}
+	})
+	th.WithPy("train.py", 10, "main", func() {
+		th.WithPy("model.py", 42, "forward", func() {
+			e.Run(th, torchsim.Op{
+				Name:           "aten::conv2d",
+				CPUCost:        20 * vtime.Microsecond,
+				InternalFrames: 4,
+				Kernels:        []gpu.KernelSpec{{Name: "implicit_gemm", Grid: gpu.D3(432), Block: gpu.D3(256), FLOPs: 1e9}},
+			})
+		})
+	})
+	print := func(title string, frames []cct.Frame) {
+		fmt.Println(title)
+		for i, f := range frames {
+			fmt.Printf("%*s%s  [%s]\n", 2*i, "", f.Label(), f.Kind)
+		}
+		fmt.Println()
+	}
+	print("(a) w/o DLMonitor — native call path only:", without)
+	print("(b) w/ DLMonitor — unified Python + framework + native + GPU path:", with)
+	return nil
+}
+
+// fig4 shows the fused-to-original operator mapping captured during JAX
+// compilation (paper Fig. 4).
+func fig4() error {
+	m := framework.NewMachine(gpu.A100())
+	je := jaxsim.New(m)
+	th := m.NewThread("python-main")
+	var g *jaxsim.Graph
+	th.WithPy("train.py", 5, "step", func() {
+		g = je.Trace(th, "step", func(tc *jaxsim.TraceContext) {
+			th.WithPy("model.py", 9, "mlp", func() {
+				tc.Emit(jaxsim.Op{Name: "jax::op1", Kind: jaxsim.Matmul, Kernel: gpu.KernelSpec{Name: "dot", Grid: gpu.D3(8), Block: gpu.D3(128), FLOPs: 1e6}})
+				tc.Emit(jaxsim.Op{Name: "jax::op2", Kind: jaxsim.Elementwise, Kernel: gpu.KernelSpec{Name: "add", Grid: gpu.D3(8), Block: gpu.D3(128), Bytes: 1e5}})
+				tc.Emit(jaxsim.Op{Name: "jax::op3", Kind: jaxsim.Elementwise, Kernel: gpu.KernelSpec{Name: "gelu", Grid: gpu.D3(8), Block: gpu.D3(128), Bytes: 1e5}})
+				tc.Emit(jaxsim.Op{Name: "jax::op4", Kind: jaxsim.Matmul, Kernel: gpu.KernelSpec{Name: "dot", Grid: gpu.D3(8), Block: gpu.D3(128), FLOPs: 1e6}})
+			})
+		})
+	})
+	ex := je.Compile(th, g)
+	fmt.Printf("traced %d ops -> compiled %d ops after just-in-time compilation\n\n", len(g.Ops), len(ex.Ops))
+	for _, c := range ex.Ops {
+		if !c.IsFused() {
+			fmt.Printf("runtime op %-28s <- %s (unchanged)\n", c.Name, c.Origins[0].Name)
+			continue
+		}
+		fmt.Printf("runtime op %-28s <- fused from:\n", c.Name)
+		for _, o := range ex.FusionMap[c.Name] {
+			loc := "?"
+			if n := len(o.PyPath); n > 0 {
+				loc = fmt.Sprintf("%s:%d", o.PyPath[n-1].File, o.PyPath[n-1].Line)
+			}
+			fmt.Printf("    %-12s captured during the compilation phase at %s\n", o.Name, loc)
+		}
+	}
+	return nil
+}
+
+// figView profiles a workload and renders the named flame view.
+func figView(workload, vendor string, knobs deepcontext.Knobs, bottomUp bool, depth, iters int) error {
+	s, err := deepcontext.NewSession(deepcontext.Config{Vendor: vendor})
+	if err != nil {
+		return err
+	}
+	if err := s.RunWorkload(workload, knobs, iters); err != nil {
+		return err
+	}
+	p := s.Stop()
+	p.Meta.Workload = workload
+	rep := deepcontext.Analyze(p)
+	return deepcontext.WriteFlameText(os.Stdout, p,
+		deepcontext.FlameOptions{BottomUp: bottomUp, Annotate: rep}, depth)
+}
+
+// fig7: DLRM forward/backward association view — backward kernels appear
+// under the forward python/operator context.
+func fig7(iters int) error {
+	fmt.Println("-- DLRM-small, forward/backward association (top-down) --")
+	return figView("DLRM-small", "nvidia", deepcontext.Knobs{}, false, 7, iters)
+}
+
+// fig8: U-Net bottom-up view.
+func fig8(iters int) error {
+	fmt.Println("-- U-Net, bottom-up view --")
+	return figView("UNet", "nvidia", deepcontext.Knobs{LoaderWorkers: 6}, true, 2, iters)
+}
+
+// fig9: Transformer-Big top-down view (loss_fn small kernels visible).
+func fig9(iters int) error {
+	fmt.Println("-- Transformer-Big, top-down view --")
+	return figView("Transformer-Big", "nvidia", deepcontext.Knobs{}, false, 5, iters)
+}
+
+// fig10: U-Net flame graphs on both vendors.
+func fig10(iters int) error {
+	for _, vendor := range []string{"nvidia", "amd"} {
+		fmt.Printf("-- U-Net on %s (bottom-up) --\n", vendor)
+		if err := figView("UNet", vendor, deepcontext.Knobs{LoaderWorkers: 6}, true, 1, iters); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Command dcexp regenerates the paper's tables and figures from the
+// simulation. Run `dcexp -list` for the experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepcontext/internal/eval"
+	"deepcontext/internal/gpu"
+)
+
+var experiments = []struct {
+	id   string
+	desc string
+}{
+	{"table1", "feature matrix of profiling tools"},
+	{"table2", "evaluation platforms"},
+	{"fig6a", "time overhead, PyTorch workloads, Nvidia+AMD"},
+	{"fig6b", "time overhead, JAX workloads, Nvidia+AMD"},
+	{"fig6c", "memory overhead, PyTorch workloads, Nvidia+AMD"},
+	{"fig6d", "memory overhead, JAX workloads, Nvidia+AMD"},
+	{"cases", "all Table 3 case studies"},
+	{"cs-dlrm", "§6.1 DLRM aten::index -> index_select"},
+	{"cs-gnn", "§6.1 GNN aten::index -> index_select"},
+	{"cs-unet-layout", "§6.2 U-Net channels_last"},
+	{"cs-unet-loader", "§6.4 U-Net loader workers"},
+	{"cs-transformer", "§6.3 Transformer-Big loss fusion"},
+	{"cs-llama", "§6.7 Llama3 stall analysis"},
+	{"cs-amd-nv", "§6.5 AMD vs Nvidia hotspots"},
+	{"jax-vs-pytorch", "§6.6 JAX vs PyTorch comparison"},
+	{"fig3", "Fig. 1/3: call path with vs without DLMonitor context"},
+	{"fig4", "Fig. 4: JAX fused-to-original operator mapping"},
+	{"fig7", "Fig. 7: DLRM forward/backward association view"},
+	{"fig8", "Fig. 8: U-Net bottom-up view"},
+	{"fig9", "Fig. 9: Transformer-Big top-down view"},
+	{"fig10", "Fig. 10: AMD vs Nvidia U-Net flame graphs"},
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list)")
+	iters := flag.Int("iters", 100, "iterations per run (paper: 100)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments {
+			fmt.Printf("  %-16s %s\n", e.id, e.desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	if err := run(*exp, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "dcexp:", err)
+		os.Exit(1)
+	}
+}
+
+func fig6(fw string, mem bool, iters int) error {
+	for _, vendor := range []gpu.Vendor{gpu.VendorNvidia, gpu.VendorAMD} {
+		rows, err := eval.OverheadSweep(fw, vendor, iters)
+		if err != nil {
+			return err
+		}
+		kind := "time"
+		if mem {
+			kind = "memory"
+		}
+		title := fmt.Sprintf("-- %s overhead, %s workloads on %v --", kind, fw, vendor)
+		fmt.Println(eval.FormatOverheadRows(title, rows, mem))
+	}
+	return nil
+}
+
+func printCase(c eval.CaseResult) {
+	fmt.Printf("case:         %s\n", c.Name)
+	fmt.Printf("model:        %s on %s\n", c.Model, c.Platform)
+	fmt.Printf("client:       %s\n", c.Client)
+	fmt.Printf("finding:      %s\n", c.Finding)
+	if c.Optimization != "" {
+		fmt.Printf("optimization: %s\n", c.Optimization)
+	}
+	if c.Speedup > 0 {
+		unit := "end-to-end"
+		if c.GPUOnly {
+			unit = "total GPU time"
+		}
+		fmt.Printf("speedup:      %.2fx (%s: %v -> %v)\n", c.Speedup, unit, c.Before, c.After)
+	} else {
+		fmt.Printf("speedup:      N/A\n")
+	}
+	if c.Notes != "" {
+		fmt.Printf("notes:        %s\n", c.Notes)
+	}
+	fmt.Println()
+}
+
+func run(exp string, iters int) error {
+	switch exp {
+	case "table1":
+		fmt.Print(eval.FormatTable1())
+	case "table2":
+		fmt.Print(eval.FormatTable2())
+	case "fig6a":
+		return fig6("pytorch", false, iters)
+	case "fig6b":
+		return fig6("jax", false, iters)
+	case "fig6c":
+		return fig6("pytorch", true, iters)
+	case "fig6d":
+		return fig6("jax", true, iters)
+	case "cases":
+		cases, err := eval.AllCases(iters)
+		if err != nil {
+			return err
+		}
+		for _, c := range cases {
+			printCase(c)
+		}
+	case "cs-dlrm":
+		return oneCase(eval.CaseDLRMIndex, iters)
+	case "cs-gnn":
+		return oneCase(eval.CaseGNNIndex, iters)
+	case "cs-unet-layout":
+		return oneCase(eval.CaseUNetLayout, iters)
+	case "cs-unet-loader":
+		return oneCase(eval.CaseUNetLoader, iters)
+	case "cs-transformer":
+		return oneCase(eval.CaseTransformerFusion, iters)
+	case "cs-llama":
+		return oneCase(eval.CaseLlamaStalls, iters)
+	case "cs-amd-nv":
+		nv, amd, err := eval.CaseAMDvsNV(iters)
+		if err != nil {
+			return err
+		}
+		printCase(nv)
+		printCase(amd)
+	case "fig3":
+		return fig3()
+	case "fig4":
+		return fig4()
+	case "fig7":
+		return fig7(min(iters, 20))
+	case "fig8":
+		return fig8(min(iters, 20))
+	case "fig9":
+		return fig9(min(iters, 20))
+	case "fig10":
+		return fig10(min(iters, 20))
+	case "jax-vs-pytorch":
+		rows, err := eval.JAXvsPyTorch(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %14s %14s %9s %10s %10s\n",
+			"Workload", "PyTorch", "JAX", "Speedup", "PTKernels", "JAXKernels")
+		for _, r := range rows {
+			fmt.Printf("%-14s %14s %14s %8.2fx %10d %10d\n",
+				r.Workload, r.PyTorchE2E, r.JAXE2E, r.Speedup, r.PTKernels, r.JAXKernels)
+		}
+	default:
+		var ids []string
+		for _, e := range experiments {
+			ids = append(ids, e.id)
+		}
+		return fmt.Errorf("unknown experiment %q (known: %s)", exp, strings.Join(ids, ", "))
+	}
+	return nil
+}
+
+func oneCase(fn func(int) (eval.CaseResult, error), iters int) error {
+	c, err := fn(iters)
+	if err != nil {
+		return err
+	}
+	printCase(c)
+	return nil
+}

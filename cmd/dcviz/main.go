@@ -1,0 +1,98 @@
+// Command dcviz renders a saved profile as a flame graph: an interactive
+// HTML page served over HTTP (the WebView of the paper's VSCode GUI), a
+// static HTML file, an ASCII tree, or folded stacks.
+//
+// Examples:
+//
+//	dcviz -p unet.dcp -http :8080         # serve interactive views
+//	dcviz -p unet.dcp -html unet.html     # static page
+//	dcviz -p unet.dcp -text               # terminal rendering
+//	dcviz -p unet.dcp -folded > out.txt   # for external flame tooling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"deepcontext"
+)
+
+func main() {
+	var (
+		path   = flag.String("p", "", "profile database (.dcp)")
+		addr   = flag.String("http", "", "serve the GUI on this address (e.g. :8080)")
+		html   = flag.String("html", "", "write a static HTML flame graph")
+		text   = flag.Bool("text", false, "print an ASCII flame tree")
+		folded = flag.Bool("folded", false, "print folded stacks")
+		metric = flag.String("metric", "", "metric to size boxes by (default gpu_time_ns)")
+		bottom = flag.Bool("bottom-up", false, "invert the view")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := deepcontext.LoadProfile(*path)
+	if err != nil {
+		fail(err)
+	}
+	rep := deepcontext.Analyze(p)
+	opts := deepcontext.FlameOptions{Metric: *metric, BottomUp: *bottom, Annotate: rep}
+
+	switch {
+	case *addr != "":
+		serve(*addr, p, rep, *metric)
+	case *html != "":
+		f, err := os.Create(*html)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := deepcontext.WriteFlameGraph(f, p, opts); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *html)
+	case *text:
+		if err := deepcontext.WriteFlameText(os.Stdout, p, opts, 0); err != nil {
+			fail(err)
+		}
+	case *folded:
+		if err := deepcontext.WriteFolded(os.Stdout, p, *metric); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func serve(addr string, p *deepcontext.Profile, rep *deepcontext.Report, metric string) {
+	render := func(w http.ResponseWriter, bottomUp bool) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		opts := deepcontext.FlameOptions{Metric: metric, BottomUp: bottomUp, Annotate: rep}
+		if err := deepcontext.WriteFlameGraph(w, p, opts); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) { render(w, false) })
+	mux.HandleFunc("/bottom-up", func(w http.ResponseWriter, r *http.Request) { render(w, true) })
+	mux.HandleFunc("/json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := deepcontext.ExportJSON(w, p); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	fmt.Printf("serving %s: top-down at http://%s/, bottom-up at /bottom-up, raw at /json\n",
+		p.Meta.Workload, addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dcviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command deepcontext profiles a bundled workload on the simulated machine
+// and writes a profile database, an analysis report and (optionally) a flame
+// graph.
+//
+// Example:
+//
+//	deepcontext -workload UNet -vendor nvidia -native \
+//	    -o unet.dcp -flame unet.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepcontext"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload to profile ("+strings.Join(deepcontext.WorkloadNames(), ", ")+")")
+		fw       = flag.String("framework", "pytorch", "pytorch or jax")
+		vendor   = flag.String("vendor", "nvidia", "nvidia or amd")
+		native   = flag.Bool("native", false, "collect native C/C++ call paths")
+		cpu      = flag.Bool("cpu", false, "enable CPU timer sampling")
+		pc       = flag.Bool("pc", false, "enable GPU instruction (PC) sampling")
+		iters    = flag.Int("iters", 0, "iterations (0 = workload default, 100)")
+		out      = flag.String("o", "", "write profile database to this path")
+		flame    = flag.String("flame", "", "write an HTML flame graph to this path")
+		analyze  = flag.Bool("analyze", true, "run the automated analyzer")
+		text     = flag.Bool("text", false, "print an ASCII flame tree")
+	)
+	flag.Parse()
+	if *workload == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*workload, *fw, *vendor, *native, *cpu, *pc, *iters, *out, *flame, *analyze, *text); err != nil {
+		fmt.Fprintln(os.Stderr, "deepcontext:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, fw, vendor string, native, cpu, pc bool, iters int, out, flame string, analyze, text bool) error {
+	cfg := deepcontext.Config{
+		Vendor:          vendor,
+		Framework:       fw,
+		NativeCallPaths: native,
+		CPUSampling:     cpu,
+		PCSampling:      pc,
+	}
+	s, err := deepcontext.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	if err := s.RunWorkload(workload, deepcontext.Knobs{}, iters); err != nil {
+		return err
+	}
+	p := s.Stop()
+	p.Meta.Workload = workload
+	fmt.Printf("profiled %s on %s/%s: %d CCT nodes, e2e %v, %d kernels\n",
+		workload, p.Meta.Vendor, p.Meta.Framework, p.Tree.NodeCount(),
+		s.EndToEnd(), int64(p.Stats.ActivitiesHandled))
+
+	var rep *deepcontext.Report
+	if analyze {
+		rep = deepcontext.Analyze(p)
+		fmt.Printf("\nanalysis: %d findings\n", len(rep.Issues))
+		for i, is := range rep.Issues {
+			if i >= 12 {
+				fmt.Printf("  ... and %d more\n", len(rep.Issues)-i)
+				break
+			}
+			fmt.Println(" ", is)
+		}
+	}
+	if text {
+		fmt.Println()
+		if err := deepcontext.WriteFlameText(os.Stdout, p, deepcontext.FlameOptions{Annotate: rep}, 8); err != nil {
+			return err
+		}
+	}
+	if out != "" {
+		if err := deepcontext.SaveProfile(out, p); err != nil {
+			return err
+		}
+		fmt.Println("\nwrote profile:", out)
+	}
+	if flame != "" {
+		f, err := os.Create(flame)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := deepcontext.WriteFlameGraph(f, p, deepcontext.FlameOptions{Annotate: rep}); err != nil {
+			return err
+		}
+		fmt.Println("wrote flame graph:", flame)
+	}
+	return nil
+}

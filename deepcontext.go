@@ -1,0 +1,280 @@
+// Package deepcontext is the public facade of the DeepContext reproduction:
+// a context-aware, cross-platform, cross-framework profiler for (simulated)
+// deep learning workloads, after Zhao et al., ASPLOS 2025.
+//
+// The package wires the internal subsystems together — the DLMonitor shim,
+// the CCT-building profiler, the automated analyzer and the flame-graph
+// GUI — behind a small API:
+//
+//	profile, _ := deepcontext.ProfileWorkload("UNet", deepcontext.Config{}, deepcontext.Knobs{})
+//	report := deepcontext.Analyze(profile)
+//	for _, issue := range report.Issues {
+//	    fmt.Println(issue)
+//	}
+//	deepcontext.WriteFlameGraph(os.Stdout, profile, deepcontext.FlameOptions{})
+//
+// For custom workloads, open a Session, drive the simulated frameworks
+// through Env(), and Stop() to collect the profile.
+package deepcontext
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"deepcontext/internal/analyzer"
+	"deepcontext/internal/cct"
+	"deepcontext/internal/dlmonitor"
+	"deepcontext/internal/eval"
+	"deepcontext/internal/flamegraph"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/profdb"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/vtime"
+	"deepcontext/internal/workloads"
+)
+
+// Re-exported types so callers need only this package.
+type (
+	// Profile is a collected profile: the calling context tree plus
+	// metadata and statistics.
+	Profile = profiler.Profile
+	// Report is the automated analyzer's output.
+	Report = analyzer.Report
+	// Issue is one analyzer finding.
+	Issue = analyzer.Issue
+	// Thresholds tunes the built-in analyses.
+	Thresholds = analyzer.Thresholds
+	// Knobs toggles the case-study workload optimizations.
+	Knobs = workloads.Knobs
+	// Env exposes the simulated machine and framework engines for
+	// custom workloads.
+	Env = workloads.Env
+	// Workload is one of the ten evaluation workloads.
+	Workload = workloads.Workload
+	// Duration is virtual time in nanoseconds.
+	Duration = vtime.Duration
+)
+
+// DefaultThresholds mirrors analyzer.DefaultThresholds.
+func DefaultThresholds() Thresholds { return analyzer.DefaultThresholds() }
+
+// Config selects platform, framework and collection options for a session.
+type Config struct {
+	// Vendor is "nvidia" (default) or "amd".
+	Vendor string
+	// Framework is "pytorch" (default) or "jax".
+	Framework string
+	// NativeCallPaths enables C/C++ call-path unwinding (higher
+	// overhead, deeper context).
+	NativeCallPaths bool
+	// CPUSampling enables timer-based CPU profiling.
+	CPUSampling bool
+	// PCSampling enables GPU instruction sampling with stall reasons.
+	PCSampling bool
+}
+
+func (c Config) vendor() (gpu.Vendor, error) {
+	switch strings.ToLower(c.Vendor) {
+	case "", "nvidia", "cuda":
+		return gpu.VendorNvidia, nil
+	case "amd", "rocm":
+		return gpu.VendorAMD, nil
+	}
+	return 0, fmt.Errorf("deepcontext: unknown vendor %q (want nvidia or amd)", c.Vendor)
+}
+
+func (c Config) framework() (string, error) {
+	switch strings.ToLower(c.Framework) {
+	case "", "pytorch", "torch":
+		return "pytorch", nil
+	case "jax":
+		return "jax", nil
+	}
+	return "", fmt.Errorf("deepcontext: unknown framework %q (want pytorch or jax)", c.Framework)
+}
+
+// Session is an active profiling session over a simulated machine.
+type Session struct {
+	env  *workloads.Env
+	mn   *dlmonitor.Monitor
+	sess *profiler.Session
+	fw   string
+}
+
+// NewSession builds a machine for cfg, initializes DLMonitor (the LD_PRELOAD
+// moment) and starts the profiler.
+func NewSession(cfg Config) (*Session, error) {
+	vendor, err := cfg.vendor()
+	if err != nil {
+		return nil, err
+	}
+	fw, err := cfg.framework()
+	if err != nil {
+		return nil, err
+	}
+	env := workloads.NewEnv(eval.DeviceFor(vendor))
+	tracer, err := eval.NewTracer(env)
+	if err != nil {
+		return nil, err
+	}
+	mn, err := dlmonitor.Init(dlmonitor.Config{
+		Machine:    env.M,
+		Frameworks: []framework.Hooks{env.Torch, env.Jax},
+		Tracer:     tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pcfg := profiler.DefaultConfig()
+	if cfg.NativeCallPaths {
+		pcfg.Path = dlmonitor.FullContext()
+	}
+	pcfg.CPUSampling = cfg.CPUSampling
+	pcfg.PCSampling = cfg.PCSampling
+	sess := profiler.NewSession(mn, env.M, tracer, pcfg)
+	sess.SetMeta(profiler.Meta{Framework: fw})
+	if err := sess.Start(); err != nil {
+		return nil, err
+	}
+	if cfg.CPUSampling {
+		sess.AttachCPUSampler(env.Main)
+		env.M.NewThreadHook = sess.AttachCPUSampler
+	}
+	return &Session{env: env, mn: mn, sess: sess, fw: fw}, nil
+}
+
+// Env returns the simulated machine and framework engines; custom workloads
+// drive them directly (see examples/).
+func (s *Session) Env() *Env { return s.env }
+
+// RunWorkload executes one of the bundled evaluation workloads under this
+// session for iters iterations (0 selects the paper's 100).
+func (s *Session) RunWorkload(name string, knobs Knobs, iters int) error {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return fmt.Errorf("deepcontext: unknown workload %q (known: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+	if iters <= 0 {
+		iters = w.DefaultIters
+	}
+	switch s.fw {
+	case "jax":
+		workloads.RunJAX(s.env, w, knobs, iters)
+	default:
+		workloads.RunPyTorch(s.env, w, knobs, iters)
+	}
+	return nil
+}
+
+// Stop flushes collection and returns the profile. The session cannot be
+// reused afterwards.
+func (s *Session) Stop() *Profile { return s.sess.Stop() }
+
+// EndToEnd reports the run's virtual makespan so far.
+func (s *Session) EndToEnd() Duration { return s.env.M.EndToEnd() }
+
+// WorkloadNames lists the bundled workloads in the paper's order.
+func WorkloadNames() []string {
+	var out []string
+	for _, w := range workloads.All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// ProfileWorkload profiles one bundled workload end to end and returns the
+// profile with metadata filled in.
+func ProfileWorkload(name string, cfg Config, knobs Knobs) (*Profile, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RunWorkload(name, knobs, 0); err != nil {
+		return nil, err
+	}
+	p := s.Stop()
+	p.Meta.Workload = name
+	return p, nil
+}
+
+// Analyze runs all built-in analyses with default thresholds.
+func Analyze(p *Profile) *Report { return analyzer.Run(p, analyzer.DefaultThresholds()) }
+
+// AnalyzeWith runs the analyzer with custom thresholds (and optionally a
+// custom analysis set via analyzer.Analysis implementations).
+func AnalyzeWith(p *Profile, th Thresholds, analyses ...analyzer.Analysis) *Report {
+	return analyzer.Run(p, th, analyses...)
+}
+
+// SaveProfile writes a profile database to path.
+func SaveProfile(path string, p *Profile) error { return profdb.SaveFile(path, p) }
+
+// LoadProfile reads a profile database from path.
+func LoadProfile(path string) (*Profile, error) { return profdb.LoadFile(path) }
+
+// ExportJSON writes the profile as nested JSON.
+func ExportJSON(w io.Writer, p *Profile) error { return profdb.ExportJSON(w, p) }
+
+// FlameOptions configures flame-graph rendering.
+type FlameOptions struct {
+	// Metric sizes the boxes (default gpu_time_ns).
+	Metric string
+	// BottomUp inverts the view, aggregating per innermost frame.
+	BottomUp bool
+	// Annotate colours analyzer findings into the graph.
+	Annotate *Report
+}
+
+func buildModel(p *Profile, o FlameOptions) (*flamegraph.Model, error) {
+	opts := flamegraph.Options{Metric: o.Metric}
+	if o.BottomUp {
+		opts.View = flamegraph.BottomUp
+	}
+	if o.Annotate != nil {
+		opts.Annotations = make(map[*cct.Node]flamegraph.Annotation)
+		for n, issues := range o.Annotate.ByNode() {
+			opts.Annotations[n] = flamegraph.Annotation{
+				Text:     issues[0].Message,
+				Severity: issues[0].Severity.String(),
+			}
+		}
+	}
+	return flamegraph.Build(p.Tree, opts)
+}
+
+// WriteFlameGraph renders a self-contained interactive HTML flame graph.
+func WriteFlameGraph(w io.Writer, p *Profile, o FlameOptions) error {
+	m, err := buildModel(p, o)
+	if err != nil {
+		return err
+	}
+	return flamegraph.RenderHTML(w, m)
+}
+
+// WriteFlameText renders an ASCII flame tree (maxDepth 0 means unlimited).
+func WriteFlameText(w io.Writer, p *Profile, o FlameOptions, maxDepth int) error {
+	m, err := buildModel(p, o)
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	flamegraph.RenderText(&sb, m, maxDepth)
+	_, err = io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteFolded emits Brendan Gregg folded stacks for external flame tooling.
+func WriteFolded(w io.Writer, p *Profile, metric string) error {
+	if metric == "" {
+		metric = cct.MetricGPUTime
+	}
+	var sb strings.Builder
+	if err := flamegraph.Folded(&sb, p.Tree, metric); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

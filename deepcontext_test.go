@@ -1,0 +1,135 @@
+package deepcontext
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestProfileWorkloadEndToEnd(t *testing.T) {
+	p, err := ProfileWorkload("ViT", Config{}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Meta.Workload != "ViT" || p.Meta.Vendor != "Nvidia" {
+		t.Fatalf("meta = %+v", p.Meta)
+	}
+	if p.Tree.NodeCount() < 50 {
+		t.Fatalf("tree too small: %d nodes", p.Tree.NodeCount())
+	}
+	rep := Analyze(p)
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+}
+
+func TestSessionCustomWorkload(t *testing.T) {
+	s, err := NewSession(Config{Vendor: "amd", Framework: "pytorch", NativeCallPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := s.Env()
+	if env.M.GPU.Spec.WarpSize != 64 {
+		t.Fatal("amd session should have warp 64")
+	}
+	if err := s.RunWorkload("GNN", Knobs{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.EndToEnd() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	p := s.Stop()
+	if p.Meta.Substrate != "RocTracer" {
+		t.Fatalf("substrate = %q", p.Meta.Substrate)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewSession(Config{Vendor: "intel"}); err == nil {
+		t.Fatal("unknown vendor should fail")
+	}
+	if _, err := NewSession(Config{Framework: "tensorflow"}); err == nil {
+		t.Fatal("unknown framework should fail")
+	}
+	s, _ := NewSession(Config{})
+	if err := s.RunWorkload("nope", Knobs{}, 1); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 10 || names[0] != "Conformer" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p, err := ProfileWorkload("NanoGPT", Config{PCSampling: true}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.dcp")
+	if err := SaveProfile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tree.NodeCount() != p.Tree.NodeCount() {
+		t.Fatal("round trip lost nodes")
+	}
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NanoGPT") {
+		t.Fatal("JSON export missing metadata")
+	}
+}
+
+func TestFlameRenderers(t *testing.T) {
+	p, err := ProfileWorkload("GNN", Config{}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(p)
+	var html bytes.Buffer
+	if err := WriteFlameGraph(&html, p, FlameOptions{Annotate: rep}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html.String(), "<!DOCTYPE html>") {
+		t.Fatal("not html")
+	}
+	var txt bytes.Buffer
+	if err := WriteFlameText(&txt, p, FlameOptions{BottomUp: true}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "bottom-up") {
+		t.Fatal("text render missing view label")
+	}
+	var folded bytes.Buffer
+	if err := WriteFolded(&folded, p, ""); err != nil {
+		t.Fatal(err)
+	}
+	if len(folded.String()) == 0 {
+		t.Fatal("empty folded output")
+	}
+}
+
+func TestJAXSessionCarriesFusedOrigins(t *testing.T) {
+	p, err := ProfileWorkload("GNN", Config{Framework: "jax"}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fused) == 0 {
+		t.Fatal("JAX profile should record fused-operator origins")
+	}
+	for name, origins := range p.Fused {
+		if !strings.HasPrefix(name, "fusion_") || len(origins) < 2 {
+			t.Fatalf("fused entry %q malformed: %d origins", name, len(origins))
+		}
+	}
+}

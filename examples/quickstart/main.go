@@ -1,0 +1,59 @@
+// Quickstart: profile a bundled workload, run the automated analyzer, and
+// render flame graphs — the 60-second tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"deepcontext"
+)
+
+func main() {
+	// Profile the U-Net training workload on the simulated A100 with
+	// Python+framework call paths (the low-overhead default).
+	profile, err := deepcontext.ProfileWorkload("UNet", deepcontext.Config{
+		Vendor:      "nvidia",
+		Framework:   "pytorch",
+		CPUSampling: true, // CPU and GPU metrics in the same run (§4.2)
+	}, deepcontext.Knobs{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s: %d calling contexts, %d kernel launches\n",
+		profile.Meta.Workload, profile.Tree.NodeCount(), int64(profile.Stats.ActivitiesHandled))
+
+	// The analyzer flags hotspots, small-kernel frames, fwd/bwd
+	// imbalances and CPU latency problems with actionable suggestions.
+	report := deepcontext.Analyze(profile)
+	fmt.Printf("\n%d findings:\n", len(report.Issues))
+	for i, issue := range report.Issues {
+		if i >= 6 {
+			fmt.Printf("  ... and %d more\n", len(report.Issues)-i)
+			break
+		}
+		fmt.Println(" ", issue)
+	}
+
+	// Top-down ASCII flame graph with analyzer annotations.
+	fmt.Println()
+	if err := deepcontext.WriteFlameText(os.Stdout, profile,
+		deepcontext.FlameOptions{Annotate: report}, 5); err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist the profile and emit the interactive GUI page.
+	if err := deepcontext.SaveProfile("unet.dcp", profile); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create("unet.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := deepcontext.WriteFlameGraph(f, profile, deepcontext.FlameOptions{Annotate: report}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote unet.dcp and unet.html (open in a browser, or `dcviz -p unet.dcp -http :8080`)")
+}

@@ -1,0 +1,226 @@
+// Package analyzer implements DeepContext's automated performance analyzer
+// (paper §4.3): a pattern-matching framework over the calling context tree
+// with a query API (call-path search, metric filters) and the paper's five
+// example analyses — hotspot identification, kernel-fusion opportunities,
+// forward/backward abnormalities, fine-grained stall attribution, and CPU
+// latency imbalance. Flagged issues carry messages and suggestions that the
+// GUI colour-codes.
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/vtime"
+)
+
+// Severity ranks issues for GUI colour-coding.
+type Severity int
+
+const (
+	// Info is an observation.
+	Info Severity = iota
+	// Warning is a likely inefficiency.
+	Warning
+	// Critical is a dominant bottleneck.
+	Critical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Critical:
+		return "critical"
+	case Warning:
+		return "warning"
+	}
+	return "info"
+}
+
+// Issue is one flagged finding.
+type Issue struct {
+	Analysis   string
+	Severity   Severity
+	Node       *cct.Node
+	Path       []cct.Frame
+	Message    string
+	Suggestion string
+	// Value is the analysis's key quantity (fraction, ratio or time).
+	Value float64
+}
+
+// String renders the issue on one line.
+func (i Issue) String() string {
+	loc := "<root>"
+	if len(i.Path) > 0 {
+		loc = i.Path[len(i.Path)-1].Label()
+	}
+	return fmt.Sprintf("[%s] %s: %s @ %s", i.Severity, i.Analysis, i.Message, loc)
+}
+
+// Report is the analyzer output.
+type Report struct {
+	Issues []Issue
+}
+
+// ByAnalysis groups issues by analysis name.
+func (r *Report) ByAnalysis() map[string][]Issue {
+	out := make(map[string][]Issue)
+	for _, is := range r.Issues {
+		out[is.Analysis] = append(out[is.Analysis], is)
+	}
+	return out
+}
+
+// ByNode indexes issues by flagged node (for GUI annotation).
+func (r *Report) ByNode() map[*cct.Node][]Issue {
+	out := make(map[*cct.Node][]Issue)
+	for _, is := range r.Issues {
+		if is.Node != nil {
+			out[is.Node] = append(out[is.Node], is)
+		}
+	}
+	return out
+}
+
+// Thresholds tune the built-in analyses.
+type Thresholds struct {
+	// HotspotFrac flags kernels above this fraction of total GPU time.
+	HotspotFrac float64
+	// SmallKernelTime is the per-launch GPU time under which kernels are
+	// "small" for the fusion analysis.
+	SmallKernelTime vtime.Duration
+	// SmallKernelMinCount is the minimum launches under one frame to
+	// consider fusion.
+	SmallKernelMinCount int64
+	// BwdFwdRatio flags operators whose backward exceeds forward by this
+	// factor.
+	BwdFwdRatio float64
+	// StallFrac flags kernels whose stalled-sample fraction exceeds it.
+	StallFrac float64
+	// CPUGPURatio flags frames whose CPU time exceeds GPU time by this
+	// factor.
+	CPUGPURatio float64
+	// MinCPUTime is the minimum CPU time for CPU-latency findings.
+	MinCPUTime vtime.Duration
+}
+
+// DefaultThresholds returns the paper-informed defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		HotspotFrac:         0.10,
+		SmallKernelTime:     120 * vtime.Microsecond,
+		SmallKernelMinCount: 128,
+		BwdFwdRatio:         2.0,
+		StallFrac:           0.30,
+		CPUGPURatio:         3.0,
+		MinCPUTime:          50 * vtime.Millisecond,
+	}
+}
+
+// Context is handed to each analysis.
+type Context struct {
+	Profile    *profiler.Profile
+	Tree       *cct.Tree
+	Thresholds Thresholds
+
+	GPUTime cct.MetricID
+	CPUTime cct.MetricID
+	Kernels cct.MetricID
+	Samples cct.MetricID
+	haveGPU bool
+	haveCPU bool
+}
+
+// TotalGPUTime is the root's inclusive GPU time.
+func (c *Context) TotalGPUTime() float64 { return c.Tree.Root.InclValue(c.GPUTime) }
+
+// TotalCPUTime is the root's inclusive CPU time.
+func (c *Context) TotalCPUTime() float64 { return c.Tree.Root.InclValue(c.CPUTime) }
+
+// Analysis is one pluggable analysis client. Users add custom analyses by
+// implementing this interface, mirroring the paper's flexible Python rules.
+type Analysis interface {
+	Name() string
+	Run(ctx *Context) []Issue
+}
+
+// Run executes analyses (default: all built-ins) over p.
+func Run(p *profiler.Profile, th Thresholds, analyses ...Analysis) *Report {
+	if len(analyses) == 0 {
+		analyses = BuiltinAnalyses()
+	}
+	ctx := &Context{Profile: p, Tree: p.Tree, Thresholds: th}
+	if id, ok := p.Tree.Schema.Lookup(cct.MetricGPUTime); ok {
+		ctx.GPUTime, ctx.haveGPU = id, true
+	}
+	if id, ok := p.Tree.Schema.Lookup(cct.MetricCPUTime); ok {
+		ctx.CPUTime, ctx.haveCPU = id, true
+	}
+	if id, ok := p.Tree.Schema.Lookup(cct.MetricKernelCount); ok {
+		ctx.Kernels = id
+	}
+	if id, ok := p.Tree.Schema.Lookup(cct.MetricInstSamples); ok {
+		ctx.Samples = id
+	}
+	rep := &Report{}
+	for _, a := range analyses {
+		rep.Issues = append(rep.Issues, a.Run(ctx)...)
+	}
+	sort.SliceStable(rep.Issues, func(i, j int) bool {
+		if rep.Issues[i].Severity != rep.Issues[j].Severity {
+			return rep.Issues[i].Severity > rep.Issues[j].Severity
+		}
+		return rep.Issues[i].Value > rep.Issues[j].Value
+	})
+	return rep
+}
+
+// BuiltinAnalyses returns the paper's five example analyses.
+func BuiltinAnalyses() []Analysis {
+	return []Analysis{
+		Hotspot{},
+		KernelFusion{},
+		ForwardBackward{},
+		Stall{},
+		CPULatency{},
+	}
+}
+
+// --- Query API -------------------------------------------------------------
+
+// Kernels returns all kernel nodes.
+func Kernels(t *cct.Tree) []*cct.Node {
+	return Match(t, func(n *cct.Node) bool { return n.Kind == cct.KindKernel })
+}
+
+// Operators returns all framework-operator nodes.
+func Operators(t *cct.Tree) []*cct.Node {
+	return Match(t, func(n *cct.Node) bool { return n.Kind == cct.KindOperator })
+}
+
+// Match returns nodes satisfying pred in BFS order.
+func Match(t *cct.Tree, pred func(*cct.Node) bool) []*cct.Node {
+	var out []*cct.Node
+	t.BFS(func(n *cct.Node) bool {
+		if pred(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// MatchName returns nodes whose label contains substr.
+func MatchName(t *cct.Tree, substr string) []*cct.Node {
+	return Match(t, func(n *cct.Node) bool { return strings.Contains(n.Label(), substr) })
+}
+
+// IsBackwardName reports whether an operator name denotes a backward op.
+func IsBackwardName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "backward") || strings.HasSuffix(lower, "_bwd")
+}

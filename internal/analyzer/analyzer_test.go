@@ -1,0 +1,239 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/vtime"
+)
+
+// buildProfile constructs a synthetic profile exercising every analysis.
+func buildProfile() *profiler.Profile {
+	t := cct.New()
+	gid := t.MetricID(cct.MetricGPUTime)
+	cid := t.MetricID(cct.MetricCPUTime)
+	kid := t.MetricID(cct.MetricKernelCount)
+	sid := t.MetricID(cct.MetricInstSamples)
+	stConst := t.MetricID("stall:constant_memory_miss")
+	stMath := t.MetricID("stall:math_dependency")
+	stSel := t.MetricID("stall:selected")
+
+	// Hot kernel with heavy stalls: 60s of 80s total.
+	hot := t.InsertPath([]cct.Frame{
+		cct.PythonFrame("model.py", 7, "embed"),
+		cct.OperatorFrame("aten::index"),
+		cct.OperatorFrame("aten::index_backward"),
+		{Kind: cct.KindKernel, Name: "indexing_backward_kernel", Lib: "[gpu]", PC: 0x100},
+	})
+	t.AddMetric(hot, gid, float64(60*vtime.Second))
+	t.AddMetric(hot, kid, 100)
+	inst := t.InsertUnder(hot, []cct.Frame{{Kind: cct.KindInstruction, Name: "+0x40", Lib: "[gpu]", PC: 0x140}})
+	t.AddMetric(inst, sid, 1000)
+	t.AddMetric(inst, stConst, 500)
+	t.AddMetric(inst, stMath, 300)
+	t.AddMetric(inst, stSel, 200)
+
+	// The forward aten::index kernel: tiny (fwd/bwd imbalance).
+	fwdK := t.InsertPath([]cct.Frame{
+		cct.PythonFrame("model.py", 7, "embed"),
+		cct.OperatorFrame("aten::index"),
+		{Kind: cct.KindKernel, Name: "index_fwd", Lib: "[gpu]", PC: 0x200},
+	})
+	t.AddMetric(fwdK, gid, float64(1*vtime.Second))
+	t.AddMetric(fwdK, kid, 100)
+
+	// A frame launching many small kernels (fusion candidate): 10s total.
+	loss := t.InsertPath([]cct.Frame{
+		cct.PythonFrame("train.py", 30, "loss_fn"),
+	})
+	for i, name := range []string{"softmax", "copy", "nll_loss"} {
+		k := t.InsertUnder(loss, []cct.Frame{
+			cct.OperatorFrame("aten::" + name),
+			{Kind: cct.KindKernel, Name: name + "_kernel", Lib: "[gpu]", PC: uint64(0x300 + i)},
+		})
+		t.AddMetric(k, gid, float64(500*vtime.Millisecond))
+		t.AddMetric(k, kid, 100000)
+	}
+
+	// A CPU-bound data loader: 40s CPU, negligible GPU.
+	loader := t.InsertPath([]cct.Frame{
+		cct.PythonFrame("data.py", 88, "data_selection"),
+	})
+	t.AddMetric(loader, cid, float64(40*vtime.Second))
+	t.AddMetric(loader, gid, float64(1*vtime.Second))
+
+	// Remaining GPU time elsewhere so totals are sane: ~17.5s.
+	rest := t.InsertPath([]cct.Frame{
+		cct.PythonFrame("model.py", 20, "mlp"),
+		cct.OperatorFrame("aten::linear"),
+		{Kind: cct.KindKernel, Name: "sgemm", Lib: "[gpu]", PC: 0x400},
+	})
+	t.AddMetric(rest, gid, float64(17500*vtime.Millisecond))
+	t.AddMetric(rest, kid, 100)
+
+	return &profiler.Profile{Tree: t, Meta: profiler.Meta{Workload: "synthetic"}}
+}
+
+func TestHotspotFlagsDominantKernel(t *testing.T) {
+	rep := Run(buildProfile(), DefaultThresholds(), Hotspot{})
+	if len(rep.Issues) == 0 {
+		t.Fatal("no hotspot issues")
+	}
+	top := rep.Issues[0]
+	if top.Node.Name != "indexing_backward_kernel" {
+		t.Fatalf("top hotspot = %s", top.Node.Name)
+	}
+	if top.Severity != Critical {
+		t.Fatalf("severity = %v", top.Severity)
+	}
+	if top.Value < 0.5 || top.Value > 0.9 {
+		t.Fatalf("fraction = %v", top.Value)
+	}
+	// sgemm at ~22% is also flagged; the small kernels are not.
+	for _, is := range rep.Issues {
+		if strings.Contains(is.Node.Name, "softmax") {
+			t.Fatal("small kernel wrongly flagged as hotspot")
+		}
+	}
+}
+
+func TestKernelFusionFlagsSmallKernelFrame(t *testing.T) {
+	rep := Run(buildProfile(), DefaultThresholds(), KernelFusion{})
+	if len(rep.Issues) != 1 {
+		t.Fatalf("issues = %v", rep.Issues)
+	}
+	is := rep.Issues[0]
+	if is.Node.Kind != cct.KindPython || !strings.Contains(is.Node.File, "train.py") {
+		t.Fatalf("flagged node = %v", is.Node.Frame)
+	}
+	if !strings.Contains(is.Message, "small GPU kernels") {
+		t.Fatalf("message = %q", is.Message)
+	}
+	if !strings.Contains(is.Suggestion, "torch.compile") {
+		t.Fatalf("suggestion = %q", is.Suggestion)
+	}
+}
+
+func TestForwardBackwardImbalance(t *testing.T) {
+	rep := Run(buildProfile(), DefaultThresholds(), ForwardBackward{})
+	if len(rep.Issues) != 1 {
+		t.Fatalf("issues = %v", rep.Issues)
+	}
+	is := rep.Issues[0]
+	if is.Node.Name != "aten::index" {
+		t.Fatalf("flagged op = %s", is.Node.Name)
+	}
+	if is.Value < 50 { // 60s bwd vs 1s fwd
+		t.Fatalf("ratio = %v", is.Value)
+	}
+	if !strings.Contains(is.Suggestion, "index_select") {
+		t.Fatalf("suggestion = %q", is.Suggestion)
+	}
+}
+
+func TestStallAnalysisRanksReasons(t *testing.T) {
+	rep := Run(buildProfile(), DefaultThresholds(), Stall{})
+	if len(rep.Issues) != 1 {
+		t.Fatalf("issues = %v", rep.Issues)
+	}
+	is := rep.Issues[0]
+	if !strings.Contains(is.Message, "constant_memory_miss") {
+		t.Fatalf("message = %q", is.Message)
+	}
+	// constant_memory_miss (500) should lead math_dependency (300).
+	if strings.Index(is.Message, "constant_memory_miss") > strings.Index(is.Message, "math_dependency") {
+		t.Fatalf("reasons not ranked: %q", is.Message)
+	}
+	if !strings.Contains(is.Suggestion, "vectorized") {
+		t.Fatalf("suggestion = %q", is.Suggestion)
+	}
+}
+
+func TestCPULatencyFlagsLoader(t *testing.T) {
+	rep := Run(buildProfile(), DefaultThresholds(), CPULatency{})
+	if len(rep.Issues) != 1 {
+		t.Fatalf("issues = %v", rep.Issues)
+	}
+	is := rep.Issues[0]
+	if !strings.Contains(is.Node.File, "data.py") {
+		t.Fatalf("flagged = %v", is.Node.Frame)
+	}
+	if !strings.Contains(is.Suggestion, "physical cores") {
+		t.Fatalf("suggestion = %q", is.Suggestion)
+	}
+}
+
+func TestRunAllSortsBySeverityThenValue(t *testing.T) {
+	rep := Run(buildProfile(), DefaultThresholds())
+	if len(rep.Issues) < 4 {
+		t.Fatalf("expected multiple issues, got %d", len(rep.Issues))
+	}
+	for i := 1; i < len(rep.Issues); i++ {
+		if rep.Issues[i].Severity > rep.Issues[i-1].Severity {
+			t.Fatal("issues not sorted by severity")
+		}
+	}
+	by := rep.ByAnalysis()
+	for _, name := range []string{"hotspot", "kernel_fusion", "forward_backward", "stall", "cpu_latency"} {
+		if len(by[name]) == 0 {
+			t.Fatalf("analysis %s produced nothing", name)
+		}
+	}
+	if len(rep.ByNode()) == 0 {
+		t.Fatal("ByNode empty")
+	}
+}
+
+type custom struct{ hits *int }
+
+func (custom) Name() string { return "custom" }
+func (c custom) Run(ctx *Context) []Issue {
+	for _, n := range MatchName(ctx.Tree, "sgemm") {
+		*c.hits++
+		return []Issue{{Analysis: "custom", Node: n, Message: "found sgemm"}}
+	}
+	return nil
+}
+
+func TestCustomAnalysisViaInterface(t *testing.T) {
+	hits := 0
+	rep := Run(buildProfile(), DefaultThresholds(), custom{hits: &hits})
+	if hits != 1 || len(rep.Issues) != 1 {
+		t.Fatalf("custom analysis: hits=%d issues=%d", hits, len(rep.Issues))
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	p := buildProfile()
+	if len(Kernels(p.Tree)) != 6 {
+		t.Fatalf("kernels = %d", len(Kernels(p.Tree)))
+	}
+	ops := Operators(p.Tree)
+	if len(ops) < 5 {
+		t.Fatalf("operators = %d", len(ops))
+	}
+	if !IsBackwardName("aten::index_backward") || !IsBackwardName("IndexBackward0") {
+		t.Fatal("backward name detection broken")
+	}
+	if IsBackwardName("aten::conv2d") {
+		t.Fatal("false backward")
+	}
+}
+
+func TestEmptyProfileNoIssues(t *testing.T) {
+	p := &profiler.Profile{Tree: cct.New()}
+	rep := Run(p, DefaultThresholds())
+	if len(rep.Issues) != 0 {
+		t.Fatalf("issues on empty profile: %v", rep.Issues)
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	rep := Run(buildProfile(), DefaultThresholds(), Hotspot{})
+	s := rep.Issues[0].String()
+	if !strings.Contains(s, "hotspot") || !strings.Contains(s, "critical") {
+		t.Fatalf("issue string = %q", s)
+	}
+}

@@ -1,0 +1,314 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/vtime"
+)
+
+// Hotspot implements example analysis 1 (Hotspot Identification): kernels
+// whose inclusive GPU time exceeds a fraction of the run's total.
+type Hotspot struct{}
+
+// Name identifies the analysis.
+func (Hotspot) Name() string { return "hotspot" }
+
+// Run flags hot kernels with their full call paths.
+func (Hotspot) Run(ctx *Context) []Issue {
+	if !ctx.haveGPU {
+		return nil
+	}
+	total := ctx.TotalGPUTime()
+	if total <= 0 {
+		return nil
+	}
+	var out []Issue
+	for _, n := range Kernels(ctx.Tree) {
+		frac := n.InclValue(ctx.GPUTime) / total
+		if frac <= ctx.Thresholds.HotspotFrac {
+			continue
+		}
+		sev := Warning
+		if frac > 2*ctx.Thresholds.HotspotFrac {
+			sev = Critical
+		}
+		out = append(out, Issue{
+			Analysis: "hotspot",
+			Severity: sev,
+			Node:     n,
+			Path:     n.Path(),
+			Value:    frac,
+			Message:  fmt.Sprintf("kernel %s takes %.1f%% of total GPU time", n.Name, 100*frac),
+			Suggestion: "inspect the highlighted call path to find the operator and source " +
+				"line responsible; consider algorithmic or layout changes there",
+		})
+	}
+	return out
+}
+
+// KernelFusion implements example analysis 2 (Kernel Fusion Analysis):
+// frames that launch many kernels with short average GPU execution time.
+type KernelFusion struct{}
+
+// Name identifies the analysis.
+func (KernelFusion) Name() string { return "kernel_fusion" }
+
+// Run flags frames containing many small kernels.
+func (KernelFusion) Run(ctx *Context) []Issue {
+	if !ctx.haveGPU {
+		return nil
+	}
+	var out []Issue
+	flagged := make(map[*cct.Node]bool)
+	ctx.Tree.BFS(func(n *cct.Node) bool {
+		if n.Kind == cct.KindKernel || n.Kind == cct.KindInstruction {
+			return false
+		}
+		// Skip descendants of already-flagged frames: report the
+		// topmost frame that exhibits the pattern.
+		for p := n.Parent; p != nil; p = p.Parent {
+			if flagged[p] {
+				return false
+			}
+		}
+		count := n.InclValue(ctx.Kernels)
+		if int64(count) < ctx.Thresholds.SmallKernelMinCount {
+			return true
+		}
+		avg := n.InclValue(ctx.GPUTime) / count
+		if avg >= float64(ctx.Thresholds.SmallKernelTime) {
+			return true
+		}
+		// Only report frames with meaning to the user (python or
+		// operator frames), not the root or raw API nodes.
+		if n.Kind != cct.KindPython && n.Kind != cct.KindOperator {
+			return true
+		}
+		flagged[n] = true
+		out = append(out, Issue{
+			Analysis: "kernel_fusion",
+			Severity: Warning,
+			Node:     n,
+			Path:     n.Path(),
+			Value:    count,
+			Message: fmt.Sprintf("small GPU kernels: %d launches averaging %s under %s",
+				int64(count), vtime.Duration(avg).String(), n.Label()),
+			Suggestion: "fuse these kernels (e.g. torch.compile or a hand-fused kernel) " +
+				"to cut launch and memory-round-trip overhead",
+		})
+		return false
+	})
+	return out
+}
+
+// ForwardBackward implements example analysis 3 (Forward/Backward Operator
+// Analysis): operators whose backward pass is disproportionately slower than
+// the forward pass.
+type ForwardBackward struct{}
+
+// Name identifies the analysis.
+func (ForwardBackward) Name() string { return "forward_backward" }
+
+// Run exploits the CCT shape produced by sequence-ID association: backward
+// operator nodes are children of their forward operator node.
+func (ForwardBackward) Run(ctx *Context) []Issue {
+	if !ctx.haveGPU {
+		return nil
+	}
+	var out []Issue
+	for _, fwd := range Operators(ctx.Tree) {
+		if IsBackwardName(fwd.Name) {
+			continue
+		}
+		var bwdTime float64
+		for _, c := range fwd.Children() {
+			if c.Kind == cct.KindOperator && IsBackwardName(c.Name) {
+				bwdTime += c.InclValue(ctx.GPUTime)
+			}
+		}
+		if bwdTime == 0 {
+			continue
+		}
+		fwdTime := fwd.InclValue(ctx.GPUTime) - bwdTime
+		if fwdTime <= 0 {
+			fwdTime = 1
+		}
+		ratio := bwdTime / fwdTime
+		if ratio <= ctx.Thresholds.BwdFwdRatio {
+			continue
+		}
+		sev := Warning
+		if ratio > 5*ctx.Thresholds.BwdFwdRatio {
+			sev = Critical
+		}
+		out = append(out, Issue{
+			Analysis: "forward_backward",
+			Severity: sev,
+			Node:     fwd,
+			Path:     fwd.Path(),
+			Value:    ratio,
+			Message: fmt.Sprintf("backward of %s takes %.1fx its forward GPU time (%s vs %s)",
+				fwd.Name, ratio, vtime.Duration(bwdTime), vtime.Duration(fwdTime)),
+			Suggestion: "a backward pass should not vastly exceed its forward; check for " +
+				"serializing implementations (e.g. deterministic aten::index — " +
+				"replace with aten::index_select) or missing fused backward kernels",
+		})
+	}
+	return out
+}
+
+// Stall implements example analysis 4 (Fine-grained Stall Analysis): within
+// hotspot kernels, rank the sampled stall reasons.
+type Stall struct{}
+
+// Name identifies the analysis.
+func (Stall) Name() string { return "stall" }
+
+// Run inspects instruction-sample children of hot kernels.
+func (Stall) Run(ctx *Context) []Issue {
+	if !ctx.haveGPU {
+		return nil
+	}
+	stallIDs := stallMetricIDs(ctx.Tree.Schema)
+	if len(stallIDs) == 0 {
+		return nil
+	}
+	hot := (Hotspot{}).Run(ctx)
+	var out []Issue
+	for _, h := range hot {
+		k := h.Node
+		total := k.InclValue(ctx.Samples)
+		if total <= 0 {
+			continue
+		}
+		byReason := make(map[string]float64)
+		for name, id := range stallIDs {
+			if v := k.InclValue(id); v > 0 && name != "selected" {
+				byReason[name] += v
+			}
+		}
+		var stalled float64
+		for _, v := range byReason {
+			stalled += v
+		}
+		if stalled/total <= ctx.Thresholds.StallFrac {
+			continue
+		}
+		top := topReasons(byReason, 2)
+		out = append(out, Issue{
+			Analysis: "stall",
+			Severity: Warning,
+			Node:     k,
+			Path:     k.Path(),
+			Value:    stalled / total,
+			Message: fmt.Sprintf("kernel %s is mainly stalled by %s (%.0f%% of samples stalled)",
+				k.Name, strings.Join(top, ", "), 100*stalled/total),
+			Suggestion: suggestionForStalls(top),
+		})
+	}
+	return out
+}
+
+func stallMetricIDs(s *cct.Schema) map[string]cct.MetricID {
+	out := make(map[string]cct.MetricID)
+	for _, name := range s.Names() {
+		if strings.HasPrefix(name, "stall:") {
+			id, _ := s.Lookup(name)
+			out[strings.TrimPrefix(name, "stall:")] = id
+		}
+	}
+	return out
+}
+
+func topReasons(byReason map[string]float64, k int) []string {
+	type kv struct {
+		name string
+		v    float64
+	}
+	var all []kv
+	for n, v := range byReason {
+		all = append(all, kv{n, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].name < all[j].name
+	})
+	var out []string
+	for i := 0; i < len(all) && i < k; i++ {
+		out = append(out, all[i].name)
+	}
+	return out
+}
+
+func suggestionForStalls(top []string) string {
+	for _, r := range top {
+		switch r {
+		case "constant_memory_miss":
+			return "constant-memory misses dominate: ensure each block loads the minimum " +
+				"bytes needed, use vectorized conversion instructions, and fuse the " +
+				"conversion with neighbouring operators"
+		case "math_dependency":
+			return "long arithmetic dependency chains: vectorize data conversions and " +
+				"increase instruction-level parallelism"
+		case "memory_dependency", "memory_throttle":
+			return "memory-bound stalls: improve coalescing, use wider loads, or change " +
+				"the data layout"
+		case "synchronization":
+			return "barrier stalls: reduce __syncthreads frequency or rebalance work " +
+				"across the block"
+		}
+	}
+	return "inspect the sampled instructions and their source lines"
+}
+
+// CPULatency implements example analysis 5 (CPU Latency Analysis): top-down
+// traversal flagging frames whose CPU time dwarfs their GPU time.
+type CPULatency struct{}
+
+// Name identifies the analysis.
+func (CPULatency) Name() string { return "cpu_latency" }
+
+// Run walks top-down and stops descending below a flagged frame.
+func (CPULatency) Run(ctx *Context) []Issue {
+	if !ctx.haveCPU {
+		return nil
+	}
+	var out []Issue
+	ctx.Tree.BFS(func(n *cct.Node) bool {
+		if n.Kind == cct.KindRoot {
+			return true
+		}
+		cpu := n.InclValue(ctx.CPUTime)
+		if cpu < float64(ctx.Thresholds.MinCPUTime) {
+			return false
+		}
+		gpuShown := n.InclValue(ctx.GPUTime)
+		gpuTime := gpuShown
+		if gpuTime <= 0 {
+			gpuTime = 1
+		}
+		ratio := cpu / gpuTime
+		if ratio <= ctx.Thresholds.CPUGPURatio {
+			return true
+		}
+		out = append(out, Issue{
+			Analysis: "cpu_latency",
+			Severity: Warning,
+			Node:     n,
+			Path:     n.Path(),
+			Value:    ratio,
+			Message: fmt.Sprintf("CPU time abnormality: %s spends %s on CPU vs %s on GPU",
+				n.Label(), vtime.Duration(cpu), vtime.Duration(gpuShown)),
+			Suggestion: "the GPU is starved under this frame; check data-loading " +
+				"parallelism (match worker count to physical cores), host-side " +
+				"preprocessing and synchronization",
+		})
+		return false
+	})
+	return out
+}

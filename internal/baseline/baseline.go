@@ -1,0 +1,218 @@
+// Package baseline models the trace-based framework profilers DeepContext is
+// compared against in the paper's evaluation (the PyTorch profiler and the
+// JAX profiler): every operator execution and every GPU activity is recorded
+// as an individual trace event with timestamps. Appending an event is cheap
+// (low runtime overhead) but memory grows linearly with the number of events
+// — the paper's Figure 6c/6d behaviour, including out-of-memory failures on
+// long runs — and aggregation is only possible postmortem, per kernel name,
+// without calling-context differentiation.
+package baseline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+// Event is one trace record (chrome://tracing "complete" event).
+type Event struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Phase string `json:"ph"`
+	TS    int64  `json:"ts"`  // microseconds
+	Dur   int64  `json:"dur"` // microseconds
+	TID   int    `json:"tid"`
+	PID   int    `json:"pid"`
+}
+
+// EventBytes is the calibrated in-memory cost of one buffered trace event
+// (the PyTorch profiler's KinetoEvent is larger; this is conservative).
+const EventBytes = 112
+
+// AppendCost is the per-event recording cost charged to the traced thread.
+const AppendCost = 40 * vtime.Nanosecond
+
+// StackCost is the extra per-event cost when with_stack-style Python stack
+// recording is enabled.
+const StackCost = 600 * vtime.Nanosecond
+
+// Options configures a trace profiler.
+type Options struct {
+	// Name labels the profiler ("pytorch-profiler", "jax-profiler").
+	Name string
+	// WithStack records Python stacks per event (costlier, bigger).
+	WithStack bool
+	// EventExtraBytes adds per-event storage beyond EventBytes, modeling
+	// shape/stack metadata kept by real framework profilers.
+	EventExtraBytes int64
+	// AppendCostOverride replaces AppendCost when nonzero.
+	AppendCostOverride vtime.Duration
+}
+
+// TraceProfiler is an attached trace-based profiler.
+type TraceProfiler struct {
+	opts       Options
+	m          *framework.Machine
+	events     []Event
+	open       map[*framework.Thread][]int // indexes of open op events
+	active     bool
+	extraPer   int64 // extra bytes per event (stack/shape storage)
+	appendCost vtime.Duration
+}
+
+// New attaches a trace profiler to the frameworks and GPU runtime of m.
+func New(m *framework.Machine, fws []framework.Hooks, tracer gpu.Tracer, opts Options) *TraceProfiler {
+	if opts.Name == "" {
+		opts.Name = "framework-profiler"
+	}
+	t := &TraceProfiler{
+		opts:   opts,
+		m:      m,
+		open:   make(map[*framework.Thread][]int),
+		active: true,
+	}
+	if opts.WithStack {
+		t.extraPer = 160
+	}
+	t.extraPer += opts.EventExtraBytes
+	t.appendCost = AppendCost
+	if opts.AppendCostOverride > 0 {
+		t.appendCost = opts.AppendCostOverride
+	}
+	for _, fw := range fws {
+		fw.AddGlobalCallback(t.onOp)
+	}
+	if tracer != nil {
+		tracer.EnableActivity(4096, t.onActivities)
+		tracer.Subscribe(t.onAPI)
+	}
+	return t
+}
+
+// Stop halts recording.
+func (t *TraceProfiler) Stop() { t.active = false }
+
+func (t *TraceProfiler) onOp(ev *framework.OpEvent, ph native.Phase) {
+	if !t.active {
+		return
+	}
+	th := ev.Thread
+	th.Clock.Advance(t.appendCost)
+	if t.opts.WithStack {
+		th.Clock.Advance(StackCost + vtime.Duration(th.Py.Depth())*80)
+	}
+	if ph == native.Enter {
+		idx := len(t.events)
+		t.events = append(t.events, Event{
+			Name: ev.Name, Cat: "op", Phase: "X",
+			TS: int64(th.Clock.Now()) / 1000, TID: th.ID, PID: 1,
+		})
+		t.open[th] = append(t.open[th], idx)
+		return
+	}
+	stack := t.open[th]
+	if len(stack) == 0 {
+		return
+	}
+	idx := stack[len(stack)-1]
+	t.open[th] = stack[:len(stack)-1]
+	t.events[idx].Dur = int64(th.Clock.Now())/1000 - t.events[idx].TS
+}
+
+func (t *TraceProfiler) onAPI(ev *gpu.APIEvent) {
+	if !t.active || ev.Phase != native.Enter {
+		return
+	}
+	if ev.Thread.Clock != nil {
+		ev.Thread.Clock.Advance(t.appendCost)
+	}
+	name := ev.Site.String()
+	if ev.Kernel != nil {
+		name = "launch " + ev.Kernel.Name
+	}
+	t.events = append(t.events, Event{Name: name, Cat: "cuda_runtime", Phase: "X", PID: 1})
+}
+
+func (t *TraceProfiler) onActivities(acts []gpu.Activity) {
+	if !t.active {
+		return
+	}
+	for _, a := range acts {
+		t.events = append(t.events, Event{
+			Name: a.Name, Cat: "gpu_" + a.Kind.String(), Phase: "X",
+			TS: int64(a.Start) / 1000, Dur: int64(a.Duration()) / 1000,
+			TID: 1000 + a.Stream, PID: 2,
+		})
+	}
+}
+
+// EventCount returns the number of recorded events.
+func (t *TraceProfiler) EventCount() int { return len(t.events) }
+
+// FootprintBytes models resident memory: linear in events.
+func (t *TraceProfiler) FootprintBytes() int64 {
+	return int64(len(t.events)) * (EventBytes + t.extraPer)
+}
+
+// KernelStat is a postmortem per-kernel aggregate (no calling context).
+type KernelStat struct {
+	Name  string
+	Count int64
+	Total vtime.Duration
+}
+
+// AggregateKernels performs the postmortem per-kernel aggregation that is the
+// best existing trace profilers can offer: totals by kernel name, with no
+// differentiation between calling contexts.
+func (t *TraceProfiler) AggregateKernels() []KernelStat {
+	byName := make(map[string]*KernelStat)
+	for _, e := range t.events {
+		if e.Cat != "gpu_kernel" {
+			continue
+		}
+		s, ok := byName[e.Name]
+		if !ok {
+			s = &KernelStat{Name: e.Name}
+			byName[e.Name] = s
+		}
+		s.Count++
+		s.Total += vtime.Duration(e.Dur) * vtime.Microsecond
+	}
+	out := make([]KernelStat, 0, len(byName))
+	for _, s := range byName {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// ExportChromeTrace writes the chrome://tracing JSON array. If the modeled
+// process memory budget would be exceeded while materializing the export —
+// the paper observed the PyTorch profiler OOM-ing at export time — an
+// ErrOutOfMemory is returned.
+func (t *TraceProfiler) ExportChromeTrace(w io.Writer, memBudgetBytes int64) error {
+	// Export roughly doubles resident memory (events + JSON buffer).
+	if memBudgetBytes > 0 && 2*t.FootprintBytes() > memBudgetBytes {
+		return &ErrOutOfMemory{Need: 2 * t.FootprintBytes(), Budget: memBudgetBytes}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}{t.events})
+}
+
+// ErrOutOfMemory reports an export-time OOM.
+type ErrOutOfMemory struct {
+	Need, Budget int64
+}
+
+// Error renders the failure.
+func (e *ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("baseline: trace export needs %d bytes, budget %d (OOM)", e.Need, e.Budget)
+}

@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"deepcontext/internal/framework"
+	"deepcontext/internal/framework/torchsim"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/gpu/cupti"
+	"deepcontext/internal/vtime"
+)
+
+func newRig(t *testing.T, opts Options) (*framework.Machine, *torchsim.Engine, *TraceProfiler, *framework.Thread) {
+	t.Helper()
+	m := framework.NewMachine(gpu.A100())
+	e := torchsim.New(m)
+	tr, err := cupti.New(m.GPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := New(m, []framework.Hooks{e}, tr, opts)
+	return m, e, tp, m.NewThread("python-main")
+}
+
+func op() torchsim.Op {
+	return torchsim.Op{
+		Name:    "aten::matmul",
+		CPUCost: 10 * vtime.Microsecond,
+		Kernels: []gpu.KernelSpec{{Name: "sgemm", Grid: gpu.D3(256), Block: gpu.D3(256), FLOPs: 1e8, Bytes: 1e6}},
+	}
+}
+
+func TestRecordsOpAndKernelEvents(t *testing.T) {
+	m, e, tp, th := newRig(t, Options{Name: "pytorch-profiler"})
+	e.Run(th, op())
+	m.GPU.FlushActivity()
+	// op enter/exit (1 event), launch API (1), kernel activity (1).
+	if tp.EventCount() != 3 {
+		t.Fatalf("events = %d", tp.EventCount())
+	}
+}
+
+func TestMemoryGrowsLinearlyWithIterations(t *testing.T) {
+	run := func(iters int) int64 {
+		m, e, tp, th := newRig(t, Options{})
+		for i := 0; i < iters; i++ {
+			e.Run(th, op())
+		}
+		m.GPU.FlushActivity()
+		return tp.FootprintBytes()
+	}
+	f10, f100 := run(10), run(100)
+	if f100 < 9*f10 {
+		t.Fatalf("trace memory not linear: %d vs %d", f10, f100)
+	}
+}
+
+func TestAppendOverheadIsSmall(t *testing.T) {
+	// The per-op overhead charged by tracing must be far below typical
+	// op CPU cost — that's why framework profilers are cheap in time.
+	_, e, _, th := newRig(t, Options{})
+	e.Run(th, op())
+	base := 10 * vtime.Microsecond // op body
+	overhead := vtime.Duration(th.Clock.Now()) - base - 2*vtime.Duration(gpu.A100().LaunchLatency)
+	if overhead > 2*vtime.Microsecond {
+		t.Fatalf("tracing overhead too large: %v", overhead)
+	}
+}
+
+func TestWithStackCostsMore(t *testing.T) {
+	run := func(withStack bool) vtime.Time {
+		_, e, _, th := newRig(t, Options{WithStack: withStack})
+		th.WithPy("a.py", 1, "f", func() {
+			for i := 0; i < 10; i++ {
+				e.Run(th, op())
+			}
+		})
+		return th.Clock.Now()
+	}
+	if run(true) <= run(false) {
+		t.Fatal("with_stack should cost more")
+	}
+}
+
+func TestAggregateKernelsPostmortem(t *testing.T) {
+	m, e, tp, th := newRig(t, Options{})
+	for i := 0; i < 3; i++ {
+		e.Run(th, op())
+	}
+	o2 := op()
+	o2.Kernels[0].Name = "elementwise"
+	o2.Kernels[0].Bytes = 1e9
+	e.Run(th, o2)
+	m.GPU.FlushActivity()
+	stats := tp.AggregateKernels()
+	if len(stats) != 2 {
+		t.Fatalf("kernel stats = %+v", stats)
+	}
+	// Sorted by total time: the big elementwise leads.
+	if stats[0].Name != "elementwise" || stats[1].Count != 3 {
+		t.Fatalf("aggregation wrong: %+v", stats)
+	}
+}
+
+func TestExportChromeTrace(t *testing.T) {
+	m, e, tp, th := newRig(t, Options{})
+	e.Run(th, op())
+	m.GPU.FlushActivity()
+	var buf bytes.Buffer
+	if err := tp.ExportChromeTrace(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != tp.EventCount() {
+		t.Fatalf("exported %d of %d", len(doc.TraceEvents), tp.EventCount())
+	}
+}
+
+func TestExportOOM(t *testing.T) {
+	m, e, tp, th := newRig(t, Options{})
+	for i := 0; i < 100; i++ {
+		e.Run(th, op())
+	}
+	m.GPU.FlushActivity()
+	var buf bytes.Buffer
+	err := tp.ExportChromeTrace(&buf, 1024) // tiny budget
+	var oom *ErrOutOfMemory
+	if !errors.As(err, &oom) {
+		t.Fatalf("want OOM, got %v", err)
+	}
+	if oom.Need <= oom.Budget {
+		t.Fatalf("oom fields: %+v", oom)
+	}
+}
+
+func TestStopHaltsRecording(t *testing.T) {
+	_, e, tp, th := newRig(t, Options{})
+	e.Run(th, op())
+	n := tp.EventCount()
+	tp.Stop()
+	e.Run(th, op())
+	if tp.EventCount() != n {
+		t.Fatal("events recorded after Stop")
+	}
+}

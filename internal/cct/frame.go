@@ -1,0 +1,117 @@
+// Package cct implements DeepContext's calling context tree (paper §4.2,
+// Fig. 5): unified call paths spanning Python, framework-operator, native,
+// GPU-API, GPU-kernel and GPU-instruction frames are inserted into a tree
+// whose nodes unify equivalent frames and aggregate metrics online (sum,
+// min, max, count, mean, standard deviation), keeping profile size bounded
+// regardless of run length.
+package cct
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// FrameKind classifies frames of the unified call path.
+type FrameKind int
+
+const (
+	// KindRoot is the synthetic tree root.
+	KindRoot FrameKind = iota
+	// KindThread is a CPU thread grouping frame.
+	KindThread
+	// KindPython is a Python frame (unified by file and line).
+	KindPython
+	// KindOperator is a framework operator frame (unified by name).
+	KindOperator
+	// KindNative is a C/C++ frame (unified by library and PC).
+	KindNative
+	// KindGPUAPI is a driver API frame (unified by library and PC).
+	KindGPUAPI
+	// KindKernel is a GPU kernel frame (unified by library and PC).
+	KindKernel
+	// KindInstruction is a sampled GPU instruction (unified by PC).
+	KindInstruction
+)
+
+var kindNames = [...]string{
+	KindRoot:        "root",
+	KindThread:      "thread",
+	KindPython:      "python",
+	KindOperator:    "operator",
+	KindNative:      "native",
+	KindGPUAPI:      "gpu_api",
+	KindKernel:      "kernel",
+	KindInstruction: "instruction",
+}
+
+// String names the kind.
+func (k FrameKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Frame is one entry of a unified call path.
+type Frame struct {
+	Kind FrameKind
+	// Name is the function, operator, API or kernel name.
+	Name string
+	// File and Line attribute Python frames and provide source mapping
+	// for native frames resolved through line tables.
+	File string
+	Line int
+	// Lib is the containing library for native/GPU frames.
+	Lib string
+	// PC is the program counter for native/GPU/instruction frames.
+	PC uint64
+}
+
+// Key returns the unification key implementing the paper's frame-equivalence
+// rules: native, GPU-API and kernel frames are equal iff they share library
+// path and PC; Python frames iff they share file and line; operator frames
+// iff they share the operator name; instructions by PC.
+func (f Frame) Key() string {
+	switch f.Kind {
+	case KindPython:
+		return "p:" + f.File + ":" + strconv.Itoa(f.Line)
+	case KindOperator:
+		return "o:" + f.Name
+	case KindThread:
+		return "t:" + f.Name
+	case KindInstruction:
+		return "i:" + strconv.FormatUint(f.PC, 16)
+	case KindNative, KindGPUAPI, KindKernel:
+		return "n:" + f.Lib + "+" + strconv.FormatUint(f.PC, 16)
+	default:
+		return "r:"
+	}
+}
+
+// Label renders the frame for display.
+func (f Frame) Label() string {
+	switch f.Kind {
+	case KindPython:
+		return fmt.Sprintf("%s:%d (%s)", f.File, f.Line, f.Name)
+	case KindRoot:
+		return "<root>"
+	default:
+		return f.Name
+	}
+}
+
+// PythonFrame builds a Python frame.
+func PythonFrame(file string, line int, fn string) Frame {
+	return Frame{Kind: KindPython, Name: fn, File: file, Line: line}
+}
+
+// OperatorFrame builds a framework-operator frame.
+func OperatorFrame(name string) Frame { return Frame{Kind: KindOperator, Name: name} }
+
+// NativeFrame builds a native frame.
+func NativeFrame(name, lib string, pc uint64, file string, line int) Frame {
+	return Frame{Kind: KindNative, Name: name, Lib: lib, PC: pc, File: file, Line: line}
+}
+
+// ThreadFrame builds a thread grouping frame.
+func ThreadFrame(name string) Frame { return Frame{Kind: KindThread, Name: name} }

@@ -1,0 +1,291 @@
+package cct
+
+// Node is one calling-context-tree node: a unified frame, its children, and
+// exclusive/inclusive metric aggregates.
+type Node struct {
+	Frame
+	Parent   *Node
+	children map[string]*Node
+	order    []*Node
+
+	// Excl aggregates samples attributed directly to this node;
+	// Incl additionally includes all descendants (maintained by
+	// root-ward propagation on every update, per the paper's Fig. 5).
+	Excl []Metric
+	Incl []Metric
+}
+
+// Children returns the node's children in insertion order.
+func (n *Node) Children() []*Node { return n.order }
+
+// Child returns the child unifying with f, or nil.
+func (n *Node) Child(f Frame) *Node {
+	if n.children == nil {
+		return nil
+	}
+	return n.children[f.Key()]
+}
+
+// Path returns the frames from the root (exclusive) down to this node.
+func (n *Node) Path() []Frame {
+	var rev []Frame
+	for cur := n; cur != nil && cur.Kind != KindRoot; cur = cur.Parent {
+		rev = append(rev, cur.Frame)
+	}
+	out := make([]Frame, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Depth returns the node's distance from the root.
+func (n *Node) Depth() int {
+	d := 0
+	for cur := n.Parent; cur != nil; cur = cur.Parent {
+		d++
+	}
+	return d
+}
+
+// ExclValue returns the exclusive sum for id (0 when unset).
+func (n *Node) ExclValue(id MetricID) float64 {
+	if int(id) >= len(n.Excl) {
+		return 0
+	}
+	return n.Excl[id].Sum
+}
+
+// InclValue returns the inclusive sum for id (0 when unset).
+func (n *Node) InclValue(id MetricID) float64 {
+	if int(id) >= len(n.Incl) {
+		return 0
+	}
+	return n.Incl[id].Sum
+}
+
+// InclMetric returns the inclusive aggregate for id, or nil.
+func (n *Node) InclMetric(id MetricID) *Metric {
+	if int(id) >= len(n.Incl) || n.Incl[id].Empty() {
+		return nil
+	}
+	return &n.Incl[id]
+}
+
+// ExclMetric returns the exclusive aggregate for id, or nil.
+func (n *Node) ExclMetric(id MetricID) *Metric {
+	if int(id) >= len(n.Excl) || n.Excl[id].Empty() {
+		return nil
+	}
+	return &n.Excl[id]
+}
+
+func (n *Node) ensure(size int) {
+	for len(n.Excl) < size {
+		n.Excl = append(n.Excl, Metric{})
+	}
+	for len(n.Incl) < size {
+		n.Incl = append(n.Incl, Metric{})
+	}
+}
+
+// NodeBytes is the calibrated in-memory footprint of one CCT node, used for
+// the Figure 6 memory-overhead model.
+const NodeBytes = 160
+
+// Tree is one calling context tree with a metric schema.
+type Tree struct {
+	Schema *Schema
+	Root   *Node
+	nodes  int
+	// PropagationSteps counts parent-link hops performed by metric
+	// propagation; the profiler charges virtual time per step.
+	PropagationSteps int64
+	// InsertedFrames counts frames examined by InsertPath for cost
+	// accounting.
+	InsertedFrames int64
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	t := &Tree{Schema: NewSchema(), Root: &Node{Frame: Frame{Kind: KindRoot}}}
+	t.nodes = 1
+	return t
+}
+
+// NodeCount returns the number of nodes including the root.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// FootprintBytes models the tree's memory footprint.
+func (t *Tree) FootprintBytes() int64 {
+	per := int64(NodeBytes + 48*t.Schema.Len())
+	return int64(t.nodes) * per
+}
+
+// MetricID interns a metric name.
+func (t *Tree) MetricID(name string) MetricID { return t.Schema.ID(name) }
+
+// InsertPath inserts the call path (outermost frame first) below the root,
+// unifying frames with existing nodes, and returns the leaf node.
+func (t *Tree) InsertPath(path []Frame) *Node {
+	n := t.Root
+	for _, f := range path {
+		t.InsertedFrames++
+		n = t.child(n, f)
+	}
+	return n
+}
+
+// InsertUnder extends an existing node with additional frames; it is how the
+// profiler appends kernel and instruction frames below a cached API node.
+func (t *Tree) InsertUnder(n *Node, path []Frame) *Node {
+	for _, f := range path {
+		t.InsertedFrames++
+		n = t.child(n, f)
+	}
+	return n
+}
+
+func (t *Tree) child(n *Node, f Frame) *Node {
+	key := f.Key()
+	if n.children == nil {
+		n.children = make(map[string]*Node, 4)
+	}
+	c, ok := n.children[key]
+	if !ok {
+		c = &Node{Frame: f, Parent: n}
+		n.children[key] = c
+		n.order = append(n.order, c)
+		t.nodes++
+	}
+	return c
+}
+
+// AddMetric records one sample of metric id at node n and propagates the
+// inclusive aggregate to the root.
+func (t *Tree) AddMetric(n *Node, id MetricID, v float64) {
+	size := t.Schema.Len()
+	n.ensure(size)
+	n.Excl[id].Add(v)
+	for cur := n; cur != nil; cur = cur.Parent {
+		cur.ensure(size)
+		cur.Incl[id].Add(v)
+		t.PropagationSteps++
+	}
+}
+
+// Visit walks the tree depth-first (parent before children).
+func (t *Tree) Visit(fn func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		fn(n)
+		for _, c := range n.order {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// BFS walks the tree breadth-first, the traversal the paper's example
+// analyses use.
+func (t *Tree) BFS(fn func(*Node) bool) {
+	queue := []*Node{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if !fn(n) {
+			continue
+		}
+		queue = append(queue, n.order...)
+	}
+}
+
+// Leaves returns all leaf nodes.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	t.Visit(func(n *Node) {
+		if len(n.order) == 0 && n != t.Root {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// Merge folds other's metrics and structure into t (used to combine
+// per-thread subtrees or profiles from repeated runs).
+func (t *Tree) Merge(other *Tree) {
+	// Remap other's metric IDs into t's schema.
+	remap := make([]MetricID, other.Schema.Len())
+	for i := 0; i < other.Schema.Len(); i++ {
+		remap[i] = t.Schema.ID(other.Schema.Name(MetricID(i)))
+	}
+	var rec func(dst, src *Node)
+	rec = func(dst, src *Node) {
+		size := t.Schema.Len()
+		dst.ensure(size)
+		for i, m := range src.Excl {
+			if !m.Empty() {
+				dst.Excl[remap[i]].Merge(m)
+			}
+		}
+		for i, m := range src.Incl {
+			if !m.Empty() {
+				dst.Incl[remap[i]].Merge(m)
+			}
+		}
+		for _, c := range src.order {
+			rec(t.child(dst, c.Frame), c)
+		}
+	}
+	rec(t.Root, other.Root)
+}
+
+// BottomUp builds the inverted view: for every node with exclusive metrics,
+// its reversed call path is inserted so that costs aggregate per innermost
+// frame across all calling contexts (the GUI's bottom-up view).
+func (t *Tree) BottomUp() *Tree {
+	out := New()
+	// Mirror the schema so metric IDs line up.
+	for _, name := range t.Schema.Names() {
+		out.Schema.ID(name)
+	}
+	t.Visit(func(n *Node) {
+		if n.Kind == KindRoot {
+			return
+		}
+		hasExcl := false
+		for _, m := range n.Excl {
+			if !m.Empty() {
+				hasExcl = true
+				break
+			}
+		}
+		if !hasExcl {
+			return
+		}
+		path := n.Path()
+		rev := make([]Frame, len(path))
+		for i := range path {
+			rev[i] = path[len(path)-1-i]
+		}
+		leaf := out.Root
+		for _, f := range rev {
+			leaf = out.child(leaf, f)
+		}
+		// The full reversed chain carries the exclusive aggregate at
+		// its head (depth 1 node) via inclusive propagation.
+		for i, m := range n.Excl {
+			if m.Empty() {
+				continue
+			}
+			size := out.Schema.Len()
+			leaf.ensure(size)
+			leaf.Excl[MetricID(i)].Merge(m)
+			for cur := leaf; cur != nil; cur = cur.Parent {
+				cur.ensure(size)
+				cur.Incl[MetricID(i)].Merge(m)
+			}
+		}
+	})
+	return out
+}

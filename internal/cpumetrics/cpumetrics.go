@@ -1,0 +1,133 @@
+// Package cpumetrics simulates the CPU measurement substrates DeepContext
+// uses: POSIX interval-timer sampling (sigaction with CPU_TIME/REAL_TIME
+// events) and hardware counters read through perf events or the PAPI API.
+//
+// Timer sampling is driven by vtime tickers on each thread's clock: every
+// period boundary fires a "signal handler" that charges its own cost and
+// reports the elapsed interval, exactly the subtract-previous-timestamp
+// scheme described in the paper (§4.2, CPU Metrics).
+package cpumetrics
+
+import (
+	"fmt"
+
+	"deepcontext/internal/vtime"
+)
+
+// Event identifies a sampled CPU event source.
+type Event int
+
+const (
+	// CPUTime samples thread CPU time (ITIMER_PROF).
+	CPUTime Event = iota
+	// RealTime samples wall-clock time (ITIMER_REAL).
+	RealTime
+	// Cycles is the perf/PAPI cycle counter.
+	Cycles
+	// Instructions is the retired-instruction counter.
+	Instructions
+	// CacheMisses is the LLC miss counter.
+	CacheMisses
+	// BranchMisses is the branch misprediction counter.
+	BranchMisses
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case CPUTime:
+		return "CPU_TIME"
+	case RealTime:
+		return "REAL_TIME"
+	case Cycles:
+		return "PAPI_TOT_CYC"
+	case Instructions:
+		return "PAPI_TOT_INS"
+	case CacheMisses:
+		return "PAPI_L3_TCM"
+	case BranchMisses:
+		return "PAPI_BR_MSP"
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// HandlerCost is the calibrated cost of delivering and running one sampling
+// signal handler (kernel signal delivery + handler prologue).
+const HandlerCost = 900 * vtime.Nanosecond
+
+// SampleFunc receives each timer sample: the boundary timestamp and the
+// interval since the previous sample.
+type SampleFunc func(at vtime.Time, interval vtime.Duration)
+
+// TimerSampler delivers periodic samples of one thread's virtual time.
+type TimerSampler struct {
+	clk     *vtime.Clock
+	ticker  *vtime.Ticker
+	last    vtime.Time
+	Event   Event
+	Samples int64
+}
+
+// NewTimerSampler installs a sampling timer of the given period on clk
+// (the sigaction+setitimer pair). The handler cost is charged to clk on
+// every sample, so sampling overhead is part of the measured run.
+func NewTimerSampler(clk *vtime.Clock, ev Event, period vtime.Duration, fn SampleFunc) *TimerSampler {
+	s := &TimerSampler{clk: clk, last: clk.Now(), Event: ev}
+	s.ticker = clk.AddTicker(period, func(at vtime.Time) {
+		clk.Advance(HandlerCost)
+		interval := at.Sub(s.last)
+		s.last = at
+		s.Samples++
+		fn(at, interval)
+	})
+	return s
+}
+
+// Stop uninstalls the timer.
+func (s *TimerSampler) Stop() { s.ticker.Stop() }
+
+// Rates maps each hardware event to its accrual rate per nanosecond of CPU
+// time. DefaultRates models a 3 GHz core at IPC 2 with typical miss rates.
+type Rates map[Event]float64
+
+// DefaultRates returns the calibration-pass rates.
+func DefaultRates() Rates {
+	return Rates{
+		Cycles:       3.0,    // 3 GHz
+		Instructions: 6.0,    // IPC 2
+		CacheMisses:  0.002,  // 2 misses/us
+		BranchMisses: 0.0005, // 0.5/us
+	}
+}
+
+// Counters models a perf-event/PAPI counter set attached to one thread's
+// clock: counter values are linear in accrued CPU time, read on demand —
+// matching how the profiler reads counter deltas at sample points.
+type Counters struct {
+	clk   *vtime.Clock
+	rates Rates
+	base  map[Event]int64 // subtracted offsets from Reset
+}
+
+// NewCounters attaches a counter set with the given rates (nil for defaults).
+func NewCounters(clk *vtime.Clock, rates Rates) *Counters {
+	if rates == nil {
+		rates = DefaultRates()
+	}
+	return &Counters{clk: clk, rates: rates, base: make(map[Event]int64)}
+}
+
+// Read returns the current value of ev.
+func (c *Counters) Read(ev Event) int64 {
+	r, ok := c.rates[ev]
+	if !ok {
+		return 0
+	}
+	return int64(float64(c.clk.Now())*r) - c.base[ev]
+}
+
+// Reset zeroes ev at the current instant, so subsequent Reads report deltas.
+func (c *Counters) Reset(ev Event) {
+	r := c.rates[ev]
+	c.base[ev] = int64(float64(c.clk.Now()) * r)
+}

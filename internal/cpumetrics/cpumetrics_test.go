@@ -1,0 +1,76 @@
+package cpumetrics
+
+import (
+	"testing"
+
+	"deepcontext/internal/vtime"
+)
+
+func TestTimerSamplerIntervals(t *testing.T) {
+	var clk vtime.Clock
+	var intervals []vtime.Duration
+	s := NewTimerSampler(&clk, CPUTime, 10*vtime.Microsecond, func(at vtime.Time, iv vtime.Duration) {
+		intervals = append(intervals, iv)
+	})
+	clk.Advance(25 * vtime.Microsecond)
+	if s.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", s.Samples)
+	}
+	// Boundary spacing is one period regardless of handler cost drift.
+	if intervals[0] != 10*vtime.Microsecond || intervals[1] != 10*vtime.Microsecond {
+		t.Fatalf("intervals = %v", intervals)
+	}
+}
+
+func TestTimerSamplerChargesHandlerCost(t *testing.T) {
+	var clk vtime.Clock
+	NewTimerSampler(&clk, CPUTime, vtime.Millisecond, func(vtime.Time, vtime.Duration) {})
+	clk.Advance(vtime.Millisecond)
+	if clk.Now() != vtime.Time(vtime.Millisecond+HandlerCost) {
+		t.Fatalf("clock = %v, want period+handler cost", clk.Now())
+	}
+}
+
+func TestTimerSamplerStop(t *testing.T) {
+	var clk vtime.Clock
+	n := 0
+	s := NewTimerSampler(&clk, RealTime, 10*vtime.Microsecond, func(vtime.Time, vtime.Duration) { n++ })
+	clk.Advance(25 * vtime.Microsecond)
+	s.Stop()
+	clk.Advance(100 * vtime.Microsecond)
+	if n != 2 {
+		t.Fatalf("samples after stop = %d, want 2", n)
+	}
+}
+
+func TestCountersLinearInTime(t *testing.T) {
+	var clk vtime.Clock
+	c := NewCounters(&clk, Rates{Cycles: 3.0})
+	clk.Advance(1000)
+	if got := c.Read(Cycles); got != 3000 {
+		t.Fatalf("cycles = %d, want 3000", got)
+	}
+	if got := c.Read(Instructions); got != 0 {
+		t.Fatalf("unconfigured event = %d, want 0", got)
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	var clk vtime.Clock
+	c := NewCounters(&clk, nil)
+	clk.Advance(vtime.Microsecond)
+	c.Reset(Cycles)
+	clk.Advance(100)
+	if got := c.Read(Cycles); got != 300 {
+		t.Fatalf("delta cycles = %d, want 300", got)
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	if CPUTime.String() != "CPU_TIME" || Cycles.String() != "PAPI_TOT_CYC" {
+		t.Fatal("event names wrong")
+	}
+	if Event(99).String() == "" {
+		t.Fatal("unknown event should still render")
+	}
+}

@@ -1,0 +1,234 @@
+package dlmonitor
+
+import (
+	"strings"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/native"
+	"deepcontext/internal/pyruntime"
+	"deepcontext/internal/vtime"
+)
+
+// PathOptions selects which call-path sources to integrate, mirroring
+// dlmonitor_callpath_get's source-selection argument that lets profilers
+// trade context for overhead.
+type PathOptions struct {
+	// Python includes the Python call path.
+	Python bool
+	// Framework includes framework-operator frames from the shadow stack.
+	Framework bool
+	// Native unwinds and includes C/C++ frames (the expensive mode).
+	Native bool
+}
+
+// FullContext enables every source.
+func FullContext() PathOptions { return PathOptions{Python: true, Framework: true, Native: true} }
+
+// LightContext enables Python and framework sources only.
+func LightContext() PathOptions { return PathOptions{Python: true, Framework: true} }
+
+// CallPath is the result of call-path integration.
+type CallPath struct {
+	// Frames is the unified path, outermost first.
+	Frames []cct.Frame
+	// Fused lists the original operators when the innermost operator is
+	// a JIT-fused operator; the GUI shows their compile-time paths.
+	Fused []framework.FusedOrigin
+	// CacheHit reports whether the cached Python path was reused.
+	CacheHit bool
+}
+
+// pyToFrames converts interpreter frames to CCT frames.
+func pyToFrames(frames []pyruntime.Frame) []cct.Frame {
+	out := make([]cct.Frame, len(frames))
+	for i, f := range frames {
+		out[i] = cct.PythonFrame(f.File, f.Line, f.Func)
+	}
+	return out
+}
+
+// classifyNative maps a native frame to its CCT frame, labeling GPU driver
+// frames and device-code frames by their library.
+func classifyNative(f native.Frame) cct.Frame {
+	kind := cct.KindNative
+	lib := f.Sym.Lib.Name
+	switch {
+	case strings.HasPrefix(lib, "libcudart") || strings.HasPrefix(lib, "libamdhip"):
+		kind = cct.KindGPUAPI
+	case strings.HasPrefix(lib, "[gpu"):
+		kind = cct.KindKernel
+	}
+	return cct.Frame{
+		Kind: kind,
+		Name: f.Sym.Name,
+		Lib:  lib,
+		PC:   uint64(f.PC),
+		File: f.Sym.File,
+		Line: f.Sym.LineFor(f.PC),
+	}
+}
+
+// CallPath assembles the unified call path for th per the paper's
+// integration algorithm (§4.1, Call Path Integration and Optimizations):
+//
+//   - Without native collection, the cached Python path, the shadow operator
+//     stack and (at GPU callbacks) the API frame are concatenated directly.
+//   - With native collection, the native stack is unwound bottom-up. A frame
+//     whose PC falls in libpython's range replaces itself and everything
+//     above it with the Python call path; a frame whose address matches a
+//     recorded operator address gets the operator name inserted under its
+//     caller. When the cached operator is reached, unwinding stops and the
+//     cached Python+operator prefix is concatenated (call path caching).
+//   - On a backward thread, the forward operator's prefix — fetched by
+//     sequence ID at operator entry — replaces the missing Python context.
+func (m *Monitor) CallPath(th *framework.Thread, opts PathOptions) CallPath {
+	m.stats.PathsBuilt++
+	ts := m.state(th)
+	th.Clock.Advance(m.costs.CacheLookup)
+
+	var top *shadowEntry
+	if n := len(ts.shadow); n > 0 {
+		top = &ts.shadow[n-1]
+	}
+
+	var out CallPath
+	if top != nil && len(top.fused) > 0 {
+		out.Fused = top.fused
+	}
+
+	if !opts.Native {
+		out.Frames = m.lightPath(th, ts, top, opts, &out)
+	} else {
+		out.Frames = m.nativePath(th, ts, top, opts, &out)
+	}
+	th.Clock.Advance(vtime.Duration(len(out.Frames)) * m.costs.IntegrationPerFrame)
+	return out
+}
+
+// lightPath concatenates cached Python frames with the shadow operator
+// stack; no unwinding.
+func (m *Monitor) lightPath(th *framework.Thread, ts *threadState, top *shadowEntry, opts PathOptions, out *CallPath) []cct.Frame {
+	var frames []cct.Frame
+	if top != nil && top.fwdPrefix != nil {
+		// Backward operator: substitute the forward prefix.
+		frames = append(frames, top.fwdPrefix...)
+		out.CacheHit = true
+	} else {
+		if opts.Python {
+			frames = append(frames, m.pythonFrames(th, top, out)...)
+		}
+		if opts.Framework {
+			for _, se := range ts.shadow {
+				frames = append(frames, cct.OperatorFrame(se.name))
+			}
+		}
+		return frames
+	}
+	// After a forward prefix, append the backward operator frames
+	// executed on this thread.
+	if opts.Framework {
+		for _, se := range ts.shadow {
+			frames = append(frames, cct.OperatorFrame(se.name))
+		}
+	}
+	return frames
+}
+
+// pythonFrames returns the Python path, using the operator-entry cache when
+// the interpreter stack has not structurally changed.
+func (m *Monitor) pythonFrames(th *framework.Thread, top *shadowEntry, out *CallPath) []cct.Frame {
+	if !m.cfg.DisableCallPathCache && top != nil && top.pyCache != nil && top.pyEpoch == th.Py.Epoch {
+		m.stats.CacheHits++
+		out.CacheHit = true
+		return top.pyCache
+	}
+	m.stats.CacheMisses++
+	return pyToFrames(th.Py.Walk(&th.Clock))
+}
+
+// nativePath unwinds the native stack and integrates all sources.
+func (m *Monitor) nativePath(th *framework.Thread, ts *threadState, top *shadowEntry, opts PathOptions, out *CallPath) []cct.Frame {
+	cur := m.cfg.Unwinder.Begin(th.Native, &th.Clock)
+
+	// Pending shadow entries matched innermost-first by code address.
+	pending := make([]int, 0, len(ts.shadow))
+	for i := len(ts.shadow) - 1; i >= 0; i-- {
+		pending = append(pending, i)
+	}
+	cacheValid := !m.cfg.DisableCallPathCache &&
+		top != nil && top.fwdPrefix == nil && top.pyCache != nil && top.pyEpoch == th.Py.Epoch
+
+	var inner []cct.Frame // innermost-first
+	var prefix []cct.Frame
+	stopped := false
+	for {
+		f, ok := cur.Step()
+		if !ok {
+			break
+		}
+		m.stats.UnwindSteps++
+		if m.pyLib != nil && m.pyLib.Contains(f.PC) {
+			// libpython frame: this frame and everything above it
+			// are represented by the Python call path.
+			if opts.Python {
+				prefix = m.pythonFrames(th, top, out)
+			}
+			// Drain remaining frames without materializing them
+			// (the real implementation stops unwinding here).
+			stopped = true
+			break
+		}
+		inner = append(inner, classifyNative(f))
+		if opts.Framework && len(pending) > 0 {
+			se := &ts.shadow[pending[0]]
+			if se.addr != 0 && f.Sym.Addr == se.addr {
+				// Insert the operator name under the caller
+				// frame of its implementation.
+				inner = append(inner, cct.OperatorFrame(se.name))
+				pending = pending[1:]
+				if se == top && cacheValid {
+					// Call-path caching: stop unwinding and
+					// concatenate the cached prefix.
+					m.stats.CacheHits++
+					out.CacheHit = true
+					outer := outerPrefix(ts, top, opts)
+					return concatReversed(outer, inner)
+				}
+			}
+		}
+	}
+	if !stopped && top != nil && top.fwdPrefix != nil {
+		// Backward thread: native stack bottomed out in the autograd
+		// engine; substitute the forward prefix for Python context.
+		prefix = top.fwdPrefix
+	}
+	return concatReversed(prefix, inner)
+}
+
+// outerPrefix builds the cached outer path for the cached-stop mode: the
+// Python path cached at entry of top plus all outer operator frames.
+func outerPrefix(ts *threadState, top *shadowEntry, opts PathOptions) []cct.Frame {
+	var out []cct.Frame
+	if opts.Python {
+		out = append(out, top.pyCache...)
+	}
+	for i := range ts.shadow {
+		se := &ts.shadow[i]
+		if se == top {
+			break
+		}
+		out = append(out, cct.OperatorFrame(se.name))
+	}
+	return out
+}
+
+// concatReversed appends the reversal of inner (innermost-first) to prefix.
+func concatReversed(prefix, inner []cct.Frame) []cct.Frame {
+	out := make([]cct.Frame, 0, len(prefix)+len(inner))
+	out = append(out, prefix...)
+	for i := len(inner) - 1; i >= 0; i-- {
+		out = append(out, inner[i])
+	}
+	return out
+}

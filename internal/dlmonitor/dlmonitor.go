@@ -1,0 +1,335 @@
+// Package dlmonitor implements DeepContext's DLMonitor shim layer
+// (paper §4.1): a unified interface between profilers and deep learning
+// frameworks/GPU runtimes. It intercepts framework operations through each
+// framework's callback facility, GPU driver APIs through CUPTI/RocTracer
+// adapters, and arbitrary configured functions through an LD_AUDIT-style
+// interposition table; and it assembles unified call paths spanning Python
+// code, framework operators, native C/C++ frames and GPU APIs.
+//
+// The package mirrors the paper's C API:
+//
+//	dlmonitor_init              -> Init
+//	dlmonitor_callback_register -> RegisterFrameworkCallback /
+//	                               RegisterGPUCallback /
+//	                               RegisterCompileCallback /
+//	                               RegisterCustomCallback
+//	dlmonitor_finalize          -> (*Monitor).Finalize
+//	dlmonitor_callpath_get      -> (*Monitor).CallPath
+package dlmonitor
+
+import (
+	"errors"
+	"strings"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+// Domain identifies an interception domain, mirroring the paper's
+// DLMONITOR_FRAMEWORK and DLMONITOR_GPU constants.
+type Domain int
+
+const (
+	// DomainFramework intercepts deep learning operators.
+	DomainFramework Domain = iota
+	// DomainGPU intercepts GPU driver APIs.
+	DomainGPU
+	// DomainCompile intercepts JIT compilation passes.
+	DomainCompile
+	// DomainAlloc intercepts tensor allocations.
+	DomainAlloc
+	// DomainCustom intercepts functions listed in an audit config file.
+	DomainCustom
+)
+
+// FrameworkCallback observes operator events.
+type FrameworkCallback func(*framework.OpEvent, native.Phase)
+
+// GPUCallback observes driver API events.
+type GPUCallback func(*gpu.APIEvent)
+
+// CompileCallback observes compilation passes.
+type CompileCallback func(*framework.CompileEvent, native.Phase)
+
+// AllocCallback observes tensor allocations.
+type AllocCallback func(*framework.AllocEvent)
+
+// CustomEvent is delivered for audit-config interceptions.
+type CustomEvent struct {
+	Symbol string
+	Phase  native.Phase
+}
+
+// CustomCallback observes audit-config interceptions.
+type CustomCallback func(CustomEvent)
+
+// Costs holds the calibrated virtual-time costs of DLMonitor's own work,
+// charged to the intercepted thread so profiling overhead is measurable.
+type Costs struct {
+	CallbackDispatch    vtime.Duration // per registered-callback invocation
+	ShadowPush          vtime.Duration // shadow stack push or pop
+	IntegrationPerFrame vtime.Duration // per output frame of integration
+	CacheLookup         vtime.Duration // cache validity check
+}
+
+// DefaultCosts returns the calibration-pass values.
+func DefaultCosts() Costs {
+	return Costs{
+		CallbackDispatch:    220 * vtime.Nanosecond,
+		ShadowPush:          15 * vtime.Nanosecond,
+		IntegrationPerFrame: 60 * vtime.Nanosecond,
+		CacheLookup:         80 * vtime.Nanosecond,
+	}
+}
+
+// Config configures Init.
+type Config struct {
+	Machine    *framework.Machine
+	Frameworks []framework.Hooks
+	Tracer     gpu.Tracer
+	Unwinder   *native.Unwinder
+	Intercepts *InterceptConfig
+	Costs      *Costs
+	// DisableCallPathCache turns off the operator-entry Python-path cache
+	// and the cached-stop native unwinding optimization (§4.1). Used by
+	// the ablation benchmarks; production runs leave it enabled.
+	DisableCallPathCache bool
+}
+
+// Stats counts DLMonitor work for evaluation.
+type Stats struct {
+	OpsIntercepted   int64
+	GPUEvents        int64
+	PathsBuilt       int64
+	CacheHits        int64
+	CacheMisses      int64
+	UnwindSteps      int64
+	FwdPathsRecorded int64
+	BwdAssociations  int64
+}
+
+type shadowEntry struct {
+	name    string
+	addr    native.Addr
+	seq     int64
+	phase   framework.Phase
+	fused   []framework.FusedOrigin
+	pyCache []cct.Frame
+	pyEpoch uint64
+	// fwdPrefix is the forward python+operator prefix fetched for
+	// backward operators via sequence-ID association.
+	fwdPrefix []cct.Frame
+}
+
+type threadState struct {
+	shadow []shadowEntry
+}
+
+// Monitor is one initialized DLMonitor instance.
+type Monitor struct {
+	cfg   Config
+	costs Costs
+
+	pyLib *native.Library
+
+	fwCBs      []FrameworkCallback
+	gpuCBs     []GPUCallback
+	compileCBs []CompileCallback
+	allocCBs   []AllocCallback
+	customCBs  []CustomCallback
+
+	threads  map[*framework.Thread]*threadState
+	fwdPaths map[int64][]cct.Frame
+
+	finalized bool
+	stats     Stats
+}
+
+// Init wires a Monitor into the machine: it registers audit hooks to record
+// the libpython address range, attaches to every framework's global-callback
+// facility, subscribes to the GPU tracer, and installs audit-config
+// interpositions. This is the moment LD_PRELOAD would load libdlmonitor.so.
+func Init(cfg Config) (*Monitor, error) {
+	if cfg.Machine == nil {
+		return nil, errors.New("dlmonitor: Config.Machine is required")
+	}
+	costs := DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	if cfg.Unwinder == nil {
+		cfg.Unwinder = native.DefaultUnwinder()
+	}
+	m := &Monitor{
+		cfg:      cfg,
+		costs:    costs,
+		threads:  make(map[*framework.Thread]*threadState),
+		fwdPaths: make(map[int64][]cct.Frame),
+	}
+	// LD_AUDIT hook: record libpython's mapping for the integration
+	// boundary test.
+	cfg.Machine.AS.AddAuditHook(func(ev native.AuditEvent) {
+		if ev.Kind == native.AuditObjOpen && strings.HasPrefix(ev.Lib.Name, "libpython") {
+			m.pyLib = ev.Lib
+		}
+	})
+	for _, fw := range cfg.Frameworks {
+		fw.AddGlobalCallback(m.onOp)
+		fw.AddCompileCallback(m.onCompile)
+		fw.AddAllocCallback(m.onAlloc)
+	}
+	if cfg.Tracer != nil {
+		cfg.Tracer.Subscribe(m.onGPU)
+	}
+	if cfg.Intercepts != nil {
+		for _, fn := range cfg.Intercepts.Functions {
+			sym := fn.Symbol
+			cfg.Machine.AS.Interpose(sym, func(s *native.Symbol, ph native.Phase) {
+				m.onCustom(CustomEvent{Symbol: s.Name, Phase: ph})
+			})
+		}
+	}
+	return m, nil
+}
+
+// Finalize disables monitoring and releases interceptions
+// (dlmonitor_finalize). Subsequent events are ignored.
+func (m *Monitor) Finalize() { m.finalized = true }
+
+// Stats returns interception counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// FwdPathsLive reports currently retained forward-path associations (a
+// memory-model input).
+func (m *Monitor) FwdPathsLive() int { return len(m.fwdPaths) }
+
+// RegisterFrameworkCallback registers cb in DomainFramework.
+func (m *Monitor) RegisterFrameworkCallback(cb FrameworkCallback) {
+	m.fwCBs = append(m.fwCBs, cb)
+}
+
+// RegisterGPUCallback registers cb in DomainGPU.
+func (m *Monitor) RegisterGPUCallback(cb GPUCallback) { m.gpuCBs = append(m.gpuCBs, cb) }
+
+// RegisterCompileCallback registers cb in DomainCompile.
+func (m *Monitor) RegisterCompileCallback(cb CompileCallback) {
+	m.compileCBs = append(m.compileCBs, cb)
+}
+
+// RegisterAllocCallback registers cb in DomainAlloc.
+func (m *Monitor) RegisterAllocCallback(cb AllocCallback) { m.allocCBs = append(m.allocCBs, cb) }
+
+// RegisterCustomCallback registers cb in DomainCustom.
+func (m *Monitor) RegisterCustomCallback(cb CustomCallback) { m.customCBs = append(m.customCBs, cb) }
+
+func (m *Monitor) state(th *framework.Thread) *threadState {
+	ts, ok := m.threads[th]
+	if !ok {
+		ts = &threadState{}
+		m.threads[th] = ts
+	}
+	return ts
+}
+
+// onOp is DLMonitor's own hook into every framework operator.
+func (m *Monitor) onOp(ev *framework.OpEvent, ph native.Phase) {
+	if m.finalized {
+		return
+	}
+	th := ev.Thread
+	ts := m.state(th)
+	if ph == native.Enter {
+		m.stats.OpsIntercepted++
+		th.Clock.Advance(m.costs.ShadowPush)
+		e := shadowEntry{
+			name:  ev.Name,
+			seq:   ev.SeqID,
+			phase: ev.Phase,
+			fused: ev.Fused,
+		}
+		if ev.CodeSym != nil {
+			e.addr = ev.CodeSym.Addr
+		}
+		if ev.Phase == framework.Backward && ev.SeqID != 0 {
+			// Forward/backward association: fetch the forward
+			// operator's Python+framework prefix by sequence ID.
+			if pre, ok := m.fwdPaths[ev.SeqID]; ok {
+				e.fwdPrefix = pre
+				delete(m.fwdPaths, ev.SeqID)
+				m.stats.BwdAssociations++
+			}
+		} else {
+			// Cache the Python call path at operator entry
+			// (paper §4.1, call path caching).
+			e.pyCache = pyToFrames(th.Py.Walk(&th.Clock))
+			e.pyEpoch = th.Py.Epoch
+			if ev.SeqID != 0 {
+				prefix := make([]cct.Frame, 0, len(e.pyCache)+len(ts.shadow)+1)
+				prefix = append(prefix, e.pyCache...)
+				for _, se := range ts.shadow {
+					prefix = append(prefix, cct.OperatorFrame(se.name))
+				}
+				prefix = append(prefix, cct.OperatorFrame(ev.Name))
+				m.fwdPaths[ev.SeqID] = prefix
+				m.stats.FwdPathsRecorded++
+			}
+		}
+		ts.shadow = append(ts.shadow, e)
+	}
+	for _, cb := range m.fwCBs {
+		th.Clock.Advance(m.costs.CallbackDispatch)
+		cb(ev, ph)
+	}
+	if ph == native.Exit {
+		th.Clock.Advance(m.costs.ShadowPush)
+		if len(ts.shadow) > 0 {
+			ts.shadow = ts.shadow[:len(ts.shadow)-1]
+		}
+	}
+}
+
+func (m *Monitor) onGPU(ev *gpu.APIEvent) {
+	if m.finalized {
+		return
+	}
+	if ev.Phase == native.Enter {
+		m.stats.GPUEvents++
+	}
+	for _, cb := range m.gpuCBs {
+		if ev.Thread.Clock != nil {
+			ev.Thread.Clock.Advance(m.costs.CallbackDispatch)
+		}
+		cb(ev)
+	}
+}
+
+func (m *Monitor) onCompile(ev *framework.CompileEvent, ph native.Phase) {
+	if m.finalized {
+		return
+	}
+	for _, cb := range m.compileCBs {
+		ev.Thread.Clock.Advance(m.costs.CallbackDispatch)
+		cb(ev, ph)
+	}
+}
+
+func (m *Monitor) onAlloc(ev *framework.AllocEvent) {
+	if m.finalized {
+		return
+	}
+	for _, cb := range m.allocCBs {
+		cb(ev)
+	}
+}
+
+func (m *Monitor) onCustom(ev CustomEvent) {
+	if m.finalized {
+		return
+	}
+	for _, cb := range m.customCBs {
+		cb(ev)
+	}
+}

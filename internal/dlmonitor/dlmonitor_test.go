@@ -1,0 +1,515 @@
+package dlmonitor
+
+import (
+	"strings"
+	"testing"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/framework/jaxsim"
+	"deepcontext/internal/framework/torchsim"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/gpu/cupti"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+type rig struct {
+	m  *framework.Machine
+	e  *torchsim.Engine
+	mn *Monitor
+	th *framework.Thread
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	m := framework.NewMachine(gpu.A100())
+	e := torchsim.New(m)
+	tr, err := cupti.New(m.GPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := Init(Config{Machine: m, Frameworks: []framework.Hooks{e}, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{m: m, e: e, mn: mn, th: m.NewThread("python-main")}
+}
+
+func convOp(grad bool) torchsim.Op {
+	return torchsim.Op{
+		Name:         "aten::conv2d",
+		CPUCost:      20 * vtime.Microsecond,
+		Kernels:      []gpu.KernelSpec{{Name: "implicit_gemm", Grid: gpu.D3(512), Block: gpu.D3(256), FLOPs: 1e9, Bytes: 1e7}},
+		RequiresGrad: grad,
+	}
+}
+
+func kinds(frames []cct.Frame) []cct.FrameKind {
+	out := make([]cct.FrameKind, len(frames))
+	for i, f := range frames {
+		out[i] = f.Kind
+	}
+	return out
+}
+
+func names(frames []cct.Frame) []string {
+	out := make([]string, len(frames))
+	for i, f := range frames {
+		out[i] = f.Label()
+	}
+	return out
+}
+
+// Figure 3(b): the unified call path contains Python, operator, native and
+// GPU API frames in order.
+func TestUnifiedCallPathAtKernelLaunch(t *testing.T) {
+	r := newRig(t)
+	var got CallPath
+	r.mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel && ev.Phase == native.Enter {
+			got = r.mn.CallPath(r.th, FullContext())
+		}
+	})
+	r.th.WithPy("train.py", 10, "main", func() {
+		r.th.WithPy("model.py", 42, "forward", func() {
+			r.e.Run(r.th, convOp(false))
+		})
+	})
+	fs := got.Frames
+	if len(fs) == 0 {
+		t.Fatal("no call path captured")
+	}
+	// Expect: python train.py, python model.py, [dispatch natives],
+	// operator, native impl, gpu api.
+	if fs[0].Kind != cct.KindPython || fs[0].File != "train.py" {
+		t.Fatalf("outermost = %+v", fs[0])
+	}
+	if fs[1].Kind != cct.KindPython || fs[1].File != "model.py" {
+		t.Fatalf("second = %+v", fs[1])
+	}
+	var sawOp, sawImpl bool
+	for i, f := range fs {
+		if f.Kind == cct.KindOperator && f.Name == "aten::conv2d" {
+			sawOp = true
+			// The implementation frame follows the operator.
+			if i+1 >= len(fs) || fs[i+1].Name != "at::native::conv2d" {
+				t.Fatalf("operator not above impl: %v", names(fs))
+			}
+		}
+		if f.Name == "at::native::conv2d" {
+			sawImpl = true
+		}
+	}
+	if !sawOp || !sawImpl {
+		t.Fatalf("missing op/impl frames: %v", names(fs))
+	}
+	last := fs[len(fs)-1]
+	if last.Kind != cct.KindGPUAPI || last.Name != "cudaLaunchKernel" {
+		t.Fatalf("innermost = %+v", last)
+	}
+}
+
+// Figure 3(a) versus (b): without DLMonitor context the path has only
+// native frames; CallPath with Python/Framework disabled reproduces that.
+func TestNativeOnlyPathLacksContext(t *testing.T) {
+	r := newRig(t)
+	var got CallPath
+	r.mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel && ev.Phase == native.Enter {
+			got = r.mn.CallPath(r.th, PathOptions{Native: true})
+		}
+	})
+	r.th.WithPy("train.py", 10, "main", func() {
+		r.e.Run(r.th, convOp(false))
+	})
+	for _, f := range got.Frames {
+		if f.Kind == cct.KindPython || f.Kind == cct.KindOperator {
+			t.Fatalf("context frame leaked into native-only path: %v", names(got.Frames))
+		}
+	}
+	// The interpreter frame region is represented by raw native frames
+	// (the _PyEval frames) since Python replacement is off... the
+	// boundary rule only replaces when Python source is enabled.
+	if len(got.Frames) == 0 {
+		t.Fatal("empty native path")
+	}
+}
+
+func TestLightPathConcatenatesCacheAndShadow(t *testing.T) {
+	r := newRig(t)
+	var got CallPath
+	r.mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel && ev.Phase == native.Enter {
+			got = r.mn.CallPath(r.th, LightContext())
+		}
+	})
+	r.th.WithPy("train.py", 10, "main", func() {
+		r.e.Run(r.th, convOp(false))
+	})
+	want := []cct.FrameKind{cct.KindPython, cct.KindOperator}
+	ks := kinds(got.Frames)
+	if len(ks) != 2 || ks[0] != want[0] || ks[1] != want[1] {
+		t.Fatalf("light path kinds = %v", ks)
+	}
+	if !got.CacheHit {
+		t.Fatal("operator-entry cache should serve the python path")
+	}
+}
+
+func TestCallPathCachingAcrossMultipleKernels(t *testing.T) {
+	r := newRig(t)
+	paths := 0
+	r.mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel && ev.Phase == native.Enter {
+			r.mn.CallPath(r.th, LightContext())
+			paths++
+		}
+	})
+	op := convOp(false)
+	// One operator launching 8 kernels: python walked once at op entry,
+	// 8 cache hits at the launches.
+	for i := 0; i < 7; i++ {
+		op.Kernels = append(op.Kernels, op.Kernels[0])
+	}
+	r.th.WithPy("train.py", 10, "main", func() {
+		r.e.Run(r.th, op)
+	})
+	st := r.mn.Stats()
+	if paths != 8 {
+		t.Fatalf("paths = %d", paths)
+	}
+	if st.CacheHits != 8 || st.CacheMisses != 0 {
+		t.Fatalf("cache hits=%d misses=%d, want 8/0", st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestNativeCachedStopSavesUnwindSteps(t *testing.T) {
+	r := newRig(t)
+	var steps []int64
+	r.mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel && ev.Phase == native.Enter {
+			before := r.mn.Stats().UnwindSteps
+			r.mn.CallPath(r.th, FullContext())
+			steps = append(steps, r.mn.Stats().UnwindSteps-before)
+		}
+	})
+	// Deep python stack: cached mode should not unwind the interpreter
+	// frames above the operator.
+	r.th.WithPy("a.py", 1, "l1", func() {
+		r.th.WithPy("b.py", 2, "l2", func() {
+			r.th.WithPy("c.py", 3, "l3", func() {
+				r.th.WithPy("d.py", 4, "l4", func() {
+					r.e.Run(r.th, convOp(false))
+				})
+			})
+		})
+	})
+	if len(steps) != 1 {
+		t.Fatalf("launches = %d", len(steps))
+	}
+	// Native stack at launch: 4 eval frames + 2 dispatch + impl + api = 8.
+	// Cached stop must cut the walk at the impl frame: api + impl = 2.
+	if steps[0] != 2 {
+		t.Fatalf("unwind steps = %d, want 2 (cached stop)", steps[0])
+	}
+}
+
+func TestForwardBackwardAssociation(t *testing.T) {
+	r := newRig(t)
+	var bwPath CallPath
+	var bwThread *framework.Thread
+	r.mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel && ev.Phase == native.Enter && ev.Thread.Clock != &r.th.Clock {
+			// A launch from the backward thread.
+			for _, th := range r.m.Threads() {
+				if &th.Clock == ev.Thread.Clock {
+					bwThread = th
+				}
+			}
+			bwPath = r.mn.CallPath(bwThread, LightContext())
+		}
+	})
+	r.th.WithPy("train.py", 20, "train_step", func() {
+		r.th.WithPy("model.py", 7, "embed", func() {
+			r.e.Run(r.th, torchsim.Op{
+				Name:         "aten::index",
+				CPUCost:      10 * vtime.Microsecond,
+				Kernels:      []gpu.KernelSpec{{Name: "index_fwd", Grid: gpu.D3(64), Block: gpu.D3(128), FLOPs: 1e6, Bytes: 1e6}},
+				RequiresGrad: true,
+				BwdName:      "aten::index_backward",
+				BwdKernels:   []gpu.KernelSpec{{Name: "indexing_backward_kernel", Grid: gpu.D3(64), Block: gpu.D3(128), FLOPs: 1e7, Bytes: 1e7, Serialization: 20}},
+			})
+		})
+		r.e.Backward(r.th)
+	})
+	if bwThread == nil || bwThread.Name != "autograd-worker" {
+		t.Fatalf("backward launch not observed (thread=%v)", bwThread)
+	}
+	fs := bwPath.Frames
+	if len(fs) < 4 {
+		t.Fatalf("backward path too short: %v", names(fs))
+	}
+	// The backward path must carry the FORWARD python context...
+	if fs[0].Kind != cct.KindPython || fs[0].File != "train.py" {
+		t.Fatalf("bw path missing forward python context: %v", names(fs))
+	}
+	if fs[1].File != "model.py" {
+		t.Fatalf("bw path missing embed frame: %v", names(fs))
+	}
+	// ...the forward operator, and the backward operator.
+	var sawFwd, sawBwd bool
+	for _, f := range fs {
+		if f.Kind == cct.KindOperator && f.Name == "aten::index" {
+			sawFwd = true
+		}
+		if f.Kind == cct.KindOperator && f.Name == "aten::index_backward" {
+			sawBwd = true
+		}
+	}
+	if !sawFwd || !sawBwd {
+		t.Fatalf("fwd/bwd operators missing: %v", names(fs))
+	}
+	if r.mn.Stats().BwdAssociations != 1 {
+		t.Fatalf("associations = %d", r.mn.Stats().BwdAssociations)
+	}
+	// The association entry is consumed.
+	if r.mn.FwdPathsLive() != 0 {
+		t.Fatalf("fwd paths retained: %d", r.mn.FwdPathsLive())
+	}
+}
+
+func TestBackwardAssociationWithNativeUnwind(t *testing.T) {
+	r := newRig(t)
+	var bwPath CallPath
+	r.mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel && ev.Phase == native.Enter && ev.Thread.Clock != &r.th.Clock {
+			bw := r.e.BackwardThread()
+			bwPath = r.mn.CallPath(bw, FullContext())
+		}
+	})
+	r.th.WithPy("train.py", 20, "train_step", func() {
+		r.e.Run(r.th, convOp(true))
+		r.e.Backward(r.th)
+	})
+	fs := bwPath.Frames
+	if len(fs) == 0 {
+		t.Fatal("no backward path")
+	}
+	if fs[0].Kind != cct.KindPython {
+		t.Fatalf("native bw path missing python prefix: %v", names(fs))
+	}
+	// Native autograd engine frames must be present.
+	var sawEngine bool
+	for _, f := range fs {
+		if strings.Contains(f.Name, "autograd::Engine") {
+			sawEngine = true
+		}
+	}
+	if !sawEngine {
+		t.Fatalf("autograd engine frames missing: %v", names(fs))
+	}
+}
+
+func TestJAXFusedOpCarriesOrigins(t *testing.T) {
+	m := framework.NewMachine(gpu.A100())
+	je := jaxsim.New(m)
+	tr, _ := cupti.New(m.GPU)
+	mn, err := Init(Config{Machine: m, Frameworks: []framework.Hooks{je}, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := m.NewThread("python-main")
+	var got CallPath
+	mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel && ev.Phase == native.Enter {
+			p := mn.CallPath(th, LightContext())
+			if len(p.Fused) > 0 {
+				got = p
+			}
+		}
+	})
+	var g *jaxsim.Graph
+	th.WithPy("train.py", 5, "step", func() {
+		g = je.Trace(th, "step", func(tc *jaxsim.TraceContext) {
+			th.WithPy("model.py", 9, "mlp", func() {
+				tc.Emit(jaxsim.Op{Name: "jax::add", Kind: jaxsim.Elementwise, Kernel: gpu.KernelSpec{Name: "add", Grid: gpu.D3(16), Block: gpu.D3(128), FLOPs: 1e5, Bytes: 1e5}})
+				tc.Emit(jaxsim.Op{Name: "jax::gelu", Kind: jaxsim.Elementwise, Kernel: gpu.KernelSpec{Name: "gelu", Grid: gpu.D3(16), Block: gpu.D3(128), FLOPs: 1e5, Bytes: 1e5}})
+			})
+		})
+		ex := je.Compile(th, g)
+		ex.Run(th)
+	})
+	if len(got.Fused) != 2 {
+		t.Fatalf("fused origins = %d, want 2", len(got.Fused))
+	}
+	// Compile-time python paths preserved (Fig. 4).
+	for _, o := range got.Fused {
+		var files []string
+		for _, f := range o.PyPath {
+			files = append(files, f.File)
+		}
+		if len(o.PyPath) != 2 || files[0] != "train.py" || files[1] != "model.py" {
+			t.Fatalf("origin %s pypath = %v", o.Name, files)
+		}
+	}
+}
+
+func TestCompileCallbacksRouted(t *testing.T) {
+	m := framework.NewMachine(gpu.A100())
+	je := jaxsim.New(m)
+	mn, _ := Init(Config{Machine: m, Frameworks: []framework.Hooks{je}})
+	th := m.NewThread("main")
+	var passes []string
+	mn.RegisterCompileCallback(func(ev *framework.CompileEvent, ph native.Phase) {
+		if ph == native.Enter {
+			passes = append(passes, ev.PassName)
+		}
+	})
+	g := je.Trace(th, "g", func(tc *jaxsim.TraceContext) {
+		tc.Emit(jaxsim.Op{Name: "jax::dot", Kind: jaxsim.Matmul, Kernel: gpu.KernelSpec{Name: "dot", Grid: gpu.D3(8), Block: gpu.D3(128), FLOPs: 1e6}})
+	})
+	je.Compile(th, g)
+	if len(passes) != len(jaxsim.PassNames) {
+		t.Fatalf("passes = %v", passes)
+	}
+}
+
+func TestFinalizeStopsDispatch(t *testing.T) {
+	r := newRig(t)
+	calls := 0
+	r.mn.RegisterFrameworkCallback(func(*framework.OpEvent, native.Phase) { calls++ })
+	r.e.Run(r.th, convOp(false))
+	if calls != 2 {
+		t.Fatalf("calls before finalize = %d", calls)
+	}
+	r.mn.Finalize()
+	r.e.Run(r.th, convOp(false))
+	if calls != 2 {
+		t.Fatalf("callbacks fired after finalize: %d", calls)
+	}
+}
+
+func TestCustomInterceptsFromConfig(t *testing.T) {
+	cfgJSON := `{"functions":[{"symbol":"xpuLaunchKernel","signature":"int xpuLaunchKernel(void*)","domain":"gpu"}]}`
+	icfg, err := ParseInterceptConfig([]byte(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := framework.NewMachine(gpu.A100())
+	mn, err := Init(Config{Machine: m, Intercepts: icfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []CustomEvent
+	mn.RegisterCustomCallback(func(ev CustomEvent) { evs = append(evs, ev) })
+	lib := m.AS.LoadLibrary("libxpu.so", 1<<20)
+	sym := m.AS.AddSymbol(lib, "xpuLaunchKernel", 0, "", 0)
+	th := m.NewThread("main")
+	th.Native.Push(sym)
+	th.Native.Pop()
+	if len(evs) != 2 || evs[0].Phase != native.Enter || evs[1].Phase != native.Exit {
+		t.Fatalf("custom events = %+v", evs)
+	}
+	if evs[0].Symbol != "xpuLaunchKernel" {
+		t.Fatalf("symbol = %q", evs[0].Symbol)
+	}
+}
+
+func TestParseInterceptConfigErrors(t *testing.T) {
+	if _, err := ParseInterceptConfig([]byte("{nope")); err == nil {
+		t.Fatal("bad json should error")
+	}
+	if _, err := ParseInterceptConfig([]byte(`{"functions":[{"domain":"gpu"}]}`)); err == nil {
+		t.Fatal("missing symbol should error")
+	}
+	c, err := ReadInterceptConfig(strings.NewReader(`{"functions":[{"symbol":"f"}]}`))
+	if err != nil || len(c.Functions) != 1 {
+		t.Fatalf("ReadInterceptConfig: %v %v", c, err)
+	}
+}
+
+func TestInitRequiresMachine(t *testing.T) {
+	if _, err := Init(Config{}); err == nil {
+		t.Fatal("Init without machine should fail")
+	}
+}
+
+func TestMonitoringHasMeasurableCost(t *testing.T) {
+	// Identical workloads with and without a monitor: monitoring must
+	// advance the thread clock further (overhead is modeled, not free).
+	run := func(withMonitor bool) vtime.Time {
+		m := framework.NewMachine(gpu.A100())
+		e := torchsim.New(m)
+		if withMonitor {
+			tr, _ := cupti.New(m.GPU)
+			mn, _ := Init(Config{Machine: m, Frameworks: []framework.Hooks{e}, Tracer: tr})
+			mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+				if ev.Phase == native.Enter && ev.Site == gpu.SiteLaunchKernel {
+					for _, th := range m.Threads() {
+						if &th.Clock == ev.Thread.Clock {
+							mn.CallPath(th, FullContext())
+						}
+					}
+				}
+			})
+		}
+		th := m.NewThread("python-main")
+		th.WithPy("train.py", 1, "main", func() {
+			for i := 0; i < 50; i++ {
+				e.Run(th, convOp(false))
+			}
+		})
+		return th.Clock.Now()
+	}
+	plain := run(false)
+	monitored := run(true)
+	if monitored <= plain {
+		t.Fatalf("monitored (%v) should exceed plain (%v)", monitored, plain)
+	}
+}
+
+func TestCPUSamplingPathOutsideOperators(t *testing.T) {
+	// A sampler interrupt during data loading (no operators on the
+	// shadow stack) must still produce a pure-Python path.
+	r := newRig(t)
+	r.th.WithPy("train.py", 3, "main", func() {
+		r.th.WithPy("data.py", 88, "data_selection", func() {
+			p := r.mn.CallPath(r.th, LightContext())
+			if len(p.Frames) != 2 || p.Frames[1].Name != "data_selection" {
+				t.Fatalf("sampling path = %v", names(p.Frames))
+			}
+		})
+	})
+}
+
+func TestDisableCallPathCacheForcesFreshWalks(t *testing.T) {
+	m := framework.NewMachine(gpu.A100())
+	e := torchsim.New(m)
+	tr, _ := cupti.New(m.GPU)
+	mn, err := Init(Config{Machine: m, Frameworks: []framework.Hooks{e}, Tracer: tr,
+		DisableCallPathCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := m.NewThread("python-main")
+	mn.RegisterGPUCallback(func(ev *gpu.APIEvent) {
+		if ev.Site == gpu.SiteLaunchKernel && ev.Phase == native.Enter {
+			mn.CallPath(th, LightContext())
+		}
+	})
+	op := convOp(false)
+	for i := 0; i < 3; i++ {
+		op.Kernels = append(op.Kernels, op.Kernels[0])
+	}
+	th.WithPy("train.py", 10, "main", func() {
+		e.Run(th, op)
+	})
+	st := mn.Stats()
+	if st.CacheHits != 0 {
+		t.Fatalf("cache hits = %d with caching disabled", st.CacheHits)
+	}
+	if st.CacheMisses != 4 {
+		t.Fatalf("misses = %d, want one per launch", st.CacheMisses)
+	}
+}

@@ -1,0 +1,53 @@
+package dlmonitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// InterceptFunc names one function to interpose via the LD_AUDIT fallback,
+// for hardware without a vendor-provided callback mechanism (paper §4.1):
+// the user supplies the driver function's signature in a configuration file
+// and DLMonitor registers custom callbacks for it.
+type InterceptFunc struct {
+	// Symbol is the function symbol to hook, e.g. "xpuLaunchKernel".
+	Symbol string `json:"symbol"`
+	// Signature documents the C prototype; it is carried for tooling and
+	// argument decoding but not interpreted by the simulator.
+	Signature string `json:"signature,omitempty"`
+	// Domain labels the semantic domain ("gpu", "runtime", ...).
+	Domain string `json:"domain,omitempty"`
+}
+
+// InterceptConfig is the parsed audit configuration file.
+type InterceptConfig struct {
+	Functions []InterceptFunc `json:"functions"`
+}
+
+// ParseInterceptConfig parses the JSON configuration format:
+//
+//	{"functions": [{"symbol": "xpuLaunchKernel",
+//	                "signature": "int xpuLaunchKernel(void*, dim3, dim3)",
+//	                "domain": "gpu"}]}
+func ParseInterceptConfig(data []byte) (*InterceptConfig, error) {
+	var cfg InterceptConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("dlmonitor: bad intercept config: %w", err)
+	}
+	for i, f := range cfg.Functions {
+		if f.Symbol == "" {
+			return nil, fmt.Errorf("dlmonitor: intercept config entry %d has no symbol", i)
+		}
+	}
+	return &cfg, nil
+}
+
+// ReadInterceptConfig reads and parses a configuration stream.
+func ReadInterceptConfig(r io.Reader) (*InterceptConfig, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseInterceptConfig(data)
+}

@@ -1,0 +1,396 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"deepcontext/internal/analyzer"
+	"deepcontext/internal/cct"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/vtime"
+	"deepcontext/internal/workloads"
+)
+
+// CaseResult is one Table 3 row: the analysis that found the issue, the
+// optimization applied, and the measured speedup.
+type CaseResult struct {
+	Name     string
+	Model    string
+	Platform string
+	// Client is the paper's analysis-client number and name.
+	Client string
+	// Finding is the analyzer issue that motivated the optimization.
+	Finding string
+	// Optimization describes the applied change.
+	Optimization string
+	// Before/After are end-to-end times unless GPUOnly.
+	Before, After vtime.Duration
+	GPUOnly       bool
+	// Speedup is Before/After; 0 marks the paper's N/A rows.
+	Speedup float64
+	// Notes carries qualitative observations (the N/A rows).
+	Notes string
+}
+
+func (c CaseResult) String() string {
+	sp := "N/A"
+	if c.Speedup > 0 {
+		sp = fmt.Sprintf("%.2fx", c.Speedup)
+	}
+	return fmt.Sprintf("%-28s %-16s %-34s %s", c.Name, c.Model, c.Optimization, sp)
+}
+
+// findIssue returns the first issue of the given analysis whose message
+// contains substr.
+func findIssue(rep *analyzer.Report, analysis, substr string) (analyzer.Issue, bool) {
+	for _, is := range rep.Issues {
+		if is.Analysis == analysis && strings.Contains(is.Message, substr) {
+			return is, true
+		}
+	}
+	return analyzer.Issue{}, false
+}
+
+// CaseDLRMIndex reproduces §6.1 on DLRM-small: forward/backward analysis
+// flags the serialized deterministic aten::index backward; replacing it with
+// aten::index_select cuts total GPU time by ~1.66x.
+func CaseDLRMIndex(iters int) (CaseResult, error) {
+	w := workloads.DLRMSmall()
+	prof, err := Run(w, "pytorch", gpu.VendorNvidia, ProfDC, Options{Iters: iters})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	rep := analyzer.Run(prof.Profile, analyzer.DefaultThresholds())
+	issue, ok := findIssue(rep, "forward_backward", "aten::index")
+	finding := "not found"
+	if ok {
+		finding = issue.Message
+	}
+	before, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone, Options{Iters: iters})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	after, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone,
+		Options{Iters: iters, Knobs: workloads.Knobs{UseIndexSelect: true}})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	return CaseResult{
+		Name:         "dlrm-index",
+		Model:        w.Name,
+		Platform:     "Nvidia",
+		Client:       "3 Forward/Backward Operator Analysis",
+		Finding:      finding,
+		Optimization: "replace aten::index with aten::index_select",
+		Before:       before.GPUTime,
+		After:        after.GPUTime,
+		GPUOnly:      true,
+		Speedup:      float64(before.GPUTime) / float64(after.GPUTime),
+	}, nil
+}
+
+// CaseGNNIndex reproduces §6.1 on GNN: the same fix, a smaller win (~1.07x).
+func CaseGNNIndex(iters int) (CaseResult, error) {
+	w := workloads.GNN()
+	prof, err := Run(w, "pytorch", gpu.VendorNvidia, ProfDC, Options{Iters: iters})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	rep := analyzer.Run(prof.Profile, analyzer.DefaultThresholds())
+	issue, ok := findIssue(rep, "forward_backward", "aten::index")
+	finding := "not found"
+	if ok {
+		finding = issue.Message
+	}
+	before, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone, Options{Iters: iters})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	after, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone,
+		Options{Iters: iters, Knobs: workloads.Knobs{UseIndexSelect: true}})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	return CaseResult{
+		Name:         "gnn-index",
+		Model:        w.Name,
+		Platform:     "Nvidia",
+		Client:       "3 Forward/Backward Operator Analysis",
+		Finding:      finding,
+		Optimization: "replace aten::index with aten::index_select",
+		Before:       before.GPUTime,
+		After:        after.GPUTime,
+		GPUOnly:      true,
+		Speedup:      float64(before.GPUTime) / float64(after.GPUTime),
+	}, nil
+}
+
+// CaseUNetLayout reproduces §6.2: hotspot identification surfaces the
+// cudnn::nchwToNhwcKernel conversions; storing tensors channels_last removes
+// them (~1.28x end to end). The loader is tuned to the core count so the GPU
+// paces the run, as in the paper's setup for this study.
+func CaseUNetLayout(iters int) (CaseResult, error) {
+	w := workloads.UNet()
+	knobsBase := workloads.Knobs{LoaderWorkers: 6}
+	prof, err := Run(w, "pytorch", gpu.VendorNvidia, ProfDCNative, Options{Iters: iters, Knobs: knobsBase})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	// Same-kernel launches from all 18 conv blocks aggregate only in the
+	// bottom-up view (paper Fig. 8), where the conversion kernel crosses
+	// the hotspot threshold.
+	bu := &profiler.Profile{Tree: prof.Profile.Tree.BottomUp(), Meta: prof.Profile.Meta}
+	th := analyzer.DefaultThresholds()
+	th.HotspotFrac = 0.06 // conversions split across two kernel directions
+	rep := analyzer.Run(bu, th)
+	issue, ok := findIssue(rep, "hotspot", "nchwToNhwc")
+	finding := "not found"
+	if ok {
+		finding = issue.Message
+	}
+	before, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone, Options{Iters: iters, Knobs: knobsBase})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	optKnobs := knobsBase
+	optKnobs.ChannelsLast = true
+	after, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone, Options{Iters: iters, Knobs: optKnobs})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	return CaseResult{
+		Name:         "unet-layout",
+		Model:        w.Name,
+		Platform:     "Nvidia",
+		Client:       "1 Hotspot Identification",
+		Finding:      finding,
+		Optimization: "avoid channels_first<->channels_last conversion",
+		Before:       before.E2E,
+		After:        after.E2E,
+		Speedup:      float64(before.E2E) / float64(after.E2E),
+	}, nil
+}
+
+// CaseUNetLoader reproduces §6.4: CPU latency analysis flags
+// data_selection's oversubscribed 16 workers on the 6-core node; matching
+// the worker count to the cores recovers ~1.15x.
+func CaseUNetLoader(iters int) (CaseResult, error) {
+	w := workloads.UNet()
+	prof, err := Run(w, "pytorch", gpu.VendorNvidia, ProfDC,
+		Options{Iters: iters, CPUSampling: true})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	rep := analyzer.Run(prof.Profile, analyzer.DefaultThresholds())
+	issue, ok := findIssue(rep, "cpu_latency", "data")
+	finding := "not found"
+	if ok {
+		finding = issue.Message
+	}
+	before, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone, Options{Iters: iters})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	after, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone,
+		Options{Iters: iters, Knobs: workloads.Knobs{LoaderWorkers: 8}})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	return CaseResult{
+		Name:         "unet-loader",
+		Model:        w.Name,
+		Platform:     "Nvidia",
+		Client:       "5 CPU Latency Analysis",
+		Finding:      finding,
+		Optimization: "match worker_num with #CPU cores",
+		Before:       before.E2E,
+		After:        after.E2E,
+		Speedup:      float64(before.E2E) / float64(after.E2E),
+	}, nil
+}
+
+// CaseTransformerFusion reproduces §6.3: kernel fusion analysis flags the
+// loss_fn's many small softmax/copy/nll_loss kernels; fusing them wins big
+// on GPU time but ~1.06x end to end.
+func CaseTransformerFusion(iters int) (CaseResult, error) {
+	w := workloads.TransformerBig()
+	prof, err := Run(w, "pytorch", gpu.VendorNvidia, ProfDC, Options{Iters: iters})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	rep := analyzer.Run(prof.Profile, analyzer.DefaultThresholds())
+	issue, ok := findIssue(rep, "kernel_fusion", "loss_fn")
+	finding := "not found"
+	if ok {
+		finding = issue.Message
+	}
+	before, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone, Options{Iters: iters})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	after, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone,
+		Options{Iters: iters, Knobs: workloads.Knobs{FuseLoss: true}})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	return CaseResult{
+		Name:         "transformer-fusion",
+		Model:        w.Name,
+		Platform:     "Nvidia",
+		Client:       "2 Kernel Fusion Analysis",
+		Finding:      finding,
+		Optimization: "fuse small kernels (softmax/copy/nll_loss)",
+		Before:       before.E2E,
+		After:        after.E2E,
+		Speedup:      float64(before.E2E) / float64(after.E2E),
+	}, nil
+}
+
+// CaseLlamaStalls reproduces §6.7: fine-grained instruction sampling on the
+// Llama3 dtype-conversion kernels shows constant-memory misses and math
+// dependencies; the paper reports the insight without a speedup (N/A).
+func CaseLlamaStalls(iters int) (CaseResult, error) {
+	w := workloads.Llama3()
+	prof, err := Run(w, "pytorch", gpu.VendorNvidia, ProfDC,
+		Options{Iters: iters, PCSampling: true})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	th := analyzer.DefaultThresholds()
+	th.HotspotFrac = 0.02 // cast kernels are individually small
+	rep := analyzer.Run(prof.Profile, th)
+	issue, ok := findIssue(rep, "stall", "constant_memory_miss")
+	finding := "not found"
+	if ok {
+		finding = issue.Message
+	}
+	return CaseResult{
+		Name:         "llama-stalls",
+		Model:        w.Name,
+		Platform:     "Nvidia",
+		Client:       "4 Fine-grained Stall Analysis",
+		Finding:      finding,
+		Optimization: "use fast (vectorized) data type conversion instructions",
+		Notes: "constant-memory misses and math-dependency stalls dominate the " +
+			"elementwise cast kernels in LlamaRMSNorm; fix: vectorized casts fused " +
+			"with neighbouring operators (paper reports no speedup number)",
+	}, nil
+}
+
+// CaseAMDvsNV reproduces §6.5: the U-Net hotspot is aten::conv2d on Nvidia
+// but flips to the instance-norm kernel on AMD, because the shared warp-32
+// normalization template under-parallelizes a warp-64 device.
+func CaseAMDvsNV(iters int) (CaseResult, CaseResult, error) {
+	w := workloads.UNet()
+	knobs := workloads.Knobs{LoaderWorkers: 6}
+	hotOn := func(vendor gpu.Vendor) (string, error) {
+		prof, err := Run(w, "pytorch", vendor, ProfDC, Options{Iters: iters, Knobs: knobs})
+		if err != nil {
+			return "", err
+		}
+		bu := prof.Profile.Tree.BottomUp()
+		gid, _ := bu.Schema.Lookup(cct.MetricGPUTime)
+		var best *cct.Node
+		for _, k := range analyzer.Kernels(bu) {
+			if k.Depth() != 1 {
+				continue // aggregate entries only
+			}
+			if best == nil || k.InclValue(gid) > best.InclValue(gid) {
+				best = k
+			}
+		}
+		if best == nil {
+			return "", fmt.Errorf("no kernels in profile")
+		}
+		return best.Name, nil
+	}
+	nvHot, err := hotOn(gpu.VendorNvidia)
+	if err != nil {
+		return CaseResult{}, CaseResult{}, err
+	}
+	amdHot, err := hotOn(gpu.VendorAMD)
+	if err != nil {
+		return CaseResult{}, CaseResult{}, err
+	}
+	nv := CaseResult{
+		Name: "unet-amd-vs-nv (Nvidia)", Model: w.Name, Platform: "Nvidia",
+		Client:  "1 Hotspot Identification",
+		Finding: "hotspot kernel: " + nvHot,
+		Notes:   "expected: convolution dominates",
+	}
+	amd := CaseResult{
+		Name: "unet-amd-vs-nv (AMD)", Model: w.Name, Platform: "AMD",
+		Client:       "1 Hotspot Identification",
+		Finding:      "hotspot kernel: " + amdHot,
+		Optimization: "adjust number of threads per CTA",
+		Notes: "instance_norm reuses the warp-32 batch_norm template; with warp 64 " +
+			"it gets fewer CTAs and wasted lanes — retune threads per CTA",
+	}
+	return nv, amd, nil
+}
+
+// JAXComparison is one §6.6 row.
+type JAXComparison struct {
+	Workload   string
+	PyTorchE2E vtime.Duration
+	JAXE2E     vtime.Duration
+	Speedup    float64
+	PTKernels  int64
+	JAXKernels int64
+}
+
+// JAXvsPyTorch reproduces §6.6 on the four workloads the paper compares:
+// JAX's fused executables run >50% faster with consistently fewer kernels.
+func JAXvsPyTorch(iters int) ([]JAXComparison, error) {
+	var out []JAXComparison
+	for _, w := range []*workloads.Workload{
+		workloads.DLRMSmall(), workloads.UNet(), workloads.GNN(), workloads.ResNet(),
+	} {
+		// U-Net's default 16-worker loader pathology (§6.4) would mask
+		// the framework difference; the comparison tunes it out.
+		knobs := workloads.Knobs{}
+		if w.Name == "UNet" {
+			knobs.LoaderWorkers = 6
+		}
+		pt, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone, Options{Iters: iters, Knobs: knobs})
+		if err != nil {
+			return nil, err
+		}
+		jx, err := Run(w, "jax", gpu.VendorNvidia, ProfNone, Options{Iters: iters, Knobs: knobs})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, JAXComparison{
+			Workload:   w.Name,
+			PyTorchE2E: pt.E2E,
+			JAXE2E:     jx.E2E,
+			Speedup:    float64(pt.E2E) / float64(jx.E2E),
+			PTKernels:  pt.Kernels,
+			JAXKernels: jx.Kernels,
+		})
+	}
+	return out, nil
+}
+
+// AllCases runs every Table 3 case study.
+func AllCases(iters int) ([]CaseResult, error) {
+	var out []CaseResult
+	steps := []func(int) (CaseResult, error){
+		CaseDLRMIndex, CaseGNNIndex, CaseUNetLayout, CaseUNetLoader,
+		CaseTransformerFusion, CaseLlamaStalls,
+	}
+	for _, fn := range steps {
+		c, err := fn(iters)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	nv, amd, err := CaseAMDvsNV(iters)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, nv, amd)
+	return out, nil
+}

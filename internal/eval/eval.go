@@ -1,0 +1,291 @@
+// Package eval is the experiment harness reproducing the paper's evaluation:
+// the Figure 6 time/memory overhead sweeps across ten workloads, two
+// frameworks and two GPU vendors under three profiler configurations; the
+// Table 3 case studies; the Table 1 feature matrix; and the §6.6 JAX versus
+// PyTorch comparison. See EXPERIMENTS.md for measured-versus-paper numbers.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"deepcontext/internal/baseline"
+	"deepcontext/internal/dlmonitor"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/gpu/cupti"
+	"deepcontext/internal/gpu/roctracer"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/vtime"
+	"deepcontext/internal/workloads"
+)
+
+// ProfKind selects the profiler configuration of a run, matching the Figure 6
+// series.
+type ProfKind int
+
+const (
+	// ProfNone runs without any profiler (the overhead denominator).
+	ProfNone ProfKind = iota
+	// ProfFramework runs under the framework's own trace profiler.
+	ProfFramework
+	// ProfDC runs under DeepContext with Python+framework call paths.
+	ProfDC
+	// ProfDCNative adds native C/C++ call paths.
+	ProfDCNative
+)
+
+// String names the profiler kind.
+func (p ProfKind) String() string {
+	switch p {
+	case ProfFramework:
+		return "framework-profiler"
+	case ProfDC:
+		return "deepcontext"
+	case ProfDCNative:
+		return "deepcontext-native"
+	}
+	return "none"
+}
+
+// HostMemBudget is the modeled host memory available to the process; trace
+// exports that would exceed it fail with OOM (Figure 6c's ∞ bars).
+const HostMemBudget int64 = 3 << 30
+
+// FrameworkAppendCost is the per-event record cost of the framework
+// profilers (heavier than a raw append: Kineto-style bookkeeping).
+const FrameworkAppendCost = 1200 * vtime.Nanosecond
+
+// Options tunes a single run.
+type Options struct {
+	// Iters overrides the workload's default iteration count when > 0.
+	Iters int
+	// Knobs applies case-study optimizations.
+	Knobs workloads.Knobs
+	// CPUSampling enables DeepContext CPU timer sampling.
+	CPUSampling bool
+	// PCSampling enables DeepContext GPU instruction sampling.
+	PCSampling bool
+}
+
+// RunResult is the outcome of one run.
+type RunResult struct {
+	Workload  string
+	FW        string
+	Vendor    gpu.Vendor
+	Prof      ProfKind
+	E2E       vtime.Duration
+	GPUTime   vtime.Duration
+	CPUTime   vtime.Duration
+	Kernels   int64
+	ProfBytes int64
+	OOM       bool
+	Profile   *profiler.Profile
+}
+
+// DeviceFor maps a vendor to its Table 2 platform.
+func DeviceFor(v gpu.Vendor) gpu.DeviceSpec {
+	if v == gpu.VendorAMD {
+		return gpu.MI250()
+	}
+	return gpu.A100()
+}
+
+// NewTracer wraps the environment's GPU runtime in its vendor substrate.
+func NewTracer(env *workloads.Env) (gpu.Tracer, error) {
+	if env.M.GPU.Spec.Vendor == gpu.VendorAMD {
+		return roctracer.New(env.M.GPU)
+	}
+	return cupti.New(env.M.GPU)
+}
+
+// Run executes one (workload, framework, vendor, profiler) cell.
+func Run(w *workloads.Workload, fw string, vendor gpu.Vendor, prof ProfKind, o Options) (RunResult, error) {
+	env := workloads.NewEnv(DeviceFor(vendor))
+	iters := o.Iters
+	if iters <= 0 {
+		iters = w.DefaultIters
+	}
+	hooks := []framework.Hooks{env.Torch, env.Jax}
+	tracer, err := NewTracer(env)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	var tp *baseline.TraceProfiler
+	var sess *profiler.Session
+	switch prof {
+	case ProfFramework:
+		tp = baseline.New(env.M, hooks, tracer, baseline.Options{
+			Name:               fw + "-profiler",
+			EventExtraBytes:    w.TraceEventExtraBytes,
+			AppendCostOverride: FrameworkAppendCost,
+		})
+	case ProfDC, ProfDCNative:
+		mn, err := dlmonitor.Init(dlmonitor.Config{
+			Machine:    env.M,
+			Frameworks: hooks,
+			Tracer:     tracer,
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+		cfg := profiler.DefaultConfig()
+		if prof == ProfDCNative {
+			cfg.Path = dlmonitor.FullContext()
+		}
+		cfg.CPUSampling = o.CPUSampling
+		cfg.PCSampling = o.PCSampling
+		cfg.PCSamplePeriod = 2 * vtime.Microsecond
+		sess = profiler.NewSession(mn, env.M, tracer, cfg)
+		sess.SetMeta(profiler.Meta{Workload: w.Name, Framework: fw, Iterations: iters})
+		if err := sess.Start(); err != nil {
+			return RunResult{}, err
+		}
+		if o.CPUSampling {
+			sess.AttachCPUSampler(env.Main)
+			env.M.NewThreadHook = sess.AttachCPUSampler
+		}
+	}
+
+	switch fw {
+	case "pytorch":
+		workloads.RunPyTorch(env, w, o.Knobs, iters)
+	case "jax":
+		workloads.RunJAX(env, w, o.Knobs, iters)
+	default:
+		return RunResult{}, fmt.Errorf("eval: unknown framework %q", fw)
+	}
+
+	res := RunResult{
+		Workload: w.Name,
+		FW:       fw,
+		Vendor:   vendor,
+		Prof:     prof,
+		E2E:      env.M.EndToEnd(),
+		GPUTime:  env.M.GPU.Stats().TotalKernelTime,
+		CPUTime:  env.M.TotalCPUTime(),
+		Kernels:  env.M.GPU.Stats().KernelCount,
+	}
+	switch {
+	case tp != nil:
+		tp.Stop()
+		res.ProfBytes = tp.FootprintBytes()
+		budget := HostMemBudget - w.HostAppBytes
+		if err := tp.ExportChromeTrace(io.Discard, budget); err != nil {
+			var oom *baseline.ErrOutOfMemory
+			if asOOM(err, &oom) {
+				res.OOM = true
+			} else {
+				return res, err
+			}
+		}
+	case sess != nil:
+		p := sess.Stop()
+		res.ProfBytes = p.FootprintBytes
+		res.Profile = p
+	}
+	return res, nil
+}
+
+func asOOM(err error, target **baseline.ErrOutOfMemory) bool {
+	if e, ok := err.(*baseline.ErrOutOfMemory); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+// OverheadRow is one Figure 6 row: a workload's overheads under the three
+// profilers relative to the unprofiled run.
+type OverheadRow struct {
+	Workload string
+	BaseE2E  vtime.Duration
+
+	TimeFramework, TimeDC, TimeDCNative float64
+	MemFramework, MemDC, MemDCNative    float64
+	FrameworkOOM                        bool
+}
+
+// OverheadSweep produces Figure 6 rows for one framework and vendor.
+func OverheadSweep(fw string, vendor gpu.Vendor, iters int) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, w := range workloads.All() {
+		row := OverheadRow{Workload: w.Name}
+		base, err := Run(w, fw, vendor, ProfNone, Options{Iters: iters})
+		if err != nil {
+			return nil, err
+		}
+		row.BaseE2E = base.E2E
+		app := float64(w.HostAppBytes)
+		for _, prof := range []ProfKind{ProfFramework, ProfDC, ProfDCNative} {
+			r, err := Run(w, fw, vendor, prof, Options{Iters: iters})
+			if err != nil {
+				return nil, err
+			}
+			tOv := float64(r.E2E) / float64(base.E2E)
+			mOv := (app + float64(r.ProfBytes)) / app
+			switch prof {
+			case ProfFramework:
+				row.TimeFramework, row.MemFramework = tOv, mOv
+				row.FrameworkOOM = r.OOM
+				if r.OOM {
+					row.MemFramework = math.Inf(1)
+				}
+			case ProfDC:
+				row.TimeDC, row.MemDC = tOv, mOv
+			case ProfDCNative:
+				row.TimeDCNative, row.MemDCNative = tOv, mOv
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Median returns the median of xs, ignoring infinities.
+func Median(xs []float64) float64 {
+	var fin []float64
+	for _, x := range xs {
+		if !math.IsInf(x, 0) && !math.IsNaN(x) {
+			fin = append(fin, x)
+		}
+	}
+	if len(fin) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(fin)
+	n := len(fin)
+	if n%2 == 1 {
+		return fin[n/2]
+	}
+	return (fin[n/2-1] + fin[n/2]) / 2
+}
+
+// SweepMedians summarizes a sweep: median time overheads of the three
+// profilers and median memory overheads.
+type SweepMedians struct {
+	TimeFramework, TimeDC, TimeDCNative float64
+	MemFramework, MemDC, MemDCNative    float64
+}
+
+// Medians computes SweepMedians over rows.
+func Medians(rows []OverheadRow) SweepMedians {
+	col := func(get func(OverheadRow) float64) []float64 {
+		out := make([]float64, len(rows))
+		for i, r := range rows {
+			out[i] = get(r)
+		}
+		return out
+	}
+	return SweepMedians{
+		TimeFramework: Median(col(func(r OverheadRow) float64 { return r.TimeFramework })),
+		TimeDC:        Median(col(func(r OverheadRow) float64 { return r.TimeDC })),
+		TimeDCNative:  Median(col(func(r OverheadRow) float64 { return r.TimeDCNative })),
+		MemFramework:  Median(col(func(r OverheadRow) float64 { return r.MemFramework })),
+		MemDC:         Median(col(func(r OverheadRow) float64 { return r.MemDC })),
+		MemDCNative:   Median(col(func(r OverheadRow) float64 { return r.MemDCNative })),
+	}
+}

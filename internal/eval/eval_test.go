@@ -1,0 +1,322 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/workloads"
+)
+
+// Shape tests assert the paper's qualitative results — orderings, rough
+// factors and crossovers — not testbed-exact values. Reduced iteration
+// counts keep the suite fast; EXPERIMENTS.md records full 100-iteration runs.
+
+const testIters = 20
+
+func TestRunBasics(t *testing.T) {
+	w := workloads.ViT()
+	r, err := Run(w, "pytorch", gpu.VendorNvidia, ProfNone, Options{Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.E2E <= 0 || r.Kernels == 0 || r.ProfBytes != 0 {
+		t.Fatalf("baseline run malformed: %+v", r)
+	}
+	if _, err := Run(w, "fortran", gpu.VendorNvidia, ProfNone, Options{}); err == nil {
+		t.Fatal("unknown framework should error")
+	}
+}
+
+func TestProfiledRunYieldsProfile(t *testing.T) {
+	r, err := Run(workloads.ViT(), "pytorch", gpu.VendorNvidia, ProfDC, Options{Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Profile == nil || r.Profile.Tree.NodeCount() < 10 {
+		t.Fatal("DC run produced no usable profile")
+	}
+	if r.ProfBytes <= 0 {
+		t.Fatal("no footprint recorded")
+	}
+}
+
+// Figure 6a/6b shape: framework profiler <= DeepContext <= DeepContext-native
+// per workload; medians ordered; overheads at least 1.
+func TestFig6TimeOverheadShape(t *testing.T) {
+	for _, fw := range []string{"pytorch", "jax"} {
+		rows, err := OverheadSweep(fw, gpu.VendorNvidia, testIters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 10 {
+			t.Fatalf("%s rows = %d", fw, len(rows))
+		}
+		for _, r := range rows {
+			if r.TimeFramework < 0.999 || r.TimeDC < 0.999 || r.TimeDCNative < 0.999 {
+				t.Errorf("%s/%s: overhead below 1: %+v", fw, r.Workload, r)
+			}
+			if r.TimeDCNative < r.TimeDC-1e-9 {
+				t.Errorf("%s/%s: native (%v) cheaper than light (%v)", fw, r.Workload, r.TimeDCNative, r.TimeDC)
+			}
+		}
+		m := Medians(rows)
+		if m.TimeDCNative < m.TimeDC || m.TimeDC < m.TimeFramework-0.02 {
+			t.Errorf("%s medians out of order: %+v", fw, m)
+		}
+	}
+}
+
+// Paper §5: PyTorch-Nvidia medians — framework profiler ~1.06x, DeepContext
+// ~1.12x, DeepContext-native ~1.50x. Bands are generous but exclude collapse
+// to 1.0 and runaway overheads.
+func TestFig6PyTorchNvidiaMedianBands(t *testing.T) {
+	rows, err := OverheadSweep("pytorch", gpu.VendorNvidia, testIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Medians(rows)
+	check := func(name string, got, lo, hi float64) {
+		if got < lo || got > hi {
+			t.Errorf("%s median = %.3f, want in [%v, %v]", name, got, lo, hi)
+		}
+	}
+	check("framework profiler", m.TimeFramework, 1.01, 1.20)
+	check("deepcontext", m.TimeDC, 1.03, 1.30)
+	check("deepcontext-native", m.TimeDCNative, 1.15, 1.80)
+}
+
+// Paper §5: LLM workloads with many small kernels show much higher overhead
+// than the median (the paper singles out Llama3 and Gemma).
+func TestLLMOverheadTail(t *testing.T) {
+	rows, err := OverheadSweep("pytorch", gpu.VendorNvidia, testIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Medians(rows)
+	for _, r := range rows {
+		if r.Workload == "Llama3-8B" || r.Workload == "Gemma-7B" {
+			if r.TimeDC < 1.5*m.TimeDC {
+				t.Errorf("%s DC overhead %.2f not in the heavy tail (median %.2f)",
+					r.Workload, r.TimeDC, m.TimeDC)
+			}
+		}
+	}
+}
+
+// Figure 6c shape: trace-profiler memory overhead dominates DeepContext's,
+// grows with iteration count, and OOMs on the LLM workloads; DeepContext
+// memory stays flat.
+func TestFig6MemoryShape(t *testing.T) {
+	rows, err := OverheadSweep("pytorch", gpu.VendorNvidia, testIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oomed := map[string]bool{}
+	for _, r := range rows {
+		if !r.FrameworkOOM && r.MemFramework < r.MemDC {
+			t.Errorf("%s: trace memory (%.3f) below DC (%.3f)", r.Workload, r.MemFramework, r.MemDC)
+		}
+		if r.MemDC > 1.5 {
+			t.Errorf("%s: DC memory overhead %.2f too high", r.Workload, r.MemDC)
+		}
+		oomed[r.Workload] = r.FrameworkOOM
+	}
+	// Longer runs must OOM the LLM traces (paper's ∞ bars at 100 iters).
+	for _, name := range []string{"Llama3-8B", "Gemma-7B"} {
+		w, _ := workloads.ByName(name)
+		r, err := Run(w, "pytorch", gpu.VendorNvidia, ProfFramework, Options{Iters: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.OOM {
+			t.Errorf("%s trace export should OOM at 100 iterations", name)
+		}
+		// And DeepContext must not.
+		rd, err := Run(w, "pytorch", gpu.VendorNvidia, ProfDC, Options{Iters: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(rd.ProfBytes) > 0.5*float64(w.HostAppBytes) {
+			t.Errorf("%s DC footprint %d too large", name, rd.ProfBytes)
+		}
+	}
+}
+
+// Trace memory is linear in iterations; DC memory is bounded.
+func TestMemoryGrowthCrossover(t *testing.T) {
+	w := workloads.ViT()
+	grab := func(prof ProfKind, iters int) int64 {
+		r, err := Run(w, "pytorch", gpu.VendorNvidia, prof, Options{Iters: iters})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.ProfBytes
+	}
+	t10, t40 := grab(ProfFramework, 10), grab(ProfFramework, 40)
+	if t40 < 3*t10 {
+		t.Errorf("trace memory not ~linear: %d -> %d", t10, t40)
+	}
+	d10, d40 := grab(ProfDC, 10), grab(ProfDC, 40)
+	if d40 > 2*d10 {
+		t.Errorf("DC memory grew with iterations: %d -> %d", d10, d40)
+	}
+}
+
+// Table 3 case studies: speedups within bands around the paper's numbers and
+// findings produced by the right analysis clients.
+func TestCaseStudies(t *testing.T) {
+	type band struct {
+		lo, hi  float64
+		finding string
+	}
+	cases := []struct {
+		name string
+		fn   func(int) (CaseResult, error)
+		band band
+	}{
+		{"dlrm", CaseDLRMIndex, band{1.45, 1.90, "aten::index"}},            // paper 1.66
+		{"gnn", CaseGNNIndex, band{1.03, 1.15, "aten::index"}},              // paper 1.07
+		{"unet-layout", CaseUNetLayout, band{1.10, 1.45, "nchwToNhwc"}},     // paper 1.28
+		{"unet-loader", CaseUNetLoader, band{1.07, 1.30, "data_selection"}}, // paper 1.15
+		{"transformer", CaseTransformerFusion, band{1.02, 1.12, "loss_fn"}}, // paper 1.06
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := tc.fn(testIters * 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Speedup < tc.band.lo || c.Speedup > tc.band.hi {
+				t.Errorf("speedup = %.3f, want [%v, %v]", c.Speedup, tc.band.lo, tc.band.hi)
+			}
+			if !strings.Contains(c.Finding, tc.band.finding) {
+				t.Errorf("finding %q lacks %q", c.Finding, tc.band.finding)
+			}
+		})
+	}
+}
+
+func TestCaseLlamaStallsFindsConstMisses(t *testing.T) {
+	c, err := CaseLlamaStalls(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.Finding, "constant_memory_miss") {
+		t.Fatalf("finding = %q", c.Finding)
+	}
+	if c.Speedup != 0 {
+		t.Fatal("llama case is an N/A row")
+	}
+}
+
+// §6.5: the U-Net hotspot is a convolution kernel on Nvidia but the
+// instance-norm kernel on AMD.
+func TestCaseAMDvsNVHotspotFlip(t *testing.T) {
+	nv, amd, err := CaseAMDvsNV(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nv.Finding, "conv") {
+		t.Errorf("NV hotspot = %q, want a convolution", nv.Finding)
+	}
+	if !strings.Contains(amd.Finding, "norm") {
+		t.Errorf("AMD hotspot = %q, want instance norm", amd.Finding)
+	}
+}
+
+// §6.6: JAX beats PyTorch by >50% on all four compared workloads with fewer
+// kernels.
+func TestJAXvsPyTorch(t *testing.T) {
+	rows, err := JAXvsPyTorch(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup < 1.5 {
+			t.Errorf("%s: JAX speedup %.2f < 1.5", r.Workload, r.Speedup)
+		}
+		if r.JAXKernels >= r.PTKernels {
+			t.Errorf("%s: JAX kernels %d not fewer than %d", r.Workload, r.JAXKernels, r.PTKernels)
+		}
+	}
+}
+
+func TestTable1Matrix(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("tools = %d", len(rows))
+	}
+	var dc *Capability
+	for i := range rows {
+		if rows[i].Tool == "DeepContext" {
+			dc = &rows[i]
+		}
+	}
+	if dc == nil {
+		t.Fatal("DeepContext row missing")
+	}
+	// DeepContext is the only tool with every capability (paper Table 1).
+	all := func(c Capability) bool {
+		return c.PythonContext && c.FrameworkContext && c.CPPContext &&
+			c.DeviceContext && c.CrossGPUs && c.CrossFrameworks && c.CPUProfiling
+	}
+	if !all(*dc) {
+		t.Fatal("DeepContext should have every capability")
+	}
+	for _, c := range rows {
+		if c.Tool != "DeepContext" && all(c) {
+			t.Errorf("%s should not have every capability", c.Tool)
+		}
+	}
+	out := FormatTable1()
+	if !strings.Contains(out, "DeepContext") || !strings.Contains(out, "Nsight Systems") {
+		t.Fatal("FormatTable1 incomplete")
+	}
+}
+
+func TestTable2Platforms(t *testing.T) {
+	plats := Table2()
+	if len(plats) != 2 {
+		t.Fatal("want 2 platforms")
+	}
+	if plats[0].Vendor != gpu.VendorNvidia || plats[1].Vendor != gpu.VendorAMD {
+		t.Fatal("platform order wrong")
+	}
+	if plats[0].WarpSize != 32 || plats[1].WarpSize != 64 {
+		t.Fatal("warp sizes wrong")
+	}
+	if !strings.Contains(FormatTable2(), "MI250") {
+		t.Fatal("FormatTable2 incomplete")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median([]float64{1, math.Inf(1), 3}) != 2 {
+		t.Fatal("median should skip inf")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("empty median should be NaN")
+	}
+}
+
+func TestFormatOverheadRows(t *testing.T) {
+	rows := []OverheadRow{{Workload: "X", TimeFramework: 1.1, TimeDC: 1.2, TimeDCNative: 1.3,
+		MemFramework: math.Inf(1), MemDC: 1.0, MemDCNative: 1.0, FrameworkOOM: true}}
+	if out := FormatOverheadRows("t", rows, false); !strings.Contains(out, "MEDIAN") {
+		t.Fatal("time table missing median row")
+	}
+	if out := FormatOverheadRows("t", rows, true); !strings.Contains(out, "OOM") {
+		t.Fatal("memory table missing OOM mark")
+	}
+}

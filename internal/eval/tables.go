@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"deepcontext/internal/gpu"
+)
+
+// Capability is one row of the paper's Table 1 feature matrix.
+type Capability struct {
+	Tool             string
+	PythonContext    bool
+	FrameworkContext bool
+	CPPContext       bool
+	DeviceContext    bool
+	CrossGPUs        bool
+	CrossFrameworks  bool
+	CPUProfiling     bool
+}
+
+// Table1 returns the paper's Table 1: DeepContext versus existing tools.
+func Table1() []Capability {
+	return []Capability{
+		{Tool: "Nsight Systems", PythonContext: true, CPPContext: true, CrossFrameworks: true, CPUProfiling: true},
+		{Tool: "RocTracer"},
+		{Tool: "JAX profiler", PythonContext: true, CrossGPUs: true, CPUProfiling: true},
+		{Tool: "PyTorch profiler", PythonContext: true, FrameworkContext: true, CrossGPUs: true, CPUProfiling: true},
+		{Tool: "DeepContext", PythonContext: true, FrameworkContext: true, CPPContext: true,
+			DeviceContext: true, CrossGPUs: true, CrossFrameworks: true, CPUProfiling: true},
+	}
+}
+
+func mark(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "-"
+}
+
+// FormatTable1 renders the feature matrix.
+func FormatTable1() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %-6s %-9s %-4s %-6s %-9s %-9s %-4s\n",
+		"Tool", "Python", "Framework", "C++", "Device", "CrossGPUs", "CrossFWs", "CPU")
+	for _, c := range Table1() {
+		fmt.Fprintf(&sb, "%-18s %-6s %-9s %-4s %-6s %-9s %-9s %-4s\n",
+			c.Tool, mark(c.PythonContext), mark(c.FrameworkContext), mark(c.CPPContext),
+			mark(c.DeviceContext), mark(c.CrossGPUs), mark(c.CrossFrameworks), mark(c.CPUProfiling))
+	}
+	return sb.String()
+}
+
+// Table2 returns the evaluation platforms.
+func Table2() []gpu.DeviceSpec {
+	return []gpu.DeviceSpec{gpu.A100(), gpu.MI250()}
+}
+
+// FormatTable2 renders the platform table.
+func FormatTable2() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-16s %-5s %-6s %-10s %-12s\n",
+		"Vendor", "GPU", "SMs", "Warp", "TFLOP/s", "BW (GB/s)")
+	for _, d := range Table2() {
+		fmt.Fprintf(&sb, "%-8s %-16s %-5d %-6d %-10.1f %-12.0f\n",
+			d.Vendor, d.Name, d.SMs, d.WarpSize, d.PeakTFLOPS, d.MemBWGBps)
+	}
+	return sb.String()
+}
+
+// FormatOverheadRows renders Figure 6 rows as a table.
+func FormatOverheadRows(title string, rows []OverheadRow, mem bool) string {
+	var sb strings.Builder
+	fmt.Fprintln(&sb, title)
+	if mem {
+		fmt.Fprintf(&sb, "%-16s %12s %12s %12s\n", "Workload", "FWProfiler", "DeepContext", "DC-Native")
+		for _, r := range rows {
+			fw := fmt.Sprintf("%.2fx", r.MemFramework)
+			if r.FrameworkOOM {
+				fw = "OOM(inf)"
+			}
+			fmt.Fprintf(&sb, "%-16s %12s %11.2fx %11.2fx\n", r.Workload, fw, r.MemDC, r.MemDCNative)
+		}
+	} else {
+		fmt.Fprintf(&sb, "%-16s %12s %12s %12s %14s\n", "Workload", "FWProfiler", "DeepContext", "DC-Native", "Baseline")
+		for _, r := range rows {
+			fmt.Fprintf(&sb, "%-16s %11.2fx %11.2fx %11.2fx %14s\n",
+				r.Workload, r.TimeFramework, r.TimeDC, r.TimeDCNative, r.BaseE2E)
+		}
+	}
+	m := Medians(rows)
+	if mem {
+		fmt.Fprintf(&sb, "%-16s %11.2fx %11.2fx %11.2fx  (medians)\n", "MEDIAN", m.MemFramework, m.MemDC, m.MemDCNative)
+	} else {
+		fmt.Fprintf(&sb, "%-16s %11.2fx %11.2fx %11.2fx  (medians)\n", "MEDIAN", m.TimeFramework, m.TimeDC, m.TimeDCNative)
+	}
+	return sb.String()
+}

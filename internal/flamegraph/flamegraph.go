@@ -1,0 +1,192 @@
+// Package flamegraph implements the visualization model behind DeepContext's
+// GUI (paper §4.4): calling context trees rendered as flame graphs with
+// switchable top-down and bottom-up views, hotspot highlighting and
+// colour-coded analyzer issues. Renderers produce a self-contained HTML page
+// (the WebView payload), an ASCII tree for terminals, and Brendan Gregg's
+// folded-stacks format for external tooling.
+package flamegraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deepcontext/internal/cct"
+)
+
+// View selects the graph orientation.
+type View int
+
+const (
+	// TopDown shows the calling context tree as recorded.
+	TopDown View = iota
+	// BottomUp aggregates metrics per innermost frame across contexts.
+	BottomUp
+)
+
+// String names the view.
+func (v View) String() string {
+	if v == BottomUp {
+		return "bottom-up"
+	}
+	return "top-down"
+}
+
+// Box is one flame-graph rectangle.
+type Box struct {
+	Label string
+	Kind  string
+	// Value is the inclusive metric (box width); Self is exclusive.
+	Value float64
+	Self  float64
+	// Frac is Value relative to the root.
+	Frac float64
+	// Issue carries the most severe analyzer annotation, if any.
+	Issue string
+	// Severity is "", "info", "warning" or "critical".
+	Severity string
+	Children []*Box
+	File     string
+	Line     int
+}
+
+// Model is a renderable flame graph.
+type Model struct {
+	Root   *Box
+	Metric string
+	View   View
+}
+
+// Annotation colours a node in the rendered graph.
+type Annotation struct {
+	Text     string
+	Severity string
+}
+
+// Options configures Build.
+type Options struct {
+	// Metric is the metric to size boxes by (default gpu_time_ns).
+	Metric string
+	// View selects orientation.
+	View View
+	// MinFrac prunes boxes below this fraction of the root (default 1e-4).
+	MinFrac float64
+	// Annotations keys analyzer issues by CCT node (top-down view only).
+	Annotations map[*cct.Node]Annotation
+}
+
+// Build renders tree into a flame-graph model.
+func Build(tree *cct.Tree, opts Options) (*Model, error) {
+	if opts.Metric == "" {
+		opts.Metric = cct.MetricGPUTime
+	}
+	if opts.MinFrac <= 0 {
+		opts.MinFrac = 1e-4
+	}
+	src := tree
+	if opts.View == BottomUp {
+		src = tree.BottomUp()
+		// Node identities change in the inverted tree; annotations
+		// cannot be carried over.
+		opts.Annotations = nil
+	}
+	id, ok := src.Schema.Lookup(opts.Metric)
+	if !ok {
+		return nil, fmt.Errorf("flamegraph: metric %q not in profile", opts.Metric)
+	}
+	total := src.Root.InclValue(id)
+	if total <= 0 {
+		total = 1
+	}
+	var conv func(n *cct.Node) *Box
+	conv = func(n *cct.Node) *Box {
+		b := &Box{
+			Label: n.Label(),
+			Kind:  n.Kind.String(),
+			Value: n.InclValue(id),
+			Self:  n.ExclValue(id),
+			Frac:  n.InclValue(id) / total,
+			File:  n.File,
+			Line:  n.Line,
+		}
+		if a, ok := opts.Annotations[n]; ok {
+			b.Issue = a.Text
+			b.Severity = a.Severity
+		}
+		for _, c := range n.Children() {
+			if c.InclValue(id)/total < opts.MinFrac {
+				continue
+			}
+			b.Children = append(b.Children, conv(c))
+		}
+		sort.SliceStable(b.Children, func(i, j int) bool { return b.Children[i].Value > b.Children[j].Value })
+		return b
+	}
+	root := conv(src.Root)
+	root.Label = "<all>"
+	return &Model{Root: root, Metric: opts.Metric, View: opts.View}, nil
+}
+
+// HottestPath returns the chain of maximal-value boxes from the root — the
+// highlighted hot path of paper Fig. 1.
+func (m *Model) HottestPath() []*Box {
+	var out []*Box
+	cur := m.Root
+	for len(cur.Children) > 0 {
+		cur = cur.Children[0] // children sorted by value
+		out = append(out, cur)
+	}
+	return out
+}
+
+// RenderText writes an indented ASCII rendering with per-box bars.
+func RenderText(w *strings.Builder, m *Model, maxDepth int) {
+	fmt.Fprintf(w, "flame graph (%s, %s)\n", m.Metric, m.View)
+	var rec func(b *Box, depth int)
+	rec = func(b *Box, depth int) {
+		if maxDepth > 0 && depth > maxDepth {
+			return
+		}
+		bar := strings.Repeat("#", int(b.Frac*40+0.5))
+		marker := ""
+		if b.Severity != "" {
+			marker = " [" + b.Severity + ": " + b.Issue + "]"
+		}
+		fmt.Fprintf(w, "%s%-40s %6.2f%% %s%s\n",
+			strings.Repeat("  ", depth), clip(b.Label, 40-2*depth), 100*b.Frac, bar, marker)
+		for _, c := range b.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(m.Root, 0)
+}
+
+func clip(s string, n int) string {
+	if n < 8 {
+		n = 8
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Folded writes Brendan Gregg folded-stacks lines: "a;b;c value".
+func Folded(w *strings.Builder, tree *cct.Tree, metric string) error {
+	id, ok := tree.Schema.Lookup(metric)
+	if !ok {
+		return fmt.Errorf("flamegraph: metric %q not in profile", metric)
+	}
+	tree.Visit(func(n *cct.Node) {
+		v := n.ExclValue(id)
+		if v <= 0 || n.Kind == cct.KindRoot {
+			return
+		}
+		var parts []string
+		for _, f := range n.Path() {
+			parts = append(parts, strings.ReplaceAll(f.Label(), ";", ","))
+		}
+		fmt.Fprintf(w, "%s %.0f\n", strings.Join(parts, ";"), v)
+	})
+	return nil
+}

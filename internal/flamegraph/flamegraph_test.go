@@ -1,0 +1,163 @@
+package flamegraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"deepcontext/internal/cct"
+)
+
+func sampleTree() *cct.Tree {
+	t := cct.New()
+	gid := t.MetricID(cct.MetricGPUTime)
+	conv := t.InsertPath([]cct.Frame{
+		cct.PythonFrame("model.py", 10, "forward"),
+		cct.OperatorFrame("aten::conv2d"),
+		{Kind: cct.KindKernel, Name: "implicit_gemm", Lib: "[gpu]", PC: 0x1},
+	})
+	t.AddMetric(conv, gid, 700)
+	norm := t.InsertPath([]cct.Frame{
+		cct.PythonFrame("model.py", 11, "forward"),
+		cct.OperatorFrame("aten::instance_norm"),
+		{Kind: cct.KindKernel, Name: "batch_norm_kernel", Lib: "[gpu]", PC: 0x2},
+	})
+	t.AddMetric(norm, gid, 300)
+	return t
+}
+
+func TestBuildTopDown(t *testing.T) {
+	m, err := Build(sampleTree(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Root.Value != 1000 {
+		t.Fatalf("root value = %v", m.Root.Value)
+	}
+	if len(m.Root.Children) != 2 {
+		t.Fatalf("root children = %d", len(m.Root.Children))
+	}
+	// Children sorted by value: conv line first.
+	if m.Root.Children[0].Frac < m.Root.Children[1].Frac {
+		t.Fatal("children not sorted by value")
+	}
+}
+
+func TestHottestPathHighlight(t *testing.T) {
+	m, _ := Build(sampleTree(), Options{})
+	path := m.HottestPath()
+	if len(path) != 3 {
+		t.Fatalf("hot path len = %d", len(path))
+	}
+	if path[2].Label != "implicit_gemm" {
+		t.Fatalf("hot leaf = %s", path[2].Label)
+	}
+}
+
+func TestBuildBottomUpAggregates(t *testing.T) {
+	m, err := Build(sampleTree(), Options{View: BottomUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kernels appear at depth 1 in the bottom-up view.
+	labels := map[string]bool{}
+	for _, c := range m.Root.Children {
+		labels[c.Label] = true
+	}
+	if !labels["implicit_gemm"] || !labels["batch_norm_kernel"] {
+		t.Fatalf("bottom-up top level = %v", labels)
+	}
+	if m.Root.Value != 1000 {
+		t.Fatalf("bottom-up total = %v", m.Root.Value)
+	}
+}
+
+func TestBuildUnknownMetric(t *testing.T) {
+	if _, err := Build(sampleTree(), Options{Metric: "nope"}); err == nil {
+		t.Fatal("unknown metric should error")
+	}
+}
+
+func TestMinFracPrunes(t *testing.T) {
+	m, _ := Build(sampleTree(), Options{MinFrac: 0.5})
+	if len(m.Root.Children) != 1 {
+		t.Fatalf("pruning failed: %d children", len(m.Root.Children))
+	}
+}
+
+func TestAnnotationsColorBoxes(t *testing.T) {
+	tree := sampleTree()
+	// Find the conv kernel node to annotate.
+	var target *cct.Node
+	tree.Visit(func(n *cct.Node) {
+		if n.Name == "implicit_gemm" {
+			target = n
+		}
+	})
+	m, _ := Build(tree, Options{Annotations: map[*cct.Node]Annotation{
+		target: {Text: "hotspot 70%", Severity: "critical"},
+	}})
+	hot := m.HottestPath()
+	leaf := hot[len(hot)-1]
+	if leaf.Issue != "hotspot 70%" || leaf.Severity != "critical" {
+		t.Fatalf("annotation lost: %+v", leaf)
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	m, _ := Build(sampleTree(), Options{})
+	var sb strings.Builder
+	RenderText(&sb, m, 0)
+	out := sb.String()
+	for _, want := range []string{"implicit_gemm", "aten::conv2d", "model.py:10", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFolded(t *testing.T) {
+	var sb strings.Builder
+	if err := Folded(&sb, sampleTree(), cct.MetricGPUTime); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("folded lines = %v", lines)
+	}
+	if !strings.Contains(lines[0], ";aten::conv2d;implicit_gemm 700") {
+		t.Fatalf("folded line = %q", lines[0])
+	}
+	if err := Folded(&sb, sampleTree(), "bogus"); err == nil {
+		t.Fatal("bogus metric should error")
+	}
+}
+
+func TestRenderHTMLSelfContained(t *testing.T) {
+	m, _ := Build(sampleTree(), Options{})
+	var buf bytes.Buffer
+	if err := RenderHTML(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "implicit_gemm", "MODEL =", "gpu_time_ns"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("html missing %q", want)
+		}
+	}
+	// No external resources: the page must work offline in a WebView.
+	for _, banned := range []string{"http://", "https://", "src="} {
+		if strings.Contains(html, banned) {
+			t.Fatalf("html references external resource (%q)", banned)
+		}
+	}
+}
+
+func TestClip(t *testing.T) {
+	if clip("short", 10) != "short" {
+		t.Fatal("clip mangled short string")
+	}
+	if got := clip("averyverylongfunctionname", 12); len(got) > 14 {
+		t.Fatalf("clip too long: %q", got)
+	}
+}

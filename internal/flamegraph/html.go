@@ -1,0 +1,117 @@
+package flamegraph
+
+import (
+	"encoding/json"
+	"html/template"
+	"io"
+)
+
+// htmlPage is the WebView payload: HTML text rendering plus a small
+// JavaScript flame-graph renderer working off the embedded JSON model
+// (the stdlib stand-in for the paper's WebGL-based interface).
+const htmlPage = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>DeepContext — {{.Metric}} ({{.View}})</title>
+<style>
+  body { font: 13px/1.4 -apple-system, "Segoe UI", sans-serif; margin: 0; background: #1e1e1e; color: #ddd; }
+  header { padding: 10px 16px; background: #252526; border-bottom: 1px solid #3c3c3c; }
+  header h1 { font-size: 15px; margin: 0; }
+  header .sub { color: #999; font-size: 12px; }
+  #graph { padding: 12px 16px; }
+  .frame { position: relative; height: 18px; margin: 1px 0; border-radius: 2px;
+           overflow: hidden; white-space: nowrap; cursor: pointer;
+           padding: 0 4px; box-sizing: border-box; color: #111; font-size: 11px; line-height: 18px; }
+  .frame:hover { filter: brightness(1.2); }
+  .frame.warning { outline: 2px solid #e5c07b; }
+  .frame.critical { outline: 2px solid #e06c75; }
+  #detail { position: fixed; bottom: 0; left: 0; right: 0; background: #252526;
+            border-top: 1px solid #3c3c3c; padding: 8px 16px; font-size: 12px;
+            min-height: 3em; }
+  #detail .loc { color: #61afef; }
+  #detail .issue { color: #e5c07b; }
+</style>
+</head>
+<body>
+<header>
+  <h1>DeepContext flame graph</h1>
+  <div class="sub">metric: {{.Metric}} · view: {{.View}} · click a frame to zoom, click the header to reset</div>
+</header>
+<div id="graph"></div>
+<div id="detail">hover a frame for details; click to zoom</div>
+<script>
+const MODEL = {{.ModelJSON}};
+const COLORS = { python: "#61afef", operator: "#98c379", native: "#c678dd",
+                 gpu_api: "#e5c07b", kernel: "#e06c75", instruction: "#d19a66",
+                 thread: "#56b6c2", root: "#aaaaaa" };
+const graph = document.getElementById("graph");
+const detail = document.getElementById("detail");
+let zoomRoot = MODEL;
+
+function rowWidth(frac) { return Math.max(0.2, frac * 100) + "%"; }
+
+function render() {
+  graph.innerHTML = "";
+  const base = zoomRoot.value || 1;
+  (function walk(node, depth) {
+    const div = document.createElement("div");
+    div.className = "frame" + (node.severity ? " " + node.severity : "");
+    div.style.width = rowWidth((node.value || 0) / base);
+    div.style.marginLeft = (depth * 12) + "px";
+    div.style.background = COLORS[node.kind] || "#888";
+    div.textContent = node.label + "  (" + ((node.value || 0) / base * 100).toFixed(1) + "%)";
+    div.onmouseenter = () => {
+      detail.innerHTML = "<b>" + node.label + "</b> — inclusive " + node.value +
+        ", self " + node.self +
+        (node.file ? ' · <span class="loc">' + node.file + ":" + node.line + "</span>" : "") +
+        (node.issue ? ' · <span class="issue">' + node.issue + "</span>" : "");
+    };
+    div.onclick = (e) => { e.stopPropagation(); zoomRoot = node; render(); };
+    graph.appendChild(div);
+    (node.children || []).forEach(c => walk(c, depth + 1));
+  })(zoomRoot, 0);
+}
+document.querySelector("header").onclick = () => { zoomRoot = MODEL; render(); };
+render();
+</script>
+</body>
+</html>`
+
+var htmlTmpl = template.Must(template.New("flame").Parse(htmlPage))
+
+type jsonBox struct {
+	Label    string     `json:"label"`
+	Kind     string     `json:"kind"`
+	Value    float64    `json:"value"`
+	Self     float64    `json:"self"`
+	File     string     `json:"file,omitempty"`
+	Line     int        `json:"line,omitempty"`
+	Issue    string     `json:"issue,omitempty"`
+	Severity string     `json:"severity,omitempty"`
+	Children []*jsonBox `json:"children,omitempty"`
+}
+
+func toJSON(b *Box) *jsonBox {
+	jb := &jsonBox{
+		Label: b.Label, Kind: b.Kind, Value: b.Value, Self: b.Self,
+		File: b.File, Line: b.Line, Issue: b.Issue, Severity: b.Severity,
+	}
+	for _, c := range b.Children {
+		jb.Children = append(jb.Children, toJSON(c))
+	}
+	return jb
+}
+
+// RenderHTML writes a self-contained interactive flame-graph page.
+func RenderHTML(w io.Writer, m *Model) error {
+	data, err := json.Marshal(toJSON(m.Root))
+	if err != nil {
+		return err
+	}
+	return htmlTmpl.Execute(w, struct {
+		Metric    string
+		View      string
+		ModelJSON template.JS
+	}{m.Metric, m.View.String(), template.JS(data)})
+}

@@ -1,0 +1,96 @@
+package framework
+
+import "deepcontext/internal/vtime"
+
+// DataLoader models a multi-worker input pipeline (torch.utils.data style).
+// Workers cooperatively produce batches ahead of the consumer, which blocks
+// only when the next batch is not ready. Oversubscribing workers beyond the
+// machine's physical cores inflates per-batch latency with scheduling
+// overhead — the effect behind the paper's U-Net CPU-latency case study
+// (§6.4: 16 hard-coded workers on a 6-core node).
+type DataLoader struct {
+	m       *Machine
+	workers []*Thread
+	// perBatch is the intrinsic CPU work to produce one batch on one
+	// uncontended core.
+	perBatch vtime.Duration
+	// firstExtra is a one-time cost before the first batch (cold disk
+	// reads; 10 s for U-Net/fastMRI in the paper).
+	firstExtra vtime.Duration
+	produced   int
+	frontier   vtime.Time
+	started    bool
+}
+
+// OversubFactor returns the scheduling-overhead multiplier for k workers on
+// c available cores: 1 when k <= c, growing linearly in the oversubscription
+// ratio beyond that (calibrated at 0.35 per oversubscribed-core ratio).
+func OversubFactor(k, c int) float64 {
+	if c <= 0 {
+		c = 1
+	}
+	if k <= c {
+		return 1
+	}
+	return 1 + 0.35*float64(k-c)/float64(c)
+}
+
+// NewDataLoader creates a loader with k worker threads.
+func NewDataLoader(m *Machine, k int, perBatch, firstExtra vtime.Duration) *DataLoader {
+	if k < 1 {
+		k = 1
+	}
+	d := &DataLoader{m: m, perBatch: perBatch, firstExtra: firstExtra}
+	for i := 0; i < k; i++ {
+		d.workers = append(d.workers, m.NewThread("loader-worker"))
+	}
+	return d
+}
+
+// Workers returns the loader's worker threads.
+func (d *DataLoader) Workers() []*Thread { return d.workers }
+
+// Latency is the batch-to-batch arrival interval: the intrinsic work,
+// inflated by oversubscription scheduling overhead, split across the workers
+// that can actually run concurrently (one core is kept for the main thread).
+func (d *DataLoader) Latency() vtime.Duration {
+	k := len(d.workers)
+	avail := d.m.PhysCores - 1
+	if avail < 1 {
+		avail = 1
+	}
+	act := k
+	if act > avail {
+		act = avail
+	}
+	f := OversubFactor(k, avail)
+	return vtime.Duration(float64(d.perBatch) * f / float64(act))
+}
+
+// Next blocks consumer until the next batch is ready and returns the batch
+// index. Batches arrive one Latency apart (workers prefetch ahead of the
+// consumer), and every worker burns CPU for every batch — oversubscribed
+// workers all contend even though only a core's worth makes progress.
+func (d *DataLoader) Next(consumer *Thread) int {
+	if !d.started {
+		d.started = true
+		d.frontier = consumer.Clock.Now().Add(d.firstExtra)
+	}
+	lat := d.Latency()
+	d.frontier = d.frontier.Add(lat)
+	for _, w := range d.workers {
+		w.Clock.Advance(lat)
+	}
+	consumer.Clock.AdvanceTo(d.frontier)
+	d.produced++
+	return d.produced - 1
+}
+
+// LoaderCPUTime reports total CPU time consumed by the workers.
+func (d *DataLoader) LoaderCPUTime() vtime.Duration {
+	var t vtime.Duration
+	for _, w := range d.workers {
+		t += vtime.Duration(w.Clock.Now())
+	}
+	return t
+}

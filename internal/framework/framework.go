@@ -1,0 +1,271 @@
+// Package framework defines the substrate shared by the simulated deep
+// learning frameworks (torchsim, jaxsim): the simulated machine with CPU
+// threads and a GPU, tensor metadata, and the framework-operation event model
+// that DLMonitor's framework domain intercepts.
+package framework
+
+import (
+	"fmt"
+
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/pyruntime"
+	"deepcontext/internal/vtime"
+)
+
+// Machine is one simulated host: a process address space with libpython
+// mapped, a GPU device runtime, and a set of CPU threads. Execution is
+// single-goroutine and deterministic; concurrency is modeled by independent
+// per-thread virtual clocks.
+type Machine struct {
+	AS        *native.AddressSpace
+	Interp    *pyruntime.Interpreter
+	GPU       *gpu.Runtime
+	PhysCores int
+
+	threads []*Thread
+	nextTID int
+
+	// NewThreadHook, when set, observes every thread creation; profilers
+	// use it to attach CPU samplers to late-created threads (autograd
+	// workers, data-loader workers).
+	NewThreadHook func(*Thread)
+}
+
+// NewMachine builds a machine around the given GPU device. PhysCores
+// defaults to 6, matching the allocation in the paper's U-Net data-loader
+// case study (§6.4).
+func NewMachine(spec gpu.DeviceSpec) *Machine {
+	as := native.NewAddressSpace()
+	m := &Machine{
+		AS:        as,
+		Interp:    pyruntime.Load(as),
+		GPU:       gpu.NewRuntime(spec, as),
+		PhysCores: 6,
+	}
+	return m
+}
+
+// NewThread creates a simulated CPU thread with empty stacks at time zero.
+func (m *Machine) NewThread(name string) *Thread {
+	t := &Thread{ID: m.nextTID, Name: name, Native: native.NewStack(m.AS), M: m}
+	m.nextTID++
+	m.threads = append(m.threads, t)
+	if m.NewThreadHook != nil {
+		m.NewThreadHook(t)
+	}
+	return t
+}
+
+// Threads returns all created threads in creation order.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// EndToEnd reports the makespan of the run so far: the latest frontier over
+// all CPU threads and the GPU.
+func (m *Machine) EndToEnd() vtime.Duration {
+	var t vtime.Time
+	for _, th := range m.threads {
+		t = vtime.MaxTime(t, th.Clock.Now())
+	}
+	t = vtime.MaxTime(t, m.GPU.Frontier())
+	return vtime.Duration(t)
+}
+
+// TotalCPUTime reports the sum of CPU time across all threads.
+func (m *Machine) TotalCPUTime() vtime.Duration {
+	var d vtime.Duration
+	for _, th := range m.threads {
+		d += vtime.Duration(th.Clock.Now())
+	}
+	return d
+}
+
+// Thread is one simulated CPU thread: a virtual clock plus native and Python
+// stacks. The framework-operator shadow stack lives in DLMonitor, not here.
+type Thread struct {
+	ID     int
+	Name   string
+	Clock  vtime.Clock
+	Native *native.Stack
+	Py     pyruntime.Stack
+	M      *Machine
+}
+
+// GPUCtx packages the thread state the GPU driver needs.
+func (t *Thread) GPUCtx() gpu.ThreadCtx { return gpu.ThreadCtx{Clock: &t.Clock, Stack: t.Native} }
+
+// String renders "name#id".
+func (t *Thread) String() string { return fmt.Sprintf("%s#%d", t.Name, t.ID) }
+
+// DType enumerates tensor element types.
+type DType int
+
+const (
+	// F32 is 32-bit float.
+	F32 DType = iota
+	// F16 is 16-bit float.
+	F16
+	// F8 is 8-bit float.
+	F8
+	// I64 is 64-bit integer.
+	I64
+	// I32 is 32-bit integer.
+	I32
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() int64 {
+	switch d {
+	case F32, I32:
+		return 4
+	case F16:
+		return 2
+	case F8:
+		return 1
+	case I64:
+		return 8
+	}
+	return 4
+}
+
+// String names the dtype.
+func (d DType) String() string {
+	switch d {
+	case F32:
+		return "float32"
+	case F16:
+		return "float16"
+	case F8:
+		return "float8"
+	case I64:
+		return "int64"
+	case I32:
+		return "int32"
+	}
+	return "unknown"
+}
+
+// Layout enumerates tensor memory formats (paper §6.2).
+type Layout int
+
+const (
+	// ChannelsFirst is PyTorch's default NCHW layout.
+	ChannelsFirst Layout = iota
+	// ChannelsLast is the NHWC layout preferred by cuDNN.
+	ChannelsLast
+	// RowMajor is the generic dense layout for non-image tensors.
+	RowMajor
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case ChannelsFirst:
+		return "channels_first"
+	case ChannelsLast:
+		return "channels_last"
+	}
+	return "row_major"
+}
+
+// TensorMeta is the shape/type metadata frameworks expose to callbacks.
+type TensorMeta struct {
+	Shape  []int
+	DType  DType
+	Layout Layout
+}
+
+// Elems returns the element count.
+func (t TensorMeta) Elems() int64 {
+	n := int64(1)
+	for _, s := range t.Shape {
+		n *= int64(s)
+	}
+	return n
+}
+
+// Bytes returns the storage size.
+func (t TensorMeta) Bytes() int64 { return t.Elems() * t.DType.Size() }
+
+// Phase distinguishes forward from backward operator executions.
+type Phase int
+
+const (
+	// Forward marks forward-pass execution.
+	Forward Phase = iota
+	// Backward marks backward-pass execution on an autograd thread.
+	Backward
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	if p == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// FusedOrigin records one original operator folded into a fused operator by
+// a JIT compiler, with the Python call path captured at compilation time
+// (paper Fig. 4).
+type FusedOrigin struct {
+	Name   string
+	PyPath []pyruntime.Frame
+}
+
+// OpEvent describes one framework-operator execution delivered to
+// DLMONITOR_FRAMEWORK callbacks at entry and exit.
+type OpEvent struct {
+	Name      string
+	Framework string
+	Phase     Phase
+	// SeqID links a backward execution to the forward operator that
+	// recorded it (PyTorch sequence numbers); zero when absent.
+	SeqID  int64
+	Thread *Thread
+	// CodeSym is the operator implementation's native symbol — the
+	// "memory location" DLMonitor's shadow stack matches against native
+	// frames during call-path integration.
+	CodeSym *native.Symbol
+	Inputs  []TensorMeta
+	Outputs []TensorMeta
+	// Fused lists original operators when this is a JIT-fused operator.
+	Fused []FusedOrigin
+}
+
+// OpCallback observes operator events; ph is Enter or Exit.
+type OpCallback func(ev *OpEvent, ph native.Phase)
+
+// AllocEvent describes a framework tensor allocation or free.
+type AllocEvent struct {
+	Bytes  int64
+	Free   bool
+	Thread *Thread
+}
+
+// AllocCallback observes tensor allocations.
+type AllocCallback func(ev *AllocEvent)
+
+// CompileEvent describes one compiler-pass execution in a JIT framework.
+type CompileEvent struct {
+	PassName string
+	Thread   *Thread
+}
+
+// CompileCallback observes compilation passes; ph is Enter or Exit.
+type CompileCallback func(ev *CompileEvent, ph native.Phase)
+
+// Hooks is the instrumentation surface a framework exposes to DLMonitor.
+// torchsim implements it via its aten::addGlobalCallback equivalent; jaxsim
+// implements it via simulated binary instrumentation of the compiler.
+type Hooks interface {
+	// FrameworkName identifies the framework ("pytorch", "jax").
+	FrameworkName() string
+	// AddGlobalCallback registers an operator-entry/exit callback.
+	AddGlobalCallback(OpCallback)
+	// AddAllocCallback registers a tensor allocation callback.
+	AddAllocCallback(AllocCallback)
+	// AddCompileCallback registers a compilation-pass callback; eager
+	// frameworks never invoke it.
+	AddCompileCallback(CompileCallback)
+}

@@ -1,0 +1,128 @@
+package framework
+
+import (
+	"testing"
+
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/vtime"
+)
+
+func TestNewMachineLayout(t *testing.T) {
+	m := NewMachine(gpu.A100())
+	if m.Interp == nil || m.GPU == nil || m.AS == nil {
+		t.Fatal("machine incomplete")
+	}
+	if m.PhysCores != 6 {
+		t.Fatalf("phys cores = %d, want 6", m.PhysCores)
+	}
+	// libpython and the GPU driver must share the address space.
+	if _, ok := m.AS.LibraryAt(m.Interp.EvalSym.Addr); !ok {
+		t.Fatal("libpython not mapped")
+	}
+	if _, ok := m.AS.LibraryAt(m.GPU.APISymbol(gpu.SiteLaunchKernel).Addr); !ok {
+		t.Fatal("driver not mapped")
+	}
+}
+
+func TestEndToEndIsMakespan(t *testing.T) {
+	m := NewMachine(gpu.A100())
+	a := m.NewThread("main")
+	b := m.NewThread("worker")
+	a.Clock.Advance(100)
+	b.Clock.Advance(300)
+	if got := m.EndToEnd(); got != 300 {
+		t.Fatalf("EndToEnd = %v, want 300", got)
+	}
+	// A pending GPU kernel extends the makespan.
+	a.Clock.Advance(1000)
+	m.GPU.LaunchKernel(a.GPUCtx(), 0, gpu.KernelSpec{Name: "k", Grid: gpu.D3(1), Block: gpu.D3(32), FLOPs: 1e9})
+	if got := m.EndToEnd(); vtime.Time(got) != m.GPU.Frontier() {
+		t.Fatalf("EndToEnd = %v, want GPU frontier %v", got, m.GPU.Frontier())
+	}
+}
+
+func TestTotalCPUTime(t *testing.T) {
+	m := NewMachine(gpu.A100())
+	m.NewThread("a").Clock.Advance(10)
+	m.NewThread("b").Clock.Advance(20)
+	if got := m.TotalCPUTime(); got != 30 {
+		t.Fatalf("TotalCPUTime = %v", got)
+	}
+}
+
+func TestTensorMeta(t *testing.T) {
+	tm := TensorMeta{Shape: []int{2, 3, 4}, DType: F16}
+	if tm.Elems() != 24 || tm.Bytes() != 48 {
+		t.Fatalf("elems=%d bytes=%d", tm.Elems(), tm.Bytes())
+	}
+	if F32.Size() != 4 || I64.Size() != 8 || F8.Size() != 1 {
+		t.Fatal("dtype sizes wrong")
+	}
+}
+
+func TestOversubFactor(t *testing.T) {
+	if OversubFactor(4, 6) != 1 {
+		t.Fatal("undersubscribed should be 1")
+	}
+	f16 := OversubFactor(16, 5)
+	f8 := OversubFactor(8, 5)
+	if f16 <= f8 || f8 <= 1 {
+		t.Fatalf("oversub not monotone: f16=%v f8=%v", f16, f8)
+	}
+}
+
+func TestDataLoaderFirstBatchDelay(t *testing.T) {
+	m := NewMachine(gpu.A100())
+	main := m.NewThread("main")
+	d := NewDataLoader(m, 4, 10*vtime.Millisecond, 10*vtime.Second)
+	d.Next(main)
+	if main.Clock.Now() < vtime.Time(10*vtime.Second) {
+		t.Fatalf("first batch did not pay cold-start: %v", main.Clock.Now())
+	}
+	before := main.Clock.Now()
+	d.Next(main) // second batch comes from worker 1: already prefetched region
+	if main.Clock.Now().Sub(before) > 100*vtime.Millisecond {
+		t.Fatalf("second batch stalled: %v", main.Clock.Now().Sub(before))
+	}
+}
+
+func TestDataLoaderOversubscriptionHurtsThroughput(t *testing.T) {
+	throughput := func(workers int) vtime.Duration {
+		m := NewMachine(gpu.A100())
+		main := m.NewThread("main")
+		d := NewDataLoader(m, workers, 12*vtime.Millisecond, 0)
+		for i := 0; i < 200; i++ {
+			d.Next(main)
+		}
+		return vtime.Duration(main.Clock.Now())
+	}
+	t16 := throughput(16)
+	t8 := throughput(8)
+	if t8 >= t16 {
+		t.Fatalf("8 workers (%v) should beat 16 workers (%v) on 6 cores", t8, t16)
+	}
+}
+
+func TestDataLoaderPrefetchOverlapsCompute(t *testing.T) {
+	m := NewMachine(gpu.A100())
+	main := m.NewThread("main")
+	d := NewDataLoader(m, 4, vtime.Millisecond, 0)
+	d.Next(main)
+	loaded := main.Clock.Now()
+	// Consumer computes for a long time; meanwhile workers prefetch, so
+	// the next batch must cost (almost) nothing.
+	main.Clock.Advance(100 * vtime.Millisecond)
+	before := main.Clock.Now()
+	d.Next(main)
+	if main.Clock.Now() != before {
+		t.Fatalf("prefetched batch still blocked consumer (%v after %v)", main.Clock.Now(), loaded)
+	}
+}
+
+func TestThreadString(t *testing.T) {
+	m := NewMachine(gpu.A100())
+	th := m.NewThread("main")
+	if th.String() != "main#0" {
+		t.Fatalf("String = %q", th.String())
+	}
+}

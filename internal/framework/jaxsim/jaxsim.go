@@ -1,0 +1,394 @@
+// Package jaxsim simulates a JAX/XLA-style JIT framework: Python code traces
+// operators into a computation graph; compilation runs passes including an
+// operator-fusion pass that merges elementwise chains; the compiled
+// executable launches fused kernels whose runtime call paths no longer match
+// the original source.
+//
+// Following the paper (§4.1), the fusion pass records the mapping from each
+// fused operator back to its original operators together with the Python
+// call paths captured during tracing (Fig. 4), and the compiled program is
+// "binary instrumented": callbacks fire before and after each operator of
+// the final pass's output, giving JAX profiling parity with PyTorch.
+package jaxsim
+
+import (
+	"fmt"
+	"strings"
+
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/pyruntime"
+	"deepcontext/internal/vtime"
+)
+
+// OpKind classifies traced operators for the fusion pass.
+type OpKind int
+
+const (
+	// Elementwise ops (add, mul, cast, activation) are fusible.
+	Elementwise OpKind = iota
+	// Matmul is a dot_general contraction.
+	Matmul
+	// Conv is a convolution.
+	Conv
+	// Reduce is a reduction (sum, softmax denominators).
+	Reduce
+	// Gather is an embedding/index lookup.
+	Gather
+	// Scatter is an index update.
+	Scatter
+	// Copy is a layout/device copy.
+	Copy
+	// Norm is a normalization op.
+	Norm
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case Elementwise:
+		return "elementwise"
+	case Matmul:
+		return "dot_general"
+	case Conv:
+		return "convolution"
+	case Reduce:
+		return "reduce"
+	case Gather:
+		return "gather"
+	case Scatter:
+		return "scatter"
+	case Copy:
+		return "copy"
+	case Norm:
+		return "norm"
+	}
+	return "unknown"
+}
+
+// Fusible reports whether the fusion pass may merge ops of this kind.
+// XLA decomposes normalizations into elementwise algebra, so they fuse too.
+func (k OpKind) Fusible() bool { return k == Elementwise || k == Copy || k == Norm }
+
+// Op is one traced operator.
+type Op struct {
+	ID      int
+	Name    string
+	Kind    OpKind
+	Kernel  gpu.KernelSpec
+	CPUCost vtime.Duration
+	// PyPath is the Python call path captured when the op was traced.
+	PyPath []pyruntime.Frame
+}
+
+// Graph is a traced computation graph.
+type Graph struct {
+	Name string
+	Ops  []*Op
+}
+
+// CompiledOp is one operator of the final compiled program. Fused operators
+// carry more than one origin.
+type CompiledOp struct {
+	Name    string
+	Kernel  gpu.KernelSpec
+	CPUCost vtime.Duration
+	Origins []*Op
+	Sym     *native.Symbol
+}
+
+// IsFused reports whether this op merged multiple originals.
+func (c *CompiledOp) IsFused() bool { return len(c.Origins) > 1 }
+
+// Executable is a compiled program plus the fused-to-original mapping.
+type Executable struct {
+	Name string
+	Ops  []*CompiledOp
+	// FusionMap indexes origins by compiled-op name for GUI display of
+	// "all possible original call paths" (paper §4.1).
+	FusionMap map[string][]framework.FusedOrigin
+	engine    *Engine
+}
+
+// PassNames lists the compilation passes in order.
+var PassNames = []string{"canonicalize", "operator-fusion", "schedule"}
+
+// Engine is one simulated JAX/XLA process runtime.
+type Engine struct {
+	M *framework.Machine
+
+	lib        *native.Library
+	runSym     *native.Symbol
+	thunkSym   *native.Symbol
+	traceSym   *native.Symbol
+	passSyms   map[string]*native.Symbol
+	opSyms     map[string]*native.Symbol
+	opCBs      []framework.OpCallback
+	allocCBs   []framework.AllocCallback
+	compileCBs []framework.CompileCallback
+
+	nextOpID int
+	// Stream is the stream compiled programs launch on.
+	Stream int
+	// ThunkDepth is how many runtime helper frames sit between a compiled
+	// op and its kernel launch (buffer assignment, stream executor).
+	ThunkDepth int
+	// TraceCost is the per-op cost during tracing.
+	TraceCost vtime.Duration
+	// PassCostPerOp is the compile cost per graph op per pass.
+	PassCostPerOp vtime.Duration
+	// TrampolineCost is charged per registered callback per operator
+	// phase: unlike PyTorch's native aten callback registry, JAX
+	// instrumentation goes through binary-rewriting trampolines
+	// (paper §4.1), which cost more per invocation.
+	TrampolineCost vtime.Duration
+}
+
+var _ framework.Hooks = (*Engine)(nil)
+
+// New loads libxla into the machine's address space and returns an engine.
+func New(m *framework.Machine) *Engine {
+	lib := m.AS.LoadLibrary("libxla_extension.so", 48<<20)
+	e := &Engine{
+		M:              m,
+		lib:            lib,
+		runSym:         m.AS.AddSymbol(lib, "xla::LocalExecutable::Run", 4096, "xla/client/local_client.cc", 200),
+		thunkSym:       m.AS.AddSymbol(lib, "xla::gpu::Thunk::ExecuteOnStream", 8192, "xla/service/gpu/thunk.cc", 120),
+		traceSym:       m.AS.AddSymbol(lib, "jax::Trace", 2048, "jax/interpreters/partial_eval.py", 1),
+		passSyms:       make(map[string]*native.Symbol),
+		opSyms:         make(map[string]*native.Symbol),
+		TraceCost:      20 * vtime.Microsecond,
+		PassCostPerOp:  60 * vtime.Microsecond,
+		ThunkDepth:     10,
+		TrampolineCost: 1500 * vtime.Nanosecond,
+	}
+	for _, p := range PassNames {
+		e.passSyms[p] = m.AS.AddSymbol(lib, "xla::"+p+"_pass", 4096, "xla/service/"+p+".cc", 40)
+	}
+	return e
+}
+
+// FrameworkName reports "jax".
+func (e *Engine) FrameworkName() string { return "jax" }
+
+// AddGlobalCallback registers an operator callback. For JAX this models the
+// binary-instrumentation shim inserting callbacks around each compiled op.
+func (e *Engine) AddGlobalCallback(cb framework.OpCallback) { e.opCBs = append(e.opCBs, cb) }
+
+// AddAllocCallback registers a buffer allocation callback.
+func (e *Engine) AddAllocCallback(cb framework.AllocCallback) { e.allocCBs = append(e.allocCBs, cb) }
+
+// AddCompileCallback registers a compilation-pass callback, the analogue of
+// intercepting XLA's pass pipeline by binary instrumentation.
+func (e *Engine) AddCompileCallback(cb framework.CompileCallback) {
+	e.compileCBs = append(e.compileCBs, cb)
+}
+
+func (e *Engine) emitOp(ev *framework.OpEvent, ph native.Phase) {
+	if n := len(e.opCBs); n > 0 && ev.Thread != nil {
+		ev.Thread.Clock.Advance(vtime.Duration(n) * e.TrampolineCost)
+	}
+	for _, cb := range e.opCBs {
+		cb(ev, ph)
+	}
+}
+
+func (e *Engine) emitCompile(ev *framework.CompileEvent, ph native.Phase) {
+	for _, cb := range e.compileCBs {
+		cb(ev, ph)
+	}
+}
+
+// TraceContext accumulates ops while tracing a Python function.
+type TraceContext struct {
+	e  *Engine
+	g  *Graph
+	th *framework.Thread
+}
+
+// Emit records one operator, capturing the current Python call path.
+func (tc *TraceContext) Emit(op Op) *Op {
+	tc.e.nextOpID++
+	op.ID = tc.e.nextOpID
+	op.PyPath = tc.th.Py.Walk(nil)
+	tc.th.Clock.Advance(tc.e.TraceCost)
+	o := op
+	tc.g.Ops = append(tc.g.Ops, &o)
+	return &o
+}
+
+// Trace runs build under the tracer, producing a graph.
+func (e *Engine) Trace(th *framework.Thread, name string, build func(*TraceContext)) *Graph {
+	th.Native.Push(e.traceSym)
+	defer th.Native.Pop()
+	g := &Graph{Name: name}
+	build(&TraceContext{e: e, g: g, th: th})
+	return g
+}
+
+// opSymbol interns the device-launch symbol for a compiled op.
+func (e *Engine) opSymbol(name string) *native.Symbol {
+	if s, ok := e.opSyms[name]; ok {
+		return s
+	}
+	s := e.M.AS.AddSymbol(e.lib, "xla::gpu::"+name+"_thunk", 1024, "xla/service/gpu/thunk.cc", 60)
+	e.opSyms[name] = s
+	return s
+}
+
+// Compile lowers g through the pass pipeline. The fusion pass greedily
+// merges maximal runs of >= 2 consecutive fusible ops; each merge records
+// its originals with their trace-time Python paths in the FusionMap.
+func (e *Engine) Compile(th *framework.Thread, g *Graph) *Executable {
+	ex := &Executable{Name: g.Name, FusionMap: make(map[string][]framework.FusedOrigin), engine: e}
+	ops := g.Ops
+	for _, pass := range PassNames {
+		sym := e.passSyms[pass]
+		th.Native.Push(sym)
+		cev := &framework.CompileEvent{PassName: pass, Thread: th}
+		e.emitCompile(cev, native.Enter)
+		th.Clock.Advance(vtime.Duration(len(ops)) * e.PassCostPerOp)
+		if pass == "operator-fusion" {
+			ex.Ops = fuse(e, ops)
+		}
+		e.emitCompile(cev, native.Exit)
+		th.Native.Pop()
+	}
+	if ex.Ops == nil {
+		ex.Ops = fuse(e, ops)
+	}
+	for _, c := range ex.Ops {
+		if c.IsFused() {
+			var origins []framework.FusedOrigin
+			for _, o := range c.Origins {
+				origins = append(origins, framework.FusedOrigin{Name: o.Name, PyPath: o.PyPath})
+			}
+			ex.FusionMap[c.Name] = origins
+		}
+	}
+	return ex
+}
+
+// fuse merges runs of consecutive fusible ops.
+func fuse(e *Engine, ops []*Op) []*CompiledOp {
+	var out []*CompiledOp
+	i := 0
+	for i < len(ops) {
+		j := i
+		for j < len(ops) && ops[j].Kind.Fusible() {
+			j++
+		}
+		if j-i >= 2 {
+			out = append(out, mergeRun(e, ops[i:j]))
+			i = j
+			continue
+		}
+		// Non-fusible op, or a singleton fusible op: pass through.
+		op := ops[i]
+		out = append(out, &CompiledOp{
+			Name:    op.Name,
+			Kernel:  op.Kernel,
+			CPUCost: op.CPUCost,
+			Origins: []*Op{op},
+			Sym:     e.opSymbol(op.Name),
+		})
+		i++
+	}
+	return out
+}
+
+// mergeRun builds a fused op from a run of fusible ops: FLOPs add up, but
+// DRAM traffic collapses to the run's external inputs and outputs (modeled
+// as 45% of the summed traffic), and a single launch replaces the run.
+func mergeRun(e *Engine, run []*Op) *CompiledOp {
+	var names []string
+	var flops, bytes float64
+	var cpu vtime.Duration
+	grid, block := run[0].Kernel.Grid, run[0].Kernel.Block
+	for _, o := range run {
+		names = append(names, strings.TrimPrefix(o.Name, "jax::"))
+		flops += o.Kernel.FLOPs
+		bytes += o.Kernel.Bytes
+		cpu += o.CPUCost / 4
+		if o.Kernel.Grid.Volume() > grid.Volume() {
+			grid, block = o.Kernel.Grid, o.Kernel.Block
+		}
+	}
+	name := "fusion_" + strings.Join(truncNames(names, 3), "_")
+	origins := make([]*Op, len(run))
+	copy(origins, run)
+	return &CompiledOp{
+		Name: name,
+		Kernel: gpu.KernelSpec{
+			Name:  name + "_kernel",
+			Grid:  grid,
+			Block: block,
+			FLOPs: flops,
+			Bytes: bytes * 0.38,
+		},
+		CPUCost: cpu,
+		Origins: origins,
+		Sym:     e.opSymbol(name),
+	}
+}
+
+func truncNames(names []string, n int) []string {
+	if len(names) <= n {
+		return names
+	}
+	out := append([]string{}, names[:n]...)
+	return append(out, fmt.Sprintf("and%d", len(names)-n))
+}
+
+// KernelCount reports how many kernels one execution launches.
+func (ex *Executable) KernelCount() int { return len(ex.Ops) }
+
+// Run executes the compiled program once on th. Each compiled op fires
+// instrumentation callbacks carrying its fused origins, then launches its
+// kernel asynchronously.
+func (ex *Executable) Run(th *framework.Thread) {
+	e := ex.engine
+	th.Native.Push(e.runSym)
+	for _, c := range ex.Ops {
+		th.Native.Push(c.Sym)
+		var fused []framework.FusedOrigin
+		if c.IsFused() {
+			fused = ex.FusionMap[c.Name]
+		}
+		ev := &framework.OpEvent{
+			Name:      c.Name,
+			Framework: e.FrameworkName(),
+			Phase:     framework.Forward,
+			Thread:    th,
+			CodeSym:   c.Sym,
+			Fused:     fused,
+		}
+		e.emitOp(ev, native.Enter)
+		th.Clock.Advance(c.CPUCost)
+		for d := 0; d < e.ThunkDepth; d++ {
+			th.Native.PushAt(e.thunkSym, native.Addr(d*32))
+		}
+		e.M.GPU.LaunchKernel(th.GPUCtx(), e.Stream, c.Kernel)
+		for d := 0; d < e.ThunkDepth; d++ {
+			th.Native.Pop()
+		}
+		e.emitOp(ev, native.Exit)
+		th.Native.Pop()
+	}
+	th.Native.Pop()
+}
+
+// Alloc allocates a device buffer, reporting to allocation callbacks.
+func (e *Engine) Alloc(th *framework.Thread, bytes int64) {
+	e.M.GPU.Malloc(th.GPUCtx(), bytes)
+	ev := &framework.AllocEvent{Bytes: bytes, Thread: th}
+	for _, cb := range e.allocCBs {
+		cb(ev)
+	}
+}
+
+// Synchronize drains the device from th.
+func (e *Engine) Synchronize(th *framework.Thread) {
+	e.M.GPU.Synchronize(th.GPUCtx())
+}

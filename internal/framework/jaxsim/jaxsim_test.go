@@ -1,0 +1,259 @@
+package jaxsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+func newEngine(t *testing.T) (*Engine, *framework.Thread) {
+	t.Helper()
+	m := framework.NewMachine(gpu.A100())
+	return New(m), m.NewThread("python-main")
+}
+
+func ew(name string) Op {
+	return Op{Name: "jax::" + name, Kind: Elementwise,
+		Kernel:  gpu.KernelSpec{Name: name + "_kernel", Grid: gpu.D3(128), Block: gpu.D3(256), FLOPs: 1e6, Bytes: 1e6},
+		CPUCost: 10 * vtime.Microsecond}
+}
+
+func mm(name string) Op {
+	return Op{Name: "jax::" + name, Kind: Matmul,
+		Kernel:  gpu.KernelSpec{Name: name + "_kernel", Grid: gpu.D3(512), Block: gpu.D3(256), FLOPs: 1e9, Bytes: 1e7},
+		CPUCost: 15 * vtime.Microsecond}
+}
+
+func traceSample(e *Engine, th *framework.Thread) *Graph {
+	return e.Trace(th, "step", func(tc *TraceContext) {
+		th.Py.WithFrame("model.py", 10, "forward", func() {
+			tc.Emit(mm("dot1"))
+			tc.Emit(ew("add"))
+			tc.Emit(ew("gelu"))
+			tc.Emit(ew("cast"))
+			tc.Emit(mm("dot2"))
+			tc.Emit(ew("bias"))
+		})
+	})
+}
+
+func TestTraceCapturesPyPaths(t *testing.T) {
+	e, th := newEngine(t)
+	g := traceSample(e, th)
+	if len(g.Ops) != 6 {
+		t.Fatalf("ops = %d", len(g.Ops))
+	}
+	for _, op := range g.Ops {
+		if len(op.PyPath) != 1 || op.PyPath[0].Func != "forward" {
+			t.Fatalf("op %s pypath = %v", op.Name, op.PyPath)
+		}
+	}
+	// IDs are unique and increasing.
+	for i := 1; i < len(g.Ops); i++ {
+		if g.Ops[i].ID <= g.Ops[i-1].ID {
+			t.Fatal("op IDs not increasing")
+		}
+	}
+}
+
+func TestCompileFusesElementwiseRuns(t *testing.T) {
+	e, th := newEngine(t)
+	g := traceSample(e, th)
+	ex := e.Compile(th, g)
+	// dot1, fusion(add,gelu,cast), dot2, bias(singleton stays) => 4 ops.
+	if ex.KernelCount() != 4 {
+		t.Fatalf("compiled ops = %d, want 4: %v", ex.KernelCount(), opNames(ex))
+	}
+	var fusedOp *CompiledOp
+	for _, c := range ex.Ops {
+		if c.IsFused() {
+			fusedOp = c
+		}
+	}
+	if fusedOp == nil {
+		t.Fatal("no fused op produced")
+	}
+	if len(fusedOp.Origins) != 3 {
+		t.Fatalf("fused origins = %d, want 3", len(fusedOp.Origins))
+	}
+	// Fused kernel sums FLOPs but collapses memory traffic.
+	if fusedOp.Kernel.FLOPs != 3e6 {
+		t.Fatalf("fused FLOPs = %v", fusedOp.Kernel.FLOPs)
+	}
+	if fusedOp.Kernel.Bytes >= 3e6 {
+		t.Fatalf("fused bytes = %v, want < summed", fusedOp.Kernel.Bytes)
+	}
+}
+
+func opNames(ex *Executable) []string {
+	var out []string
+	for _, c := range ex.Ops {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func TestFusionMapPreservesOriginalPaths(t *testing.T) {
+	e, th := newEngine(t)
+	ex := e.Compile(th, traceSample(e, th))
+	if len(ex.FusionMap) != 1 {
+		t.Fatalf("fusion map = %v", ex.FusionMap)
+	}
+	for name, origins := range ex.FusionMap {
+		if !strings.HasPrefix(name, "fusion_") {
+			t.Fatalf("fused name = %q", name)
+		}
+		for _, o := range origins {
+			if len(o.PyPath) == 0 {
+				t.Fatalf("origin %s lost its python path", o.Name)
+			}
+		}
+	}
+}
+
+func TestCompileCallbacksFirePerPass(t *testing.T) {
+	e, th := newEngine(t)
+	var passes []string
+	e.AddCompileCallback(func(ev *framework.CompileEvent, ph native.Phase) {
+		if ph == native.Enter {
+			passes = append(passes, ev.PassName)
+		}
+	})
+	e.Compile(th, traceSample(e, th))
+	if len(passes) != len(PassNames) {
+		t.Fatalf("passes = %v", passes)
+	}
+	for i, p := range PassNames {
+		if passes[i] != p {
+			t.Fatalf("passes = %v, want %v", passes, PassNames)
+		}
+	}
+}
+
+func TestRunEmitsFusedOpEventsAndLaunchesKernels(t *testing.T) {
+	e, th := newEngine(t)
+	ex := e.Compile(th, traceSample(e, th))
+	var events []*framework.OpEvent
+	e.AddGlobalCallback(func(ev *framework.OpEvent, ph native.Phase) {
+		if ph == native.Enter {
+			events = append(events, ev)
+		}
+	})
+	before := e.M.GPU.Stats().KernelCount
+	ex.Run(th)
+	if got := e.M.GPU.Stats().KernelCount - before; got != int64(ex.KernelCount()) {
+		t.Fatalf("kernels launched = %d, want %d", got, ex.KernelCount())
+	}
+	if len(events) != ex.KernelCount() {
+		t.Fatalf("op events = %d", len(events))
+	}
+	var sawFused bool
+	for _, ev := range events {
+		if len(ev.Fused) > 1 {
+			sawFused = true
+			if ev.Framework != "jax" {
+				t.Fatalf("framework = %q", ev.Framework)
+			}
+		}
+	}
+	if !sawFused {
+		t.Fatal("no event carried fused origins")
+	}
+}
+
+func TestFusionReducesKernelCountVsEager(t *testing.T) {
+	// The §6.6 mechanism: the compiled program launches fewer kernels
+	// than the traced op count.
+	e, th := newEngine(t)
+	g := traceSample(e, th)
+	ex := e.Compile(th, g)
+	if ex.KernelCount() >= len(g.Ops) {
+		t.Fatalf("fusion did not reduce kernels: %d vs %d", ex.KernelCount(), len(g.Ops))
+	}
+}
+
+func TestSingletonFusibleNotRenamed(t *testing.T) {
+	e, th := newEngine(t)
+	g := e.Trace(th, "g", func(tc *TraceContext) {
+		tc.Emit(mm("dot"))
+		tc.Emit(ew("lonely"))
+		tc.Emit(mm("dot_b"))
+	})
+	ex := e.Compile(th, g)
+	if ex.KernelCount() != 3 {
+		t.Fatalf("ops = %v", opNames(ex))
+	}
+	for _, c := range ex.Ops {
+		if c.IsFused() {
+			t.Fatal("singleton should not fuse")
+		}
+	}
+}
+
+// Property: fusion conserves ops — every traced op appears exactly once as
+// an origin across compiled ops, in order.
+func TestFusionBijectionProperty(t *testing.T) {
+	e, th := newEngine(t)
+	f := func(kinds []uint8) bool {
+		if len(kinds) == 0 {
+			return true
+		}
+		if len(kinds) > 40 {
+			kinds = kinds[:40]
+		}
+		g := e.Trace(th, "p", func(tc *TraceContext) {
+			for i, k := range kinds {
+				kind := OpKind(int(k) % 8)
+				tc.Emit(Op{
+					Name:    "jax::op",
+					Kind:    kind,
+					Kernel:  gpu.KernelSpec{Name: "k", Grid: gpu.D3(1 + i), Block: gpu.D3(64), FLOPs: 1, Bytes: 1},
+					CPUCost: 1,
+				})
+			}
+		})
+		ex := e.Compile(th, g)
+		var flat []*Op
+		for _, c := range ex.Ops {
+			flat = append(flat, c.Origins...)
+		}
+		if len(flat) != len(g.Ops) {
+			return false
+		}
+		for i := range flat {
+			if flat[i] != g.Ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncNames(t *testing.T) {
+	got := truncNames([]string{"a", "b", "c", "d", "e"}, 3)
+	if len(got) != 4 || got[3] != "and2" {
+		t.Fatalf("truncNames = %v", got)
+	}
+	short := truncNames([]string{"a"}, 3)
+	if len(short) != 1 {
+		t.Fatalf("truncNames short = %v", short)
+	}
+}
+
+func TestAllocCallback(t *testing.T) {
+	e, th := newEngine(t)
+	var got int64
+	e.AddAllocCallback(func(ev *framework.AllocEvent) { got += ev.Bytes })
+	e.Alloc(th, 1024)
+	if got != 1024 {
+		t.Fatalf("alloc cb = %d", got)
+	}
+}

@@ -1,0 +1,25 @@
+package framework
+
+import "deepcontext/internal/native"
+
+// PushPy enters a Python frame, mirroring it with a _PyEval_EvalFrameDefault
+// frame on the native stack (as the CPython interpreter does). Call-path
+// integration relies on these interpreter frames to find the libpython
+// boundary where native frames are replaced by the Python call path.
+func (t *Thread) PushPy(file string, line int, fn string) {
+	t.Py.Push(file, line, fn)
+	t.Native.PushAt(t.M.Interp.EvalSym, native.Addr(t.Py.Depth()*32))
+}
+
+// PopPy leaves a Python frame and its interpreter native frame.
+func (t *Thread) PopPy() {
+	t.Py.Pop()
+	t.Native.Pop()
+}
+
+// WithPy runs body inside a pushed Python frame.
+func (t *Thread) WithPy(file string, line int, fn string, body func()) {
+	t.PushPy(file, line, fn)
+	defer t.PopPy()
+	body()
+}

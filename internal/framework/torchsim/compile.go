@@ -1,0 +1,142 @@
+package torchsim
+
+import (
+	"strings"
+
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/vtime"
+)
+
+// torch.compile support. The paper's conclusion (§7) plans to "extend
+// DeepContext to support PyTorch workloads that use torch.compile, applying
+// similar profiling methods for JAX"; this file implements that extension:
+// a region of eager operators is compiled once, consecutive fusible
+// operators merge into inductor-style fused kernels, and the compiled
+// region's operator events carry the original operators so the profiler and
+// GUI can map runtime kernels back to source — exactly the JAX treatment.
+
+// CompiledOp is one operator of a compiled region.
+type CompiledOp struct {
+	Op      Op
+	Origins []string
+}
+
+// IsFused reports whether the op merged several eager operators.
+func (c *CompiledOp) IsFused() bool { return len(c.Origins) > 1 }
+
+// CompiledRegion is a torch.compile'd sequence of operators.
+type CompiledRegion struct {
+	Name   string
+	Ops    []*CompiledOp
+	engine *Engine
+}
+
+// KernelCount reports kernels launched per execution of the region.
+func (r *CompiledRegion) KernelCount() int {
+	n := 0
+	for _, c := range r.Ops {
+		n += len(c.Op.Kernels)
+	}
+	return n
+}
+
+// Compile lowers ops through an inductor-like pass: maximal runs of >= 2
+// consecutive Fusible operators merge into one fused operator whose kernel
+// sums the FLOPs but eliminates intermediate DRAM round trips. Compilation
+// charges an autotuning cost per operator to th (the paper's §6.6 noted
+// torch.compile's "long autotuning overhead").
+func (e *Engine) Compile(th *framework.Thread, name string, ops []Op) *CompiledRegion {
+	const autotuneCostPerOp = 180 * vtime.Microsecond
+	th.Clock.Advance(vtime.Duration(len(ops)) * autotuneCostPerOp)
+
+	region := &CompiledRegion{Name: name, engine: e}
+	i := 0
+	for i < len(ops) {
+		j := i
+		for j < len(ops) && ops[j].Fusible {
+			j++
+		}
+		if j-i >= 2 {
+			region.Ops = append(region.Ops, mergeTorchRun(ops[i:j]))
+			i = j
+			continue
+		}
+		op := ops[i]
+		region.Ops = append(region.Ops, &CompiledOp{Op: op, Origins: []string{op.Name}})
+		i++
+	}
+	return region
+}
+
+// mergeTorchRun builds the fused operator for a run of fusible ops.
+func mergeTorchRun(run []Op) *CompiledOp {
+	var names, origins []string
+	var flops, bytes float64
+	var cpu vtime.Duration
+	grid, block := gpu.D3(1), gpu.D3(1)
+	for _, o := range run {
+		origins = append(origins, o.Name)
+		names = append(names, strings.TrimPrefix(o.Name, "aten::"))
+		cpu += o.CPUCost / 4
+		for _, k := range o.Kernels {
+			flops += k.FLOPs
+			bytes += k.Bytes
+			if k.Grid.Volume() > grid.Volume() {
+				grid, block = k.Grid, k.Block
+			}
+		}
+	}
+	if len(names) > 3 {
+		names = names[:3]
+	}
+	fusedName := "torch_compiled::fused_" + strings.Join(names, "_")
+	return &CompiledOp{
+		Op: Op{
+			Name:    fusedName,
+			CPUCost: cpu,
+			Kernels: []gpu.KernelSpec{{
+				Name:  "triton_" + strings.Join(names, "_"),
+				Grid:  grid,
+				Block: block,
+				FLOPs: flops,
+				Bytes: bytes * 0.45,
+			}},
+			// Inductor-generated launchers are shallow.
+			InternalFrames: 2,
+		},
+		Origins: origins,
+	}
+}
+
+// Run executes the compiled region on th. Fused operator events carry their
+// eager origins, so DLMonitor's shadow stack and the GUI expose the mapping
+// just as for JAX fused operators.
+func (r *CompiledRegion) Run(th *framework.Thread) {
+	e := r.engine
+	for _, c := range r.Ops {
+		op := c.Op
+		if c.IsFused() {
+			op.FusedFrom = make([]framework.FusedOrigin, len(c.Origins))
+			for i, name := range c.Origins {
+				op.FusedFrom[i] = framework.FusedOrigin{Name: name}
+			}
+		}
+		e.Run(th, op)
+	}
+}
+
+// RunOp is a helper for tests: executes one compiled op standalone.
+func (r *CompiledRegion) RunOp(th *framework.Thread, i int) {
+	e := r.engine
+	e.Run(th, r.Ops[i].Op)
+}
+
+// EagerKernelCount reports how many kernels the uncompiled ops would launch.
+func EagerKernelCount(ops []Op) int {
+	n := 0
+	for _, o := range ops {
+		n += len(o.Kernels)
+	}
+	return n
+}

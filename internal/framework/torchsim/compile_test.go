@@ -1,0 +1,136 @@
+package torchsim
+
+import (
+	"strings"
+	"testing"
+
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+func ewOp(name string) Op {
+	return Op{
+		Name: "aten::" + name, Fusible: true,
+		CPUCost: 10 * vtime.Microsecond,
+		Kernels: []gpu.KernelSpec{{Name: name + "_kernel", Grid: gpu.D3(128), Block: gpu.D3(256), Bytes: 1e6, FLOPs: 1e4}},
+	}
+}
+
+func mmOpT(name string) Op {
+	return Op{
+		Name:    "aten::" + name,
+		CPUCost: 30 * vtime.Microsecond,
+		Kernels: []gpu.KernelSpec{{Name: name + "_kernel", Grid: gpu.D3(432), Block: gpu.D3(256), FLOPs: 1e9}},
+	}
+}
+
+func sampleRegionOps() []Op {
+	return []Op{mmOpT("linear"), ewOp("add"), ewOp("gelu"), ewOp("dropout"), mmOpT("linear2"), ewOp("bias")}
+}
+
+func TestCompileFusesRuns(t *testing.T) {
+	e, th := newEngine(t)
+	region := e.Compile(th, "mlp", sampleRegionOps())
+	// linear, fused(add,gelu,dropout), linear2, bias(singleton) = 4 ops.
+	if len(region.Ops) != 4 {
+		t.Fatalf("compiled ops = %d", len(region.Ops))
+	}
+	var fused *CompiledOp
+	for _, c := range region.Ops {
+		if c.IsFused() {
+			fused = c
+		}
+	}
+	if fused == nil || len(fused.Origins) != 3 {
+		t.Fatalf("fusion missing: %+v", fused)
+	}
+	if !strings.HasPrefix(fused.Op.Name, "torch_compiled::fused_") {
+		t.Fatalf("fused name = %q", fused.Op.Name)
+	}
+	if !strings.HasPrefix(fused.Op.Kernels[0].Name, "triton_") {
+		t.Fatalf("fused kernel = %q", fused.Op.Kernels[0].Name)
+	}
+	// FLOPs sum; bytes collapse.
+	if fused.Op.Kernels[0].FLOPs != 3e4 {
+		t.Fatalf("fused FLOPs = %v", fused.Op.Kernels[0].FLOPs)
+	}
+	if fused.Op.Kernels[0].Bytes >= 3e6 {
+		t.Fatalf("fused bytes = %v, want < summed", fused.Op.Kernels[0].Bytes)
+	}
+	if region.KernelCount() != 4 || EagerKernelCount(sampleRegionOps()) != 6 {
+		t.Fatal("kernel counts wrong")
+	}
+}
+
+func TestCompileChargesAutotuning(t *testing.T) {
+	e, th := newEngine(t)
+	before := th.Clock.Now()
+	e.Compile(th, "r", sampleRegionOps())
+	if th.Clock.Now().Sub(before) < 6*100*vtime.Microsecond {
+		t.Fatalf("autotuning cost missing: %v", th.Clock.Now().Sub(before))
+	}
+}
+
+func TestCompiledRunEmitsFusedOrigins(t *testing.T) {
+	e, th := newEngine(t)
+	region := e.Compile(th, "mlp", sampleRegionOps())
+	var fusedEvents int
+	e.AddGlobalCallback(func(ev *framework.OpEvent, ph native.Phase) {
+		if ph == native.Enter && len(ev.Fused) > 1 {
+			fusedEvents++
+			if ev.Fused[0].Name != "aten::add" {
+				t.Fatalf("origins = %+v", ev.Fused)
+			}
+		}
+	})
+	before := e.M.GPU.Stats().KernelCount
+	region.Run(th)
+	if got := e.M.GPU.Stats().KernelCount - before; got != int64(region.KernelCount()) {
+		t.Fatalf("kernels = %d, want %d", got, region.KernelCount())
+	}
+	if fusedEvents != 1 {
+		t.Fatalf("fused events = %d", fusedEvents)
+	}
+}
+
+func TestCompiledRegionFasterThanEager(t *testing.T) {
+	run := func(compiled bool) vtime.Time {
+		e, th := newEngine(t)
+		ops := sampleRegionOps()
+		var region *CompiledRegion
+		if compiled {
+			region = e.Compile(th, "mlp", ops)
+		}
+		start := th.Clock.Now()
+		for i := 0; i < 50; i++ {
+			if compiled {
+				region.Run(th)
+			} else {
+				for _, op := range ops {
+					e.Run(th, op)
+				}
+			}
+		}
+		e.Synchronize(th)
+		return th.Clock.Now() - start
+	}
+	eager, comp := run(false), run(true)
+	if comp >= eager {
+		t.Fatalf("compiled (%v) should beat eager (%v) after warmup", comp, eager)
+	}
+}
+
+func TestSingletonFusibleNotMerged(t *testing.T) {
+	e, th := newEngine(t)
+	region := e.Compile(th, "r", []Op{mmOpT("a"), ewOp("lonely"), mmOpT("b")})
+	for _, c := range region.Ops {
+		if c.IsFused() {
+			t.Fatal("singleton fused")
+		}
+	}
+	if len(region.Ops) != 3 {
+		t.Fatalf("ops = %d", len(region.Ops))
+	}
+}

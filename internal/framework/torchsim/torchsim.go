@@ -1,0 +1,295 @@
+// Package torchsim simulates an eager-mode PyTorch runtime: operators
+// dispatch through a native ATen layer, launch GPU kernels immediately,
+// record autograd tape nodes with sequence IDs, and execute backward
+// operators on a dedicated autograd thread that has no Python context — the
+// exact structure DeepContext's forward/backward association handles
+// (paper §4.1, Optimizations).
+//
+// Instrumentation attaches through AddGlobalCallback, the analogue of
+// aten::addGlobalCallback/RecordFunction, so profilers work against pip-wheel
+// installs without source modification.
+package torchsim
+
+import (
+	"strings"
+
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+// Op describes one eager operator execution: its CPU-side dispatch cost, the
+// kernels it launches, and (when RequiresGrad) its backward definition.
+type Op struct {
+	Name    string // e.g. "aten::conv2d"
+	CPUCost vtime.Duration
+	Kernels []gpu.KernelSpec
+	Inputs  []framework.TensorMeta
+	Outputs []framework.TensorMeta
+
+	// InternalFrames is how many library-internal native frames (cuDNN /
+	// rocBLAS helpers) sit between the operator implementation and the
+	// kernel launch; it drives native-unwind depth and therefore the
+	// cost of DeepContext's native call-path mode.
+	InternalFrames int
+
+	// Fusible marks elementwise-style operators that torch.compile may
+	// merge (see compile.go).
+	Fusible bool
+	// FusedFrom lists the eager operators merged into this one when it
+	// was produced by torch.compile; it flows into OpEvent.Fused.
+	FusedFrom []framework.FusedOrigin
+
+	// RequiresGrad records the op on the autograd tape.
+	RequiresGrad bool
+	// BwdName defaults to Name+"_backward" (rendered PyTorch-style as
+	// e.g. "Conv2DBackward0" when empty is fine for simulation purposes).
+	BwdName    string
+	BwdCPUCost vtime.Duration
+	BwdKernels []gpu.KernelSpec
+}
+
+type tapeNode struct {
+	op  Op
+	seq int64
+}
+
+// Engine is one simulated PyTorch process runtime.
+type Engine struct {
+	M *framework.Machine
+
+	lib         *native.Library
+	dispatchSym *native.Symbol
+	threadMain  *native.Symbol
+	execSym     *native.Symbol
+	internalSym *native.Symbol
+	opSyms      map[string]*native.Symbol
+
+	opCBs    []framework.OpCallback
+	allocCBs []framework.AllocCallback
+
+	seq  int64
+	tape []tapeNode
+	bw   *framework.Thread
+
+	// Stream is the CUDA/HIP stream eager ops launch on.
+	Stream int
+	// DispatchDepth is how many extra C++ dispatcher frames appear under
+	// each operator (autograd wrapper, VariableType, redispatch).
+	DispatchDepth int
+}
+
+var _ framework.Hooks = (*Engine)(nil)
+
+// New loads libtorch into the machine's address space and returns an engine.
+func New(m *framework.Machine) *Engine {
+	lib := m.AS.LoadLibrary("libtorch_cpu.so", 32<<20)
+	e := &Engine{
+		M:             m,
+		lib:           lib,
+		dispatchSym:   m.AS.AddSymbol(lib, "c10::Dispatcher::call", 2048, "aten/src/ATen/core/dispatch/Dispatcher.h", 90),
+		threadMain:    m.AS.AddSymbol(lib, "torch::autograd::Engine::thread_main", 4096, "torch/csrc/autograd/engine.cpp", 300),
+		execSym:       m.AS.AddSymbol(lib, "torch::autograd::Engine::evaluate_function", 4096, "torch/csrc/autograd/engine.cpp", 900),
+		internalSym:   m.AS.AddSymbol(lib, "cudnn::detail::launch_helper", 8192, "", 0),
+		opSyms:        make(map[string]*native.Symbol),
+		DispatchDepth: 2,
+	}
+	return e
+}
+
+// FrameworkName reports "pytorch".
+func (e *Engine) FrameworkName() string { return "pytorch" }
+
+// AddGlobalCallback registers an operator callback
+// (aten::addGlobalCallback).
+func (e *Engine) AddGlobalCallback(cb framework.OpCallback) { e.opCBs = append(e.opCBs, cb) }
+
+// AddAllocCallback registers a tensor allocation callback (the caching
+// allocator's reporter).
+func (e *Engine) AddAllocCallback(cb framework.AllocCallback) { e.allocCBs = append(e.allocCBs, cb) }
+
+// AddCompileCallback is a no-op for the eager engine.
+func (e *Engine) AddCompileCallback(framework.CompileCallback) {}
+
+// OpSymbol interns the native implementation symbol for an operator name:
+// "aten::conv2d" maps to at::native::conv2d in libtorch.
+func (e *Engine) OpSymbol(name string) *native.Symbol {
+	if s, ok := e.opSyms[name]; ok {
+		return s
+	}
+	short := strings.TrimPrefix(name, "aten::")
+	s := e.M.AS.AddSymbol(e.lib, "at::native::"+short, 2048, "aten/src/ATen/native/"+short+".cpp", 50)
+	e.opSyms[name] = s
+	return s
+}
+
+func (e *Engine) emitOp(ev *framework.OpEvent, ph native.Phase) {
+	for _, cb := range e.opCBs {
+		cb(ev, ph)
+	}
+}
+
+// Alloc allocates tensor memory through the caching allocator, reporting to
+// allocation callbacks and the device runtime.
+func (e *Engine) Alloc(th *framework.Thread, bytes int64) {
+	e.M.GPU.Malloc(th.GPUCtx(), bytes)
+	ev := &framework.AllocEvent{Bytes: bytes, Thread: th}
+	for _, cb := range e.allocCBs {
+		cb(ev)
+	}
+}
+
+// FreeMem releases tensor memory.
+func (e *Engine) FreeMem(th *framework.Thread, bytes int64) {
+	e.M.GPU.Free(th.GPUCtx(), bytes)
+	ev := &framework.AllocEvent{Bytes: bytes, Free: true, Thread: th}
+	for _, cb := range e.allocCBs {
+		cb(ev)
+	}
+}
+
+// Run executes one eager operator on th: dispatcher and implementation
+// frames are pushed on the native stack, the global callback fires around
+// the body, kernels launch asynchronously, and (with RequiresGrad) a tape
+// node with a fresh sequence ID is recorded.
+func (e *Engine) Run(th *framework.Thread, op Op) {
+	sym := e.OpSymbol(op.Name)
+	for i := 0; i < e.DispatchDepth; i++ {
+		th.Native.PushAt(e.dispatchSym, native.Addr(i*64))
+	}
+	th.Native.Push(sym)
+
+	var seq int64
+	if op.RequiresGrad {
+		e.seq++
+		seq = e.seq
+	}
+	ev := &framework.OpEvent{
+		Name:      op.Name,
+		Framework: e.FrameworkName(),
+		Phase:     framework.Forward,
+		SeqID:     seq,
+		Thread:    th,
+		CodeSym:   sym,
+		Inputs:    op.Inputs,
+		Outputs:   op.Outputs,
+		Fused:     op.FusedFrom,
+	}
+	e.emitOp(ev, native.Enter)
+	th.Clock.Advance(op.CPUCost)
+	for i := 0; i < op.InternalFrames; i++ {
+		th.Native.PushAt(e.internalSym, native.Addr(i*32))
+	}
+	for _, k := range op.Kernels {
+		e.M.GPU.LaunchKernel(th.GPUCtx(), e.Stream, k)
+	}
+	for i := 0; i < op.InternalFrames; i++ {
+		th.Native.Pop()
+	}
+	e.emitOp(ev, native.Exit)
+
+	th.Native.Pop()
+	for i := 0; i < e.DispatchDepth; i++ {
+		th.Native.Pop()
+	}
+	if op.RequiresGrad {
+		e.tape = append(e.tape, tapeNode{op: op, seq: seq})
+	}
+}
+
+// BackwardThread returns the autograd worker thread, creating it on first
+// use (PyTorch creates one per device).
+func (e *Engine) BackwardThread() *framework.Thread {
+	if e.bw == nil {
+		e.bw = e.M.NewThread("autograd-worker")
+	}
+	return e.bw
+}
+
+// bwdName returns the backward operator name for op.
+func bwdName(op Op) string {
+	if op.BwdName != "" {
+		return op.BwdName
+	}
+	return op.Name + "_backward"
+}
+
+// Backward runs backward propagation: the calling thread hands the tape to
+// the autograd worker, which executes backward ops in reverse order with no
+// Python frames, then the caller blocks until CPU-side backward completes
+// (loss.backward() semantics; GPU work remains asynchronous).
+func (e *Engine) Backward(th *framework.Thread) {
+	if len(e.tape) == 0 {
+		return
+	}
+	bw := e.BackwardThread()
+	bw.Clock.AdvanceTo(th.Clock.Now())
+	bw.Native.Push(e.threadMain)
+	bw.Native.Push(e.execSym)
+
+	for i := len(e.tape) - 1; i >= 0; i-- {
+		n := e.tape[i]
+		name := bwdName(n.op)
+		sym := e.OpSymbol(name)
+		bw.Native.Push(sym)
+		ev := &framework.OpEvent{
+			Name:      name,
+			Framework: e.FrameworkName(),
+			Phase:     framework.Backward,
+			SeqID:     n.seq,
+			Thread:    bw,
+			CodeSym:   sym,
+			Inputs:    n.op.Outputs,
+			Outputs:   n.op.Inputs,
+		}
+		e.emitOp(ev, native.Enter)
+		cost := n.op.BwdCPUCost
+		if cost == 0 {
+			cost = n.op.CPUCost
+		}
+		bw.Clock.Advance(cost)
+		kernels := n.op.BwdKernels
+		if kernels == nil {
+			kernels = defaultBackwardKernels(n.op)
+		}
+		for j := 0; j < n.op.InternalFrames; j++ {
+			bw.Native.PushAt(e.internalSym, native.Addr(j*32))
+		}
+		for _, k := range kernels {
+			e.M.GPU.LaunchKernel(bw.GPUCtx(), e.Stream, k)
+		}
+		for j := 0; j < n.op.InternalFrames; j++ {
+			bw.Native.Pop()
+		}
+		e.emitOp(ev, native.Exit)
+		bw.Native.Pop()
+	}
+	bw.Native.Pop()
+	bw.Native.Pop()
+	e.tape = e.tape[:0]
+	th.Clock.AdvanceTo(bw.Clock.Now())
+}
+
+// defaultBackwardKernels synthesizes a backward for ops that did not define
+// one: each forward kernel yields a grad kernel with twice the work
+// (input-grad plus weight-grad).
+func defaultBackwardKernels(op Op) []gpu.KernelSpec {
+	out := make([]gpu.KernelSpec, 0, len(op.Kernels))
+	for _, k := range op.Kernels {
+		b := k
+		b.Name = k.Name + "_backward"
+		b.FLOPs *= 2
+		b.Bytes *= 2
+		out = append(out, b)
+	}
+	return out
+}
+
+// TapeLen reports pending tape nodes (for tests).
+func (e *Engine) TapeLen() int { return len(e.tape) }
+
+// Synchronize drains the device from th.
+func (e *Engine) Synchronize(th *framework.Thread) {
+	e.M.GPU.Synchronize(th.GPUCtx())
+}

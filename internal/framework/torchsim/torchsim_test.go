@@ -1,0 +1,221 @@
+package torchsim
+
+import (
+	"testing"
+
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+func newEngine(t *testing.T) (*Engine, *framework.Thread) {
+	t.Helper()
+	m := framework.NewMachine(gpu.A100())
+	e := New(m)
+	return e, m.NewThread("python-main")
+}
+
+func simpleOp(name string, grad bool) Op {
+	return Op{
+		Name:         name,
+		CPUCost:      50 * vtime.Microsecond,
+		Kernels:      []gpu.KernelSpec{{Name: name + "_kernel", Grid: gpu.D3(256), Block: gpu.D3(256), FLOPs: 1e8, Bytes: 1e6}},
+		RequiresGrad: grad,
+	}
+}
+
+func TestRunEmitsEnterExitWithSeq(t *testing.T) {
+	e, th := newEngine(t)
+	var events []string
+	var seqs []int64
+	e.AddGlobalCallback(func(ev *framework.OpEvent, ph native.Phase) {
+		events = append(events, ev.Name+":"+ph.String())
+		seqs = append(seqs, ev.SeqID)
+	})
+	e.Run(th, simpleOp("aten::matmul", true))
+	e.Run(th, simpleOp("aten::relu", false))
+	want := []string{"aten::matmul:enter", "aten::matmul:exit", "aten::relu:enter", "aten::relu:exit"}
+	if len(events) != 4 {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v", events)
+		}
+	}
+	if seqs[0] == 0 || seqs[2] != 0 {
+		t.Fatalf("seq ids = %v: grad op needs nonzero, non-grad zero", seqs)
+	}
+}
+
+func TestRunNativeStackVisibleInCallback(t *testing.T) {
+	e, th := newEngine(t)
+	var depth int
+	var topName string
+	e.AddGlobalCallback(func(ev *framework.OpEvent, ph native.Phase) {
+		if ph == native.Enter {
+			depth = th.Native.Depth()
+			topName = th.Native.Top().Sym.Name
+		}
+	})
+	e.Run(th, simpleOp("aten::conv2d", false))
+	if topName != "at::native::conv2d" {
+		t.Fatalf("top = %q", topName)
+	}
+	if depth != e.DispatchDepth+1 {
+		t.Fatalf("depth = %d, want %d", depth, e.DispatchDepth+1)
+	}
+	if th.Native.Depth() != 0 {
+		t.Fatal("stack not restored after op")
+	}
+}
+
+func TestRunLaunchesKernelsAsync(t *testing.T) {
+	e, th := newEngine(t)
+	e.Run(th, simpleOp("aten::matmul", false))
+	if e.M.GPU.Stats().KernelCount != 1 {
+		t.Fatal("kernel not launched")
+	}
+	if e.M.GPU.Frontier() <= th.Clock.Now() {
+		t.Fatal("kernel should outlast CPU op body")
+	}
+}
+
+func TestBackwardRunsOnSeparateThreadReversedWithMatchingSeq(t *testing.T) {
+	e, th := newEngine(t)
+	type rec struct {
+		name  string
+		phase framework.Phase
+		seq   int64
+		tname string
+		pyN   int
+	}
+	var recs []rec
+	e.AddGlobalCallback(func(ev *framework.OpEvent, ph native.Phase) {
+		if ph != native.Enter {
+			return
+		}
+		recs = append(recs, rec{ev.Name, ev.Phase, ev.SeqID, ev.Thread.Name, ev.Thread.Py.Depth()})
+	})
+	th.Py.Push("train.py", 10, "train_step")
+	e.Run(th, simpleOp("aten::embedding", true))
+	e.Run(th, simpleOp("aten::linear", true))
+	e.Backward(th)
+	th.Py.Pop()
+
+	if len(recs) != 4 {
+		t.Fatalf("recs = %v", recs)
+	}
+	// Backward order is reversed: linear_backward then embedding_backward.
+	if recs[2].name != "aten::linear_backward" || recs[3].name != "aten::embedding_backward" {
+		t.Fatalf("backward order wrong: %v", recs)
+	}
+	// Sequence IDs must match forward counterparts.
+	if recs[2].seq != recs[1].seq || recs[3].seq != recs[0].seq {
+		t.Fatalf("seq association wrong: %v", recs)
+	}
+	// Backward runs on the autograd worker with no Python frames.
+	if recs[2].tname != "autograd-worker" || recs[2].pyN != 0 {
+		t.Fatalf("backward thread context wrong: %+v", recs[2])
+	}
+	if recs[0].pyN != 1 {
+		t.Fatal("forward should see python frames")
+	}
+}
+
+func TestBackwardBlocksCaller(t *testing.T) {
+	e, th := newEngine(t)
+	e.Run(th, simpleOp("aten::linear", true))
+	before := th.Clock.Now()
+	e.Backward(th)
+	if th.Clock.Now() <= before {
+		t.Fatal("caller did not wait for CPU-side backward")
+	}
+	if e.TapeLen() != 0 {
+		t.Fatal("tape not consumed")
+	}
+	// Backward with an empty tape is a no-op.
+	now := th.Clock.Now()
+	e.Backward(th)
+	if th.Clock.Now() != now {
+		t.Fatal("empty backward advanced time")
+	}
+}
+
+func TestExplicitBackwardKernels(t *testing.T) {
+	e, th := newEngine(t)
+	var kernelNames []string
+	e.M.GPU.EnableActivity(100, func(acts []gpu.Activity) {
+		for _, a := range acts {
+			kernelNames = append(kernelNames, a.Name)
+		}
+	})
+	op := simpleOp("aten::index", true)
+	op.BwdName = "aten::index_backward"
+	op.BwdKernels = []gpu.KernelSpec{{Name: "indexing_backward_kernel", Grid: gpu.D3(64), Block: gpu.D3(128), FLOPs: 1e7, Bytes: 1e7, Serialization: 20}}
+	e.Run(th, op)
+	e.Backward(th)
+	e.M.GPU.FlushActivity()
+	found := false
+	for _, n := range kernelNames {
+		if n == "indexing_backward_kernel" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("backward kernel missing: %v", kernelNames)
+	}
+}
+
+func TestDefaultBackwardSynthesis(t *testing.T) {
+	op := simpleOp("aten::gelu", true)
+	ks := defaultBackwardKernels(op)
+	if len(ks) != 1 || ks[0].Name != "aten::gelu_kernel_backward" {
+		t.Fatalf("synthesized = %+v", ks)
+	}
+	if ks[0].FLOPs != 2*op.Kernels[0].FLOPs {
+		t.Fatal("backward should double the work")
+	}
+}
+
+func TestAllocCallbacksAndDeviceAccounting(t *testing.T) {
+	e, th := newEngine(t)
+	var allocs, frees int64
+	e.AddAllocCallback(func(ev *framework.AllocEvent) {
+		if ev.Free {
+			frees += ev.Bytes
+		} else {
+			allocs += ev.Bytes
+		}
+	})
+	e.Alloc(th, 4096)
+	e.FreeMem(th, 4096)
+	if allocs != 4096 || frees != 4096 {
+		t.Fatalf("alloc cbs: %d/%d", allocs, frees)
+	}
+	if e.M.GPU.Stats().MemUsed != 0 || e.M.GPU.Stats().MemPeak != 4096 {
+		t.Fatalf("device accounting: %+v", e.M.GPU.Stats())
+	}
+}
+
+func TestOpSymbolInterning(t *testing.T) {
+	e, _ := newEngine(t)
+	a := e.OpSymbol("aten::conv2d")
+	b := e.OpSymbol("aten::conv2d")
+	if a != b {
+		t.Fatal("op symbols not interned")
+	}
+	if a.Name != "at::native::conv2d" {
+		t.Fatalf("symbol name = %q", a.Name)
+	}
+}
+
+func TestSynchronizeDrains(t *testing.T) {
+	e, th := newEngine(t)
+	e.Run(th, simpleOp("aten::matmul", false))
+	e.Synchronize(th)
+	if th.Clock.Now() < e.M.GPU.Frontier() {
+		t.Fatal("synchronize did not block to frontier")
+	}
+}

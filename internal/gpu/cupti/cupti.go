@@ -1,0 +1,73 @@
+// Package cupti adapts a simulated Nvidia GPU runtime to the gpu.Tracer
+// interface with CUPTI-flavored semantics and naming: callback subscription
+// (cuptiSubscribe), activity buffers (cuptiActivityEnable/FlushAll) and PC
+// sampling stall reasons as reported by CUPTI_ACTIVITY_PC_SAMPLING_STALL_*.
+package cupti
+
+import (
+	"fmt"
+
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/vtime"
+)
+
+// Tracer is the CUPTI view of an Nvidia runtime.
+type Tracer struct {
+	rt *gpu.Runtime
+}
+
+var _ gpu.Tracer = (*Tracer)(nil)
+
+// New wraps rt, which must be an Nvidia device.
+func New(rt *gpu.Runtime) (*Tracer, error) {
+	if rt.Spec.Vendor != gpu.VendorNvidia {
+		return nil, fmt.Errorf("cupti: runtime is %v, want Nvidia", rt.Spec.Vendor)
+	}
+	return &Tracer{rt: rt}, nil
+}
+
+// Name reports "CUPTI".
+func (t *Tracer) Name() string { return "CUPTI" }
+
+// Vendor reports Nvidia.
+func (t *Tracer) Vendor() gpu.Vendor { return gpu.VendorNvidia }
+
+// Device returns the traced device spec.
+func (t *Tracer) Device() gpu.DeviceSpec { return t.rt.Spec }
+
+// Subscribe registers a driver API callback (cuptiSubscribe +
+// cuptiEnableDomain(CUPTI_CB_DOMAIN_RUNTIME_API)).
+func (t *Tracer) Subscribe(cb gpu.APICallback) { t.rt.Subscribe(cb) }
+
+// EnableActivity enables buffered activity records
+// (cuptiActivityRegisterCallbacks + cuptiActivityEnable).
+func (t *Tracer) EnableActivity(bufCap int, flush func([]gpu.Activity)) {
+	t.rt.EnableActivity(bufCap, flush)
+}
+
+// EnablePCSampling enables instruction sampling
+// (cuptiActivityConfigurePCSampling).
+func (t *Tracer) EnablePCSampling(period vtime.Duration) { t.rt.EnablePCSampling(period) }
+
+// Flush forces activity delivery (cuptiActivityFlushAll).
+func (t *Tracer) Flush() { t.rt.FlushActivity() }
+
+// cuptiStallNames mirrors the CUPTI PC-sampling stall taxonomy.
+var cuptiStallNames = map[gpu.StallReason]string{
+	gpu.StallNone:         "SELECTED",
+	gpu.StallMathDep:      "EXEC_DEPENDENCY",
+	gpu.StallMemDep:       "MEMORY_DEPENDENCY",
+	gpu.StallConstMemMiss: "CONSTANT_MEMORY_DEPENDENCY",
+	gpu.StallMemThrottle:  "MEMORY_THROTTLE",
+	gpu.StallSync:         "SYNC",
+	gpu.StallInstFetch:    "INST_FETCH",
+	gpu.StallNotSelected:  "NOT_SELECTED",
+}
+
+// StallName renders r as CUPTI would.
+func (t *Tracer) StallName(r gpu.StallReason) string {
+	if n, ok := cuptiStallNames[r]; ok {
+		return "CUPTI_ACTIVITY_PC_SAMPLING_STALL_" + n
+	}
+	return "CUPTI_ACTIVITY_PC_SAMPLING_STALL_INVALID"
+}

@@ -1,0 +1,55 @@
+package cupti
+
+import (
+	"strings"
+	"testing"
+
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+func TestNewRejectsAMD(t *testing.T) {
+	as := native.NewAddressSpace()
+	rt := gpu.NewRuntime(gpu.MI250(), as)
+	if _, err := New(rt); err == nil {
+		t.Fatal("expected error wrapping AMD runtime")
+	}
+}
+
+func TestTracerDelegates(t *testing.T) {
+	as := native.NewAddressSpace()
+	rt := gpu.NewRuntime(gpu.A100(), as)
+	tr, err := New(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "CUPTI" || tr.Vendor() != gpu.VendorNvidia {
+		t.Fatalf("identity wrong: %s/%v", tr.Name(), tr.Vendor())
+	}
+	var acts []gpu.Activity
+	tr.EnableActivity(10, func(a []gpu.Activity) { acts = append(acts, a...) })
+	calls := 0
+	tr.Subscribe(func(ev *gpu.APIEvent) { calls++ })
+	th := gpu.ThreadCtx{Clock: &vtime.Clock{}, Stack: native.NewStack(as)}
+	rt.LaunchKernel(th, 0, gpu.KernelSpec{Name: "k", Grid: gpu.D3(108), Block: gpu.D3(256), FLOPs: 1e8})
+	tr.Flush()
+	if len(acts) != 1 {
+		t.Fatalf("acts = %d", len(acts))
+	}
+	if calls != 2 { // enter + exit
+		t.Fatalf("callback calls = %d", calls)
+	}
+}
+
+func TestStallNames(t *testing.T) {
+	as := native.NewAddressSpace()
+	tr, _ := New(gpu.NewRuntime(gpu.A100(), as))
+	got := tr.StallName(gpu.StallConstMemMiss)
+	if !strings.Contains(got, "CONSTANT_MEMORY") {
+		t.Fatalf("StallName = %q", got)
+	}
+	if !strings.HasPrefix(tr.StallName(gpu.StallReason(99)), "CUPTI_") {
+		t.Fatal("unknown stall should still be CUPTI-prefixed")
+	}
+}

@@ -1,0 +1,352 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+func newNV(t *testing.T) (*Runtime, *native.AddressSpace) {
+	t.Helper()
+	as := native.NewAddressSpace()
+	return NewRuntime(A100(), as), as
+}
+
+func bigKernel(name string) KernelSpec {
+	return KernelSpec{
+		Name:  name,
+		Grid:  D3(1024),
+		Block: D3(256),
+		FLOPs: 1e9,
+		Bytes: 1e7,
+	}
+}
+
+func TestDurationRoofline(t *testing.T) {
+	d := A100()
+	k := bigKernel("gemm")
+	// Compute-bound: 1e9 FLOPs / 156e12 FLOP/s = ~6.4us plus fixed cost.
+	got := d.Duration(k)
+	flops := k.FLOPs
+	wantIdeal := vtime.Duration(flops / 156e12 * 1e9)
+	if got < wantIdeal || got > wantIdeal+d.KernelFixedCost*2 {
+		t.Fatalf("Duration = %v, want about %v + fixed", got, wantIdeal)
+	}
+	// Memory-bound variant.
+	k.FLOPs = 1
+	k.Bytes = 2e9 // 2GB / 2TB/s = 1ms
+	got = d.Duration(k)
+	if got < 900*vtime.Microsecond || got > 1200*vtime.Microsecond {
+		t.Fatalf("mem-bound Duration = %v, want ~1ms", got)
+	}
+}
+
+func TestDurationSerializationMultiplies(t *testing.T) {
+	d := A100()
+	k := bigKernel("index_backward")
+	base := d.Duration(k) - d.KernelFixedCost
+	k.Serialization = 10
+	ser := d.Duration(k) - d.KernelFixedCost
+	if ser < 9*base || ser > 11*base {
+		t.Fatalf("serialization 10x gave %v vs base %v", ser, base)
+	}
+}
+
+func TestOccupancySmallGridPenalty(t *testing.T) {
+	d := A100()
+	big := bigKernel("big")
+	small := big
+	small.Grid = D3(4) // 4 CTAs on 108 SMs
+	if d.Occupancy(small) >= d.Occupancy(big) {
+		t.Fatalf("small grid occupancy %v >= big %v", d.Occupancy(small), d.Occupancy(big))
+	}
+	if d.Duration(small) <= d.Duration(big) {
+		t.Fatalf("small grid should be slower per work unit")
+	}
+}
+
+func TestOccupancyWarpSizeEffect(t *testing.T) {
+	// Same launch geometry computed with NV warp-32 CTAs on both devices:
+	// on AMD the same thread count in fewer, larger CTAs lowers occupancy
+	// when the grid is modest (the paper's §6.5 instance_norm case).
+	nv, amd := A100(), MI250()
+	k := KernelSpec{Name: "norm", Grid: D3(104), Block: Dim3{X: 512}, FLOPs: 1e8, Bytes: 1e8}
+	occNV := nv.Occupancy(k)
+	// AMD template reuses warp-scaled block: 16 waves * 64 lanes = 1024
+	// threads, halving the CTA count.
+	kAMD := KernelSpec{Name: "norm", Grid: D3(52), Block: Dim3{X: 1024}, FLOPs: 1e8, Bytes: 1e8}
+	occAMD := amd.Occupancy(kAMD)
+	if occAMD >= occNV {
+		t.Fatalf("expected AMD occupancy < NV: %v vs %v", occAMD, occNV)
+	}
+}
+
+func TestLaunchKernelAsyncOverlap(t *testing.T) {
+	rt, as := newNV(t)
+	var clk vtime.Clock
+	st := native.NewStack(as)
+	th := ThreadCtx{Clock: &clk, Stack: st}
+	corr := rt.LaunchKernel(th, 0, bigKernel("k1"))
+	if corr == 0 {
+		t.Fatal("correlation id should be nonzero")
+	}
+	// CPU advanced only by launch latency, not kernel duration.
+	if clk.Now() != vtime.Time(rt.Spec.LaunchLatency) {
+		t.Fatalf("cpu time = %v, want launch latency only", clk.Now())
+	}
+	if rt.Frontier() <= clk.Now() {
+		t.Fatal("kernel should still be executing after launch returns")
+	}
+	rt.Synchronize(th)
+	if clk.Now() < rt.Frontier() {
+		t.Fatalf("synchronize did not block: cpu %v < frontier %v", clk.Now(), rt.Frontier())
+	}
+}
+
+func TestStreamSerialization(t *testing.T) {
+	rt, as := newNV(t)
+	var clk vtime.Clock
+	th := ThreadCtx{Clock: &clk, Stack: native.NewStack(as)}
+	rt.LaunchKernel(th, 0, bigKernel("a"))
+	f1 := rt.StreamFrontier(0)
+	rt.LaunchKernel(th, 0, bigKernel("b"))
+	f2 := rt.StreamFrontier(0)
+	if f2 <= f1 {
+		t.Fatal("second kernel did not queue behind first")
+	}
+	// Separate stream overlaps.
+	rt.LaunchKernel(th, 1, bigKernel("c"))
+	if rt.StreamFrontier(1) >= f2 {
+		t.Fatal("kernel on stream 1 should not queue behind stream 0")
+	}
+}
+
+func TestActivityRecordsAndCorrelation(t *testing.T) {
+	rt, as := newNV(t)
+	var got []Activity
+	rt.EnableActivity(1000, func(acts []Activity) { got = append(got, acts...) })
+	var clk vtime.Clock
+	th := ThreadCtx{Clock: &clk, Stack: native.NewStack(as)}
+	var corrs []uint64
+	rt.Subscribe(func(ev *APIEvent) {
+		if ev.Site == SiteLaunchKernel && ev.Phase == native.Enter {
+			corrs = append(corrs, ev.Correlation)
+		}
+	})
+	c1 := rt.LaunchKernel(th, 0, bigKernel("a"))
+	c2 := rt.LaunchKernel(th, 0, bigKernel("b"))
+	rt.FlushActivity()
+	if len(got) != 2 {
+		t.Fatalf("activities = %d, want 2", len(got))
+	}
+	if got[0].Correlation != c1 || got[1].Correlation != c2 {
+		t.Fatalf("correlation mismatch: %v vs (%d,%d)", got, c1, c2)
+	}
+	if len(corrs) != 2 || corrs[0] != c1 {
+		t.Fatalf("callback correlations = %v", corrs)
+	}
+	if got[0].End <= got[0].Start {
+		t.Fatal("activity has no duration")
+	}
+}
+
+func TestActivityBufferFullFlushes(t *testing.T) {
+	rt, as := newNV(t)
+	flushes := 0
+	total := 0
+	rt.EnableActivity(2, func(acts []Activity) { flushes++; total += len(acts) })
+	th := ThreadCtx{Clock: &vtime.Clock{}, Stack: native.NewStack(as)}
+	for i := 0; i < 5; i++ {
+		rt.LaunchKernel(th, 0, bigKernel("k"))
+	}
+	if flushes != 2 {
+		t.Fatalf("flushes = %d, want 2 (buffer cap 2, 5 launches)", flushes)
+	}
+	rt.FlushActivity()
+	if total != 5 {
+		t.Fatalf("total records = %d, want 5", total)
+	}
+}
+
+func TestAPICallbackStackVisibility(t *testing.T) {
+	rt, as := newNV(t)
+	st := native.NewStack(as)
+	caller := as.AddSymbol(as.LoadLibrary("libtorch.so", 1<<20), "at::conv2d", 0, "", 0)
+	st.Push(caller)
+	var topName string
+	rt.Subscribe(func(ev *APIEvent) {
+		if ev.Phase == native.Enter && ev.Site == SiteLaunchKernel {
+			topName = ev.Thread.Stack.Top().Sym.Name
+		}
+	})
+	rt.LaunchKernel(ThreadCtx{Clock: &vtime.Clock{}, Stack: st}, 0, bigKernel("k"))
+	if topName != "cudaLaunchKernel" {
+		t.Fatalf("callback saw top frame %q, want cudaLaunchKernel", topName)
+	}
+	if st.Top().Sym != caller {
+		t.Fatal("API frame not popped after call")
+	}
+}
+
+func TestMallocFreeTracking(t *testing.T) {
+	rt, as := newNV(t)
+	th := ThreadCtx{Clock: &vtime.Clock{}, Stack: native.NewStack(as)}
+	rt.Malloc(th, 1000)
+	rt.Malloc(th, 500)
+	rt.Free(th, 1000)
+	s := rt.Stats()
+	if s.MemUsed != 500 || s.MemPeak != 1500 {
+		t.Fatalf("mem used=%d peak=%d, want 500/1500", s.MemUsed, s.MemPeak)
+	}
+}
+
+func TestMemcpyDuration(t *testing.T) {
+	rt, as := newNV(t)
+	var acts []Activity
+	rt.EnableActivity(10, func(a []Activity) { acts = append(acts, a...) })
+	th := ThreadCtx{Clock: &vtime.Clock{}, Stack: native.NewStack(as)}
+	rt.Memcpy(th, 0, SiteMemcpyH2D, 25<<20) // 25MB over 25GB/s ≈ 1ms
+	rt.FlushActivity()
+	if len(acts) != 1 {
+		t.Fatalf("acts = %d", len(acts))
+	}
+	d := acts[0].Duration()
+	if d < 900*vtime.Microsecond || d > 1200*vtime.Microsecond {
+		t.Fatalf("h2d duration = %v, want ~1ms", d)
+	}
+}
+
+func TestMemcpyBadSitePanics(t *testing.T) {
+	rt, as := newNV(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.Memcpy(ThreadCtx{Clock: &vtime.Clock{}, Stack: native.NewStack(as)}, 0, SiteMalloc, 10)
+}
+
+func TestKernelSymbolInterned(t *testing.T) {
+	rt, _ := newNV(t)
+	a := rt.KernelSymbol("elementwise_kernel")
+	b := rt.KernelSymbol("elementwise_kernel")
+	if a != b {
+		t.Fatal("kernel symbols not interned")
+	}
+	if !rt.DeviceCodeLibrary().Contains(a.Addr) {
+		t.Fatal("kernel symbol outside device code library")
+	}
+}
+
+func TestPCSamplingCountsMatchDuration(t *testing.T) {
+	rt, as := newNV(t)
+	rt.EnablePCSampling(10 * vtime.Microsecond)
+	var acts []Activity
+	rt.EnableActivity(10, func(a []Activity) { acts = append(acts, a...) })
+	th := ThreadCtx{Clock: &vtime.Clock{}, Stack: native.NewStack(as)}
+	k := bigKernel("sampled")
+	k.Bytes = 2e9 // ~1ms => ~100 samples
+	rt.LaunchKernel(th, 0, k)
+	rt.FlushActivity()
+	var total int64
+	for _, s := range acts[0].Samples {
+		total += s.Count
+	}
+	wantTotal := int64(acts[0].Duration() / (10 * vtime.Microsecond))
+	if total != wantTotal {
+		t.Fatalf("sample total = %d, want %d", total, wantTotal)
+	}
+	for _, s := range acts[0].Samples {
+		if !rt.DeviceCodeLibrary().Contains(s.PC) {
+			t.Fatalf("sample PC %#x outside device code", s.PC)
+		}
+	}
+}
+
+func TestPCSamplingConstHeavySkew(t *testing.T) {
+	rt, as := newNV(t)
+	rt.EnablePCSampling(vtime.Microsecond)
+	var acts []Activity
+	rt.EnableActivity(10, func(a []Activity) { acts = append(acts, a...) })
+	th := ThreadCtx{Clock: &vtime.Clock{}, Stack: native.NewStack(as)}
+	k := bigKernel("rmsnorm_cast")
+	k.ConstHeavy = true
+	k.Bytes = 1e9
+	rt.LaunchKernel(th, 0, k)
+	rt.FlushActivity()
+	byStall := map[StallReason]int64{}
+	for _, s := range acts[0].Samples {
+		byStall[s.Stall] += s.Count
+	}
+	if byStall[StallConstMemMiss] == 0 {
+		t.Fatal("const-heavy kernel produced no constant-memory-miss samples")
+	}
+	for r, c := range byStall {
+		if r != StallConstMemMiss && c > byStall[StallConstMemMiss] {
+			t.Fatalf("stall %v (%d) dominates const misses (%d)", r, c, byStall[StallConstMemMiss])
+		}
+	}
+}
+
+// Property: largest-remainder sample apportionment conserves the total for
+// arbitrary positive mixes.
+func TestSampleApportionmentProperty(t *testing.T) {
+	rt, _ := newNV(t)
+	rt.EnablePCSampling(vtime.Microsecond)
+	sym := rt.KernelSymbol("prop")
+	f := func(ws []uint8, durUS uint16) bool {
+		if len(ws) == 0 || durUS == 0 {
+			return true
+		}
+		if len(ws) > 12 {
+			ws = ws[:12]
+		}
+		var mix InstMix
+		for i, w := range ws {
+			mix = append(mix, InstGroup{Weight: float64(w%50) + 0.5, Stall: StallReason(i % 8)})
+		}
+		dur := vtime.Duration(durUS) * vtime.Microsecond
+		samples := rt.sampleKernel(KernelSpec{Name: "prop", Mix: mix}, sym, dur)
+		var total int64
+		for _, s := range samples {
+			total += s.Count
+		}
+		want := int64(dur / rt.samplePeriod)
+		if want < 1 {
+			want = 1
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	rt, as := newNV(t)
+	th := ThreadCtx{Clock: &vtime.Clock{}, Stack: native.NewStack(as)}
+	rt.LaunchKernel(th, 0, bigKernel("a"))
+	rt.Memcpy(th, 0, SiteMemcpyH2D, 100)
+	rt.Synchronize(th)
+	s := rt.Stats()
+	if s.KernelCount != 1 || s.MemcpyCount != 1 || s.APICallCount != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TotalKernelTime <= 0 {
+		t.Fatal("no kernel time accumulated")
+	}
+}
+
+func TestDim3(t *testing.T) {
+	if (Dim3{}).Volume() != 1 {
+		t.Fatal("zero Dim3 volume should be 1")
+	}
+	if (Dim3{X: 2, Y: 3, Z: 4}).Volume() != 24 {
+		t.Fatal("volume wrong")
+	}
+	if D3(7).Volume() != 7 {
+		t.Fatal("D3 wrong")
+	}
+}

@@ -1,0 +1,70 @@
+// Package roctracer adapts a simulated AMD GPU runtime to the gpu.Tracer
+// interface with RocTracer-flavored semantics: HIP API domain callbacks
+// (roctracer_enable_domain_callback(ACTIVITY_DOMAIN_HIP_API)), activity pools
+// (roctracer_open_pool) and ROC-profiler instruction-sampling stall naming.
+package roctracer
+
+import (
+	"fmt"
+
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/vtime"
+)
+
+// Tracer is the RocTracer view of an AMD runtime.
+type Tracer struct {
+	rt *gpu.Runtime
+}
+
+var _ gpu.Tracer = (*Tracer)(nil)
+
+// New wraps rt, which must be an AMD device.
+func New(rt *gpu.Runtime) (*Tracer, error) {
+	if rt.Spec.Vendor != gpu.VendorAMD {
+		return nil, fmt.Errorf("roctracer: runtime is %v, want AMD", rt.Spec.Vendor)
+	}
+	return &Tracer{rt: rt}, nil
+}
+
+// Name reports "RocTracer".
+func (t *Tracer) Name() string { return "RocTracer" }
+
+// Vendor reports AMD.
+func (t *Tracer) Vendor() gpu.Vendor { return gpu.VendorAMD }
+
+// Device returns the traced device spec.
+func (t *Tracer) Device() gpu.DeviceSpec { return t.rt.Spec }
+
+// Subscribe registers a HIP API domain callback.
+func (t *Tracer) Subscribe(cb gpu.APICallback) { t.rt.Subscribe(cb) }
+
+// EnableActivity opens an activity pool delivering async records.
+func (t *Tracer) EnableActivity(bufCap int, flush func([]gpu.Activity)) {
+	t.rt.EnableActivity(bufCap, flush)
+}
+
+// EnablePCSampling enables wave-level instruction sampling.
+func (t *Tracer) EnablePCSampling(period vtime.Duration) { t.rt.EnablePCSampling(period) }
+
+// Flush drains the activity pool (roctracer_flush_activity).
+func (t *Tracer) Flush() { t.rt.FlushActivity() }
+
+// rocmStallNames follows the ROC-profiler wave-state naming.
+var rocmStallNames = map[gpu.StallReason]string{
+	gpu.StallNone:         "issue",
+	gpu.StallMathDep:      "dep_valu",
+	gpu.StallMemDep:       "dep_vmem",
+	gpu.StallConstMemMiss: "dep_smem_const",
+	gpu.StallMemThrottle:  "stall_vmem_throttle",
+	gpu.StallSync:         "stall_barrier",
+	gpu.StallInstFetch:    "stall_ifetch",
+	gpu.StallNotSelected:  "arb_lost",
+}
+
+// StallName renders r as ROC-profiler would.
+func (t *Tracer) StallName(r gpu.StallReason) string {
+	if n, ok := rocmStallNames[r]; ok {
+		return "rocprof_wave_" + n
+	}
+	return "rocprof_wave_unknown"
+}

@@ -1,0 +1,60 @@
+package roctracer
+
+import (
+	"strings"
+	"testing"
+
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+func TestNewRejectsNvidia(t *testing.T) {
+	as := native.NewAddressSpace()
+	rt := gpu.NewRuntime(gpu.A100(), as)
+	if _, err := New(rt); err == nil {
+		t.Fatal("expected error wrapping Nvidia runtime")
+	}
+}
+
+func TestTracerDelegates(t *testing.T) {
+	as := native.NewAddressSpace()
+	rt := gpu.NewRuntime(gpu.MI250(), as)
+	tr, err := New(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "RocTracer" || tr.Vendor() != gpu.VendorAMD {
+		t.Fatalf("identity wrong: %s/%v", tr.Name(), tr.Vendor())
+	}
+	if tr.Device().WarpSize != 64 {
+		t.Fatalf("warp size = %d, want 64", tr.Device().WarpSize)
+	}
+	var acts []gpu.Activity
+	tr.EnableActivity(10, func(a []gpu.Activity) { acts = append(acts, a...) })
+	th := gpu.ThreadCtx{Clock: &vtime.Clock{}, Stack: native.NewStack(as)}
+	rt.LaunchKernel(th, 0, gpu.KernelSpec{Name: "k", Grid: gpu.D3(208), Block: gpu.D3(256), FLOPs: 1e8})
+	tr.Flush()
+	if len(acts) != 1 {
+		t.Fatalf("acts = %d", len(acts))
+	}
+}
+
+func TestHIPSymbolNaming(t *testing.T) {
+	as := native.NewAddressSpace()
+	rt := gpu.NewRuntime(gpu.MI250(), as)
+	if got := rt.APISymbol(gpu.SiteLaunchKernel).Name; got != "hipModuleLaunchKernel" {
+		t.Fatalf("launch symbol = %q", got)
+	}
+	if got := rt.APISymbol(gpu.SiteLaunchKernel).Lib.Name; got != "libamdhip64.so" {
+		t.Fatalf("lib = %q", got)
+	}
+}
+
+func TestStallNames(t *testing.T) {
+	as := native.NewAddressSpace()
+	tr, _ := New(gpu.NewRuntime(gpu.MI250(), as))
+	if got := tr.StallName(gpu.StallConstMemMiss); !strings.Contains(got, "smem_const") {
+		t.Fatalf("StallName = %q", got)
+	}
+}

@@ -1,0 +1,553 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+// ActivityKind enumerates the asynchronous activity record kinds the runtime
+// reports, mirroring CUPTI_ACTIVITY_KIND_* / roctracer HIP ops.
+type ActivityKind int
+
+const (
+	// ActivityKernel is a kernel execution record.
+	ActivityKernel ActivityKind = iota
+	// ActivityMemcpy is a memory copy record.
+	ActivityMemcpy
+	// ActivityMemset is a memory set record.
+	ActivityMemset
+	// ActivityMalloc is a device allocation record.
+	ActivityMalloc
+	// ActivityFree is a device free record.
+	ActivityFree
+)
+
+// String names the activity kind.
+func (k ActivityKind) String() string {
+	switch k {
+	case ActivityKernel:
+		return "kernel"
+	case ActivityMemcpy:
+		return "memcpy"
+	case ActivityMemset:
+		return "memset"
+	case ActivityMalloc:
+		return "malloc"
+	case ActivityFree:
+		return "free"
+	}
+	return "unknown"
+}
+
+// PCSample is one aggregated instruction sample inside a kernel: a device
+// program counter, the stall reason observed, and how many samples hit it.
+type PCSample struct {
+	PC    native.Addr
+	Stall StallReason
+	Count int64
+}
+
+// Activity is an asynchronous GPU activity record delivered postmortem
+// through the activity buffer, matched to the launching API call by
+// Correlation.
+type Activity struct {
+	Kind           ActivityKind
+	Correlation    uint64
+	Name           string
+	Start, End     vtime.Time
+	Stream         int
+	Grid, Block    Dim3
+	SharedMemBytes int
+	RegsPerThread  int
+	Bytes          int64
+	KernelSym      *native.Symbol
+	Samples        []PCSample
+}
+
+// Duration returns End-Start.
+func (a Activity) Duration() vtime.Duration { return a.End.Sub(a.Start) }
+
+// APISite enumerates the driver API entry points that deliver synchronous
+// callbacks (the CUPTI callback / roctracer HIP-API domain).
+type APISite int
+
+const (
+	// SiteLaunchKernel is cudaLaunchKernel / hipModuleLaunchKernel.
+	SiteLaunchKernel APISite = iota
+	// SiteMemcpyH2D is a host-to-device copy.
+	SiteMemcpyH2D
+	// SiteMemcpyD2H is a device-to-host copy.
+	SiteMemcpyD2H
+	// SiteMemcpyD2D is a device-to-device copy.
+	SiteMemcpyD2D
+	// SiteMalloc is cudaMalloc / hipMalloc.
+	SiteMalloc
+	// SiteFree is cudaFree / hipFree.
+	SiteFree
+	// SiteSynchronize is cudaDeviceSynchronize / hipDeviceSynchronize.
+	SiteSynchronize
+)
+
+// String names the site vendor-neutrally.
+func (s APISite) String() string {
+	switch s {
+	case SiteLaunchKernel:
+		return "LaunchKernel"
+	case SiteMemcpyH2D:
+		return "MemcpyH2D"
+	case SiteMemcpyD2H:
+		return "MemcpyD2H"
+	case SiteMemcpyD2D:
+		return "MemcpyD2D"
+	case SiteMalloc:
+		return "Malloc"
+	case SiteFree:
+		return "Free"
+	case SiteSynchronize:
+		return "Synchronize"
+	}
+	return "unknown"
+}
+
+// ThreadCtx carries the launching CPU thread's state into driver calls so the
+// runtime can charge CPU-side latency and expose the API frame to unwinds
+// from inside callbacks.
+type ThreadCtx struct {
+	Clock *vtime.Clock
+	Stack *native.Stack
+}
+
+// APIEvent is delivered synchronously to subscribers at entry and exit of
+// every driver API call.
+type APIEvent struct {
+	Site        APISite
+	Phase       native.Phase
+	Correlation uint64
+	Thread      ThreadCtx
+	Kernel      *KernelSpec    // non-nil for SiteLaunchKernel
+	KernelSym   *native.Symbol // device-code symbol for the kernel
+	Bytes       int64          // memcpy/malloc/free size
+	Stream      int
+}
+
+// APICallback observes driver API events.
+type APICallback func(*APIEvent)
+
+type stream struct {
+	id       int
+	frontier vtime.Time
+}
+
+// Stats summarizes a runtime's execution for evaluation harnesses.
+type Stats struct {
+	KernelCount     int64
+	MemcpyCount     int64
+	APICallCount    int64
+	TotalKernelTime vtime.Duration
+	MemUsed         int64
+	MemPeak         int64
+}
+
+// Runtime is one simulated GPU device runtime (driver + device). It is the
+// substrate under the cupti and roctracer adapter packages.
+type Runtime struct {
+	Spec DeviceSpec
+
+	as      *native.AddressSpace
+	apiLib  *native.Library
+	devLib  *native.Library
+	apiSyms map[APISite]*native.Symbol
+	kerns   map[string]*native.Symbol
+
+	streams map[int]*stream
+	subs    []APICallback
+	corr    uint64
+
+	activityOn   bool
+	actBuf       []Activity
+	actCap       int
+	flushFn      func([]Activity)
+	pcSampling   bool
+	samplePeriod vtime.Duration
+
+	stats Stats
+}
+
+// apiSymbolNames returns vendor-appropriate driver API symbol names.
+func apiSymbolNames(v Vendor) (lib string, names map[APISite]string) {
+	if v == VendorAMD {
+		return "libamdhip64.so", map[APISite]string{
+			SiteLaunchKernel: "hipModuleLaunchKernel",
+			SiteMemcpyH2D:    "hipMemcpyHtoD",
+			SiteMemcpyD2H:    "hipMemcpyDtoH",
+			SiteMemcpyD2D:    "hipMemcpyDtoD",
+			SiteMalloc:       "hipMalloc",
+			SiteFree:         "hipFree",
+			SiteSynchronize:  "hipDeviceSynchronize",
+		}
+	}
+	return "libcudart.so", map[APISite]string{
+		SiteLaunchKernel: "cudaLaunchKernel",
+		SiteMemcpyH2D:    "cudaMemcpyAsync[HtoD]",
+		SiteMemcpyD2H:    "cudaMemcpyAsync[DtoH]",
+		SiteMemcpyD2D:    "cudaMemcpyAsync[DtoD]",
+		SiteMalloc:       "cudaMalloc",
+		SiteFree:         "cudaFree",
+		SiteSynchronize:  "cudaDeviceSynchronize",
+	}
+}
+
+// NewRuntime creates a device runtime, mapping its driver library and a
+// pseudo-library holding device code (kernel symbols and sampled PCs) into
+// the process address space.
+func NewRuntime(spec DeviceSpec, as *native.AddressSpace) *Runtime {
+	libName, names := apiSymbolNames(spec.Vendor)
+	r := &Runtime{
+		Spec:    spec,
+		as:      as,
+		apiLib:  as.LoadLibrary(libName, 8<<20),
+		devLib:  as.LoadLibrary("[gpu device code]", 64<<20),
+		apiSyms: make(map[APISite]*native.Symbol),
+		kerns:   make(map[string]*native.Symbol),
+		streams: make(map[int]*stream),
+		actCap:  4096,
+	}
+	for site, name := range names {
+		r.apiSyms[site] = as.AddSymbol(r.apiLib, name, 512, "", 0)
+	}
+	return r
+}
+
+// AddressSpace returns the process address space the runtime is mapped in.
+func (r *Runtime) AddressSpace() *native.AddressSpace { return r.as }
+
+// APISymbol returns the driver symbol for a site.
+func (r *Runtime) APISymbol(site APISite) *native.Symbol { return r.apiSyms[site] }
+
+// DeviceCodeLibrary returns the pseudo-library holding kernel code.
+func (r *Runtime) DeviceCodeLibrary() *native.Library { return r.devLib }
+
+// KernelSymbol interns a device-code symbol for the named kernel; repeated
+// launches of the same kernel share one symbol, as a loaded cubin would.
+func (r *Runtime) KernelSymbol(name string) *native.Symbol {
+	if s, ok := r.kerns[name]; ok {
+		return s
+	}
+	s := r.as.AddSymbol(r.devLib, name, 4096, "", 0)
+	r.kerns[name] = s
+	return s
+}
+
+// Subscribe registers cb for synchronous driver API callbacks.
+func (r *Runtime) Subscribe(cb APICallback) { r.subs = append(r.subs, cb) }
+
+// EnableActivity turns on asynchronous activity records. flush is invoked
+// with a full buffer whenever bufCap records accumulate and once more on
+// FlushActivity; the slice is owned by the callee.
+func (r *Runtime) EnableActivity(bufCap int, flush func([]Activity)) {
+	if bufCap <= 0 {
+		bufCap = 4096
+	}
+	r.activityOn = true
+	r.actCap = bufCap
+	r.flushFn = flush
+}
+
+// EnablePCSampling turns on instruction sampling: each kernel activity
+// carries PC samples, one per period of kernel execution time.
+func (r *Runtime) EnablePCSampling(period vtime.Duration) {
+	if period <= 0 {
+		period = 10 * vtime.Microsecond
+	}
+	r.pcSampling = true
+	r.samplePeriod = period
+}
+
+// FlushActivity forces delivery of buffered activity records.
+func (r *Runtime) FlushActivity() {
+	if len(r.actBuf) == 0 || r.flushFn == nil {
+		return
+	}
+	buf := r.actBuf
+	r.actBuf = nil
+	r.flushFn(buf)
+}
+
+// Stats returns execution counters.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+func (r *Runtime) getStream(id int) *stream {
+	s, ok := r.streams[id]
+	if !ok {
+		s = &stream{id: id}
+		r.streams[id] = s
+	}
+	return s
+}
+
+// StreamFrontier reports when the given stream becomes idle.
+func (r *Runtime) StreamFrontier(id int) vtime.Time { return r.getStream(id).frontier }
+
+// Frontier reports when the whole device becomes idle.
+func (r *Runtime) Frontier() vtime.Time {
+	var t vtime.Time
+	for _, s := range r.streams {
+		t = vtime.MaxTime(t, s.frontier)
+	}
+	return t
+}
+
+func (r *Runtime) record(a Activity) {
+	if !r.activityOn {
+		return
+	}
+	r.actBuf = append(r.actBuf, a)
+	if len(r.actBuf) >= r.actCap {
+		r.FlushActivity()
+	}
+}
+
+func (r *Runtime) emit(ev *APIEvent) {
+	for _, cb := range r.subs {
+		cb(ev)
+	}
+}
+
+// enterAPI pushes the driver API frame, charges launch latency, and emits the
+// enter callback. It returns the correlation ID assigned to the call.
+func (r *Runtime) enterAPI(th ThreadCtx, ev *APIEvent) uint64 {
+	r.corr++
+	ev.Correlation = r.corr
+	ev.Phase = native.Enter
+	ev.Thread = th
+	r.stats.APICallCount++
+	if th.Stack != nil {
+		th.Stack.Push(r.apiSyms[ev.Site])
+	}
+	r.emit(ev)
+	if th.Clock != nil {
+		th.Clock.Advance(r.Spec.LaunchLatency)
+	}
+	return ev.Correlation
+}
+
+func (r *Runtime) exitAPI(th ThreadCtx, ev *APIEvent) {
+	ev.Phase = native.Exit
+	r.emit(ev)
+	if th.Stack != nil {
+		th.Stack.Pop()
+	}
+}
+
+// LaunchKernel performs an asynchronous kernel launch on the given stream and
+// returns the correlation ID.
+func (r *Runtime) LaunchKernel(th ThreadCtx, streamID int, spec KernelSpec) uint64 {
+	sym := r.KernelSymbol(spec.Name)
+	ev := &APIEvent{Site: SiteLaunchKernel, Kernel: &spec, KernelSym: sym, Stream: streamID}
+	corr := r.enterAPI(th, ev)
+
+	dur := r.Spec.Duration(spec)
+	var cpuNow vtime.Time
+	if th.Clock != nil {
+		cpuNow = th.Clock.Now()
+	}
+	s := r.getStream(streamID)
+	start := vtime.MaxTime(s.frontier, cpuNow.Add(r.Spec.DispatchDelay))
+	end := start.Add(dur)
+	s.frontier = end
+	r.stats.KernelCount++
+	r.stats.TotalKernelTime += dur
+
+	act := Activity{
+		Kind:           ActivityKernel,
+		Correlation:    corr,
+		Name:           spec.Name,
+		Start:          start,
+		End:            end,
+		Stream:         streamID,
+		Grid:           spec.Grid,
+		Block:          spec.Block,
+		SharedMemBytes: spec.SharedMemBytes,
+		RegsPerThread:  spec.RegsPerThread,
+		KernelSym:      sym,
+	}
+	if r.pcSampling {
+		act.Samples = r.sampleKernel(spec, sym, dur)
+	}
+	r.record(act)
+	r.exitAPI(th, ev)
+	return corr
+}
+
+// Memcpy performs an asynchronous copy on the given stream.
+func (r *Runtime) Memcpy(th ThreadCtx, streamID int, site APISite, bytes int64) uint64 {
+	if site != SiteMemcpyH2D && site != SiteMemcpyD2H && site != SiteMemcpyD2D {
+		panic(fmt.Sprintf("gpu: Memcpy with non-copy site %v", site))
+	}
+	ev := &APIEvent{Site: site, Bytes: bytes, Stream: streamID}
+	corr := r.enterAPI(th, ev)
+
+	bw := r.Spec.PCIeGBps
+	if site == SiteMemcpyD2D {
+		bw = r.Spec.MemBWGBps / 2 // read + write
+	}
+	dur := vtime.Duration(float64(bytes)/(bw*1e9)*1e9) + r.Spec.KernelFixedCost/2
+	var cpuNow vtime.Time
+	if th.Clock != nil {
+		cpuNow = th.Clock.Now()
+	}
+	s := r.getStream(streamID)
+	start := vtime.MaxTime(s.frontier, cpuNow.Add(r.Spec.DispatchDelay))
+	end := start.Add(dur)
+	s.frontier = end
+	r.stats.MemcpyCount++
+
+	r.record(Activity{
+		Kind:        ActivityMemcpy,
+		Correlation: corr,
+		Name:        site.String(),
+		Start:       start,
+		End:         end,
+		Stream:      streamID,
+		Bytes:       bytes,
+	})
+	r.exitAPI(th, ev)
+	return corr
+}
+
+// Malloc allocates device memory, tracking usage and peak.
+func (r *Runtime) Malloc(th ThreadCtx, bytes int64) uint64 {
+	ev := &APIEvent{Site: SiteMalloc, Bytes: bytes}
+	corr := r.enterAPI(th, ev)
+	r.stats.MemUsed += bytes
+	if r.stats.MemUsed > r.stats.MemPeak {
+		r.stats.MemPeak = r.stats.MemUsed
+	}
+	var now vtime.Time
+	if th.Clock != nil {
+		now = th.Clock.Now()
+	}
+	r.record(Activity{Kind: ActivityMalloc, Correlation: corr, Name: "malloc", Start: now, End: now, Bytes: bytes})
+	r.exitAPI(th, ev)
+	return corr
+}
+
+// Free releases device memory.
+func (r *Runtime) Free(th ThreadCtx, bytes int64) uint64 {
+	ev := &APIEvent{Site: SiteFree, Bytes: bytes}
+	corr := r.enterAPI(th, ev)
+	r.stats.MemUsed -= bytes
+	var now vtime.Time
+	if th.Clock != nil {
+		now = th.Clock.Now()
+	}
+	r.record(Activity{Kind: ActivityFree, Correlation: corr, Name: "free", Start: now, End: now, Bytes: bytes})
+	r.exitAPI(th, ev)
+	return corr
+}
+
+// Synchronize blocks the calling thread until all streams drain.
+func (r *Runtime) Synchronize(th ThreadCtx) {
+	ev := &APIEvent{Site: SiteSynchronize}
+	r.enterAPI(th, ev)
+	if th.Clock != nil {
+		th.Clock.AdvanceTo(r.Frontier())
+	}
+	r.exitAPI(th, ev)
+}
+
+// SynchronizeStream blocks the calling thread until one stream drains.
+func (r *Runtime) SynchronizeStream(th ThreadCtx, streamID int) {
+	ev := &APIEvent{Site: SiteSynchronize, Stream: streamID}
+	r.enterAPI(th, ev)
+	if th.Clock != nil {
+		th.Clock.AdvanceTo(r.getStream(streamID).frontier)
+	}
+	r.exitAPI(th, ev)
+}
+
+// sampleKernel synthesizes deterministic PC samples for one kernel execution:
+// total sample count is duration/period (at least one), distributed across
+// the instruction mix by largest-remainder apportionment, with each group
+// mapped to a distinct PC inside the kernel's device symbol.
+func (r *Runtime) sampleKernel(spec KernelSpec, sym *native.Symbol, dur vtime.Duration) []PCSample {
+	total := int64(dur / r.samplePeriod)
+	if total < 1 {
+		total = 1
+	}
+	mix := spec.Mix
+	if len(mix) == 0 {
+		mix = synthesizeMix(spec)
+	}
+	var wsum float64
+	for _, g := range mix {
+		wsum += g.Weight
+	}
+	if wsum <= 0 {
+		return nil
+	}
+	type share struct {
+		i     int
+		count int64
+		frac  float64
+	}
+	shares := make([]share, len(mix))
+	var assigned int64
+	for i, g := range mix {
+		exact := float64(total) * g.Weight / wsum
+		c := int64(exact)
+		shares[i] = share{i: i, count: c, frac: exact - float64(c)}
+		assigned += c
+	}
+	sort.SliceStable(shares, func(a, b int) bool { return shares[a].frac > shares[b].frac })
+	for k := 0; assigned < total && k < len(shares); k++ {
+		shares[k].count++
+		assigned++
+	}
+	sort.SliceStable(shares, func(a, b int) bool { return shares[a].i < shares[b].i })
+	var out []PCSample
+	for _, sh := range shares {
+		if sh.count == 0 {
+			continue
+		}
+		g := mix[sh.i]
+		out = append(out, PCSample{
+			PC:    sym.Addr + native.Addr(16+sh.i*64),
+			Stall: g.Stall,
+			Count: sh.count,
+		})
+	}
+	return out
+}
+
+// synthesizeMix derives a plausible instruction mix from a kernel's
+// characteristics when the workload did not specify one.
+func synthesizeMix(spec KernelSpec) InstMix {
+	if spec.ConstHeavy {
+		return InstMix{
+			{Weight: 0.40, Stall: StallConstMemMiss},
+			{Weight: 0.30, Stall: StallMathDep},
+			{Weight: 0.20, Stall: StallNone},
+			{Weight: 0.10, Stall: StallMemDep},
+		}
+	}
+	compute := spec.FLOPs
+	mem := spec.Bytes * 10 // weight bytes as instruction-equivalents
+	if compute >= mem {
+		return InstMix{
+			{Weight: 0.45, Stall: StallNone},
+			{Weight: 0.30, Stall: StallMathDep},
+			{Weight: 0.15, Stall: StallNotSelected},
+			{Weight: 0.10, Stall: StallMemDep},
+		}
+	}
+	return InstMix{
+		{Weight: 0.35, Stall: StallMemDep},
+		{Weight: 0.25, Stall: StallMemThrottle},
+		{Weight: 0.25, Stall: StallNone},
+		{Weight: 0.15, Stall: StallMathDep},
+	}
+}

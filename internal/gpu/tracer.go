@@ -1,0 +1,27 @@
+package gpu
+
+import "deepcontext/internal/vtime"
+
+// Tracer is the vendor-neutral measurement substrate interface the profiler
+// and DLMonitor consume. The cupti and roctracer packages adapt a Runtime to
+// this interface with vendor-specific naming, mirroring how the real
+// DeepContext registers callbacks "using CUPTI for Nvidia GPUs and RocTracer
+// for AMD GPUs" behind one internal abstraction.
+type Tracer interface {
+	// Name identifies the substrate ("CUPTI", "RocTracer").
+	Name() string
+	// Vendor reports the GPU vendor.
+	Vendor() Vendor
+	// Device reports the device being traced.
+	Device() DeviceSpec
+	// Subscribe registers a synchronous driver API callback.
+	Subscribe(APICallback)
+	// EnableActivity turns on buffered asynchronous activity records.
+	EnableActivity(bufCap int, flush func([]Activity))
+	// EnablePCSampling turns on instruction sampling at the given period.
+	EnablePCSampling(period vtime.Duration)
+	// Flush forces delivery of pending activity records.
+	Flush()
+	// StallName renders a stall reason in the vendor's taxonomy.
+	StallName(StallReason) string
+}

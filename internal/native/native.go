@@ -1,0 +1,323 @@
+// Package native simulates the native (C/C++) execution substrate that the
+// real DeepContext observes through libunwind, DWARF line tables and
+// LD_AUDIT. It provides a process address space with loadable libraries and
+// symbols, per-thread call stacks of program counters, a step-wise unwinder
+// with a per-step virtual-time cost, and an audit layer for interposing on
+// arbitrary functions (the paper's configuration-file fallback for hardware
+// without a vendor callback API).
+package native
+
+import (
+	"fmt"
+	"sort"
+
+	"deepcontext/internal/vtime"
+)
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// Library models a loaded shared object occupying [Base, Base+Size).
+type Library struct {
+	Name string
+	Base Addr
+	Size Addr
+}
+
+// Contains reports whether pc falls inside the library's mapping.
+func (l *Library) Contains(pc Addr) bool { return pc >= l.Base && pc < l.Base+l.Size }
+
+// String returns the library name.
+func (l *Library) String() string { return l.Name }
+
+// Symbol models a function symbol with DWARF-style source attribution.
+// Program counters in [Addr, Addr+Size) belong to the symbol; LineFor maps an
+// intra-symbol offset to a source line, modeling a dense line table.
+type Symbol struct {
+	Name string
+	Lib  *Library
+	Addr Addr
+	Size Addr
+	File string
+	Line int // line of the function's first instruction
+}
+
+// LineFor returns the source line for pc, assuming one line per 16 bytes of
+// code — a fixed-density simulated line table.
+func (s *Symbol) LineFor(pc Addr) int {
+	if pc < s.Addr || pc >= s.Addr+s.Size {
+		return s.Line
+	}
+	return s.Line + int((pc-s.Addr)/16)
+}
+
+// String renders "lib!symbol".
+func (s *Symbol) String() string { return s.Lib.Name + "!" + s.Name }
+
+// AuditEvent describes a dynamic-loader event delivered to audit hooks,
+// modeling the LD_AUDIT la_objopen/la_symbind callbacks the paper uses to
+// record libpython's address range and to interpose configured functions.
+type AuditEvent struct {
+	Kind AuditKind
+	Lib  *Library
+	Sym  *Symbol
+}
+
+// AuditKind enumerates loader audit event kinds.
+type AuditKind int
+
+const (
+	// AuditObjOpen fires when a library is mapped (la_objopen).
+	AuditObjOpen AuditKind = iota
+	// AuditSymBind fires when a symbol is bound (la_symbind).
+	AuditSymBind
+)
+
+// Interposer is invoked around calls to an audited symbol.
+type Interposer func(sym *Symbol, phase Phase)
+
+// Phase marks entry or exit of an intercepted call.
+type Phase int
+
+const (
+	// Enter marks function entry.
+	Enter Phase = iota
+	// Exit marks function return.
+	Exit
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	if p == Enter {
+		return "enter"
+	}
+	return "exit"
+}
+
+// AddressSpace models a process's library/symbol layout. It is not safe for
+// concurrent mutation; simulations are single-goroutine by design.
+type AddressSpace struct {
+	libs    []*Library
+	syms    []*Symbol // sorted by Addr
+	next    Addr
+	hooks   []func(AuditEvent)
+	interps map[string][]Interposer // symbol name -> interposers
+}
+
+// NewAddressSpace returns an empty address space. The first mapping starts at
+// a non-zero base so that Addr 0 is never valid.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{next: 0x400000, interps: make(map[string][]Interposer)}
+}
+
+// AddAuditHook registers fn to observe loader events, like an LD_AUDIT
+// module. Hooks also receive synthetic ObjOpen events for libraries that were
+// already mapped, so late registration (profiler attach) sees the full map.
+func (as *AddressSpace) AddAuditHook(fn func(AuditEvent)) {
+	as.hooks = append(as.hooks, fn)
+	for _, l := range as.libs {
+		fn(AuditEvent{Kind: AuditObjOpen, Lib: l})
+	}
+}
+
+// Interpose registers fn to run at entry and exit of every call to symbols
+// named name, modeling the paper's LD_AUDIT-based custom interception driven
+// by a configuration file.
+func (as *AddressSpace) Interpose(name string, fn Interposer) {
+	as.interps[name] = append(as.interps[name], fn)
+}
+
+// LoadLibrary maps a library of the given size and announces it to audit
+// hooks.
+func (as *AddressSpace) LoadLibrary(name string, size Addr) *Library {
+	if size == 0 {
+		size = 1 << 20
+	}
+	l := &Library{Name: name, Base: as.next, Size: size}
+	// Keep a guard gap between mappings.
+	as.next += size + 0x10000
+	as.libs = append(as.libs, l)
+	for _, h := range as.hooks {
+		h(AuditEvent{Kind: AuditObjOpen, Lib: l})
+	}
+	return l
+}
+
+// AddSymbol places a new symbol of the given code size at the next free
+// offset inside lib and announces the binding to audit hooks.
+func (as *AddressSpace) AddSymbol(lib *Library, name string, size Addr, file string, line int) *Symbol {
+	if size == 0 {
+		size = 256
+	}
+	var end Addr = lib.Base
+	for _, s := range as.syms {
+		if s.Lib == lib && s.Addr+s.Size > end {
+			end = s.Addr + s.Size
+		}
+	}
+	if end+size > lib.Base+lib.Size {
+		panic(fmt.Sprintf("native: library %s out of space for symbol %s", lib.Name, name))
+	}
+	s := &Symbol{Name: name, Lib: lib, Addr: end, Size: size, File: file, Line: line}
+	i := sort.Search(len(as.syms), func(i int) bool { return as.syms[i].Addr > s.Addr })
+	as.syms = append(as.syms, nil)
+	copy(as.syms[i+1:], as.syms[i:])
+	as.syms[i] = s
+	for _, h := range as.hooks {
+		h(AuditEvent{Kind: AuditSymBind, Lib: lib, Sym: s})
+	}
+	return s
+}
+
+// Resolve maps a program counter to its enclosing symbol.
+func (as *AddressSpace) Resolve(pc Addr) (*Symbol, bool) {
+	i := sort.Search(len(as.syms), func(i int) bool { return as.syms[i].Addr > pc })
+	if i == 0 {
+		return nil, false
+	}
+	s := as.syms[i-1]
+	if pc >= s.Addr+s.Size {
+		return nil, false
+	}
+	return s, true
+}
+
+// LibraryAt maps a program counter to its enclosing library mapping.
+func (as *AddressSpace) LibraryAt(pc Addr) (*Library, bool) {
+	for _, l := range as.libs {
+		if l.Contains(pc) {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// Libraries returns the mapped libraries in load order.
+func (as *AddressSpace) Libraries() []*Library { return as.libs }
+
+// Frame is one native stack entry: the current program counter and its
+// resolved symbol (kept alongside to avoid repeated lookups in the hot path;
+// the unwinder still exposes only the PC, as libunwind would).
+type Frame struct {
+	PC  Addr
+	Sym *Symbol
+}
+
+// Stack is a per-thread native call stack, innermost frame last.
+type Stack struct {
+	frames []Frame
+	as     *AddressSpace
+}
+
+// NewStack returns an empty stack bound to as for interposer dispatch.
+func NewStack(as *AddressSpace) *Stack { return &Stack{as: as} }
+
+// Push enters sym at its entry PC and fires any registered interposers.
+func (st *Stack) Push(sym *Symbol) {
+	st.PushAt(sym, 0)
+}
+
+// PushAt enters sym at byte offset off (distinguishing call sites within a
+// function for line attribution) and fires interposers.
+func (st *Stack) PushAt(sym *Symbol, off Addr) {
+	if off >= sym.Size {
+		off = sym.Size - 1
+	}
+	st.frames = append(st.frames, Frame{PC: sym.Addr + off, Sym: sym})
+	if st.as != nil {
+		for _, fn := range st.as.interps[sym.Name] {
+			fn(sym, Enter)
+		}
+	}
+}
+
+// SetPC updates the innermost frame's PC to sym.Addr+off, modeling execution
+// progressing within the current function between calls.
+func (st *Stack) SetPC(off Addr) {
+	if len(st.frames) == 0 {
+		return
+	}
+	f := &st.frames[len(st.frames)-1]
+	if off >= f.Sym.Size {
+		off = f.Sym.Size - 1
+	}
+	f.PC = f.Sym.Addr + off
+}
+
+// Pop leaves the innermost function, firing exit interposers.
+func (st *Stack) Pop() {
+	if len(st.frames) == 0 {
+		panic("native: pop of empty stack")
+	}
+	f := st.frames[len(st.frames)-1]
+	st.frames = st.frames[:len(st.frames)-1]
+	if st.as != nil {
+		for _, fn := range st.as.interps[f.Sym.Name] {
+			fn(f.Sym, Exit)
+		}
+	}
+}
+
+// Depth returns the number of live frames.
+func (st *Stack) Depth() int { return len(st.frames) }
+
+// Top returns the innermost frame, or a zero Frame when empty.
+func (st *Stack) Top() Frame {
+	if len(st.frames) == 0 {
+		return Frame{}
+	}
+	return st.frames[len(st.frames)-1]
+}
+
+// Snapshot returns a copy of the frames, outermost first.
+func (st *Stack) Snapshot() []Frame {
+	out := make([]Frame, len(st.frames))
+	copy(out, st.frames)
+	return out
+}
+
+// Unwinder walks native stacks bottom-up (innermost to outermost), charging a
+// fixed virtual-time cost per step to the unwinding thread's clock — the
+// dominant overhead source of DeepContext's native call-path mode.
+type Unwinder struct {
+	StepCost vtime.Duration // cost of one unw_step
+	InitCost vtime.Duration // cost of unw_init_local + first getcontext
+}
+
+// DefaultUnwinder mirrors libunwind costs measured in the calibration pass.
+func DefaultUnwinder() *Unwinder {
+	return &Unwinder{StepCost: 700 * vtime.Nanosecond, InitCost: 1000 * vtime.Nanosecond}
+}
+
+// Cursor iterates frames of one stack, innermost first.
+type Cursor struct {
+	u     *Unwinder
+	clk   *vtime.Clock
+	stack []Frame
+	i     int
+}
+
+// Begin starts an unwind of st, charging the initialization cost to clk.
+// A nil clock performs a free unwind (used by tests and trace baselines).
+func (u *Unwinder) Begin(st *Stack, clk *vtime.Clock) *Cursor {
+	if clk != nil {
+		clk.Advance(u.InitCost)
+	}
+	return &Cursor{u: u, clk: clk, stack: st.frames, i: len(st.frames)}
+}
+
+// Step returns the next frame moving outward, charging the per-step cost.
+// It reports false when the outermost frame has already been returned.
+func (c *Cursor) Step() (Frame, bool) {
+	if c.i == 0 {
+		return Frame{}, false
+	}
+	if c.clk != nil {
+		c.clk.Advance(c.u.StepCost)
+	}
+	c.i--
+	return c.stack[c.i], true
+}
+
+// Remaining returns how many frames have not been stepped yet.
+func (c *Cursor) Remaining() int { return c.i }

@@ -1,0 +1,226 @@
+package native
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deepcontext/internal/vtime"
+)
+
+func newSpace(t *testing.T) (*AddressSpace, *Library, *Symbol, *Symbol) {
+	t.Helper()
+	as := NewAddressSpace()
+	lib := as.LoadLibrary("libtorch.so", 1<<20)
+	a := as.AddSymbol(lib, "at::conv2d", 1024, "Conv.cpp", 100)
+	b := as.AddSymbol(lib, "at::matmul", 512, "Matmul.cpp", 40)
+	return as, lib, a, b
+}
+
+func TestResolve(t *testing.T) {
+	as, _, a, b := newSpace(t)
+	if s, ok := as.Resolve(a.Addr); !ok || s != a {
+		t.Fatalf("Resolve(entry of a) = %v, %v", s, ok)
+	}
+	if s, ok := as.Resolve(a.Addr + 1000); !ok || s != a {
+		t.Fatalf("Resolve(mid a) = %v, %v", s, ok)
+	}
+	if s, ok := as.Resolve(b.Addr + 511); !ok || s != b {
+		t.Fatalf("Resolve(last byte of b) = %v, %v", s, ok)
+	}
+	if _, ok := as.Resolve(0); ok {
+		t.Fatal("Resolve(0) should fail")
+	}
+}
+
+func TestLibraryAt(t *testing.T) {
+	as, lib, a, _ := newSpace(t)
+	if l, ok := as.LibraryAt(a.Addr + 5); !ok || l != lib {
+		t.Fatalf("LibraryAt = %v, %v", l, ok)
+	}
+	if _, ok := as.LibraryAt(0x10); ok {
+		t.Fatal("LibraryAt(unmapped) should fail")
+	}
+}
+
+func TestLineFor(t *testing.T) {
+	_, _, a, _ := newSpace(t)
+	if got := a.LineFor(a.Addr); got != 100 {
+		t.Fatalf("LineFor(entry) = %d, want 100", got)
+	}
+	if got := a.LineFor(a.Addr + 32); got != 102 {
+		t.Fatalf("LineFor(+32) = %d, want 102", got)
+	}
+	if got := a.LineFor(a.Addr - 1); got != 100 {
+		t.Fatalf("LineFor(out of range) = %d, want fallback 100", got)
+	}
+}
+
+func TestStackPushPop(t *testing.T) {
+	as, _, a, b := newSpace(t)
+	st := NewStack(as)
+	st.Push(a)
+	st.PushAt(b, 48)
+	if st.Depth() != 2 {
+		t.Fatalf("depth = %d", st.Depth())
+	}
+	if st.Top().PC != b.Addr+48 {
+		t.Fatalf("top pc = %#x", st.Top().PC)
+	}
+	st.SetPC(64)
+	if st.Top().PC != b.Addr+64 {
+		t.Fatalf("SetPC: top pc = %#x", st.Top().PC)
+	}
+	st.Pop()
+	if st.Top().Sym != a {
+		t.Fatalf("after pop top = %v", st.Top().Sym)
+	}
+	st.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop of empty stack should panic")
+		}
+	}()
+	st.Pop()
+}
+
+func TestPushAtClampsOffset(t *testing.T) {
+	as, _, a, _ := newSpace(t)
+	st := NewStack(as)
+	st.PushAt(a, a.Size+100)
+	if st.Top().PC != a.Addr+a.Size-1 {
+		t.Fatalf("offset not clamped: %#x", st.Top().PC)
+	}
+}
+
+func TestUnwinderOrderAndCost(t *testing.T) {
+	as, _, a, b := newSpace(t)
+	st := NewStack(as)
+	st.Push(a)
+	st.Push(b)
+	u := &Unwinder{StepCost: 10, InitCost: 100}
+	var clk vtime.Clock
+	cur := u.Begin(st, &clk)
+	if clk.Now() != 100 {
+		t.Fatalf("init cost not charged: %v", clk.Now())
+	}
+	f1, ok := cur.Step()
+	if !ok || f1.Sym != b {
+		t.Fatalf("first step = %v (want innermost b)", f1.Sym)
+	}
+	f2, ok := cur.Step()
+	if !ok || f2.Sym != a {
+		t.Fatalf("second step = %v", f2.Sym)
+	}
+	if _, ok := cur.Step(); ok {
+		t.Fatal("step past outermost should fail")
+	}
+	if clk.Now() != 120 {
+		t.Fatalf("step costs = %v, want 120", clk.Now())
+	}
+}
+
+func TestUnwinderNilClock(t *testing.T) {
+	as, _, a, _ := newSpace(t)
+	st := NewStack(as)
+	st.Push(a)
+	cur := DefaultUnwinder().Begin(st, nil)
+	if _, ok := cur.Step(); !ok {
+		t.Fatal("free unwind failed")
+	}
+}
+
+func TestAuditHooksSeeExistingAndNewLibraries(t *testing.T) {
+	as := NewAddressSpace()
+	l1 := as.LoadLibrary("libpython3.11.so", 0)
+	var opens []string
+	var binds []string
+	as.AddAuditHook(func(ev AuditEvent) {
+		switch ev.Kind {
+		case AuditObjOpen:
+			opens = append(opens, ev.Lib.Name)
+		case AuditSymBind:
+			binds = append(binds, ev.Sym.Name)
+		}
+	})
+	if len(opens) != 1 || opens[0] != l1.Name {
+		t.Fatalf("late hook missed existing lib: %v", opens)
+	}
+	l2 := as.LoadLibrary("libcudart.so", 0)
+	as.AddSymbol(l2, "cudaLaunchKernel", 0, "", 0)
+	if len(opens) != 2 || opens[1] != "libcudart.so" {
+		t.Fatalf("opens = %v", opens)
+	}
+	if len(binds) != 1 || binds[0] != "cudaLaunchKernel" {
+		t.Fatalf("binds = %v", binds)
+	}
+}
+
+func TestInterpose(t *testing.T) {
+	as, _, a, b := newSpace(t)
+	var events []string
+	as.Interpose("at::conv2d", func(sym *Symbol, ph Phase) {
+		events = append(events, sym.Name+":"+ph.String())
+	})
+	st := NewStack(as)
+	st.Push(a)
+	st.Push(b) // not interposed
+	st.Pop()
+	st.Pop()
+	want := []string{"at::conv2d:enter", "at::conv2d:exit"}
+	if len(events) != 2 || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+}
+
+func TestSymbolOverflowPanics(t *testing.T) {
+	as := NewAddressSpace()
+	lib := as.LoadLibrary("tiny.so", 512)
+	as.AddSymbol(lib, "a", 256, "", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on symbol overflow")
+		}
+	}()
+	as.AddSymbol(lib, "b", 512, "", 0)
+}
+
+// Property: any push/pop sequence keeps Snapshot consistent with operations,
+// and every PC resolves back to the pushed symbol.
+func TestStackSnapshotProperty(t *testing.T) {
+	as := NewAddressSpace()
+	lib := as.LoadLibrary("lib.so", 1<<22)
+	syms := make([]*Symbol, 16)
+	for i := range syms {
+		syms[i] = as.AddSymbol(lib, "fn", 4096, "f.cpp", i*10)
+	}
+	f := func(ops []uint8) bool {
+		st := NewStack(as)
+		var model []*Symbol
+		for _, op := range ops {
+			if op%3 == 0 && len(model) > 0 {
+				st.Pop()
+				model = model[:len(model)-1]
+			} else {
+				s := syms[int(op)%len(syms)]
+				st.PushAt(s, Addr(op)*16)
+				model = append(model, s)
+			}
+		}
+		snap := st.Snapshot()
+		if len(snap) != len(model) {
+			return false
+		}
+		for i, f := range snap {
+			if f.Sym != model[i] {
+				return false
+			}
+			if got, ok := as.Resolve(f.PC); !ok || got != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package profdb serializes DeepContext profiles: a compact binary database
+// (gob-encoded flattened CCT) for storage and a JSON export for external
+// tooling and the GUI. Because the profiler aggregates online, the database
+// is proportional to distinct calling contexts, not to run length — the
+// property behind the paper's disk/memory savings versus trace files.
+package profdb
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/dlmonitor"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/profiler"
+)
+
+// FormatMagic identifies the database format version.
+const FormatMagic = "DEEPCONTEXT-PROFDB-1"
+
+type flatNode struct {
+	ID     int
+	Parent int
+	Frame  cct.Frame
+	Excl   []cct.Metric
+	Incl   []cct.Metric
+}
+
+type fileFormat struct {
+	Magic          string
+	Meta           profiler.Meta
+	Stats          profiler.Stats
+	MonitorStats   dlmonitor.Stats
+	Metrics        []string
+	Nodes          []flatNode
+	Fused          map[string][]framework.FusedOrigin
+	FootprintBytes int64
+}
+
+// Save writes p to w in the binary database format.
+func Save(w io.Writer, p *profiler.Profile) error {
+	ff := fileFormat{
+		Magic:          FormatMagic,
+		Meta:           p.Meta,
+		Stats:          p.Stats,
+		MonitorStats:   p.MonitorStats,
+		Metrics:        p.Tree.Schema.Names(),
+		Fused:          p.Fused,
+		FootprintBytes: p.FootprintBytes,
+	}
+	ids := make(map[*cct.Node]int)
+	p.Tree.Visit(func(n *cct.Node) {
+		id := len(ff.Nodes)
+		ids[n] = id
+		parent := -1
+		if n.Parent != nil {
+			parent = ids[n.Parent]
+		}
+		ff.Nodes = append(ff.Nodes, flatNode{
+			ID:     id,
+			Parent: parent,
+			Frame:  n.Frame,
+			Excl:   n.Excl,
+			Incl:   n.Incl,
+		})
+	})
+	return gob.NewEncoder(w).Encode(&ff)
+}
+
+// Load reads a profile from r.
+func Load(r io.Reader) (*profiler.Profile, error) {
+	var ff fileFormat
+	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("profdb: decode: %w", err)
+	}
+	if ff.Magic != FormatMagic {
+		return nil, fmt.Errorf("profdb: bad magic %q", ff.Magic)
+	}
+	tree := cct.New()
+	for _, name := range ff.Metrics {
+		tree.Schema.ID(name)
+	}
+	nodes := make([]*cct.Node, len(ff.Nodes))
+	for i, fn := range ff.Nodes {
+		if fn.Parent < 0 {
+			nodes[i] = tree.Root
+		} else {
+			if fn.Parent >= i || nodes[fn.Parent] == nil {
+				return nil, fmt.Errorf("profdb: node %d has invalid parent %d", i, fn.Parent)
+			}
+			nodes[i] = tree.InsertUnder(nodes[fn.Parent], []cct.Frame{fn.Frame})
+		}
+		nodes[i].Excl = fn.Excl
+		nodes[i].Incl = fn.Incl
+	}
+	return &profiler.Profile{
+		Tree:           tree,
+		Meta:           ff.Meta,
+		Stats:          ff.Stats,
+		MonitorStats:   ff.MonitorStats,
+		Fused:          ff.Fused,
+		FootprintBytes: ff.FootprintBytes,
+	}, nil
+}
+
+// SaveFile writes p to path.
+func SaveFile(path string, p *profiler.Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, p); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a profile from path.
+func LoadFile(path string) (*profiler.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// jsonNode is the nested JSON export shape.
+type jsonNode struct {
+	Label    string             `json:"label"`
+	Kind     string             `json:"kind"`
+	File     string             `json:"file,omitempty"`
+	Line     int                `json:"line,omitempty"`
+	Excl     map[string]float64 `json:"excl,omitempty"`
+	Incl     map[string]float64 `json:"incl,omitempty"`
+	Children []*jsonNode        `json:"children,omitempty"`
+}
+
+type jsonProfile struct {
+	Meta    profiler.Meta `json:"meta"`
+	Metrics []string      `json:"metrics"`
+	Root    *jsonNode     `json:"root"`
+}
+
+func toJSONNode(schema *cct.Schema, n *cct.Node) *jsonNode {
+	jn := &jsonNode{Label: n.Label(), Kind: n.Kind.String(), File: n.File, Line: n.Line}
+	for i := range n.Excl {
+		if !n.Excl[i].Empty() {
+			if jn.Excl == nil {
+				jn.Excl = map[string]float64{}
+			}
+			jn.Excl[schema.Name(cct.MetricID(i))] = n.Excl[i].Sum
+		}
+	}
+	for i := range n.Incl {
+		if !n.Incl[i].Empty() {
+			if jn.Incl == nil {
+				jn.Incl = map[string]float64{}
+			}
+			jn.Incl[schema.Name(cct.MetricID(i))] = n.Incl[i].Sum
+		}
+	}
+	for _, c := range n.Children() {
+		jn.Children = append(jn.Children, toJSONNode(schema, c))
+	}
+	return jn
+}
+
+// ExportJSON writes a nested JSON rendering of p to w.
+func ExportJSON(w io.Writer, p *profiler.Profile) error {
+	jp := jsonProfile{
+		Meta:    p.Meta,
+		Metrics: p.Tree.Schema.Names(),
+		Root:    toJSONNode(p.Tree.Schema, p.Tree.Root),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&jp)
+}

@@ -1,0 +1,154 @@
+package profdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/pyruntime"
+)
+
+func sampleProfile() *profiler.Profile {
+	tree := cct.New()
+	gid := tree.MetricID(cct.MetricGPUTime)
+	cid := tree.MetricID(cct.MetricCPUTime)
+	leaf := tree.InsertPath([]cct.Frame{
+		cct.PythonFrame("train.py", 10, "main"),
+		cct.OperatorFrame("aten::conv2d"),
+		{Kind: cct.KindKernel, Name: "implicit_gemm", Lib: "[gpu]", PC: 0x1000},
+	})
+	tree.AddMetric(leaf, gid, 123)
+	tree.AddMetric(leaf, gid, 456)
+	tree.AddMetric(leaf.Parent, cid, 42)
+	return &profiler.Profile{
+		Tree: tree,
+		Meta: profiler.Meta{Workload: "unet", Framework: "pytorch", Vendor: "Nvidia", Iterations: 100},
+		Fused: map[string][]framework.FusedOrigin{
+			"fusion_add_gelu": {{Name: "jax::add", PyPath: []pyruntime.Frame{{File: "m.py", Line: 3, Func: "f"}}}},
+		},
+		FootprintBytes: 4096,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := sampleProfile()
+	var buf bytes.Buffer
+	if err := Save(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != p.Meta {
+		t.Fatalf("meta = %+v", got.Meta)
+	}
+	if got.Tree.NodeCount() != p.Tree.NodeCount() {
+		t.Fatalf("nodes = %d vs %d", got.Tree.NodeCount(), p.Tree.NodeCount())
+	}
+	gid, ok := got.Tree.Schema.Lookup(cct.MetricGPUTime)
+	if !ok {
+		t.Fatal("schema lost")
+	}
+	if got.Tree.Root.InclValue(gid) != 579 {
+		t.Fatalf("root gpu = %v", got.Tree.Root.InclValue(gid))
+	}
+	// Aggregates survive (min/max/stddev).
+	var kernel *cct.Node
+	got.Tree.Visit(func(n *cct.Node) {
+		if n.Kind == cct.KindKernel {
+			kernel = n
+		}
+	})
+	m := kernel.ExclMetric(gid)
+	if m == nil || m.Min != 123 || m.Max != 456 || m.Count != 2 {
+		t.Fatalf("kernel metric = %+v", m)
+	}
+	if got.Fused["fusion_add_gelu"][0].PyPath[0].File != "m.py" {
+		t.Fatal("fused origins lost")
+	}
+	if got.FootprintBytes != 4096 {
+		t.Fatal("footprint lost")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.dcp")
+	if err := SaveFile(path, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Workload != "unet" {
+		t.Fatalf("meta = %+v", got.Meta)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a profile")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["meta"].(map[string]any)["Workload"] != "unet" {
+		t.Fatal("meta missing in JSON")
+	}
+	s := buf.String()
+	if !strings.Contains(s, "implicit_gemm") || !strings.Contains(s, cct.MetricGPUTime) {
+		t.Fatal("JSON lacks kernel or metric names")
+	}
+}
+
+// Property: round-trip preserves root inclusive totals for random trees.
+func TestRoundTripConservationProperty(t *testing.T) {
+	f := func(vals []uint16, shape []uint8) bool {
+		tree := cct.New()
+		id := tree.MetricID(cct.MetricGPUTime)
+		var total float64
+		for i, v := range vals {
+			depth := 1
+			if len(shape) > 0 {
+				depth = 1 + int(shape[i%len(shape)])%4
+			}
+			var frames []cct.Frame
+			for d := 0; d < depth; d++ {
+				frames = append(frames, cct.PythonFrame("f.py", d+int(v)%7, "fn"))
+			}
+			tree.AddMetric(tree.InsertPath(frames), id, float64(v))
+			total += float64(v)
+		}
+		p := &profiler.Profile{Tree: tree}
+		var buf bytes.Buffer
+		if err := Save(&buf, p); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		gid, _ := got.Tree.Schema.Lookup(cct.MetricGPUTime)
+		return math.Abs(got.Tree.Root.InclValue(gid)-total) < 1e-9 &&
+			got.Tree.NodeCount() == tree.NodeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

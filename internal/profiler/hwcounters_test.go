@@ -1,0 +1,62 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/vtime"
+)
+
+func TestHWCountersAttributed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUSampling = true
+	cfg.CPUSamplePeriod = vtime.Millisecond
+	cfg.HWCounters = true
+	r := newRig(t, cfg)
+	r.sess.AttachCPUSampler(r.th)
+	r.th.WithPy("data.py", 88, "data_selection", func() {
+		r.th.Clock.Advance(10 * vtime.Millisecond)
+	})
+	p := r.sess.Stop()
+	cyc, ok := p.Tree.Schema.Lookup("papi:PAPI_TOT_CYC")
+	if !ok {
+		t.Fatal("cycle metric not registered")
+	}
+	ins, ok := p.Tree.Schema.Lookup("papi:PAPI_TOT_INS")
+	if !ok {
+		t.Fatal("instruction metric not registered")
+	}
+	totalCyc := p.Tree.Root.InclValue(cyc)
+	totalIns := p.Tree.Root.InclValue(ins)
+	if totalCyc <= 0 || totalIns <= 0 {
+		t.Fatalf("counters empty: cyc=%v ins=%v", totalCyc, totalIns)
+	}
+	// Default rates: 3 GHz at IPC 2 — instructions = 2x cycles.
+	if ratio := totalIns / totalCyc; ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("IPC = %v, want ~2", ratio)
+	}
+	// ~3e9 cycles/s over ~10ms of sampled CPU time.
+	if totalCyc < 2e7 {
+		t.Fatalf("cycles = %v, want ~3e7", totalCyc)
+	}
+	// Counters attribute to the sampled Python frame.
+	n := findNode(p.Tree, func(n *cct.Node) bool {
+		return n.Kind == cct.KindPython && strings.Contains(n.File, "data.py")
+	})
+	if n == nil || n.InclValue(cyc) <= 0 {
+		t.Fatal("counters not attributed to the sampled frame")
+	}
+}
+
+func TestHWCountersOffByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUSampling = true
+	r := newRig(t, cfg)
+	r.sess.AttachCPUSampler(r.th)
+	r.th.Clock.Advance(10 * vtime.Millisecond)
+	p := r.sess.Stop()
+	if _, ok := p.Tree.Schema.Lookup("papi:PAPI_TOT_CYC"); ok {
+		t.Fatal("HW counters registered without opt-in")
+	}
+}

@@ -1,0 +1,435 @@
+// Package profiler implements DeepContext's profiler component (paper §4.2):
+// it registers callbacks through DLMonitor, emits correlation IDs at GPU API
+// callbacks, retrieves unified call paths, and attributes asynchronously
+// collected GPU metrics — plus timer-sampled CPU metrics — to a calling
+// context tree with online aggregation and root-ward propagation.
+package profiler
+
+import (
+	"fmt"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/cpumetrics"
+	"deepcontext/internal/dlmonitor"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+// Costs are the calibrated virtual-time costs of the profiler's own work.
+type Costs struct {
+	// InsertPerFrame is CCT insertion/unification per call-path frame,
+	// charged to the intercepted thread at API callbacks.
+	InsertPerFrame vtime.Duration
+	// PropagatePerLevel is metric propagation per tree level, charged to
+	// the tool thread during activity attribution.
+	PropagatePerLevel vtime.Duration
+	// AttributePerActivity is fixed attribution work per activity record.
+	AttributePerActivity vtime.Duration
+}
+
+// DefaultCosts returns the calibration-pass values.
+func DefaultCosts() Costs {
+	return Costs{
+		InsertPerFrame:       300 * vtime.Nanosecond,
+		PropagatePerLevel:    10 * vtime.Nanosecond,
+		AttributePerActivity: 250 * vtime.Nanosecond,
+	}
+}
+
+// Config selects what a session collects.
+type Config struct {
+	// Path selects call-path sources (python/framework/native).
+	Path dlmonitor.PathOptions
+	// GPUActivity enables asynchronous GPU metric collection.
+	GPUActivity bool
+	// ActivityBufCap is the activity buffer capacity before a flush.
+	ActivityBufCap int
+	// PCSampling enables GPU instruction sampling.
+	PCSampling bool
+	// PCSamplePeriod is the instruction sampling period.
+	PCSamplePeriod vtime.Duration
+	// CPUSampling enables timer-based CPU sampling on attached threads.
+	CPUSampling bool
+	// CPUSamplePeriod is the CPU sampling period (default 4 ms).
+	CPUSamplePeriod vtime.Duration
+	// HWCounters additionally samples perf/PAPI hardware counters
+	// (cycles, instructions, cache misses) at each CPU sample.
+	HWCounters bool
+	// OpTiming attributes per-operator CPU time at operator exits.
+	OpTiming bool
+	// Costs overrides the calibrated self-costs.
+	Costs *Costs
+}
+
+// DefaultConfig collects everything except native call paths, matching the
+// paper's recommended low-overhead mode.
+func DefaultConfig() Config {
+	return Config{
+		Path:            dlmonitor.LightContext(),
+		GPUActivity:     true,
+		ActivityBufCap:  4096,
+		OpTiming:        true,
+		CPUSamplePeriod: 4 * vtime.Millisecond,
+	}
+}
+
+// Meta describes the profiled run.
+type Meta struct {
+	Workload   string
+	Framework  string
+	Vendor     string
+	Device     string
+	Substrate  string // "CUPTI" or "RocTracer"
+	Iterations int
+}
+
+// Stats counts profiler work.
+type Stats struct {
+	APICallbacks      int64
+	ActivitiesHandled int64
+	SamplesAttributed int64
+	CPUSamples        int64
+	OpsTimed          int64
+	DroppedActivities int64
+}
+
+// Profile is the result of a profiling session.
+type Profile struct {
+	Tree  *cct.Tree
+	Meta  Meta
+	Stats Stats
+	// Fused maps fused-operator names to their original operators for
+	// the GUI's original-call-path display.
+	Fused map[string][]framework.FusedOrigin
+	// MonitorStats carries DLMonitor counters.
+	MonitorStats dlmonitor.Stats
+	// FootprintBytes is the modeled profiler memory footprint at Stop.
+	FootprintBytes int64
+}
+
+// Session is one active profiling session.
+type Session struct {
+	mn     *dlmonitor.Monitor
+	m      *framework.Machine
+	tracer gpu.Tracer
+	cfg    Config
+	costs  Costs
+
+	tree    *cct.Tree
+	pending map[uint64]*cct.Node
+	fused   map[string][]framework.FusedOrigin
+
+	// tool is the profiler's own worker thread (the CUPTI/RocTracer
+	// buffer-completion thread); attribution costs accrue here.
+	tool *framework.Thread
+
+	threadByClock map[*vtime.Clock]*framework.Thread
+	opEnterTimes  map[*framework.Thread][]vtime.Time
+	samplers      []*cpumetrics.TimerSampler
+
+	idGPUTime, idCPUTime, idKernels, idAPICalls cct.MetricID
+	idMemcpyBytes, idAllocBytes                 cct.MetricID
+	idWarps, idBlocks, idSharedMem, idRegs      cct.MetricID
+	idInstSamples                               cct.MetricID
+	stallIDs                                    map[gpu.StallReason]cct.MetricID
+	stats                                       Stats
+	meta                                        Meta
+	started, stopped                            bool
+}
+
+// NewSession builds a session over an initialized DLMonitor.
+func NewSession(mn *dlmonitor.Monitor, m *framework.Machine, tracer gpu.Tracer, cfg Config) *Session {
+	costs := DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	if cfg.ActivityBufCap <= 0 {
+		cfg.ActivityBufCap = 4096
+	}
+	if cfg.CPUSamplePeriod <= 0 {
+		cfg.CPUSamplePeriod = 4 * vtime.Millisecond
+	}
+	s := &Session{
+		mn:            mn,
+		m:             m,
+		tracer:        tracer,
+		cfg:           cfg,
+		costs:         costs,
+		tree:          cct.New(),
+		pending:       make(map[uint64]*cct.Node),
+		fused:         make(map[string][]framework.FusedOrigin),
+		threadByClock: make(map[*vtime.Clock]*framework.Thread),
+		opEnterTimes:  make(map[*framework.Thread][]vtime.Time),
+		stallIDs:      make(map[gpu.StallReason]cct.MetricID),
+	}
+	t := s.tree
+	s.idGPUTime = t.MetricID(cct.MetricGPUTime)
+	s.idCPUTime = t.MetricID(cct.MetricCPUTime)
+	s.idKernels = t.MetricID(cct.MetricKernelCount)
+	s.idAPICalls = t.MetricID(cct.MetricAPICount)
+	s.idMemcpyBytes = t.MetricID(cct.MetricMemcpyBytes)
+	s.idAllocBytes = t.MetricID(cct.MetricAllocBytes)
+	s.idWarps = t.MetricID(cct.MetricWarps)
+	s.idBlocks = t.MetricID(cct.MetricBlocks)
+	s.idSharedMem = t.MetricID(cct.MetricSharedMem)
+	s.idRegs = t.MetricID(cct.MetricRegisters)
+	s.idInstSamples = t.MetricID(cct.MetricInstSamples)
+	return s
+}
+
+// SetMeta records run metadata for the produced profile.
+func (s *Session) SetMeta(meta Meta) { s.meta = meta }
+
+// Start registers the session's callbacks and enables collection.
+func (s *Session) Start() error {
+	if s.started {
+		return fmt.Errorf("profiler: session already started")
+	}
+	s.started = true
+	s.tool = s.m.NewThread("dc-tool")
+	if s.cfg.GPUActivity && s.tracer != nil {
+		s.tracer.EnableActivity(s.cfg.ActivityBufCap, s.onActivities)
+		if s.cfg.PCSampling {
+			s.tracer.EnablePCSampling(s.cfg.PCSamplePeriod)
+		}
+	}
+	s.mn.RegisterGPUCallback(s.onGPU)
+	if s.cfg.OpTiming {
+		s.mn.RegisterFrameworkCallback(s.onOp)
+	}
+	if s.meta.Substrate == "" && s.tracer != nil {
+		s.meta.Substrate = s.tracer.Name()
+		s.meta.Vendor = s.tracer.Vendor().String()
+		s.meta.Device = s.tracer.Device().Name
+	}
+	return nil
+}
+
+// hwEvents are the hardware counters sampled when Config.HWCounters is set.
+var hwEvents = []cpumetrics.Event{cpumetrics.Cycles, cpumetrics.Instructions, cpumetrics.CacheMisses}
+
+// AttachCPUSampler installs the CPU timer sampler on th. Call it for each
+// thread whose CPU time should be profiled.
+func (s *Session) AttachCPUSampler(th *framework.Thread) {
+	if !s.cfg.CPUSampling {
+		return
+	}
+	var counters *cpumetrics.Counters
+	var hwIDs []cct.MetricID
+	if s.cfg.HWCounters {
+		counters = cpumetrics.NewCounters(&th.Clock, nil)
+		for _, ev := range hwEvents {
+			hwIDs = append(hwIDs, s.tree.MetricID("papi:"+ev.String()))
+			counters.Reset(ev)
+		}
+	}
+	sampler := cpumetrics.NewTimerSampler(&th.Clock, cpumetrics.CPUTime, s.cfg.CPUSamplePeriod,
+		func(at vtime.Time, interval vtime.Duration) {
+			s.stats.CPUSamples++
+			path := s.mn.CallPath(th, s.cfg.Path)
+			node := s.tree.InsertPath(path.Frames)
+			th.Clock.Advance(vtime.Duration(len(path.Frames)) * s.costs.InsertPerFrame)
+			s.addMetric(node, s.idCPUTime, float64(interval))
+			if counters != nil {
+				for i, ev := range hwEvents {
+					delta := counters.Read(ev)
+					counters.Reset(ev)
+					s.addMetric(node, hwIDs[i], float64(delta))
+				}
+			}
+		})
+	s.samplers = append(s.samplers, sampler)
+}
+
+// threadOf resolves the framework thread owning clk.
+func (s *Session) threadOf(clk *vtime.Clock) *framework.Thread {
+	if th, ok := s.threadByClock[clk]; ok {
+		return th
+	}
+	for _, th := range s.m.Threads() {
+		if &th.Clock == clk {
+			s.threadByClock[clk] = th
+			return th
+		}
+	}
+	return nil
+}
+
+// onOp attributes per-operator CPU time at operator exits.
+func (s *Session) onOp(ev *framework.OpEvent, ph native.Phase) {
+	th := ev.Thread
+	if ph == native.Enter {
+		s.opEnterTimes[th] = append(s.opEnterTimes[th], th.Clock.Now())
+		return
+	}
+	stack := s.opEnterTimes[th]
+	if len(stack) == 0 {
+		return
+	}
+	enter := stack[len(stack)-1]
+	s.opEnterTimes[th] = stack[:len(stack)-1]
+	s.stats.OpsTimed++
+	path := s.mn.CallPath(th, dlmonitor.PathOptions{Python: s.cfg.Path.Python, Framework: s.cfg.Path.Framework})
+	node := s.tree.InsertPath(path.Frames)
+	th.Clock.Advance(vtime.Duration(len(path.Frames)) * s.costs.InsertPerFrame)
+	s.addMetric(node, s.idCPUTime, float64(th.Clock.Now().Sub(enter)))
+	if len(path.Fused) > 0 {
+		s.rememberFused(ev.Name, path.Fused)
+	}
+}
+
+func (s *Session) rememberFused(name string, origins []framework.FusedOrigin) {
+	if _, ok := s.fused[name]; !ok {
+		s.fused[name] = origins
+	}
+}
+
+// onGPU handles driver API callbacks: emit/retrieve the call path, insert it
+// into the CCT, and park the node under the correlation ID for asynchronous
+// metric attribution.
+func (s *Session) onGPU(ev *gpu.APIEvent) {
+	if ev.Phase != native.Enter {
+		return
+	}
+	th := s.threadOf(ev.Thread.Clock)
+	if th == nil {
+		return
+	}
+	s.stats.APICallbacks++
+	path := s.mn.CallPath(th, s.cfg.Path)
+	frames := path.Frames
+	if !s.cfg.Path.Native {
+		// Without native unwinding the API frame is appended from the
+		// callback's own information.
+		sym := apiSymbolOf(s.m.GPU, ev.Site)
+		if sym != nil {
+			frames = append(append([]cct.Frame{}, frames...), cct.Frame{
+				Kind: cct.KindGPUAPI, Name: sym.Name, Lib: sym.Lib.Name, PC: uint64(sym.Addr),
+			})
+		}
+	}
+	node := s.tree.InsertPath(frames)
+	th.Clock.Advance(vtime.Duration(len(frames)) * s.costs.InsertPerFrame)
+	s.addMetric(node, s.idAPICalls, 1)
+	if len(path.Fused) > 0 && ev.Kernel != nil {
+		s.rememberFused(ev.Kernel.Name, path.Fused)
+	}
+	s.pending[ev.Correlation] = node
+}
+
+func apiSymbolOf(rt *gpu.Runtime, site gpu.APISite) *native.Symbol { return rt.APISymbol(site) }
+
+// onActivities attributes flushed activity records to their parked call
+// paths; it models the tracer's buffer-completion worker, so its costs go to
+// the tool thread.
+func (s *Session) onActivities(acts []gpu.Activity) {
+	for i := range acts {
+		act := &acts[i]
+		s.tool.Clock.Advance(s.costs.AttributePerActivity)
+		node, ok := s.pending[act.Correlation]
+		if !ok {
+			s.stats.DroppedActivities++
+			continue
+		}
+		delete(s.pending, act.Correlation)
+		s.stats.ActivitiesHandled++
+		switch act.Kind {
+		case gpu.ActivityKernel:
+			s.attributeKernel(node, act)
+		case gpu.ActivityMemcpy:
+			s.addMetric(node, s.idGPUTime, float64(act.Duration()))
+			s.addMetric(node, s.idMemcpyBytes, float64(act.Bytes))
+		case gpu.ActivityMalloc, gpu.ActivityFree:
+			s.addMetric(node, s.idAllocBytes, float64(act.Bytes))
+		}
+	}
+}
+
+func (s *Session) attributeKernel(apiNode *cct.Node, act *gpu.Activity) {
+	kframe := cct.Frame{
+		Kind: cct.KindKernel,
+		Name: act.Name,
+		Lib:  "[gpu device code]",
+	}
+	if act.KernelSym != nil {
+		kframe.PC = uint64(act.KernelSym.Addr)
+	}
+	knode := s.tree.InsertUnder(apiNode, []cct.Frame{kframe})
+	dev := s.tracer.Device()
+	warps := float64((act.Block.Volume() + dev.WarpSize - 1) / dev.WarpSize)
+	s.addMetric(knode, s.idGPUTime, float64(act.Duration()))
+	s.addMetric(knode, s.idKernels, 1)
+	s.addMetric(knode, s.idWarps, warps)
+	s.addMetric(knode, s.idBlocks, float64(act.Grid.Volume()))
+	s.addMetric(knode, s.idSharedMem, float64(act.SharedMemBytes))
+	s.addMetric(knode, s.idRegs, float64(act.RegsPerThread))
+	for _, sample := range act.Samples {
+		inode := s.tree.InsertUnder(knode, []cct.Frame{{
+			Kind: cct.KindInstruction,
+			Name: fmt.Sprintf("%s+0x%x", act.Name, sample.PC-native.Addr(kframe.PC)),
+			Lib:  kframe.Lib,
+			PC:   uint64(sample.PC),
+		}})
+		s.stats.SamplesAttributed += sample.Count
+		s.addMetric(inode, s.idInstSamples, float64(sample.Count))
+		s.addMetric(inode, s.stallID(sample.Stall), float64(sample.Count))
+	}
+}
+
+// stallID interns the per-stall-reason sample metric.
+func (s *Session) stallID(r gpu.StallReason) cct.MetricID {
+	if id, ok := s.stallIDs[r]; ok {
+		return id
+	}
+	id := s.tree.MetricID("stall:" + r.String())
+	s.stallIDs[r] = id
+	return id
+}
+
+// addMetric records a sample and charges propagation cost to the tool
+// thread.
+func (s *Session) addMetric(n *cct.Node, id cct.MetricID, v float64) {
+	s.tree.AddMetric(n, id, v)
+	s.tool.Clock.Advance(vtime.Duration(n.Depth()+1) * s.costs.PropagatePerLevel)
+}
+
+// FootprintBytes models the profiler's resident memory: the CCT, parked
+// correlations, fused-origin notes and DLMonitor's forward-path table.
+func (s *Session) FootprintBytes() int64 {
+	const pendingBytes, fusedBytes, fwdBytes = 64, 256, 512
+	return s.tree.FootprintBytes() +
+		int64(len(s.pending))*pendingBytes +
+		int64(len(s.fused))*fusedBytes +
+		int64(s.mn.FwdPathsLive())*fwdBytes
+}
+
+// Stop flushes outstanding activity, detaches samplers, and returns the
+// profile.
+func (s *Session) Stop() *Profile {
+	if s.stopped {
+		return nil
+	}
+	s.stopped = true
+	if s.tracer != nil {
+		s.tracer.Flush()
+	}
+	for _, sm := range s.samplers {
+		sm.Stop()
+	}
+	return &Profile{
+		Tree:           s.tree,
+		Meta:           s.meta,
+		Stats:          s.stats,
+		Fused:          s.fused,
+		MonitorStats:   s.mn.Stats(),
+		FootprintBytes: s.FootprintBytes(),
+	}
+}
+
+// Tree exposes the live tree (tests and incremental GUIs).
+func (s *Session) Tree() *cct.Tree { return s.tree }
+
+// Stats returns collection counters.
+func (s *Session) Stats() Stats { return s.stats }

@@ -1,0 +1,319 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/dlmonitor"
+	"deepcontext/internal/framework"
+	"deepcontext/internal/framework/torchsim"
+	"deepcontext/internal/gpu"
+	"deepcontext/internal/gpu/cupti"
+	"deepcontext/internal/vtime"
+)
+
+type rig struct {
+	m    *framework.Machine
+	e    *torchsim.Engine
+	mn   *dlmonitor.Monitor
+	sess *Session
+	th   *framework.Thread
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	m := framework.NewMachine(gpu.A100())
+	e := torchsim.New(m)
+	tr, err := cupti.New(m.GPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := dlmonitor.Init(dlmonitor.Config{Machine: m, Frameworks: []framework.Hooks{e}, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(mn, m, tr, cfg)
+	if err := sess.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{m: m, e: e, mn: mn, sess: sess, th: m.NewThread("python-main")}
+}
+
+func convOp(grad bool) torchsim.Op {
+	return torchsim.Op{
+		Name:         "aten::conv2d",
+		CPUCost:      20 * vtime.Microsecond,
+		Kernels:      []gpu.KernelSpec{{Name: "implicit_gemm", Grid: gpu.D3(512), Block: gpu.D3(256), SharedMemBytes: 48 << 10, RegsPerThread: 64, FLOPs: 1e9, Bytes: 1e7}},
+		RequiresGrad: grad,
+	}
+}
+
+func findNode(t *cct.Tree, pred func(*cct.Node) bool) *cct.Node {
+	var found *cct.Node
+	t.Visit(func(n *cct.Node) {
+		if found == nil && pred(n) {
+			found = n
+		}
+	})
+	return found
+}
+
+func TestKernelMetricsAttributedToUnifiedPath(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	r.th.WithPy("train.py", 10, "main", func() {
+		r.e.Run(r.th, convOp(false))
+	})
+	p := r.sess.Stop()
+	tree := p.Tree
+	gid, _ := tree.Schema.Lookup(cct.MetricGPUTime)
+
+	kernel := findNode(tree, func(n *cct.Node) bool { return n.Kind == cct.KindKernel && n.Name == "implicit_gemm" })
+	if kernel == nil {
+		t.Fatal("kernel node missing")
+	}
+	if kernel.ExclValue(gid) <= 0 {
+		t.Fatal("kernel has no gpu time")
+	}
+	// The kernel hangs under api under operator under python.
+	path := kernel.Path()
+	var ks []cct.FrameKind
+	for _, f := range path {
+		ks = append(ks, f.Kind)
+	}
+	want := []cct.FrameKind{cct.KindPython, cct.KindOperator, cct.KindGPUAPI, cct.KindKernel}
+	if len(ks) != len(want) {
+		t.Fatalf("path kinds = %v, want %v", ks, want)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("path kinds = %v, want %v", ks, want)
+		}
+	}
+	// Root inclusive equals kernel time (conservation through the path).
+	if tree.Root.InclValue(gid) != kernel.ExclValue(gid) {
+		t.Fatal("gpu time not propagated to root")
+	}
+	// Launch geometry metrics present.
+	for _, name := range []string{cct.MetricWarps, cct.MetricBlocks, cct.MetricSharedMem, cct.MetricRegisters} {
+		id, ok := tree.Schema.Lookup(name)
+		if !ok || kernel.ExclValue(id) <= 0 {
+			t.Fatalf("metric %s missing on kernel node", name)
+		}
+	}
+}
+
+func TestAggregationAcrossIterationsBoundsTreeSize(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	var sizes []int
+	r.th.WithPy("train.py", 10, "main", func() {
+		for i := 0; i < 50; i++ {
+			r.e.Run(r.th, convOp(false))
+			if i == 4 || i == 49 {
+				r.m.GPU.FlushActivity()
+				sizes = append(sizes, r.sess.Tree().NodeCount())
+			}
+		}
+	})
+	if sizes[0] != sizes[1] {
+		t.Fatalf("tree grew across identical iterations: %v", sizes)
+	}
+	p := r.sess.Stop()
+	gid, _ := p.Tree.Schema.Lookup(cct.MetricGPUTime)
+	kernel := findNode(p.Tree, func(n *cct.Node) bool { return n.Kind == cct.KindKernel })
+	m := kernel.ExclMetric(gid)
+	if m == nil || m.Count != 50 {
+		t.Fatalf("kernel samples = %+v, want count 50", m)
+	}
+	if m.Min <= 0 || m.Max < m.Min || m.Mean <= 0 {
+		t.Fatalf("aggregates wrong: %+v", m)
+	}
+}
+
+func TestBackwardKernelsLandInForwardContext(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	op := convOp(true)
+	op.BwdName = "aten::convolution_backward"
+	op.BwdKernels = []gpu.KernelSpec{{Name: "dgrad_kernel", Grid: gpu.D3(512), Block: gpu.D3(256), FLOPs: 2e9, Bytes: 2e7}}
+	r.th.WithPy("train.py", 10, "train_step", func() {
+		r.e.Run(r.th, op)
+		r.e.Backward(r.th)
+	})
+	p := r.sess.Stop()
+	bwd := findNode(p.Tree, func(n *cct.Node) bool { return n.Kind == cct.KindKernel && n.Name == "dgrad_kernel" })
+	if bwd == nil {
+		t.Fatal("backward kernel missing")
+	}
+	// The backward kernel's path must include the forward python frame.
+	var sawPy, sawFwdOp, sawBwdOp bool
+	for _, f := range bwd.Path() {
+		if f.Kind == cct.KindPython && f.File == "train.py" {
+			sawPy = true
+		}
+		if f.Kind == cct.KindOperator && f.Name == "aten::conv2d" {
+			sawFwdOp = true
+		}
+		if f.Kind == cct.KindOperator && f.Name == "aten::convolution_backward" {
+			sawBwdOp = true
+		}
+	}
+	if !sawPy || !sawFwdOp || !sawBwdOp {
+		t.Fatalf("backward path incomplete: %v", bwd.Path())
+	}
+}
+
+func TestPCSamplingCreatesInstructionNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PCSampling = true
+	cfg.PCSamplePeriod = vtime.Microsecond
+	r := newRig(t, cfg)
+	op := convOp(false)
+	op.Kernels[0].Bytes = 2e9 // long kernel, many samples
+	op.Kernels[0].ConstHeavy = true
+	r.th.WithPy("infer.py", 5, "rmsnorm", func() {
+		r.e.Run(r.th, op)
+	})
+	p := r.sess.Stop()
+	inst := findNode(p.Tree, func(n *cct.Node) bool { return n.Kind == cct.KindInstruction })
+	if inst == nil {
+		t.Fatal("no instruction nodes")
+	}
+	stallID, ok := p.Tree.Schema.Lookup("stall:constant_memory_miss")
+	if !ok {
+		t.Fatal("stall metric not registered")
+	}
+	if p.Tree.Root.InclValue(stallID) <= 0 {
+		t.Fatal("no constant-memory stall samples attributed")
+	}
+	if p.Stats.SamplesAttributed <= 0 {
+		t.Fatal("stats missing samples")
+	}
+}
+
+func TestOpTimingAttributesCPUTime(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	r.th.WithPy("train.py", 10, "main", func() {
+		r.e.Run(r.th, convOp(false))
+	})
+	p := r.sess.Stop()
+	cid, _ := p.Tree.Schema.Lookup(cct.MetricCPUTime)
+	opNode := findNode(p.Tree, func(n *cct.Node) bool { return n.Kind == cct.KindOperator })
+	if opNode == nil {
+		t.Fatal("operator node missing")
+	}
+	if opNode.ExclValue(cid) < float64(20*vtime.Microsecond) {
+		t.Fatalf("op cpu time = %v, want >= body cost", opNode.ExclValue(cid))
+	}
+	if p.Stats.OpsTimed != 1 {
+		t.Fatalf("ops timed = %d", p.Stats.OpsTimed)
+	}
+}
+
+func TestCPUSamplerAttributesPythonTime(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUSampling = true
+	cfg.CPUSamplePeriod = vtime.Millisecond
+	r := newRig(t, cfg)
+	r.sess.AttachCPUSampler(r.th)
+	r.th.WithPy("data.py", 88, "data_selection", func() {
+		r.th.Clock.Advance(10 * vtime.Millisecond) // pure-CPU work
+	})
+	p := r.sess.Stop()
+	if p.Stats.CPUSamples < 9 {
+		t.Fatalf("cpu samples = %d, want ~10", p.Stats.CPUSamples)
+	}
+	cid, _ := p.Tree.Schema.Lookup(cct.MetricCPUTime)
+	n := findNode(p.Tree, func(n *cct.Node) bool {
+		return n.Kind == cct.KindPython && strings.Contains(n.File, "data.py")
+	})
+	if n == nil {
+		t.Fatal("sampled python node missing")
+	}
+	if n.InclValue(cid) < float64(9*vtime.Millisecond) {
+		t.Fatalf("sampled time = %v", n.InclValue(cid))
+	}
+}
+
+func TestMemcpyAndAllocAttribution(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	r.th.WithPy("train.py", 2, "load", func() {
+		r.e.Alloc(r.th, 1<<20)
+		r.m.GPU.Memcpy(r.th.GPUCtx(), 0, gpu.SiteMemcpyH2D, 1<<20)
+	})
+	p := r.sess.Stop()
+	mid, _ := p.Tree.Schema.Lookup(cct.MetricMemcpyBytes)
+	aid, _ := p.Tree.Schema.Lookup(cct.MetricAllocBytes)
+	if p.Tree.Root.InclValue(mid) != float64(1<<20) {
+		t.Fatalf("memcpy bytes = %v", p.Tree.Root.InclValue(mid))
+	}
+	if p.Tree.Root.InclValue(aid) != float64(1<<20) {
+		t.Fatalf("alloc bytes = %v", p.Tree.Root.InclValue(aid))
+	}
+}
+
+func TestStopFlushesPending(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	r.th.WithPy("t.py", 1, "m", func() {
+		r.e.Run(r.th, convOp(false))
+	})
+	// No explicit flush: Stop must deliver buffered activities.
+	p := r.sess.Stop()
+	if p.Stats.ActivitiesHandled == 0 {
+		t.Fatal("Stop did not flush activities")
+	}
+	if r.sess.Stop() != nil {
+		t.Fatal("second Stop should return nil")
+	}
+}
+
+func TestFootprintBoundedVsIterations(t *testing.T) {
+	foot := func(iters int) int64 {
+		r := newRig(t, DefaultConfig())
+		r.th.WithPy("train.py", 10, "main", func() {
+			for i := 0; i < iters; i++ {
+				r.e.Run(r.th, convOp(false))
+			}
+		})
+		return r.sess.Stop().FootprintBytes
+	}
+	f10, f100 := foot(10), foot(100)
+	// Online aggregation: footprint growth must be sublinear (identical
+	// contexts collapse into the same nodes).
+	if f100 > f10*2 {
+		t.Fatalf("footprint scaled with iterations: %d -> %d", f10, f100)
+	}
+}
+
+func TestNativeModeCostsMoreTime(t *testing.T) {
+	run := func(cfg Config) vtime.Duration {
+		r := newRig(t, cfg)
+		r.th.WithPy("train.py", 10, "main", func() {
+			for i := 0; i < 100; i++ {
+				r.e.Run(r.th, convOp(false))
+			}
+		})
+		r.sess.Stop()
+		return r.m.EndToEnd()
+	}
+	light := DefaultConfig()
+	full := DefaultConfig()
+	full.Path = dlmonitor.FullContext()
+	if l, f := run(light), run(full); f <= l {
+		t.Fatalf("native mode (%v) should cost more than light (%v)", f, l)
+	}
+}
+
+func TestDoubleStartFails(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	if err := r.sess.Start(); err == nil {
+		t.Fatal("second Start should error")
+	}
+}
+
+func TestMetaFilledFromTracer(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	p := r.sess.Stop()
+	if p.Meta.Substrate != "CUPTI" || p.Meta.Vendor != "Nvidia" {
+		t.Fatalf("meta = %+v", p.Meta)
+	}
+}

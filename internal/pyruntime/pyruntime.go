@@ -1,0 +1,108 @@
+// Package pyruntime simulates the CPython interpreter state that DeepContext
+// reads through the PyFrame APIs: a per-thread stack of Python frames with
+// file, line and function attribution, plus the libpython mapping whose
+// address range the call-path integrator uses to splice Python frames into
+// the native stack.
+package pyruntime
+
+import (
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+// Frame is one simulated Python frame.
+type Frame struct {
+	File string
+	Line int
+	Func string
+}
+
+// Interpreter models a loaded CPython runtime: the libpython mapping and the
+// interpreter-loop symbol that appears in native stacks whenever Python code
+// is executing.
+type Interpreter struct {
+	Lib      *native.Library
+	EvalSym  *native.Symbol // _PyEval_EvalFrameDefault
+	CallSym  *native.Symbol // _PyObject_Call
+	walkCost vtime.Duration // per-frame cost of PyFrame walking
+}
+
+// WalkCostPerFrame is the calibrated virtual cost of reading one PyFrame
+// (f_code, f_lineno, f_back chasing).
+const WalkCostPerFrame = 80 * vtime.Nanosecond
+
+// Load maps libpython into as and registers the interpreter symbols.
+func Load(as *native.AddressSpace) *Interpreter {
+	lib := as.LoadLibrary("libpython3.11.so", 4<<20)
+	return &Interpreter{
+		Lib:      lib,
+		EvalSym:  as.AddSymbol(lib, "_PyEval_EvalFrameDefault", 16384, "ceval.c", 1200),
+		CallSym:  as.AddSymbol(lib, "_PyObject_Call", 2048, "call.c", 300),
+		walkCost: WalkCostPerFrame,
+	}
+}
+
+// Stack is a per-thread Python frame stack, outermost frame first.
+type Stack struct {
+	frames []Frame
+	// Epoch increments on every push/pop, letting call-path caches detect
+	// staleness cheaply (the analogue of checking the thread's top frame
+	// pointer).
+	Epoch uint64
+}
+
+// Push enters a Python frame.
+func (s *Stack) Push(file string, line int, fn string) {
+	s.frames = append(s.frames, Frame{File: file, Line: line, Func: fn})
+	s.Epoch++
+}
+
+// Pop leaves the innermost Python frame.
+func (s *Stack) Pop() {
+	if len(s.frames) == 0 {
+		panic("pyruntime: pop of empty stack")
+	}
+	s.frames = s.frames[:len(s.frames)-1]
+	s.Epoch++
+}
+
+// SetLine updates the innermost frame's current line (the interpreter
+// advancing through bytecode). It does not bump the epoch: caches keyed on
+// call structure stay valid, exactly as DeepContext's operator-entry cache
+// tolerates line motion within the caller.
+func (s *Stack) SetLine(line int) {
+	if len(s.frames) == 0 {
+		return
+	}
+	s.frames[len(s.frames)-1].Line = line
+}
+
+// Depth returns the number of live Python frames.
+func (s *Stack) Depth() int { return len(s.frames) }
+
+// Top returns the innermost frame, or a zero Frame when empty.
+func (s *Stack) Top() Frame {
+	if len(s.frames) == 0 {
+		return Frame{}
+	}
+	return s.frames[len(s.frames)-1]
+}
+
+// Walk returns a copy of the frames outermost-first, charging the per-frame
+// PyFrame walking cost to clk (nil for a free walk).
+func (s *Stack) Walk(clk *vtime.Clock) []Frame {
+	if clk != nil {
+		clk.Advance(vtime.Duration(len(s.frames)) * WalkCostPerFrame)
+	}
+	out := make([]Frame, len(s.frames))
+	copy(out, s.frames)
+	return out
+}
+
+// WithFrame runs body inside a pushed frame; it exists for workload builders
+// that model Python source structure.
+func (s *Stack) WithFrame(file string, line int, fn string, body func()) {
+	s.Push(file, line, fn)
+	defer s.Pop()
+	body()
+}

@@ -1,0 +1,118 @@
+package pyruntime
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deepcontext/internal/native"
+	"deepcontext/internal/vtime"
+)
+
+func TestLoadRegistersLibpython(t *testing.T) {
+	as := native.NewAddressSpace()
+	interp := Load(as)
+	if interp.Lib.Name != "libpython3.11.so" {
+		t.Fatalf("lib = %q", interp.Lib.Name)
+	}
+	if s, ok := as.Resolve(interp.EvalSym.Addr); !ok || s != interp.EvalSym {
+		t.Fatal("eval symbol not resolvable")
+	}
+	if !interp.Lib.Contains(interp.CallSym.Addr) {
+		t.Fatal("call symbol outside libpython")
+	}
+}
+
+func TestStackWalkOrderAndCost(t *testing.T) {
+	var s Stack
+	s.Push("train.py", 10, "main")
+	s.Push("model.py", 55, "forward")
+	var clk vtime.Clock
+	frames := s.Walk(&clk)
+	if len(frames) != 2 {
+		t.Fatalf("frames = %v", frames)
+	}
+	if frames[0].Func != "main" || frames[1].Func != "forward" {
+		t.Fatalf("order wrong: %v", frames)
+	}
+	if clk.Now() != vtime.Time(2*WalkCostPerFrame) {
+		t.Fatalf("walk cost = %v", clk.Now())
+	}
+}
+
+func TestWalkReturnsCopy(t *testing.T) {
+	var s Stack
+	s.Push("a.py", 1, "f")
+	frames := s.Walk(nil)
+	frames[0].Line = 999
+	if s.Top().Line != 1 {
+		t.Fatal("Walk aliased internal storage")
+	}
+}
+
+func TestSetLineDoesNotBumpEpoch(t *testing.T) {
+	var s Stack
+	s.Push("a.py", 1, "f")
+	e := s.Epoch
+	s.SetLine(42)
+	if s.Epoch != e {
+		t.Fatal("SetLine bumped epoch")
+	}
+	if s.Top().Line != 42 {
+		t.Fatalf("line = %d", s.Top().Line)
+	}
+}
+
+func TestEpochTracksStructure(t *testing.T) {
+	var s Stack
+	e0 := s.Epoch
+	s.Push("a.py", 1, "f")
+	s.Pop()
+	if s.Epoch != e0+2 {
+		t.Fatalf("epoch = %d, want %d", s.Epoch, e0+2)
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	var s Stack
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Pop()
+}
+
+func TestWithFrame(t *testing.T) {
+	var s Stack
+	ran := false
+	s.WithFrame("m.py", 3, "g", func() {
+		ran = true
+		if s.Depth() != 1 || s.Top().Func != "g" {
+			t.Fatalf("inside frame: depth=%d top=%v", s.Depth(), s.Top())
+		}
+	})
+	if !ran || s.Depth() != 0 {
+		t.Fatalf("after WithFrame: ran=%v depth=%d", ran, s.Depth())
+	}
+}
+
+// Property: depth equals pushes minus pops; walk length equals depth.
+func TestDepthProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		var s Stack
+		depth := 0
+		for _, push := range ops {
+			if push {
+				s.Push("x.py", depth, "f")
+				depth++
+			} else if depth > 0 {
+				s.Pop()
+				depth--
+			}
+		}
+		return s.Depth() == depth && len(s.Walk(nil)) == depth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

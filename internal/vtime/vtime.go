@@ -1,0 +1,177 @@
+// Package vtime provides the deterministic virtual time base used by every
+// simulated substrate in the DeepContext reproduction.
+//
+// The real DeepContext measures wall-clock overhead on physical machines.
+// This reproduction instead advances int64-nanosecond virtual clocks by
+// modeled costs, which makes every experiment bit-for-bit reproducible on any
+// host. Each simulated CPU thread and each GPU stream owns a Clock; the
+// end-to-end time of a run is the maximum frontier across all clocks.
+package vtime
+
+import "fmt"
+
+// Time is an absolute virtual timestamp in nanoseconds since the start of a
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports d as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats the duration using an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Seconds reports t as floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the timestamp as seconds.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// TickFunc is invoked for every period boundary a clock crosses. The handler
+// receives the boundary timestamp. Handlers may advance the clock further
+// (modeling, e.g., the cost of running a signal handler); resulting new
+// boundaries are processed before Advance returns.
+type TickFunc func(at Time)
+
+// Ticker delivers a callback every fixed period of a clock's virtual time.
+// It models POSIX interval timers (setitimer/sigaction) for the CPU sampler.
+type Ticker struct {
+	period  Duration
+	next    Time
+	fn      TickFunc
+	stopped bool
+}
+
+// Stop disables the ticker. It is safe to call from inside the tick handler.
+func (k *Ticker) Stop() { k.stopped = true }
+
+// Period returns the ticker's interval.
+func (k *Ticker) Period() Duration { return k.period }
+
+// Clock is a monotonically advancing virtual clock. The zero value is a clock
+// at time zero with no tickers, ready to use.
+type Clock struct {
+	now     Time
+	tickers []*Ticker
+	// ticking guards against unbounded recursion when a tick handler
+	// advances its own clock: nested Advance calls only move time forward
+	// and leave boundary processing to the outermost call.
+	ticking bool
+}
+
+// Now returns the clock's current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d, firing any ticker boundaries crossed.
+// Negative durations are ignored: virtual time never flows backwards.
+func (c *Clock) Advance(d Duration) {
+	if d <= 0 {
+		return
+	}
+	c.now += Time(d)
+	c.fireTickers()
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future; it is a no-op
+// otherwise. It models blocking waits (synchronization with a GPU stream or
+// another thread).
+func (c *Clock) AdvanceTo(t Time) {
+	if t <= c.now {
+		return
+	}
+	c.now = t
+	c.fireTickers()
+}
+
+// AddTicker registers fn to fire every period of this clock's time, with the
+// first boundary one period from now. It returns the ticker so callers can
+// stop it.
+func (c *Clock) AddTicker(period Duration, fn TickFunc) *Ticker {
+	if period <= 0 {
+		panic("vtime: ticker period must be positive")
+	}
+	k := &Ticker{period: period, next: c.now.Add(period), fn: fn}
+	c.tickers = append(c.tickers, k)
+	return k
+}
+
+func (c *Clock) fireTickers() {
+	if c.ticking || len(c.tickers) == 0 {
+		return
+	}
+	c.ticking = true
+	defer func() { c.ticking = false }()
+	for {
+		fired := false
+		live := c.tickers[:0]
+		for _, k := range c.tickers {
+			if k.stopped {
+				continue
+			}
+			live = append(live, k)
+		}
+		c.tickers = live
+		for _, k := range c.tickers {
+			for !k.stopped && k.next <= c.now {
+				at := k.next
+				k.next = at.Add(k.period)
+				fired = true
+				// The handler may advance c.now (handler cost);
+				// additional boundaries are caught on the next
+				// sweep of the outer loop.
+				k.fn(at)
+			}
+		}
+		if !fired {
+			return
+		}
+	}
+}
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxDuration returns the larger of a and b.
+func MaxDuration(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v, want 0", c.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5 * Microsecond)
+	if got := c.Now(); got != Time(5000) {
+		t.Fatalf("Now() = %d, want 5000", got)
+	}
+	c.Advance(-Second) // ignored
+	if got := c.Now(); got != Time(5000) {
+		t.Fatalf("negative Advance moved clock to %d", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(100)
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo(100) -> %d", c.Now())
+	}
+	c.AdvanceTo(50) // past: no-op
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo(50) moved clock back to %d", c.Now())
+	}
+}
+
+func TestTickerFiresOncePerPeriod(t *testing.T) {
+	var c Clock
+	var fires []Time
+	c.AddTicker(10, func(at Time) { fires = append(fires, at) })
+	c.Advance(35)
+	want := []Time{10, 20, 30}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerHandlerAdvancesClock(t *testing.T) {
+	var c Clock
+	n := 0
+	// Handler cost of 3ns per tick; must not recurse infinitely and must
+	// still process boundaries introduced by its own cost.
+	c.AddTicker(10, func(at Time) {
+		n++
+		c.Advance(3)
+	})
+	c.Advance(30)
+	// Boundaries: 10, 20, 30 plus the boundary at 40 may be crossed by
+	// accumulated handler costs (30+3*3 = 39 < 40): exactly 3 ticks.
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+	if c.Now() != 39 {
+		t.Fatalf("Now() = %d, want 39", c.Now())
+	}
+}
+
+func TestTickerHandlerCostCanTriggerNextTick(t *testing.T) {
+	var c Clock
+	n := 0
+	c.AddTicker(10, func(at Time) {
+		n++
+		if n < 5 { // bound the cascade
+			c.Advance(12) // cost exceeds the period
+		}
+	})
+	c.Advance(10)
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5 (cascading)", n)
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	var c Clock
+	n := 0
+	k := c.AddTicker(10, func(at Time) { n++ })
+	c.Advance(25)
+	k.Stop()
+	c.Advance(100)
+	if n != 2 {
+		t.Fatalf("ticks after stop = %d, want 2", n)
+	}
+}
+
+func TestTickerStopFromHandler(t *testing.T) {
+	var c Clock
+	n := 0
+	var k *Ticker
+	k = c.AddTicker(10, func(at Time) {
+		n++
+		k.Stop()
+	})
+	c.Advance(100)
+	if n != 1 {
+		t.Fatalf("ticks = %d, want 1", n)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.50us"},
+		{3 * Millisecond, "3.00ms"},
+		{2 * Second, "2.000s"},
+		{-500, "-500ns"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tc.d), got, tc.want)
+		}
+	}
+}
+
+func TestMaxHelpers(t *testing.T) {
+	if MaxTime(3, 7) != 7 || MaxTime(7, 3) != 7 {
+		t.Fatal("MaxTime broken")
+	}
+	if MaxDuration(3, 7) != 7 || MaxDuration(7, 3) != 7 {
+		t.Fatal("MaxDuration broken")
+	}
+}
+
+// Property: advancing by a sequence of non-negative durations lands the clock
+// at their sum, regardless of tickers attached.
+func TestAdvanceSumProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var c Clock
+		c.AddTicker(97, func(Time) {}) // zero-cost ticker must not skew time
+		var sum Time
+		for _, s := range steps {
+			c.Advance(Duration(s))
+			sum += Time(s)
+		}
+		return c.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tick count equals floor(total/period) when handlers are free.
+func TestTickCountProperty(t *testing.T) {
+	f := func(total uint32, period uint16) bool {
+		if period == 0 {
+			return true
+		}
+		var c Clock
+		n := 0
+		c.AddTicker(Duration(period), func(Time) { n++ })
+		c.Advance(Duration(total))
+		return n == int(uint64(total)/uint64(period))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package workloads
+
+import (
+	"testing"
+
+	"deepcontext/internal/gpu"
+)
+
+func TestAllWorkloadsValidate(t *testing.T) {
+	ws := All()
+	if len(ws) != 10 {
+		t.Fatalf("workloads = %d, want the paper's 10", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if err := Validate(w); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if names[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		names[w.Name] = true
+		if w.DefaultIters != 100 {
+			t.Errorf("%s iters = %d, want 100 (paper)", w.Name, w.DefaultIters)
+		}
+		if w.HostAppBytes <= 0 || w.Build == nil {
+			t.Errorf("%s incompletely specified", w.Name)
+		}
+	}
+	for _, want := range []string{"Conformer", "DLRM-small", "UNet", "GNN", "Resnet",
+		"ViT", "Transformer-Big", "Llama3-8B", "Gemma-7B", "NanoGPT"} {
+		if !names[want] {
+			t.Errorf("missing workload %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if w, ok := ByName("UNet"); !ok || w.Name != "UNet" {
+		t.Fatal("ByName(UNet) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestRunPyTorchProducesKernelsAndCleanStacks(t *testing.T) {
+	for _, w := range All() {
+		env := NewEnv(gpu.A100())
+		RunPyTorch(env, w, Knobs{}, 2)
+		if env.M.GPU.Stats().KernelCount == 0 {
+			t.Errorf("%s launched no kernels", w.Name)
+		}
+		if env.Main.Py.Depth() != 0 || env.Main.Native.Depth() != 0 {
+			t.Errorf("%s left frames on the main thread (py=%d native=%d)",
+				w.Name, env.Main.Py.Depth(), env.Main.Native.Depth())
+		}
+		if env.M.EndToEnd() <= 0 {
+			t.Errorf("%s has zero makespan", w.Name)
+		}
+	}
+}
+
+func TestRunJAXFusesAndCleansUp(t *testing.T) {
+	for _, w := range All() {
+		envPT := NewEnv(gpu.A100())
+		RunPyTorch(envPT, w, Knobs{}, 2)
+		envJX := NewEnv(gpu.A100())
+		RunJAX(envJX, w, Knobs{}, 2)
+		if envJX.M.GPU.Stats().KernelCount >= envPT.M.GPU.Stats().KernelCount {
+			t.Errorf("%s: JAX kernels (%d) not fewer than PyTorch (%d)",
+				w.Name, envJX.M.GPU.Stats().KernelCount, envPT.M.GPU.Stats().KernelCount)
+		}
+		if envJX.Main.Py.Depth() != 0 || envJX.Main.Native.Depth() != 0 {
+			t.Errorf("%s JAX run left frames", w.Name)
+		}
+	}
+}
+
+func TestDLRMIndexSelectKnobRemovesSerialization(t *testing.T) {
+	run := func(k Knobs) int64 {
+		env := NewEnv(gpu.A100())
+		RunPyTorch(env, DLRMSmall(), k, 3)
+		return int64(env.M.GPU.Stats().TotalKernelTime)
+	}
+	base := run(Knobs{})
+	opt := run(Knobs{UseIndexSelect: true})
+	ratio := float64(base) / float64(opt)
+	if ratio < 1.4 || ratio > 2.0 {
+		t.Fatalf("index_select GPU speedup = %.2f, want ~1.66", ratio)
+	}
+}
+
+func TestUNetChannelsLastRemovesConversions(t *testing.T) {
+	count := func(k Knobs) (convs int64) {
+		env := NewEnv(gpu.A100())
+		env.M.GPU.EnableActivity(1<<20, func(acts []gpu.Activity) {
+			for _, a := range acts {
+				if a.Kind == gpu.ActivityKernel &&
+					(a.Name == "cudnn::nchwToNhwcKernel" || a.Name == "cudnn::nhwcToNchwKernel") {
+					convs++
+				}
+			}
+		})
+		RunPyTorch(env, UNet(), k, 1)
+		env.M.GPU.FlushActivity()
+		return convs
+	}
+	if n := count(Knobs{LoaderWorkers: 6}); n == 0 {
+		t.Fatal("default layout should emit conversion kernels")
+	}
+	if n := count(Knobs{LoaderWorkers: 6, ChannelsLast: true}); n != 0 {
+		t.Fatalf("channels_last still emitted %d conversions", n)
+	}
+}
+
+func TestWarpTemplatePenalizesAMD(t *testing.T) {
+	normTime := func(spec gpu.DeviceSpec, k Knobs) float64 {
+		var total float64
+		env := NewEnv(spec)
+		env.M.GPU.EnableActivity(1<<20, func(acts []gpu.Activity) {
+			for _, a := range acts {
+				if a.Kind == gpu.ActivityKernel && a.Name == "instance_norm_kernel" {
+					total += float64(a.Duration())
+				}
+			}
+		})
+		RunPyTorch(env, UNet(), k, 1)
+		env.M.GPU.FlushActivity()
+		return total
+	}
+	nv := normTime(gpu.A100(), Knobs{LoaderWorkers: 6})
+	amd := normTime(gpu.MI250(), Knobs{LoaderWorkers: 6})
+	if amd <= nv*1.5 {
+		t.Fatalf("AMD norm time %.0f should be >1.5x NV %.0f (warp-64 template penalty)", amd, nv)
+	}
+	// Retuning threads per CTA recovers most of the loss (§6.5 fix).
+	amdFixed := normTime(gpu.MI250(), Knobs{LoaderWorkers: 6, NormBlockThreads: 1024})
+	if amdFixed >= amd {
+		t.Fatalf("retuned template (%v) should beat stock (%v) on AMD", amdFixed, amd)
+	}
+}
+
+func TestFuseLossReducesLossKernels(t *testing.T) {
+	kernels := func(k Knobs) int64 {
+		env := NewEnv(gpu.A100())
+		RunPyTorch(env, TransformerBig(), k, 1)
+		return env.M.GPU.Stats().KernelCount
+	}
+	base, fused := kernels(Knobs{}), kernels(Knobs{FuseLoss: true})
+	if fused >= base {
+		t.Fatalf("loss fusion did not reduce kernels: %d vs %d", fused, base)
+	}
+	// 200 shards x (3 -> 1) kernels, forward and backward.
+	if base-fused < 600 {
+		t.Fatalf("kernel reduction = %d, want >= 600", base-fused)
+	}
+}
+
+func TestLlamaCastsAreConstHeavyUntilFastCasts(t *testing.T) {
+	constHeavy := func(k Knobs) (n int) {
+		env := NewEnv(gpu.A100())
+		env.M.GPU.EnablePCSampling(0)
+		env.M.GPU.EnableActivity(1<<20, func(acts []gpu.Activity) {
+			for _, a := range acts {
+				for _, s := range a.Samples {
+					if s.Stall == gpu.StallConstMemMiss {
+						n += int(s.Count)
+					}
+				}
+			}
+		})
+		RunPyTorch(env, Llama3(), k, 1)
+		env.M.GPU.FlushActivity()
+		return n
+	}
+	if constHeavy(Knobs{}) == 0 {
+		t.Fatal("default llama casts should show constant-memory stalls")
+	}
+	slow, fast := constHeavy(Knobs{}), constHeavy(Knobs{FastCasts: true})
+	if fast >= slow {
+		t.Fatalf("FastCasts should cut constant-memory stalls: %d vs %d", fast, slow)
+	}
+}
+
+func TestAMDSplitsElementwiseKernels(t *testing.T) {
+	count := func(spec gpu.DeviceSpec) int64 {
+		env := NewEnv(spec)
+		RunPyTorch(env, ViT(), Knobs{}, 1)
+		return env.M.GPU.Stats().KernelCount
+	}
+	if amd, nv := count(gpu.MI250()), count(gpu.A100()); amd <= nv {
+		t.Fatalf("ROCm run should launch more, smaller kernels: %d vs %d", amd, nv)
+	}
+}
+
+func TestScaleGPU(t *testing.T) {
+	ops := []OpDesc{{FLOPs: 100, Bytes: 200, BwdFLOPs: 10, BwdBytes: 20}}
+	scaleGPU(ops, 0.5)
+	if ops[0].FLOPs != 50 || ops[0].Bytes != 100 || ops[0].BwdFLOPs != 5 || ops[0].BwdBytes != 10 {
+		t.Fatalf("scaleGPU wrong: %+v", ops[0])
+	}
+}
