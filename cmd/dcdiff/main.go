@@ -1,0 +1,190 @@
+// Command dcdiff compares two saved profile databases — typically the same
+// workload before and after an optimization knob — and reports where the
+// metric moved: a signed hotspot table ranked by magnitude of change, plus
+// optional signed flame-graph renderings (ASCII and interactive HTML).
+//
+// Positive deltas are regressions (the "after" run spends more), negative
+// deltas are improvements.
+//
+// Example:
+//
+//	dcdiff before.dcp after.dcp
+//	dcdiff -metric cpu_time_ns -top 10 -flame -html diff.html before.dcp after.dcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"deepcontext"
+	"deepcontext/internal/cct"
+)
+
+func main() {
+	var (
+		metric = flag.String("metric", cct.MetricGPUTime, "metric to diff")
+		top    = flag.Int("top", 20, "rows in the hotspot table")
+		flame  = flag.Bool("flame", false, "also print the signed ASCII flame tree")
+		depth  = flag.Int("depth", 6, "max depth of the ASCII flame tree")
+		html   = flag.String("html", "", "write a signed interactive HTML flame graph to this path")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dcdiff [flags] before.dcp after.dcp\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *metric, *top, *flame, *depth, *html); err != nil {
+		fmt.Fprintln(os.Stderr, "dcdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// row is one hotspot-table entry: a calling context whose exclusive metric
+// moved, with the per-side values for context.
+type row struct {
+	label  string
+	kind   string
+	delta  float64
+	before float64
+	after  float64
+}
+
+// exclByPath flattens a tree into path-key → exclusive value for the metric.
+func exclByPath(t *cct.Tree, metric string) map[string]float64 {
+	out := make(map[string]float64)
+	id, ok := t.Schema.Lookup(metric)
+	if !ok {
+		return out
+	}
+	t.Visit(func(n *cct.Node) {
+		if v := n.ExclValue(id); v != 0 {
+			out[pathKey(n)] = v
+		}
+	})
+	return out
+}
+
+func pathKey(n *cct.Node) string {
+	var sb strings.Builder
+	for _, f := range n.Path() {
+		sb.WriteString(f.Key())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+func run(beforePath, afterPath, metric string, top int, flame bool, depth int, htmlPath string) error {
+	before, err := deepcontext.LoadProfile(beforePath)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", beforePath, err)
+	}
+	after, err := deepcontext.LoadProfile(afterPath)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", afterPath, err)
+	}
+	// Frames must match by cross-run stable identity, and the table's
+	// before/after lookups must land on the same path keys as the delta
+	// tree — so normalize each side once and diff those trees directly
+	// (DiffProfiles would normalize a second time).
+	before.Tree = cct.NormalizeAddresses(before.Tree)
+	after.Tree = cct.NormalizeAddresses(after.Tree)
+	diff := &deepcontext.Profile{Tree: cct.Diff(after.Tree, before.Tree), Meta: after.Meta}
+	id, ok := diff.Tree.Schema.Lookup(metric)
+	if !ok {
+		return fmt.Errorf("metric %q not present in either profile (known: %s)",
+			metric, strings.Join(diff.Tree.Schema.Names(), ", "))
+	}
+
+	beforeVals := exclByPath(before.Tree, metric)
+	afterVals := exclByPath(after.Tree, metric)
+	var rows []row
+	diff.Tree.Visit(func(n *cct.Node) {
+		d := n.ExclValue(id)
+		if d == 0 || n.Kind == cct.KindRoot {
+			return
+		}
+		key := pathKey(n)
+		rows = append(rows, row{
+			label:  n.Label(),
+			kind:   n.Kind.String(),
+			delta:  d,
+			before: beforeVals[key],
+			after:  afterVals[key],
+		})
+	})
+	sort.SliceStable(rows, func(i, j int) bool {
+		return math.Abs(rows[i].delta) > math.Abs(rows[j].delta)
+	})
+
+	fmt.Printf("dcdiff: %s (%s) -> %s (%s), metric %s\n",
+		before.Meta.Workload, beforePath, after.Meta.Workload, afterPath, metric)
+	var bTotal, aTotal float64
+	bid, bok := before.Tree.Schema.Lookup(metric)
+	aid, aok := after.Tree.Schema.Lookup(metric)
+	if bok {
+		bTotal = before.Tree.Root.InclValue(bid)
+	}
+	if aok {
+		aTotal = after.Tree.Root.InclValue(aid)
+	}
+	net := aTotal - bTotal
+	verdict := "regression"
+	if net < 0 {
+		verdict = "improvement"
+	} else if net == 0 {
+		verdict = "no net change"
+	}
+	relative := ""
+	if bTotal != 0 {
+		relative = fmt.Sprintf(" (%+.2f%%)", 100*net/bTotal)
+	}
+	fmt.Printf("net: %s -> %s, delta %+.0f%s — %s\n\n",
+		fmtVal(bTotal), fmtVal(aTotal), net, relative, verdict)
+
+	shown := len(rows)
+	if top > 0 && shown > top {
+		shown = top
+	}
+	fmt.Printf("%-4s %14s %14s %14s %8s  %s\n", "#", "before", "after", "delta", "kind", "frame")
+	for i := 0; i < shown; i++ {
+		r := rows[i]
+		fmt.Printf("%-4d %14s %14s %+14.0f %8s  %s\n",
+			i+1, fmtVal(r.before), fmtVal(r.after), r.delta, r.kind, r.label)
+	}
+	if shown < len(rows) {
+		fmt.Printf("... and %d more changed contexts (raise -top)\n", len(rows)-shown)
+	}
+
+	if flame {
+		fmt.Println()
+		if err := deepcontext.WriteFlameText(os.Stdout, diff,
+			deepcontext.FlameOptions{Metric: metric, Signed: true}, depth); err != nil {
+			return err
+		}
+	}
+	if htmlPath != "" {
+		f, err := os.Create(htmlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := deepcontext.WriteFlameGraph(f, diff,
+			deepcontext.FlameOptions{Metric: metric, Signed: true}); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote signed flame graph to %s\n", htmlPath)
+	}
+	return nil
+}
+
+func fmtVal(v float64) string {
+	return fmt.Sprintf("%.0f", v)
+}

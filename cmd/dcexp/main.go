@@ -16,6 +16,7 @@ var experiments = []struct {
 	id   string
 	desc string
 }{
+	{"matrix", "full workload x {nvidia,amd} x {pytorch,jax} sweep on a worker pool; saves a merged aggregate profile"},
 	{"table1", "feature matrix of profiling tools"},
 	{"table2", "evaluation platforms"},
 	{"fig6a", "time overhead, PyTorch workloads, Nvidia+AMD"},
@@ -43,6 +44,9 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (see -list)")
 	iters := flag.Int("iters", 100, "iterations per run (paper: 100)")
 	list := flag.Bool("list", false, "list experiments")
+	workers := flag.Int("workers", 0, "matrix: worker pool size (0 = NumCPU)")
+	out := flag.String("out", "matrix.dcp", "matrix: output profile database path")
+	bundle := flag.Bool("bundle", false, "matrix: also save every per-shard profile alongside the aggregate")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -55,7 +59,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *iters); err != nil {
+	var err error
+	if *exp == "matrix" {
+		err = runMatrix(*iters, *workers, *out, *bundle)
+	} else {
+		err = run(*exp, *iters)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcexp:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"deepcontext"
+	"deepcontext/internal/cct"
+)
+
+// shard is one cell of the experiment matrix: a workload on one vendor
+// under one framework.
+type shard struct {
+	workload  string
+	vendor    string
+	framework string
+}
+
+func (s shard) name() string { return s.workload + "/" + s.vendor + "/" + s.framework }
+
+type shardResult struct {
+	shard   shard
+	profile *deepcontext.Profile
+	endET   deepcontext.Duration
+	wall    time.Duration
+	err     error
+}
+
+// runMatrix profiles the full workload × {nvidia,amd} × {pytorch,jax} matrix
+// concurrently on a bounded worker pool, merges the per-shard profiles into
+// one aggregate, and saves aggregate (plus per-shard profiles when bundle is
+// set) to out. Each shard simulates its own machine, so shards share nothing
+// and any merge order yields the same aggregate (cct.Merge is associative).
+func runMatrix(iters, workers int, out string, bundle bool) error {
+	var shards []shard
+	for _, w := range deepcontext.WorkloadNames() {
+		for _, vendor := range []string{"nvidia", "amd"} {
+			for _, fw := range []string{"pytorch", "jax"} {
+				shards = append(shards, shard{workload: w, vendor: vendor, framework: fw})
+			}
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	fmt.Printf("matrix: %d shards (%d workloads x 2 vendors x 2 frameworks), %d workers, %d iters\n",
+		len(shards), len(deepcontext.WorkloadNames()), workers, iters)
+
+	jobs := make(chan shard)
+	results := make(chan shardResult, len(shards))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range jobs {
+				results <- runShard(sh, iters)
+			}
+		}()
+	}
+	start := time.Now()
+	for _, sh := range shards {
+		jobs <- sh
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+
+	byName := make(map[string]shardResult, len(shards))
+	for r := range results {
+		if r.err != nil {
+			return fmt.Errorf("shard %s: %w", r.shard.name(), r.err)
+		}
+		byName[r.shard.name()] = r
+	}
+	elapsed := time.Since(start)
+
+	// Report in matrix order regardless of completion order.
+	fmt.Printf("\n%-18s %-8s %-9s %14s %10s %10s %9s\n",
+		"workload", "vendor", "framework", "end-to-end", "contexts", "kernels", "wall")
+	var ordered []shardResult
+	for _, sh := range shards {
+		ordered = append(ordered, byName[sh.name()])
+	}
+	for _, r := range ordered {
+		kid, _ := r.profile.Tree.Schema.Lookup(cct.MetricKernelCount)
+		fmt.Printf("%-18s %-8s %-9s %14v %10d %10.0f %9v\n",
+			r.shard.workload, r.shard.vendor, r.shard.framework,
+			r.endET, r.profile.Tree.NodeCount(),
+			r.profile.Tree.Root.InclValue(kid), r.wall.Round(time.Millisecond))
+	}
+
+	profiles := make([]*deepcontext.Profile, len(ordered))
+	for i, r := range ordered {
+		profiles[i] = r.profile
+	}
+	agg, err := deepcontext.MergeProfiles(profiles...)
+	if err != nil {
+		return err
+	}
+	gid, _ := agg.Tree.Schema.Lookup(cct.MetricGPUTime)
+	fmt.Printf("\naggregate: %d calling contexts, %d metrics, %.0f ns total GPU time across the matrix\n",
+		agg.Tree.NodeCount(), agg.Tree.Schema.Len(), agg.Tree.Root.InclValue(gid))
+	fmt.Printf("matrix wall time: %v with %d workers\n", elapsed.Round(time.Millisecond), workers)
+
+	entries := []deepcontext.BundleEntry{{Name: "aggregate", Profile: agg}}
+	if bundle {
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			entries = append(entries, deepcontext.BundleEntry{Name: n, Profile: byName[n].profile})
+		}
+	}
+	if err := deepcontext.SaveProfileBundle(out, entries); err != nil {
+		return err
+	}
+	what := "aggregate profile"
+	if bundle {
+		what = fmt.Sprintf("aggregate + %d shard profiles", len(entries)-1)
+	}
+	fmt.Printf("saved %s to %s (load with dcanalyze/dcviz, first entry is the aggregate)\n", what, out)
+	return nil
+}
+
+// runShard profiles one matrix cell on its own simulated machine.
+func runShard(sh shard, iters int) shardResult {
+	wallStart := time.Now()
+	s, err := deepcontext.NewSession(deepcontext.Config{Vendor: sh.vendor, Framework: sh.framework})
+	if err != nil {
+		return shardResult{shard: sh, err: err}
+	}
+	if err := s.RunWorkload(sh.workload, deepcontext.Knobs{}, iters); err != nil {
+		return shardResult{shard: sh, err: err}
+	}
+	p := s.Stop()
+	p.Meta.Workload = sh.workload
+	p.Meta.Iterations = iters
+	return shardResult{shard: sh, profile: p, endET: s.EndToEnd(), wall: time.Since(wallStart)}
+}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"deepcontext"
@@ -26,6 +27,7 @@ func main() {
 		cpu      = flag.Bool("cpu", false, "enable CPU timer sampling")
 		pc       = flag.Bool("pc", false, "enable GPU instruction (PC) sampling")
 		iters    = flag.Int("iters", 0, "iterations (0 = workload default, 100)")
+		knobs    = flag.String("knobs", "", "comma-separated optimization knobs: "+knownKnobs+" (loader_workers takes =N)")
 		out      = flag.String("o", "", "write profile database to this path")
 		flame    = flag.String("flame", "", "write an HTML flame graph to this path")
 		analyze  = flag.Bool("analyze", true, "run the automated analyzer")
@@ -36,13 +38,58 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*workload, *fw, *vendor, *native, *cpu, *pc, *iters, *out, *flame, *analyze, *text); err != nil {
+	k, err := parseKnobs(*knobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deepcontext:", err)
+		os.Exit(2)
+	}
+	if err := run(*workload, *fw, *vendor, *native, *cpu, *pc, *iters, k, *out, *flame, *analyze, *text); err != nil {
 		fmt.Fprintln(os.Stderr, "deepcontext:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, fw, vendor string, native, cpu, pc bool, iters int, out, flame string, analyze, text bool) error {
+const knownKnobs = "index_select, channels_last, fuse_loss, fast_casts, loader_workers=N, norm_block_threads=N"
+
+// parseKnobs maps the case-study toggle names of Table 3 onto Knobs.
+func parseKnobs(s string) (deepcontext.Knobs, error) {
+	var k deepcontext.Knobs
+	if s == "" {
+		return k, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		name, val, hasVal := strings.Cut(tok, "=")
+		switch name {
+		case "index_select":
+			k.UseIndexSelect = true
+		case "channels_last":
+			k.ChannelsLast = true
+		case "fuse_loss":
+			k.FuseLoss = true
+		case "fast_casts":
+			k.FastCasts = true
+		case "loader_workers", "norm_block_threads":
+			if !hasVal {
+				return k, fmt.Errorf("knob %s needs =N", name)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return k, fmt.Errorf("knob %s: bad value %q", name, val)
+			}
+			if name == "loader_workers" {
+				k.LoaderWorkers = n
+			} else {
+				k.NormBlockThreads = n
+			}
+		default:
+			return k, fmt.Errorf("unknown knob %q (known: %s)", name, knownKnobs)
+		}
+	}
+	return k, nil
+}
+
+func run(workload, fw, vendor string, native, cpu, pc bool, iters int, knobs deepcontext.Knobs, out, flame string, analyze, text bool) error {
 	cfg := deepcontext.Config{
 		Vendor:          vendor,
 		Framework:       fw,
@@ -54,7 +101,7 @@ func run(workload, fw, vendor string, native, cpu, pc bool, iters int, out, flam
 	if err != nil {
 		return err
 	}
-	if err := s.RunWorkload(workload, deepcontext.Knobs{}, iters); err != nil {
+	if err := s.RunWorkload(workload, knobs, iters); err != nil {
 		return err
 	}
 	p := s.Stop()

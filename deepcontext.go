@@ -209,11 +209,155 @@ func AnalyzeWith(p *Profile, th Thresholds, analyses ...analyzer.Analysis) *Repo
 	return analyzer.Run(p, th, analyses...)
 }
 
+// MergeProfiles aggregates profiles into one: trees are unioned with metric
+// combination (schemas unify by name, frames by their equivalence key),
+// stats are summed, and fused-operator origins are pooled. Because the
+// inputs come from different runs (or machines), address-unified frames are
+// first normalized to their stable name/library identity — run-specific
+// program counters are not comparable across processes. The inputs are not
+// modified. Merging is associative, so shards of a batch run may be
+// combined in any order — including completion order of a worker pool.
+func MergeProfiles(ps ...*Profile) (*Profile, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("deepcontext: MergeProfiles needs at least one profile")
+	}
+	out := &Profile{
+		Tree:  cct.New(),
+		Fused: make(map[string][]framework.FusedOrigin),
+	}
+	var workloads, frameworks, vendors, devices, substrates []string
+	for _, p := range ps {
+		if p == nil {
+			return nil, fmt.Errorf("deepcontext: MergeProfiles given a nil profile")
+		}
+		cct.Merge(out.Tree, cct.NormalizeAddresses(p.Tree))
+		workloads = appendUnique(workloads, p.Meta.Workload)
+		frameworks = appendUnique(frameworks, p.Meta.Framework)
+		vendors = appendUnique(vendors, p.Meta.Vendor)
+		devices = appendUnique(devices, p.Meta.Device)
+		substrates = appendUnique(substrates, p.Meta.Substrate)
+		out.Meta.Iterations += p.Meta.Iterations
+		addStats(&out.Stats, p.Stats, 1)
+		out.MonitorStats = addMonitorStats(out.MonitorStats, p.MonitorStats, 1)
+		out.FootprintBytes += p.FootprintBytes
+		for name, origins := range p.Fused {
+			out.Fused[name] = mergeOrigins(out.Fused[name], origins)
+		}
+	}
+	out.Meta.Workload = strings.Join(workloads, "+")
+	out.Meta.Framework = strings.Join(frameworks, "+")
+	out.Meta.Vendor = strings.Join(vendors, "+")
+	out.Meta.Device = strings.Join(devices, "+")
+	out.Meta.Substrate = strings.Join(substrates, "+")
+	return out, nil
+}
+
+// DiffProfiles returns the signed delta profile after − before: the tree is
+// the union of both calling contexts with per-node signed metric deltas
+// (positive = regression, negative = improvement). As in MergeProfiles,
+// frames are normalized to cross-run stable identities before matching.
+// Render the result with FlameOptions.Signed or feed it to cmd/dcdiff's
+// hotspot table.
+func DiffProfiles(after, before *Profile) *Profile {
+	out := &Profile{
+		Tree: cct.Diff(cct.NormalizeAddresses(after.Tree), cct.NormalizeAddresses(before.Tree)),
+		Meta: after.Meta,
+		Fused: func() map[string][]framework.FusedOrigin {
+			f := make(map[string][]framework.FusedOrigin, len(after.Fused)+len(before.Fused))
+			for n, o := range before.Fused {
+				f[n] = mergeOrigins(nil, o)
+			}
+			for n, o := range after.Fused {
+				f[n] = mergeOrigins(f[n], o)
+			}
+			return f
+		}(),
+		FootprintBytes: after.FootprintBytes - before.FootprintBytes,
+	}
+	if before.Meta.Workload != after.Meta.Workload {
+		out.Meta.Workload = after.Meta.Workload + " vs " + before.Meta.Workload
+	}
+	addStats(&out.Stats, after.Stats, 1)
+	addStats(&out.Stats, before.Stats, -1)
+	out.MonitorStats = addMonitorStats(out.MonitorStats, after.MonitorStats, 1)
+	out.MonitorStats = addMonitorStats(out.MonitorStats, before.MonitorStats, -1)
+	out.Meta.Iterations = after.Meta.Iterations - before.Meta.Iterations
+	return out
+}
+
+// mergeOrigins pools fused-operator origin lists, deduplicating by original
+// operator name and never aliasing an input slice.
+func mergeOrigins(have, add []framework.FusedOrigin) []framework.FusedOrigin {
+	out := append([]framework.FusedOrigin(nil), have...)
+	for _, o := range add {
+		seen := false
+		for _, h := range out {
+			if h.Name == o.Name {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func appendUnique(list []string, s string) []string {
+	if s == "" {
+		return list
+	}
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+// addStats folds src into dst with sign (+1 merge, −1 diff).
+func addStats(dst *profiler.Stats, src profiler.Stats, sign int64) {
+	dst.APICallbacks += sign * src.APICallbacks
+	dst.ActivitiesHandled += sign * src.ActivitiesHandled
+	dst.SamplesAttributed += sign * src.SamplesAttributed
+	dst.CPUSamples += sign * src.CPUSamples
+	dst.OpsTimed += sign * src.OpsTimed
+	dst.DroppedActivities += sign * src.DroppedActivities
+}
+
+func addMonitorStats(dst dlmonitor.Stats, src dlmonitor.Stats, sign int64) dlmonitor.Stats {
+	dst.OpsIntercepted += sign * src.OpsIntercepted
+	dst.GPUEvents += sign * src.GPUEvents
+	dst.PathsBuilt += sign * src.PathsBuilt
+	dst.CacheHits += sign * src.CacheHits
+	dst.CacheMisses += sign * src.CacheMisses
+	dst.UnwindSteps += sign * src.UnwindSteps
+	dst.FwdPathsRecorded += sign * src.FwdPathsRecorded
+	dst.BwdAssociations += sign * src.BwdAssociations
+	return dst
+}
+
 // SaveProfile writes a profile database to path.
 func SaveProfile(path string, p *Profile) error { return profdb.SaveFile(path, p) }
 
-// LoadProfile reads a profile database from path.
+// LoadProfile reads a profile database from path (any format version; the
+// first profile of a multi-profile bundle).
 func LoadProfile(path string) (*Profile, error) { return profdb.LoadFile(path) }
+
+// BundleEntry is one named profile of a multi-profile bundle.
+type BundleEntry = profdb.Entry
+
+// SaveProfileBundle writes several named profiles into one database file —
+// the batch runner's per-shard results next to their merged aggregate.
+func SaveProfileBundle(path string, entries []BundleEntry) error {
+	return profdb.SaveBundleFile(path, entries)
+}
+
+// LoadProfileBundle reads every profile of a database file.
+func LoadProfileBundle(path string) ([]BundleEntry, error) {
+	return profdb.LoadBundleFile(path)
+}
 
 // ExportJSON writes the profile as nested JSON.
 func ExportJSON(w io.Writer, p *Profile) error { return profdb.ExportJSON(w, p) }
@@ -224,12 +368,15 @@ type FlameOptions struct {
 	Metric string
 	// BottomUp inverts the view, aggregating per innermost frame.
 	BottomUp bool
+	// Signed renders a delta profile (from DiffProfiles): box widths follow
+	// the magnitude of change and colour encodes regression vs improvement.
+	Signed bool
 	// Annotate colours analyzer findings into the graph.
 	Annotate *Report
 }
 
 func buildModel(p *Profile, o FlameOptions) (*flamegraph.Model, error) {
-	opts := flamegraph.Options{Metric: o.Metric}
+	opts := flamegraph.Options{Metric: o.Metric, Signed: o.Signed}
 	if o.BottomUp {
 		opts.View = flamegraph.BottomUp
 	}

@@ -1,0 +1,110 @@
+package deepcontext_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"deepcontext"
+)
+
+// ExampleProfileWorkload profiles one bundled workload end to end on the
+// simulated A100 and inspects the collected calling context tree. The
+// simulation runs on a virtual clock, so results are deterministic.
+func ExampleProfileWorkload() {
+	profile, err := deepcontext.ProfileWorkload("DLRM-small",
+		deepcontext.Config{Vendor: "nvidia", Framework: "pytorch"},
+		deepcontext.Knobs{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("workload: %s on %s/%s\n",
+		profile.Meta.Workload, profile.Meta.Vendor, profile.Meta.Framework)
+	fmt.Printf("collected contexts: %v\n", profile.Tree.NodeCount() > 50)
+	fmt.Printf("kernels launched: %v\n", profile.Stats.ActivitiesHandled > 0)
+	// Output:
+	// workload: DLRM-small on Nvidia/pytorch
+	// collected contexts: true
+	// kernels launched: true
+}
+
+// ExampleAnalyze runs the automated analyzer (§4.3) over a profile of the
+// unoptimized DLRM workload; the paper's §6.1 finding — the serialized
+// deterministic aten::index backward — must surface as an issue.
+func ExampleAnalyze() {
+	profile, _ := deepcontext.ProfileWorkload("DLRM-small", deepcontext.Config{}, deepcontext.Knobs{})
+	report := deepcontext.Analyze(profile)
+	found := false
+	for _, issue := range report.Issues {
+		if strings.Contains(issue.Message, "aten::index") {
+			found = true
+		}
+	}
+	fmt.Printf("findings: %v, flags aten::index: %v\n", len(report.Issues) > 0, found)
+	// Output:
+	// findings: true, flags aten::index: true
+}
+
+// ExampleWriteFlameGraph renders the interactive HTML flame graph (§4.4)
+// and an ASCII preview of the same model.
+func ExampleWriteFlameGraph() {
+	profile, _ := deepcontext.ProfileWorkload("NanoGPT", deepcontext.Config{}, deepcontext.Knobs{})
+	var html strings.Builder
+	if err := deepcontext.WriteFlameGraph(&html, profile, deepcontext.FlameOptions{}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("self-contained page: %v\n", strings.HasPrefix(html.String(), "<!DOCTYPE html>"))
+
+	var txt strings.Builder
+	_ = deepcontext.WriteFlameText(&txt, profile, deepcontext.FlameOptions{}, 1)
+	fmt.Println(strings.SplitN(txt.String(), "\n", 2)[0])
+	// Output:
+	// self-contained page: true
+	// flame graph (gpu_time_ns, top-down)
+}
+
+// ExampleDiffProfiles compares the same workload before and after an
+// optimization knob and renders the signed delta.
+func ExampleDiffProfiles() {
+	before, _ := deepcontext.ProfileWorkload("DLRM-small", deepcontext.Config{}, deepcontext.Knobs{})
+	after, _ := deepcontext.ProfileWorkload("DLRM-small", deepcontext.Config{}, deepcontext.Knobs{UseIndexSelect: true})
+	delta := deepcontext.DiffProfiles(after, before)
+
+	id, _ := delta.Tree.Schema.Lookup("gpu_time_ns")
+	fmt.Printf("optimization helps: %v\n", delta.Tree.Root.InclValue(id) < 0)
+
+	var txt strings.Builder
+	_ = deepcontext.WriteFlameText(&txt, delta, deepcontext.FlameOptions{Signed: true}, 1)
+	fmt.Println(strings.SplitN(txt.String(), "\n", 2)[0])
+	// Output:
+	// optimization helps: true
+	// diff flame graph (gpu_time_ns, top-down)
+}
+
+// ExampleMergeProfiles aggregates per-run profiles — here the same workload
+// on both GPU vendors — into one profile, as the dcexp matrix runner does
+// for the full workload × vendor × framework sweep.
+func ExampleMergeProfiles() {
+	nvidia, _ := deepcontext.ProfileWorkload("GNN", deepcontext.Config{Vendor: "nvidia"}, deepcontext.Knobs{})
+	amd, _ := deepcontext.ProfileWorkload("GNN", deepcontext.Config{Vendor: "amd"}, deepcontext.Knobs{})
+	agg, err := deepcontext.MergeProfiles(nvidia, amd)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("aggregate of: %s\n", agg.Meta.Vendor)
+
+	path := "gnn-agg.dcp"
+	defer os.Remove(path)
+	if err := deepcontext.SaveProfile(path, agg); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	loaded, _ := deepcontext.LoadProfile(path)
+	fmt.Printf("round trip keeps contexts: %v\n", loaded.Tree.NodeCount() == agg.Tree.NodeCount())
+	// Output:
+	// aggregate of: Nvidia+AMD
+	// round trip keeps contexts: true
+}

@@ -1,0 +1,3 @@
+module deepcontext
+
+go 1.24

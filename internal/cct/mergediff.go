@@ -1,0 +1,178 @@
+package cct
+
+// This file implements the multi-profile algebra over calling context trees:
+// Merge (a schema-unifying, associative union with metric combination, used
+// to aggregate per-shard or per-run profiles) and Diff (a signed delta tree,
+// used to compare a run before and after an optimization knob). Clone
+// supports both without mutating inputs.
+//
+// Merge is associative on the exact aggregates (Sum, Count, Min, Max) and
+// associative up to floating-point rounding on the Welford pair (Mean, M2),
+// so shards may be combined in any grouping — the property the parallel
+// batch runner relies on when it merges worker results as they finish.
+
+// Merge folds src into dst: src's metric schema is unified into dst's (IDs
+// are remapped by name), src's structure is unioned into dst's (frames unify
+// by their equivalence key), and per-node aggregates are combined with the
+// parallel Welford rule. src is not modified.
+func Merge(dst, src *Tree) { dst.Merge(src) }
+
+// MergeAll unions trees into a fresh tree, leaving the inputs untouched.
+func MergeAll(trees ...*Tree) *Tree {
+	out := New()
+	for _, t := range trees {
+		Merge(out, t)
+	}
+	return out
+}
+
+// Clone returns a deep copy of t (metrics, structure and schema; the
+// bookkeeping counters PropagationSteps/InsertedFrames are not carried over).
+func Clone(t *Tree) *Tree {
+	out := New()
+	Merge(out, t)
+	return out
+}
+
+// remapInto mirrors src's metric names into dst and returns the ID mapping.
+func remapInto(dst, src *Schema) []MetricID {
+	remap := make([]MetricID, src.Len())
+	for i := 0; i < src.Len(); i++ {
+		remap[i] = dst.ID(src.Name(MetricID(i)))
+	}
+	return remap
+}
+
+// deltaMetric is the signed difference a − b of two aggregates. Sum carries
+// the signed delta; Min and Max mirror it (the extremes of a difference of
+// aggregates are not recoverable); M2 is dropped. Count records the total
+// number of samples that contributed (a plus b), NOT the count delta: a
+// delta between two runs with equal sample counts must stay visible to
+// Empty(), or downstream tree operations (BottomUp, Merge, Clone) would
+// silently discard it. Count deltas live where they belong — in the Sum of
+// count-valued metrics such as kernel_launches. A metric absent on both
+// sides stays empty.
+func deltaMetric(a, b Metric) Metric {
+	if a.Count == 0 && b.Count == 0 {
+		return Metric{}
+	}
+	d := a.Sum - b.Sum
+	n := a.Count + b.Count
+	return Metric{Sum: d, Count: n, Min: d, Max: d, Mean: d / float64(n)}
+}
+
+// MapFrames returns a new tree whose frames are transformed by fn; nodes
+// whose transformed frames collide under the unification key are merged
+// (metrics combine, children interleave). Metric sums are conserved. The
+// input is not modified.
+func MapFrames(t *Tree, fn func(Frame) Frame) *Tree {
+	out := New()
+	remap := remapInto(out.Schema, t.Schema)
+	size := out.Schema.Len()
+	var rec func(dst, src *Node)
+	rec = func(dst, src *Node) {
+		dst.ensure(size)
+		for i, m := range src.Excl {
+			if !m.Empty() {
+				dst.Excl[remap[i]].Merge(m)
+			}
+		}
+		for i, m := range src.Incl {
+			if !m.Empty() {
+				dst.Incl[remap[i]].Merge(m)
+			}
+		}
+		for _, c := range src.order {
+			rec(out.child(dst, fn(c.Frame)), c)
+		}
+	}
+	rec(out.Root, t.Root)
+	return out
+}
+
+// NormalizeAddresses re-keys address-unified frames (native, GPU-API,
+// kernel, instruction) by a hash of their stable identity (name and library)
+// instead of the run-specific program counter. Within one process the
+// paper's lib+PC rule is exact, but PCs are not comparable across runs or
+// machines — code layout shifts — so profiles must be normalized before a
+// cross-run Merge or Diff, or identical kernels appear as disjoint contexts.
+func NormalizeAddresses(t *Tree) *Tree {
+	return MapFrames(t, func(f Frame) Frame {
+		switch f.Kind {
+		case KindNative, KindGPUAPI, KindKernel, KindInstruction:
+			f.PC = stableID(f.Name + "@" + f.Lib)
+		}
+		return f
+	})
+}
+
+// stableID is FNV-1a, a deterministic stand-in for an address.
+func stableID(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Diff returns the signed delta tree a − b: its schema is the union of both
+// schemas, its structure the union of both node sets, and every node carries
+// deltaMetric of the two sides (a node absent on one side contributes zero).
+// Positive values mean a spent more than b — with a = after and b = before,
+// positive deltas are regressions. Neither input is modified.
+func Diff(a, b *Tree) *Tree {
+	out := New()
+	remapA := remapInto(out.Schema, a.Schema)
+	remapB := remapInto(out.Schema, b.Schema)
+	size := out.Schema.Len()
+
+	var rec func(dst, an, bn *Node)
+	rec = func(dst, an, bn *Node) {
+		dst.ensure(size)
+		aE := make([]Metric, size)
+		aI := make([]Metric, size)
+		bE := make([]Metric, size)
+		bI := make([]Metric, size)
+		if an != nil {
+			for i := range an.Excl {
+				aE[remapA[i]] = an.Excl[i]
+			}
+			for i := range an.Incl {
+				aI[remapA[i]] = an.Incl[i]
+			}
+		}
+		if bn != nil {
+			for i := range bn.Excl {
+				bE[remapB[i]] = bn.Excl[i]
+			}
+			for i := range bn.Incl {
+				bI[remapB[i]] = bn.Incl[i]
+			}
+		}
+		for id := 0; id < size; id++ {
+			dst.Excl[id] = deltaMetric(aE[id], bE[id])
+			dst.Incl[id] = deltaMetric(aI[id], bI[id])
+		}
+		// Children present in a keep a's order; b-only children follow.
+		if an != nil {
+			for _, ac := range an.order {
+				var bc *Node
+				if bn != nil {
+					bc = bn.Child(ac.Frame)
+				}
+				rec(out.child(dst, ac.Frame), ac, bc)
+			}
+		}
+		if bn != nil {
+			for _, bc := range bn.order {
+				if an != nil && an.Child(bc.Frame) != nil {
+					continue
+				}
+				rec(out.child(dst, bc.Frame), nil, bc)
+			}
+		}
+	}
+	rec(out.Root, a.Root, b.Root)
+	return out
+}

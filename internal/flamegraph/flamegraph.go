@@ -8,6 +8,7 @@ package flamegraph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -55,6 +56,9 @@ type Model struct {
 	Root   *Box
 	Metric string
 	View   View
+	// Signed marks a delta (diff) graph: box values are signed, widths are
+	// by magnitude and colour encodes direction (regression vs improvement).
+	Signed bool
 }
 
 // Annotation colours a node in the rendered graph.
@@ -73,6 +77,10 @@ type Options struct {
 	MinFrac float64
 	// Annotations keys analyzer issues by CCT node (top-down view only).
 	Annotations map[*cct.Node]Annotation
+	// Signed treats the tree as a diff: values keep their sign, boxes are
+	// sized and pruned by magnitude against the total absolute change, and
+	// renderers colour by direction. Use with trees built by cct.Diff.
+	Signed bool
 }
 
 // Build renders tree into a flame-graph model.
@@ -94,7 +102,31 @@ func Build(tree *cct.Tree, opts Options) (*Model, error) {
 	if !ok {
 		return nil, fmt.Errorf("flamegraph: metric %q not in profile", opts.Metric)
 	}
-	total := src.Root.InclValue(id)
+	// In signed (diff) mode a node's net inclusive delta can cancel to ~0
+	// while large regressions and improvements coexist below it, so boxes
+	// are sized and pruned by the subtree's total absolute exclusive change
+	// ("absolute inclusive") rather than by the net value.
+	var absIncl map[*cct.Node]float64
+	if opts.Signed {
+		absIncl = make(map[*cct.Node]float64)
+		var sum func(n *cct.Node) float64
+		sum = func(n *cct.Node) float64 {
+			v := math.Abs(n.ExclValue(id))
+			for _, c := range n.Children() {
+				v += sum(c)
+			}
+			absIncl[n] = v
+			return v
+		}
+		sum(src.Root)
+	}
+	weight := func(n *cct.Node) float64 {
+		if opts.Signed {
+			return absIncl[n]
+		}
+		return n.InclValue(id)
+	}
+	total := weight(src.Root)
 	if total <= 0 {
 		total = 1
 	}
@@ -105,7 +137,7 @@ func Build(tree *cct.Tree, opts Options) (*Model, error) {
 			Kind:  n.Kind.String(),
 			Value: n.InclValue(id),
 			Self:  n.ExclValue(id),
-			Frac:  n.InclValue(id) / total,
+			Frac:  weight(n) / total,
 			File:  n.File,
 			Line:  n.Line,
 		}
@@ -114,17 +146,17 @@ func Build(tree *cct.Tree, opts Options) (*Model, error) {
 			b.Severity = a.Severity
 		}
 		for _, c := range n.Children() {
-			if c.InclValue(id)/total < opts.MinFrac {
+			if weight(c)/total < opts.MinFrac {
 				continue
 			}
 			b.Children = append(b.Children, conv(c))
 		}
-		sort.SliceStable(b.Children, func(i, j int) bool { return b.Children[i].Value > b.Children[j].Value })
+		sort.SliceStable(b.Children, func(i, j int) bool { return b.Children[i].Frac > b.Children[j].Frac })
 		return b
 	}
 	root := conv(src.Root)
 	root.Label = "<all>"
-	return &Model{Root: root, Metric: opts.Metric, View: opts.View}, nil
+	return &Model{Root: root, Metric: opts.Metric, View: opts.View, Signed: opts.Signed}, nil
 }
 
 // HottestPath returns the chain of maximal-value boxes from the root — the
@@ -139,21 +171,40 @@ func (m *Model) HottestPath() []*Box {
 	return out
 }
 
-// RenderText writes an indented ASCII rendering with per-box bars.
+// RenderText writes an indented ASCII rendering with per-box bars. Signed
+// models render '+' bars for regressions and '-' bars for improvements, with
+// the sign carried on the percentage.
 func RenderText(w *strings.Builder, m *Model, maxDepth int) {
-	fmt.Fprintf(w, "flame graph (%s, %s)\n", m.Metric, m.View)
+	kind := "flame graph"
+	if m.Signed {
+		kind = "diff flame graph"
+	}
+	fmt.Fprintf(w, "%s (%s, %s)\n", kind, m.Metric, m.View)
 	var rec func(b *Box, depth int)
 	rec = func(b *Box, depth int) {
 		if maxDepth > 0 && depth > maxDepth {
 			return
 		}
-		bar := strings.Repeat("#", int(b.Frac*40+0.5))
+		barRune := "#"
+		pct := 100 * b.Frac
+		if m.Signed {
+			if b.Value > 0 {
+				barRune = "+"
+			} else if b.Value < 0 {
+				barRune, pct = "-", -pct
+			}
+		}
+		bar := strings.Repeat(barRune, int(b.Frac*40+0.5))
 		marker := ""
 		if b.Severity != "" {
 			marker = " [" + b.Severity + ": " + b.Issue + "]"
 		}
-		fmt.Fprintf(w, "%s%-40s %6.2f%% %s%s\n",
-			strings.Repeat("  ", depth), clip(b.Label, 40-2*depth), 100*b.Frac, bar, marker)
+		format := "%s%-40s %6.2f%% %s%s\n"
+		if m.Signed {
+			format = "%s%-40s %+7.2f%% %s%s\n"
+		}
+		fmt.Fprintf(w, format,
+			strings.Repeat("  ", depth), clip(b.Label, 40-2*depth), pct, bar, marker)
 		for _, c := range b.Children {
 			rec(c, depth+1)
 		}

@@ -2,6 +2,7 @@ package flamegraph
 
 import (
 	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -159,5 +160,110 @@ func TestClip(t *testing.T) {
 	}
 	if got := clip("averyverylongfunctionname", 12); len(got) > 14 {
 		t.Fatalf("clip too long: %q", got)
+	}
+}
+
+// signedTree builds a diff-style tree with one regression and one
+// improvement of equal magnitude, so the net root delta cancels.
+func signedTree() *cct.Tree {
+	before, after := cct.New(), cct.New()
+	gb := before.MetricID(cct.MetricGPUTime)
+	ga := after.MetricID(cct.MetricGPUTime)
+	worse := []cct.Frame{cct.PythonFrame("t.py", 1, "step"), cct.OperatorFrame("aten::index")}
+	same := []cct.Frame{cct.PythonFrame("t.py", 1, "step"), cct.OperatorFrame("aten::mm")}
+	better := []cct.Frame{cct.PythonFrame("t.py", 1, "step"), cct.OperatorFrame("aten::copy_")}
+	before.AddMetric(before.InsertPath(worse), gb, 100)
+	before.AddMetric(before.InsertPath(same), gb, 500)
+	before.AddMetric(before.InsertPath(better), gb, 400)
+	after.AddMetric(after.InsertPath(worse), ga, 400)
+	after.AddMetric(after.InsertPath(same), ga, 500)
+	after.AddMetric(after.InsertPath(better), ga, 100)
+	return cct.Diff(after, before)
+}
+
+func TestBuildSigned(t *testing.T) {
+	m, err := Build(signedTree(), Options{Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Signed {
+		t.Fatal("model not marked signed")
+	}
+	// Net delta cancels, but both sides must survive pruning and be sized
+	// by magnitude: |+300| + |-300| = 600 total absolute change.
+	if m.Root.Value != 0 {
+		t.Fatalf("root delta = %v, want 0", m.Root.Value)
+	}
+	if len(m.Root.Children) != 1 {
+		t.Fatalf("root children = %d", len(m.Root.Children))
+	}
+	step := m.Root.Children[0]
+	if len(step.Children) != 2 {
+		t.Fatalf("signed children pruned: %d (want regression and improvement)", len(step.Children))
+	}
+	var pos, neg bool
+	for _, c := range step.Children {
+		if c.Value == 300 {
+			pos = true
+		}
+		if c.Value == -300 {
+			neg = true
+		}
+		if c.Frac != 0.5 {
+			t.Fatalf("child frac = %v, want 0.5 of total absolute change", c.Frac)
+		}
+	}
+	if !pos || !neg {
+		t.Fatalf("missing signed sides: pos=%v neg=%v", pos, neg)
+	}
+}
+
+func TestRenderTextSigned(t *testing.T) {
+	m, err := Build(signedTree(), Options{Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderText(&sb, m, 0)
+	out := sb.String()
+	if !strings.Contains(out, "diff flame graph") {
+		t.Fatalf("missing diff header:\n%s", out)
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "-50.00%") {
+		t.Fatalf("signed render lacks signed bars/percentages:\n%s", out)
+	}
+}
+
+func TestRenderHTMLSigned(t *testing.T) {
+	m, err := Build(signedTree(), Options{Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderHTML(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := regexp.MatchString(`const SIGNED =\s*true`, buf.String()); !ok {
+		t.Fatal("html not marked signed")
+	}
+}
+
+// Regression: a diff tree whose before/after sample counts match must stay
+// visible to the bottom-up view (deltaMetric once emitted Count==0 there,
+// which Tree.BottomUp treated as Empty and dropped).
+func TestBuildSignedBottomUp(t *testing.T) {
+	m, err := Build(signedTree(), Options{Signed: true, View: BottomUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Root.Children) == 0 {
+		t.Fatal("signed bottom-up view lost all delta frames")
+	}
+	labels := map[string]float64{}
+	for _, c := range m.Root.Children {
+		labels[c.Label] = c.Value
+	}
+	if labels["aten::index"] != 300 || labels["aten::copy_"] != -300 {
+		t.Fatalf("bottom-up deltas = %v, want aten::index=+300 aten::copy_=-300", labels)
 	}
 }

@@ -42,6 +42,7 @@ const htmlPage = `<!DOCTYPE html>
 <div id="detail">hover a frame for details; click to zoom</div>
 <script>
 const MODEL = {{.ModelJSON}};
+const SIGNED = {{.Signed}};
 const COLORS = { python: "#61afef", operator: "#98c379", native: "#c678dd",
                  gpu_api: "#e5c07b", kernel: "#e06c75", instruction: "#d19a66",
                  thread: "#56b6c2", root: "#aaaaaa" };
@@ -51,18 +52,36 @@ let zoomRoot = MODEL;
 
 function rowWidth(frac) { return Math.max(0.2, frac * 100) + "%"; }
 
+// Signed (diff) graphs colour by direction: red shades for regressions
+// (positive delta), green for improvements, gray for unchanged frames.
+function colorOf(node) {
+  if (!SIGNED) return COLORS[node.kind] || "#888";
+  const v = node.value || 0;
+  if (v > 0) return "#e06c75";
+  if (v < 0) return "#98c379";
+  return "#9a9a9a";
+}
+
 function render() {
   graph.innerHTML = "";
-  const base = zoomRoot.value || 1;
+  // Signed graphs size by total absolute change (frac), which never
+  // cancels, instead of by the net value.
+  const base = SIGNED ? (zoomRoot.frac || 1) : (zoomRoot.value || 1);
   (function walk(node, depth) {
     const div = document.createElement("div");
     div.className = "frame" + (node.severity ? " " + node.severity : "");
-    div.style.width = rowWidth((node.value || 0) / base);
+    const frac = SIGNED ? (node.frac || 0) / base : (node.value || 0) / base;
+    div.style.width = rowWidth(frac);
     div.style.marginLeft = (depth * 12) + "px";
-    div.style.background = COLORS[node.kind] || "#888";
-    div.textContent = node.label + "  (" + ((node.value || 0) / base * 100).toFixed(1) + "%)";
+    div.style.background = colorOf(node);
+    const pct = (frac * 100).toFixed(1);
+    // Sign parity with the ASCII renderer: direction must survive without
+    // color (colorblind users, grayscale screenshots).
+    const sign = !SIGNED ? "" : node.value > 0 ? "+" : node.value < 0 ? "−" : "±";
+    div.textContent = node.label + "  (" + sign + pct + "%)";
     div.onmouseenter = () => {
-      detail.innerHTML = "<b>" + node.label + "</b> — inclusive " + node.value +
+      const shown = SIGNED && node.value > 0 ? "+" + node.value : node.value;
+      detail.innerHTML = "<b>" + node.label + "</b> — inclusive " + shown +
         ", self " + node.self +
         (node.file ? ' · <span class="loc">' + node.file + ":" + node.line + "</span>" : "") +
         (node.issue ? ' · <span class="issue">' + node.issue + "</span>" : "");
@@ -85,6 +104,7 @@ type jsonBox struct {
 	Kind     string     `json:"kind"`
 	Value    float64    `json:"value"`
 	Self     float64    `json:"self"`
+	Frac     float64    `json:"frac"`
 	File     string     `json:"file,omitempty"`
 	Line     int        `json:"line,omitempty"`
 	Issue    string     `json:"issue,omitempty"`
@@ -94,7 +114,7 @@ type jsonBox struct {
 
 func toJSON(b *Box) *jsonBox {
 	jb := &jsonBox{
-		Label: b.Label, Kind: b.Kind, Value: b.Value, Self: b.Self,
+		Label: b.Label, Kind: b.Kind, Value: b.Value, Self: b.Self, Frac: b.Frac,
 		File: b.File, Line: b.Line, Issue: b.Issue, Severity: b.Severity,
 	}
 	for _, c := range b.Children {
@@ -112,6 +132,7 @@ func RenderHTML(w io.Writer, m *Model) error {
 	return htmlTmpl.Execute(w, struct {
 		Metric    string
 		View      string
+		Signed    bool
 		ModelJSON template.JS
-	}{m.Metric, m.View.String(), template.JS(data)})
+	}{m.Metric, m.View.String(), m.Signed, template.JS(data)})
 }

@@ -3,9 +3,15 @@
 // tooling and the GUI. Because the profiler aggregates online, the database
 // is proportional to distinct calling contexts, not to run length — the
 // property behind the paper's disk/memory savings versus trace files.
+//
+// The on-disk format is versioned. Version 2 is a multi-profile bundle: one
+// file holds any number of named profiles (per-shard results of a batch run,
+// a before/after pair, or a single profile, the common case). Version 1
+// single-profile files are still read transparently.
 package profdb
 
 import (
+	"bytes"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
@@ -18,8 +24,14 @@ import (
 	"deepcontext/internal/profiler"
 )
 
-// FormatMagic identifies the database format version.
-const FormatMagic = "DEEPCONTEXT-PROFDB-1"
+// Format magics; the trailing number is the format version.
+const (
+	// FormatMagic identifies the current (bundle) database format.
+	FormatMagic = "DEEPCONTEXT-PROFDB-2"
+	// FormatMagicV1 identifies the legacy single-profile format, which
+	// Load still accepts.
+	FormatMagicV1 = "DEEPCONTEXT-PROFDB-1"
+)
 
 type flatNode struct {
 	ID     int
@@ -29,8 +41,11 @@ type flatNode struct {
 	Incl   []cct.Metric
 }
 
+// fileFormat is one serialized profile. It is both the v1 top-level value
+// and the per-profile record of a v2 bundle (Name is empty in v1 files).
 type fileFormat struct {
 	Magic          string
+	Name           string
 	Meta           profiler.Meta
 	Stats          profiler.Stats
 	MonitorStats   dlmonitor.Stats
@@ -40,10 +55,22 @@ type fileFormat struct {
 	FootprintBytes int64
 }
 
-// Save writes p to w in the binary database format.
-func Save(w io.Writer, p *profiler.Profile) error {
+// bundleFormat is the v2 top-level value: a named multi-profile container.
+type bundleFormat struct {
+	Magic    string
+	Profiles []fileFormat
+}
+
+// Entry is one named profile of a bundle. Name may be empty for
+// single-profile files; the batch runner uses "workload/vendor/framework".
+type Entry struct {
+	Name    string
+	Profile *profiler.Profile
+}
+
+func flatten(name string, p *profiler.Profile) fileFormat {
 	ff := fileFormat{
-		Magic:          FormatMagic,
+		Name:           name,
 		Meta:           p.Meta,
 		Stats:          p.Stats,
 		MonitorStats:   p.MonitorStats,
@@ -67,18 +94,10 @@ func Save(w io.Writer, p *profiler.Profile) error {
 			Incl:   n.Incl,
 		})
 	})
-	return gob.NewEncoder(w).Encode(&ff)
+	return ff
 }
 
-// Load reads a profile from r.
-func Load(r io.Reader) (*profiler.Profile, error) {
-	var ff fileFormat
-	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
-		return nil, fmt.Errorf("profdb: decode: %w", err)
-	}
-	if ff.Magic != FormatMagic {
-		return nil, fmt.Errorf("profdb: bad magic %q", ff.Magic)
-	}
+func unflatten(ff *fileFormat) (*profiler.Profile, error) {
 	tree := cct.New()
 	for _, name := range ff.Metrics {
 		tree.Schema.ID(name)
@@ -106,20 +125,97 @@ func Load(r io.Reader) (*profiler.Profile, error) {
 	}, nil
 }
 
+// SaveBundle writes the named profiles to w as one v2 database.
+func SaveBundle(w io.Writer, entries []Entry) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("profdb: empty bundle")
+	}
+	bf := bundleFormat{Magic: FormatMagic}
+	for _, e := range entries {
+		if e.Profile == nil {
+			return fmt.Errorf("profdb: nil profile in bundle entry %q", e.Name)
+		}
+		bf.Profiles = append(bf.Profiles, flatten(e.Name, e.Profile))
+	}
+	return gob.NewEncoder(w).Encode(&bf)
+}
+
+// LoadBundle reads every profile of a database. Legacy v1 files load as a
+// single-entry bundle.
+func LoadBundle(r io.Reader) ([]Entry, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("profdb: read: %w", err)
+	}
+	// gob matches struct fields by name, so a v1 fileFormat payload decodes
+	// into bundleFormat with Magic set and Profiles empty — the magic then
+	// dispatches to the right shape.
+	var bf bundleFormat
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&bf); err != nil {
+		return nil, fmt.Errorf("profdb: decode: %w", err)
+	}
+	switch bf.Magic {
+	case FormatMagic:
+		if len(bf.Profiles) == 0 {
+			return nil, fmt.Errorf("profdb: bundle has no profiles")
+		}
+		out := make([]Entry, 0, len(bf.Profiles))
+		for i := range bf.Profiles {
+			p, err := unflatten(&bf.Profiles[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Entry{Name: bf.Profiles[i].Name, Profile: p})
+		}
+		return out, nil
+	case FormatMagicV1:
+		var ff fileFormat
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&ff); err != nil {
+			return nil, fmt.Errorf("profdb: decode v1: %w", err)
+		}
+		p, err := unflatten(&ff)
+		if err != nil {
+			return nil, err
+		}
+		return []Entry{{Profile: p}}, nil
+	default:
+		return nil, fmt.Errorf("profdb: bad magic %q", bf.Magic)
+	}
+}
+
+// Save writes p to w as a single-profile database.
+func Save(w io.Writer, p *profiler.Profile) error {
+	return SaveBundle(w, []Entry{{Profile: p}})
+}
+
+// Load reads the first profile of a database (v1 or v2).
+func Load(r io.Reader) (*profiler.Profile, error) {
+	entries, err := LoadBundle(r)
+	if err != nil {
+		return nil, err
+	}
+	return entries[0].Profile, nil
+}
+
 // SaveFile writes p to path.
 func SaveFile(path string, p *profiler.Profile) error {
+	return SaveBundleFile(path, []Entry{{Profile: p}})
+}
+
+// SaveBundleFile writes the named profiles to path.
+func SaveBundleFile(path string, entries []Entry) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := Save(f, p); err != nil {
+	if err := SaveBundle(f, entries); err != nil {
 		return err
 	}
 	return f.Sync()
 }
 
-// LoadFile reads a profile from path.
+// LoadFile reads the first profile from path.
 func LoadFile(path string) (*profiler.Profile, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -127,6 +223,16 @@ func LoadFile(path string) (*profiler.Profile, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// LoadBundleFile reads every profile from path.
+func LoadBundleFile(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadBundle(f)
 }
 
 // jsonNode is the nested JSON export shape.

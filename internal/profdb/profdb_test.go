@@ -2,6 +2,7 @@ package profdb
 
 import (
 	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"math"
 	"path/filepath"
@@ -114,6 +115,150 @@ func TestExportJSON(t *testing.T) {
 	s := buf.String()
 	if !strings.Contains(s, "implicit_gemm") || !strings.Contains(s, cct.MetricGPUTime) {
 		t.Fatal("JSON lacks kernel or metric names")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	a := sampleProfile()
+	b := sampleProfile()
+	b.Meta.Workload = "dlrm"
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, []Entry{{Name: "unet/nvidia/pytorch", Profile: a}, {Name: "dlrm/nvidia/pytorch", Profile: b}}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Name != "unet/nvidia/pytorch" || entries[1].Profile.Meta.Workload != "dlrm" {
+		t.Fatalf("bundle entries wrong: %q / %+v", entries[0].Name, entries[1].Profile.Meta)
+	}
+	if entries[0].Profile.Tree.NodeCount() != a.Tree.NodeCount() {
+		t.Fatal("bundle lost nodes")
+	}
+}
+
+func TestBundleFileAndSingleLoadInterop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bundle.dcp")
+	a := sampleProfile()
+	if err := SaveBundleFile(path, []Entry{{Name: "first", Profile: a}, {Name: "second", Profile: sampleProfile()}}); err != nil {
+		t.Fatal(err)
+	}
+	// Load on a bundle returns the first profile.
+	p, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Meta.Workload != "unet" {
+		t.Fatalf("meta = %+v", p.Meta)
+	}
+	entries, err := LoadBundleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Name != "second" {
+		t.Fatalf("bundle = %d entries, [1].Name=%q", len(entries), entries[1].Name)
+	}
+}
+
+func TestSaveBundleRejectsEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, nil); err == nil {
+		t.Fatal("empty bundle should fail")
+	}
+	if err := SaveBundle(&buf, []Entry{{Name: "x"}}); err == nil {
+		t.Fatal("nil profile should fail")
+	}
+}
+
+// legacyV1Format mirrors the v1 on-disk struct (no Name field, profile at
+// the top level) to synthesize fixtures for backward-compatibility tests.
+type legacyV1Format struct {
+	Magic          string
+	Meta           profiler.Meta
+	Stats          profiler.Stats
+	Metrics        []string
+	Nodes          []flatNode
+	Fused          map[string][]framework.FusedOrigin
+	FootprintBytes int64
+}
+
+func TestLoadLegacyV1(t *testing.T) {
+	p := sampleProfile()
+	ff := flatten("", p)
+	legacy := legacyV1Format{
+		Magic:          FormatMagicV1,
+		Meta:           ff.Meta,
+		Stats:          ff.Stats,
+		Metrics:        ff.Metrics,
+		Nodes:          ff.Nodes,
+		Fused:          ff.Fused,
+		FootprintBytes: ff.FootprintBytes,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 load: %v", err)
+	}
+	if got.Meta != p.Meta || got.Tree.NodeCount() != p.Tree.NodeCount() {
+		t.Fatalf("v1 round trip: meta=%+v nodes=%d", got.Meta, got.Tree.NodeCount())
+	}
+	entries, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(entries) != 1 || entries[0].Name != "" {
+		t.Fatalf("v1 as bundle: %v, %d entries", err, len(entries))
+	}
+}
+
+func TestLoadRejectsUnknownMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&bundleFormat{Magic: "DEEPCONTEXT-PROFDB-99"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("future magic should fail")
+	}
+}
+
+// Merged and diffed trees must survive the round trip, including negative
+// (signed-delta) sums.
+func TestRoundTripMergedAndDiffedProfiles(t *testing.T) {
+	a, b := sampleProfile(), sampleProfile()
+	gid, _ := b.Tree.Schema.Lookup(cct.MetricGPUTime)
+	b.Tree.AddMetric(b.Tree.InsertPath([]cct.Frame{cct.OperatorFrame("aten::extra")}), gid, 5000)
+
+	merged := &profiler.Profile{Tree: cct.MergeAll(a.Tree, b.Tree), Meta: a.Meta}
+	diffed := &profiler.Profile{Tree: cct.Diff(a.Tree, b.Tree), Meta: a.Meta}
+
+	for name, p := range map[string]*profiler.Profile{"merged": merged, "diffed": diffed} {
+		var buf bytes.Buffer
+		if err := Save(&buf, p); err != nil {
+			t.Fatalf("%s save: %v", name, err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s load: %v", name, err)
+		}
+		if got.Tree.NodeCount() != p.Tree.NodeCount() {
+			t.Fatalf("%s lost nodes: %d vs %d", name, got.Tree.NodeCount(), p.Tree.NodeCount())
+		}
+		id, ok := got.Tree.Schema.Lookup(cct.MetricGPUTime)
+		if !ok {
+			t.Fatalf("%s lost schema", name)
+		}
+		if got.Tree.Root.InclValue(id) != p.Tree.Root.InclValue(id) {
+			t.Fatalf("%s total = %v, want %v", name, got.Tree.Root.InclValue(id), p.Tree.Root.InclValue(id))
+		}
+	}
+	// The diff total must be the signed improvement (a − b = −5000).
+	id, _ := diffed.Tree.Schema.Lookup(cct.MetricGPUTime)
+	if diffed.Tree.Root.InclValue(id) != -5000 {
+		t.Fatalf("diff total = %v, want -5000", diffed.Tree.Root.InclValue(id))
 	}
 }
 

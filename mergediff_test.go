@@ -1,0 +1,126 @@
+package deepcontext
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deepcontext/internal/cct"
+)
+
+func TestMergeProfilesAcrossShards(t *testing.T) {
+	nv, err := ProfileWorkload("DLRM-small", Config{Vendor: "nvidia"}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := ProfileWorkload("DLRM-small", Config{Vendor: "amd"}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := MergeProfiles(nv, amd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Meta.Vendor != "Nvidia+AMD" {
+		t.Fatalf("vendor = %q", agg.Meta.Vendor)
+	}
+	gid, ok := agg.Tree.Schema.Lookup(cct.MetricGPUTime)
+	if !ok {
+		t.Fatal("merged schema lost gpu time")
+	}
+	nvID, _ := nv.Tree.Schema.Lookup(cct.MetricGPUTime)
+	amdID, _ := amd.Tree.Schema.Lookup(cct.MetricGPUTime)
+	want := nv.Tree.Root.InclValue(nvID) + amd.Tree.Root.InclValue(amdID)
+	if got := agg.Tree.Root.InclValue(gid); got != want {
+		t.Fatalf("merged gpu total = %v, want %v", got, want)
+	}
+	if agg.Stats.APICallbacks != nv.Stats.APICallbacks+amd.Stats.APICallbacks {
+		t.Fatal("stats not summed")
+	}
+	// Inputs untouched.
+	if nv.Tree.Root.InclValue(nvID) == agg.Tree.Root.InclValue(gid) {
+		t.Fatal("merge did not aggregate (or mutated an input)")
+	}
+	if _, err := MergeProfiles(); err == nil {
+		t.Fatal("empty merge should fail")
+	}
+}
+
+func TestDiffProfilesFindsKnobImprovement(t *testing.T) {
+	before, err := ProfileWorkload("DLRM-small", Config{}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ProfileWorkload("DLRM-small", Config{}, Knobs{UseIndexSelect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffProfiles(after, before)
+	id, ok := d.Tree.Schema.Lookup(cct.MetricGPUTime)
+	if !ok {
+		t.Fatal("diff lost schema")
+	}
+	// The index_select knob is the paper's §6.1 win: GPU time must drop.
+	if got := d.Tree.Root.InclValue(id); got >= 0 {
+		t.Fatalf("diff total = %v, want negative (optimization should help)", got)
+	}
+
+	// The signed renderers accept the delta profile end to end.
+	var txt bytes.Buffer
+	if err := WriteFlameText(&txt, d, FlameOptions{Signed: true}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "diff flame graph") {
+		t.Fatalf("not a diff render:\n%s", txt.String())
+	}
+	var html bytes.Buffer
+	if err := WriteFlameGraph(&html, d, FlameOptions{Signed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html.String(), "SIGNED") {
+		t.Fatal("html diff render not signed")
+	}
+}
+
+func TestProfileBundleRoundTripThroughFacade(t *testing.T) {
+	a, err := ProfileWorkload("GNN", Config{}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileWorkload("GNN", Config{Framework: "jax"}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := MergeProfiles(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "matrix.dcp")
+	entries := []BundleEntry{
+		{Name: "aggregate", Profile: agg},
+		{Name: "GNN/nvidia/pytorch", Profile: a},
+		{Name: "GNN/nvidia/jax", Profile: b},
+	}
+	if err := SaveProfileBundle(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfileBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Name != "aggregate" {
+		t.Fatalf("bundle = %d entries, first %q", len(got), got[0].Name)
+	}
+	if got[0].Profile.Tree.NodeCount() != agg.Tree.NodeCount() {
+		t.Fatal("aggregate lost nodes in bundle round trip")
+	}
+	// LoadProfile on a bundle yields the first entry (the aggregate).
+	first, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Tree.NodeCount() != agg.Tree.NodeCount() {
+		t.Fatal("LoadProfile did not return the first bundle entry")
+	}
+}
