@@ -9,6 +9,7 @@ package deepcontext
 
 import (
 	"io"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -258,6 +259,107 @@ func BenchmarkAnalyzerFullReport(b *testing.B) {
 		Analyze(p)
 	}
 }
+
+// --- Ingestion hot path (docs/PERFORMANCE.md) --------------------------------
+//
+// The ingestion suite isolates the CCT construction hot path — the work done
+// on every intercepted event — and measures three representative full
+// workloads under both frameworks. Results are recorded in BENCH_*.json.
+
+// ingestPaths builds a deterministic mix of call paths shaped like real
+// profiler input: a handful of hot paths (cache-friendly unification) plus a
+// long tail of distinct contexts (tree growth).
+func ingestPaths() [][]cct.Frame {
+	var paths [][]cct.Frame
+	for op := 0; op < 16; op++ {
+		for k := 0; k < 4; k++ {
+			paths = append(paths, []cct.Frame{
+				cct.PythonFrame("train.py", 10, "main"),
+				cct.PythonFrame("model.py", 100+op, "forward"),
+				cct.OperatorFrame("aten::op" + strconv.Itoa(op)),
+				{Kind: cct.KindGPUAPI, Name: "cudaLaunchKernel", Lib: "libcudart.so", PC: 0x2000},
+				{Kind: cct.KindKernel, Name: "kernel" + strconv.Itoa(k), Lib: "[gpu]", PC: uint64(0x3000 + op*64 + k)},
+			})
+		}
+	}
+	return paths
+}
+
+// BenchmarkIngestInsertHot measures frame unification on a warm tree: every
+// path already exists, so an iteration is pure key lookup plus metric
+// propagation — the steady state of a long profiling run.
+func BenchmarkIngestInsertHot(b *testing.B) {
+	tree := cct.New()
+	id := tree.MetricID(cct.MetricGPUTime)
+	paths := ingestPaths()
+	for _, p := range paths {
+		tree.InsertPath(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := paths[i%len(paths)]
+		leaf := tree.InsertPath(p)
+		tree.AddMetric(leaf, id, float64(i))
+	}
+}
+
+// BenchmarkIngestInsertGrow measures tree growth: every iteration builds a
+// fresh tree from the full path mix, exercising node allocation.
+func BenchmarkIngestInsertGrow(b *testing.B) {
+	paths := ingestPaths()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := cct.New()
+		for _, p := range paths {
+			tree.InsertPath(p)
+		}
+	}
+}
+
+// benchIngestWorkload measures full profiled-workload wall time (real time,
+// not virtual time) for one workload × framework pair.
+func benchIngestWorkload(b *testing.B, wl, fw string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := ProfileWorkload(wl, Config{Framework: fw}, Knobs{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Tree.NodeCount() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+// benchIngestShards pins the shard count to isolate the sharded fold path
+// (Shards=1 is the serial byte-identical path; 8 exercises mirror-cache
+// attribution and the Stop-time fold).
+func benchIngestShards(b *testing.B, shards int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := ProfileWorkload("UNet", Config{Shards: shards}, Knobs{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Tree.NodeCount() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+func BenchmarkIngestShards1(b *testing.B) { benchIngestShards(b, 1) }
+func BenchmarkIngestShards8(b *testing.B) { benchIngestShards(b, 8) }
+
+func BenchmarkIngestWorkloadViTPyTorch(b *testing.B)  { benchIngestWorkload(b, "ViT", "pytorch") }
+func BenchmarkIngestWorkloadViTJAX(b *testing.B)      { benchIngestWorkload(b, "ViT", "jax") }
+func BenchmarkIngestWorkloadGNNPyTorch(b *testing.B)  { benchIngestWorkload(b, "GNN", "pytorch") }
+func BenchmarkIngestWorkloadGNNJAX(b *testing.B)      { benchIngestWorkload(b, "GNN", "jax") }
+func BenchmarkIngestWorkloadUNetPyTorch(b *testing.B) { benchIngestWorkload(b, "UNet", "pytorch") }
+func BenchmarkIngestWorkloadUNetJAX(b *testing.B)     { benchIngestWorkload(b, "UNet", "jax") }
 
 // --- Ablations (DESIGN.md §5): design choices the paper calls out ------------
 

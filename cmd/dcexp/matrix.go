@@ -131,10 +131,13 @@ func runMatrix(iters, workers int, out string, bundle bool) error {
 	return nil
 }
 
-// runShard profiles one matrix cell on its own simulated machine.
+// runShard profiles one matrix cell on its own simulated machine. CCT
+// ingestion is pinned to one shard: the matrix's parallelism lives at the
+// runner level (one goroutine per cell), and the serial path keeps saved
+// .dcp artifacts byte-stable across hosts with different GOMAXPROCS.
 func runShard(sh shard, iters int) shardResult {
 	wallStart := time.Now()
-	s, err := deepcontext.NewSession(deepcontext.Config{Vendor: sh.vendor, Framework: sh.framework})
+	s, err := deepcontext.NewSession(deepcontext.Config{Vendor: sh.vendor, Framework: sh.framework, Shards: 1})
 	if err != nil {
 		return shardResult{shard: sh, err: err}
 	}

@@ -32,6 +32,7 @@ func main() {
 		flame    = flag.String("flame", "", "write an HTML flame graph to this path")
 		analyze  = flag.Bool("analyze", true, "run the automated analyzer")
 		text     = flag.Bool("text", false, "print an ASCII flame tree")
+		shards   = flag.Int("shards", 0, "CCT ingestion shards (0 = GOMAXPROCS, 1 = serial single-tree path)")
 	)
 	flag.Parse()
 	if *workload == "" {
@@ -43,7 +44,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "deepcontext:", err)
 		os.Exit(2)
 	}
-	if err := run(*workload, *fw, *vendor, *native, *cpu, *pc, *iters, k, *out, *flame, *analyze, *text); err != nil {
+	cfg := deepcontext.Config{
+		Vendor:          *vendor,
+		Framework:       *fw,
+		NativeCallPaths: *native,
+		CPUSampling:     *cpu,
+		PCSampling:      *pc,
+		Shards:          *shards,
+	}
+	if err := run(*workload, cfg, *iters, k, *out, *flame, *analyze, *text); err != nil {
 		fmt.Fprintln(os.Stderr, "deepcontext:", err)
 		os.Exit(1)
 	}
@@ -89,14 +98,7 @@ func parseKnobs(s string) (deepcontext.Knobs, error) {
 	return k, nil
 }
 
-func run(workload, fw, vendor string, native, cpu, pc bool, iters int, knobs deepcontext.Knobs, out, flame string, analyze, text bool) error {
-	cfg := deepcontext.Config{
-		Vendor:          vendor,
-		Framework:       fw,
-		NativeCallPaths: native,
-		CPUSampling:     cpu,
-		PCSampling:      pc,
-	}
+func run(workload string, cfg deepcontext.Config, iters int, knobs deepcontext.Knobs, out, flame string, analyze, text bool) error {
 	s, err := deepcontext.NewSession(cfg)
 	if err != nil {
 		return err

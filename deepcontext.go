@@ -20,6 +20,7 @@ package deepcontext
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"deepcontext/internal/analyzer"
@@ -73,6 +74,14 @@ type Config struct {
 	CPUSampling bool
 	// PCSampling enables GPU instruction sampling with stall reasons.
 	PCSampling bool
+	// Shards is the number of per-thread CCT shards the ingestion hot
+	// path records into; threads map to shards by ID and the shards fold
+	// into one tree (cct.Merge) when the session stops. 0 selects
+	// GOMAXPROCS. Shards = 1 forces the serial single-tree path, whose
+	// output is bit-for-bit identical to the unsharded implementation;
+	// any shard count produces an equivalent profile (same contexts, same
+	// aggregates — see cct.Equivalent), differing only in child order.
+	Shards int
 }
 
 func (c Config) vendor() (gpu.Vendor, error) {
@@ -114,6 +123,10 @@ func NewSession(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 	env := workloads.NewEnv(eval.DeviceFor(vendor))
 	tracer, err := eval.NewTracer(env)
 	if err != nil {
@@ -123,6 +136,7 @@ func NewSession(cfg Config) (*Session, error) {
 		Machine:    env.M,
 		Frameworks: []framework.Hooks{env.Torch, env.Jax},
 		Tracer:     tracer,
+		Shards:     shards,
 	})
 	if err != nil {
 		return nil, err
@@ -133,6 +147,7 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	pcfg.CPUSampling = cfg.CPUSampling
 	pcfg.PCSampling = cfg.PCSampling
+	pcfg.Shards = shards
 	sess := profiler.NewSession(mn, env.M, tracer, pcfg)
 	sess.SetMeta(profiler.Meta{Framework: fw})
 	if err := sess.Start(); err != nil {
@@ -140,7 +155,7 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	if cfg.CPUSampling {
 		sess.AttachCPUSampler(env.Main)
-		env.M.NewThreadHook = sess.AttachCPUSampler
+		env.M.AddThreadHook(sess.AttachCPUSampler)
 	}
 	return &Session{env: env, mn: mn, sess: sess, fw: fw}, nil
 }

@@ -83,6 +83,64 @@ func ExampleDiffProfiles() {
 	// diff flame graph (gpu_time_ns, top-down)
 }
 
+// ExampleSaveProfileBundle writes several named profiles — per-shard results
+// next to their merged aggregate, the batch runner's layout — into one
+// database file and reads them back.
+func ExampleSaveProfileBundle() {
+	torch, _ := deepcontext.ProfileWorkload("ViT", deepcontext.Config{Framework: "pytorch"}, deepcontext.Knobs{})
+	jax, _ := deepcontext.ProfileWorkload("ViT", deepcontext.Config{Framework: "jax"}, deepcontext.Knobs{})
+	agg, _ := deepcontext.MergeProfiles(torch, jax)
+
+	path := "vit-bundle.dcp"
+	defer os.Remove(path)
+	err := deepcontext.SaveProfileBundle(path, []deepcontext.BundleEntry{
+		{Name: "aggregate", Profile: agg},
+		{Name: "vit/pytorch", Profile: torch},
+		{Name: "vit/jax", Profile: jax},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	entries, _ := deepcontext.LoadProfileBundle(path)
+	for _, e := range entries {
+		fmt.Printf("%s: has contexts %v\n", e.Name, e.Profile.Tree.NodeCount() > 0)
+	}
+	// LoadProfile on a bundle yields its first entry.
+	first, _ := deepcontext.LoadProfile(path)
+	fmt.Printf("first entry frameworks: %s\n", first.Meta.Framework)
+	// Output:
+	// aggregate: has contexts true
+	// vit/pytorch: has contexts true
+	// vit/jax: has contexts true
+	// first entry frameworks: pytorch+jax
+}
+
+// ExampleNewSession drives a custom profiling session: sharded ingestion is
+// pinned to one shard for bit-reproducible output, a bundled workload runs
+// under it, and the profile is collected with Stop.
+func ExampleNewSession() {
+	s, err := deepcontext.NewSession(deepcontext.Config{
+		Vendor: "amd",
+		Shards: 1, // 0 = GOMAXPROCS; 1 = serial, byte-stable output
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := s.RunWorkload("Resnet", deepcontext.Knobs{}, 10); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	p := s.Stop()
+	fmt.Printf("substrate: %s\n", p.Meta.Substrate)
+	fmt.Printf("profiled something: %v\n", p.Stats.ActivitiesHandled > 0)
+	// Output:
+	// substrate: RocTracer
+	// profiled something: true
+}
+
 // ExampleMergeProfiles aggregates per-run profiles — here the same workload
 // on both GPU vendors — into one profile, as the dcexp matrix runner does
 // for the full workload × vendor × framework sweep.

@@ -1,0 +1,103 @@
+package cct
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Equivalent reports whether two trees describe the same profile: the same
+// metric names, the same calling contexts (children matched by their frame
+// unification identity, insertion order ignored — shard folds interleave
+// per-thread orders differently than a single-tree run), and the same
+// aggregates at every node. Sum, Count, Min and Max must match exactly
+// (metric samples are integer-valued, so their sums are order-independent
+// in float64); the Welford pair Mean/M2 is compared within a small relative
+// tolerance because parallel combination reassociates the arithmetic. A nil
+// return means equivalent; otherwise the error pinpoints the first
+// difference found.
+func Equivalent(a, b *Tree) error {
+	if err := equalSchemas(a.Schema, b.Schema); err != nil {
+		return err
+	}
+	// Resolve the metric ID pairing once; equalNodes runs per node.
+	names := a.Schema.Names()
+	pairs := make([]metricPair, len(names))
+	for i, name := range names {
+		aid, _ := a.Schema.Lookup(name)
+		bid, _ := b.Schema.Lookup(name)
+		pairs[i] = metricPair{name: name, a: aid, b: bid}
+	}
+	return equalNodes(b, pairs, a.Root, b.Root, "<root>")
+}
+
+type metricPair struct {
+	name string
+	a, b MetricID
+}
+
+func equalSchemas(a, b *Schema) error {
+	an, bn := a.Names(), b.Names()
+	sort.Strings(an)
+	sort.Strings(bn)
+	if len(an) != len(bn) {
+		return fmt.Errorf("schema size %d vs %d (%v vs %v)", len(an), len(bn), an, bn)
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return fmt.Errorf("schema mismatch: %q vs %q", an[i], bn[i])
+		}
+	}
+	return nil
+}
+
+func equalNodes(bt *Tree, pairs []metricPair, an, bn *Node, path string) error {
+	for _, p := range pairs {
+		if err := equalMetric(an.ExclMetric(p.a), bn.ExclMetric(p.b)); err != nil {
+			return fmt.Errorf("%s excl %s: %w", path, p.name, err)
+		}
+		if err := equalMetric(an.InclMetric(p.a), bn.InclMetric(p.b)); err != nil {
+			return fmt.Errorf("%s incl %s: %w", path, p.name, err)
+		}
+	}
+	if len(an.order) != len(bn.order) {
+		return fmt.Errorf("%s: %d vs %d children", path, len(an.order), len(bn.order))
+	}
+	for _, ac := range an.order {
+		bc := bt.childLookup(bn, ac.Frame)
+		if bc == nil {
+			return fmt.Errorf("%s: child %s missing on right", path, ac.Label())
+		}
+		if err := equalNodes(bt, pairs, ac, bc, path+" > "+ac.Label()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func equalMetric(a, b *Metric) error {
+	if (a == nil) != (b == nil) {
+		return fmt.Errorf("present %v vs %v", a != nil, b != nil)
+	}
+	if a == nil {
+		return nil
+	}
+	if a.Sum != b.Sum || a.Count != b.Count || a.Min != b.Min || a.Max != b.Max {
+		return fmt.Errorf("sum/count/min/max %v/%d/%v/%v vs %v/%d/%v/%v",
+			a.Sum, a.Count, a.Min, a.Max, b.Sum, b.Count, b.Min, b.Max)
+	}
+	if !near(a.Mean, b.Mean) || !near(a.M2, b.M2) {
+		return fmt.Errorf("welford mean/m2 %v/%v vs %v/%v", a.Mean, a.M2, b.Mean, b.M2)
+	}
+	return nil
+}
+
+// near compares within a relative tolerance that absorbs reassociated
+// floating-point summation.
+func near(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}

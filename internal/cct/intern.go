@@ -1,0 +1,103 @@
+package cct
+
+import "sync"
+
+// FrameID is an interned frame-unification identity: two frames unify (per
+// the paper's frame-equivalence rules, see Frame.Key) iff they intern to the
+// same FrameID under the same Interner. Using a small integer as the child
+// map key keeps the ingestion hot path free of string building — the
+// composite "kind:field:field" keys the tree used before allocated on every
+// insertion.
+type FrameID uint32
+
+// frameKey is the comparable unification identity of a Frame. Every kind's
+// equivalence rule needs at most one string and one integer (Python:
+// file+line, operator/thread: name, native/GPU/kernel: lib+PC, instruction:
+// PC), so the key carries exactly that — map lookups hash a single string
+// and never allocate or concatenate.
+type frameKey struct {
+	kind FrameKind
+	s    string
+	n    uint64
+}
+
+// keyOf projects a frame onto its unification identity, mirroring Frame.Key.
+func keyOf(f Frame) frameKey {
+	switch f.Kind {
+	case KindPython:
+		return frameKey{kind: KindPython, s: f.File, n: uint64(int64(f.Line))}
+	case KindOperator, KindThread:
+		return frameKey{kind: f.Kind, s: f.Name}
+	case KindInstruction:
+		return frameKey{kind: KindInstruction, n: f.PC}
+	case KindNative, KindGPUAPI, KindKernel:
+		// The three address-unified kinds share one equivalence class:
+		// Frame.Key prefixes them all with "n:", so a driver-API frame
+		// observed through native unwinding unifies with the same frame
+		// classified as KindGPUAPI. KindNative stands in for the class.
+		return frameKey{kind: KindNative, s: f.Lib, n: f.PC}
+	default:
+		return frameKey{kind: KindRoot}
+	}
+}
+
+// Interner assigns dense FrameIDs to frame-unification identities. It is
+// safe for concurrent use: the hot path (an already-interned frame) takes a
+// read lock only, so shard trees feeding from different goroutines do not
+// serialize on each other for known frames.
+type Interner struct {
+	mu     sync.RWMutex
+	ids    map[frameKey]FrameID
+	frames []Frame
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[frameKey]FrameID, 64)}
+}
+
+// Intern returns the FrameID for f's unification identity, assigning the
+// next dense ID on first sight. The first frame interned for an identity is
+// kept as the representative returned by FrameOf.
+func (in *Interner) Intern(f Frame) FrameID { return in.internKey(keyOf(f), f) }
+
+func (in *Interner) internKey(k frameKey, f Frame) FrameID {
+	in.mu.RLock()
+	id, ok := in.ids[k]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[k]; ok {
+		return id
+	}
+	id = FrameID(len(in.frames))
+	in.ids[k] = id
+	in.frames = append(in.frames, f)
+	return id
+}
+
+// Lookup returns the FrameID for f's identity without interning it.
+func (in *Interner) Lookup(f Frame) (FrameID, bool) {
+	k := keyOf(f)
+	in.mu.RLock()
+	id, ok := in.ids[k]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// FrameOf returns the representative frame first interned for id.
+func (in *Interner) FrameOf(id FrameID) Frame {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.frames[id]
+}
+
+// Len reports the number of interned identities.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.frames)
+}

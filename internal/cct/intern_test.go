@@ -1,0 +1,133 @@
+package cct
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// sampleFrames covers every kind plus near-collisions that differ in exactly
+// one identity field.
+func sampleFrames() []Frame {
+	return []Frame{
+		{Kind: KindRoot},
+		PythonFrame("train.py", 10, "main"),
+		PythonFrame("train.py", 11, "main"),
+		PythonFrame("model.py", 10, "main"),
+		// Same file/line, different function name: unifies per the paper.
+		PythonFrame("train.py", 10, "other"),
+		OperatorFrame("aten::conv2d"),
+		OperatorFrame("aten::linear"),
+		ThreadFrame("worker-1"),
+		ThreadFrame("worker-2"),
+		// Operator and thread share a name but not a kind.
+		OperatorFrame("worker-1"),
+		NativeFrame("f", "libtorch.so", 0x100, "f.cpp", 1),
+		NativeFrame("f", "libtorch.so", 0x200, "f.cpp", 1),
+		NativeFrame("f", "libother.so", 0x100, "f.cpp", 1),
+		// Same lib+PC, different symbol name: unifies per the paper.
+		NativeFrame("g", "libtorch.so", 0x100, "g.cpp", 9),
+		{Kind: KindGPUAPI, Name: "cudaLaunchKernel", Lib: "libcudart.so", PC: 0x300},
+		{Kind: KindKernel, Name: "gemm", Lib: "[gpu]", PC: 0x400},
+		// Native and kernel with equal lib+PC DO unify: Frame.Key puts
+		// all three address-unified kinds in one "n:" class, so an API
+		// frame seen through native unwinding matches its KindGPUAPI
+		// classification.
+		{Kind: KindNative, Name: "gemm", Lib: "[gpu]", PC: 0x400},
+		{Kind: KindInstruction, Name: "gemm+0x10", PC: 0x410},
+		{Kind: KindInstruction, Name: "gemm+0x20", PC: 0x420},
+	}
+}
+
+// TestInternMatchesFrameKey pins the interner to the reference equivalence
+// relation: two frames get one FrameID exactly when their Key() strings are
+// equal.
+func TestInternMatchesFrameKey(t *testing.T) {
+	in := NewInterner()
+	frames := sampleFrames()
+	for _, a := range frames {
+		for _, b := range frames {
+			wantEq := a.Key() == b.Key()
+			gotEq := in.Intern(a) == in.Intern(b)
+			if wantEq != gotEq {
+				t.Errorf("intern equivalence mismatch for %+v vs %+v: key-equal=%v id-equal=%v",
+					a, b, wantEq, gotEq)
+			}
+		}
+	}
+}
+
+// TestInternRoundTrip checks that IDs are dense, stable, and resolve back to
+// a representative frame with the same identity.
+func TestInternRoundTrip(t *testing.T) {
+	in := NewInterner()
+	frames := sampleFrames()
+	ids := make(map[FrameID]bool)
+	for _, f := range frames {
+		id := in.Intern(f)
+		ids[id] = true
+		if again := in.Intern(f); again != id {
+			t.Fatalf("unstable ID for %+v: %d then %d", f, id, again)
+		}
+		if got, ok := in.Lookup(f); !ok || got != id {
+			t.Fatalf("Lookup(%+v) = %d,%v want %d,true", f, got, ok, id)
+		}
+		rep := in.FrameOf(id)
+		if rep.Key() != f.Key() {
+			t.Fatalf("representative of %d has key %q, want %q", id, rep.Key(), f.Key())
+		}
+	}
+	if in.Len() != len(ids) {
+		t.Fatalf("Len() = %d, want %d distinct ids", in.Len(), len(ids))
+	}
+	for id := range ids {
+		if int(id) >= in.Len() {
+			t.Fatalf("non-dense id %d with Len %d", id, in.Len())
+		}
+	}
+	if _, ok := in.Lookup(PythonFrame("never-seen.py", 1, "x")); ok {
+		t.Fatal("Lookup invented an ID for an unseen frame")
+	}
+}
+
+// TestInternConcurrent hammers one interner from many goroutines over an
+// overlapping frame population; run with -race. All goroutines must agree on
+// every assignment.
+func TestInternConcurrent(t *testing.T) {
+	in := NewInterner()
+	const workers = 8
+	frames := make([]Frame, 0, 200)
+	for i := 0; i < 100; i++ {
+		frames = append(frames,
+			PythonFrame("file.py", i%25, "fn"),
+			NativeFrame(fmt.Sprintf("sym%d", i), "lib.so", uint64(i%40), "", 0))
+	}
+	results := make([][]FrameID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]FrameID, len(frames))
+			// Stagger starting offsets so goroutines collide on
+			// different frames at different times.
+			for i := range frames {
+				j := (i + w*17) % len(frames)
+				out[j] = in.Intern(frames[j])
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range frames {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d disagrees on frame %d: %d vs %d",
+					w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+	if in.Len() != 25+40 {
+		t.Fatalf("Len() = %d, want 65 distinct identities", in.Len())
+	}
+}

@@ -159,14 +159,14 @@ func Diff(a, b *Tree) *Tree {
 			for _, ac := range an.order {
 				var bc *Node
 				if bn != nil {
-					bc = bn.Child(ac.Frame)
+					bc = b.childLookup(bn, ac.Frame)
 				}
 				rec(out.child(dst, ac.Frame), ac, bc)
 			}
 		}
 		if bn != nil {
 			for _, bc := range bn.order {
-				if an != nil && an.Child(bc.Frame) != nil {
+				if an != nil && a.childLookup(an, bc.Frame) != nil {
 					continue
 				}
 				rec(out.child(dst, bc.Frame), nil, bc)

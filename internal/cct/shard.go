@@ -1,0 +1,61 @@
+package cct
+
+// Sharded is a set of CCT shards sharing one frame interner. Each recording
+// thread owns one shard and inserts into it without synchronizing with the
+// other shards — the only shared state on the hot path is the interner,
+// whose warm lookups take a read lock only. At the end of a session the
+// shards fold into one tree through the associative Merge.
+type Sharded struct {
+	in     *Interner
+	shards []*Tree
+	folded bool
+}
+
+// NewSharded returns n empty shard trees (at least one) over one shared
+// interner.
+func NewSharded(n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	in := NewInterner()
+	s := &Sharded{in: in, shards: make([]*Tree, n)}
+	for i := range s.shards {
+		s.shards[i] = NewWithInterner(in)
+	}
+	return s
+}
+
+// Len reports the shard count.
+func (s *Sharded) Len() int { return len(s.shards) }
+
+// Interner returns the interner shared by all shards.
+func (s *Sharded) Interner() *Interner { return s.in }
+
+// Shard returns shard i mod Len, so callers may index by thread ID directly.
+func (s *Sharded) Shard(i int) *Tree {
+	if i < 0 {
+		i = -i
+	}
+	return s.shards[i%len(s.shards)]
+}
+
+// Fold combines all shards into one tree and returns it. With a single
+// shard the shard itself is returned unchanged — the single-shard profile is
+// bit-for-bit what an unsharded session would have produced. With several,
+// shards 1..n−1 merge into shard 0 in index order (Merge is associative, so
+// the grouping does not matter). Fold finalizes the set: recording into any
+// shard afterwards is a bug, and Fold returns the same tree if called again.
+func (s *Sharded) Fold() *Tree {
+	s.folded = true
+	out := s.shards[0]
+	for _, sh := range s.shards[1:] {
+		out.Merge(sh)
+		out.PropagationSteps += sh.PropagationSteps
+		out.InsertedFrames += sh.InsertedFrames
+	}
+	s.shards = s.shards[:1]
+	return out
+}
+
+// Folded reports whether Fold has run.
+func (s *Sharded) Folded() bool { return s.folded }

@@ -1,0 +1,122 @@
+package cct
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// threadPaths synthesizes per-thread call-path streams with overlapping
+// contexts, so shards share interned identities but own distinct subtrees.
+func threadPaths(tid int) [][]Frame {
+	var out [][]Frame
+	for op := 0; op < 8; op++ {
+		out = append(out, []Frame{
+			ThreadFrame(fmt.Sprintf("thread-%d", tid%2)), // two thread groups
+			PythonFrame("train.py", 10, "main"),
+			OperatorFrame(fmt.Sprintf("aten::op%d", op)),
+			{Kind: KindKernel, Name: fmt.Sprintf("k%d", op), Lib: "[gpu]", PC: uint64(0x1000 + op)},
+		})
+	}
+	return out
+}
+
+// record plays thread tid's stream into tree.
+func record(tree *Tree, tid int) {
+	id := tree.MetricID(MetricGPUTime)
+	for i, p := range threadPaths(tid) {
+		leaf := tree.InsertPath(p)
+		tree.AddMetric(leaf, id, float64(100*tid+i))
+	}
+}
+
+// TestShardedFoldEquivalence is the core sharding guarantee: recording N
+// thread streams into N shards and folding yields a tree equivalent to
+// recording all streams serially into one tree.
+func TestShardedFoldEquivalence(t *testing.T) {
+	const threads = 4
+	serial := New()
+	for tid := 0; tid < threads; tid++ {
+		record(serial, tid)
+	}
+	sh := NewSharded(threads)
+	for tid := 0; tid < threads; tid++ {
+		record(sh.Shard(tid), tid)
+	}
+	folded := sh.Fold()
+	if err := Equivalent(serial, folded); err != nil {
+		t.Fatalf("folded tree differs from serial tree: %v", err)
+	}
+	if err := Equivalent(NormalizeAddresses(serial), NormalizeAddresses(folded)); err != nil {
+		t.Fatalf("normalized trees differ: %v", err)
+	}
+	if !sh.Folded() {
+		t.Fatal("Folded() = false after Fold")
+	}
+	if again := sh.Fold(); again != folded {
+		t.Fatal("second Fold returned a different tree")
+	}
+}
+
+// TestShardedSingleIsSameTree pins the byte-identity contract's foundation:
+// with one shard, Fold returns the shard itself, untouched.
+func TestShardedSingleIsSameTree(t *testing.T) {
+	sh := NewSharded(1)
+	tree := sh.Shard(0)
+	record(tree, 0)
+	if sh.Shard(7) != tree {
+		t.Fatal("modulo shard lookup broke with one shard")
+	}
+	if sh.Fold() != tree {
+		t.Fatal("Fold of a single shard must return the shard itself")
+	}
+}
+
+// TestShardedConcurrentRecording drives each shard from its own goroutine —
+// the deployment the design targets — and folds; run with -race. The only
+// shared hot-path state is the interner.
+func TestShardedConcurrentRecording(t *testing.T) {
+	const threads = 8
+	sh := NewSharded(threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			// Several rounds so late shards hit identities early
+			// shards interned.
+			for round := 0; round < 50; round++ {
+				record(sh.Shard(tid), tid)
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	serial := New()
+	for tid := 0; tid < threads; tid++ {
+		for round := 0; round < 50; round++ {
+			record(serial, tid)
+		}
+	}
+	if err := Equivalent(serial, sh.Fold()); err != nil {
+		t.Fatalf("concurrently recorded fold differs: %v", err)
+	}
+}
+
+// TestMergeSharedInternerFastPath checks that merging trees with a common
+// interner (the fold fast path) and with separate interners (cross-run
+// merge) agree.
+func TestMergeSharedInternerFastPath(t *testing.T) {
+	shared := NewSharded(2)
+	record(shared.Shard(0), 0)
+	record(shared.Shard(1), 1)
+	foldShared := shared.Fold()
+
+	a, b := New(), New() // distinct interners force the remap path
+	record(a, 0)
+	record(b, 1)
+	a.Merge(b)
+	if err := Equivalent(foldShared, a); err != nil {
+		t.Fatalf("shared-interner merge differs from remap merge: %v", err)
+	}
+}

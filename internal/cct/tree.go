@@ -5,7 +5,8 @@ package cct
 type Node struct {
 	Frame
 	Parent   *Node
-	children map[string]*Node
+	id       FrameID
+	children map[FrameID]*Node
 	order    []*Node
 
 	// Excl aggregates samples attributed directly to this node;
@@ -18,12 +19,17 @@ type Node struct {
 // Children returns the node's children in insertion order.
 func (n *Node) Children() []*Node { return n.order }
 
-// Child returns the child unifying with f, or nil.
+// Child returns the child unifying with f, or nil. Children are keyed by
+// interned FrameID on the hot path; this frame-keyed accessor serves the
+// cold paths (Diff, tests) by identity comparison over the child list.
 func (n *Node) Child(f Frame) *Node {
-	if n.children == nil {
-		return nil
+	k := keyOf(f)
+	for _, c := range n.order {
+		if keyOf(c.Frame) == k {
+			return c
+		}
 	}
-	return n.children[f.Key()]
+	return nil
 }
 
 // Path returns the frames from the root (exclusive) down to this node.
@@ -95,9 +101,16 @@ const NodeBytes = 160
 
 // Tree is one calling context tree with a metric schema.
 type Tree struct {
-	Schema *Schema
-	Root   *Node
-	nodes  int
+	Schema   *Schema
+	Root     *Node
+	interner *Interner
+	// ids caches interner assignments privately: a tree is recorded into
+	// by one thread, so warm-path unification is a single unsynchronized
+	// map lookup — the shared interner's lock is only taken for
+	// identities this tree has never seen.
+	ids   map[frameKey]FrameID
+	arena []Node
+	nodes int
 	// PropagationSteps counts parent-link hops performed by metric
 	// propagation; the profiler charges virtual time per step.
 	PropagationSteps int64
@@ -106,11 +119,54 @@ type Tree struct {
 	InsertedFrames int64
 }
 
-// New returns an empty tree.
-func New() *Tree {
-	t := &Tree{Schema: NewSchema(), Root: &Node{Frame: Frame{Kind: KindRoot}}}
+// New returns an empty tree with a private frame interner.
+func New() *Tree { return NewWithInterner(NewInterner()) }
+
+// NewWithInterner returns an empty tree unifying frames through in. Shard
+// trees that will later be folded together share one interner so their
+// FrameIDs agree and the fold can skip re-interning.
+func NewWithInterner(in *Interner) *Tree {
+	t := &Tree{
+		Schema:   NewSchema(),
+		Root:     &Node{Frame: Frame{Kind: KindRoot}},
+		interner: in,
+		ids:      make(map[frameKey]FrameID, 16),
+	}
+	t.Root.id = t.intern(t.Root.Frame)
 	t.nodes = 1
 	return t
+}
+
+// intern resolves f's FrameID through the tree-private cache.
+func (t *Tree) intern(f Frame) FrameID {
+	k := keyOf(f)
+	if id, ok := t.ids[k]; ok {
+		return id
+	}
+	id := t.interner.internKey(k, f)
+	t.ids[k] = id
+	return id
+}
+
+// Interner returns the tree's frame interner.
+func (t *Tree) Interner() *Interner { return t.interner }
+
+// alloc carves one zeroed node out of the tree's arena. Blocks grow with
+// the tree (clamped to [16, 1024] nodes) so small trees stay small while
+// large trees amortize allocation to one call per thousand nodes.
+func (t *Tree) alloc() *Node {
+	if len(t.arena) == 0 {
+		block := t.nodes
+		if block < 16 {
+			block = 16
+		} else if block > 1024 {
+			block = 1024
+		}
+		t.arena = make([]Node, block)
+	}
+	n := &t.arena[0]
+	t.arena = t.arena[1:]
+	return n
 }
 
 // NodeCount returns the number of nodes including the root.
@@ -147,14 +203,39 @@ func (t *Tree) InsertUnder(n *Node, path []Frame) *Node {
 }
 
 func (t *Tree) child(n *Node, f Frame) *Node {
-	key := f.Key()
+	return t.childByID(n, t.intern(f), f)
+}
+
+// childLookup returns n's child unifying with f, or nil, through the
+// FrameID children index — without interning unseen identities (an identity
+// the tree's interner has never assigned cannot name an existing child).
+// Diff and Equivalent use it to match children across trees in O(1) per
+// probe; the frame-keyed Node.Child stays for callers without a tree.
+func (t *Tree) childLookup(n *Node, f Frame) *Node {
 	if n.children == nil {
-		n.children = make(map[string]*Node, 4)
+		return nil
 	}
-	c, ok := n.children[key]
+	id, ok := t.interner.Lookup(f)
 	if !ok {
-		c = &Node{Frame: f, Parent: n}
-		n.children[key] = c
+		return nil
+	}
+	return n.children[id]
+}
+
+// childByID returns n's child for the interned identity id, creating it with
+// frame f on first sight. This is the ingestion hot path: one integer map
+// lookup, no string building, nodes carved from the arena.
+func (t *Tree) childByID(n *Node, id FrameID, f Frame) *Node {
+	if n.children == nil {
+		n.children = make(map[FrameID]*Node, 4)
+	}
+	c, ok := n.children[id]
+	if !ok {
+		c = t.alloc()
+		c.Frame = f
+		c.Parent = n
+		c.id = id
+		n.children[id] = c
 		n.order = append(n.order, c)
 		t.nodes++
 	}
@@ -212,13 +293,16 @@ func (t *Tree) Leaves() []*Node {
 }
 
 // Merge folds other's metrics and structure into t (used to combine
-// per-thread subtrees or profiles from repeated runs).
+// per-thread subtrees or profiles from repeated runs). When both trees share
+// one interner — per-thread shards of the same session — src node IDs are
+// reused directly instead of re-interning every frame.
 func (t *Tree) Merge(other *Tree) {
 	// Remap other's metric IDs into t's schema.
 	remap := make([]MetricID, other.Schema.Len())
 	for i := 0; i < other.Schema.Len(); i++ {
 		remap[i] = t.Schema.ID(other.Schema.Name(MetricID(i)))
 	}
+	shared := t.interner == other.interner
 	var rec func(dst, src *Node)
 	rec = func(dst, src *Node) {
 		size := t.Schema.Len()
@@ -234,7 +318,11 @@ func (t *Tree) Merge(other *Tree) {
 			}
 		}
 		for _, c := range src.order {
-			rec(t.child(dst, c.Frame), c)
+			if shared {
+				rec(t.childByID(dst, c.id, c.Frame), c)
+			} else {
+				rec(t.child(dst, c.Frame), c)
+			}
 		}
 	}
 	rec(t.Root, other.Root)

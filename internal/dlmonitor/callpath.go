@@ -82,6 +82,12 @@ func classifyNative(f native.Frame) cct.Frame {
 //     cached Python+operator prefix is concatenated (call path caching).
 //   - On a backward thread, the forward operator's prefix — fetched by
 //     sequence ID at operator entry — replaces the missing Python context.
+//
+// Borrow contract: without Native collection the returned Frames slice is
+// assembled in a per-thread scratch buffer and stays valid only until the
+// next CallPath on the same thread — callers that retain it across calls
+// must copy. (The profiler inserts the path into its shard CCT immediately,
+// so the hot path never copies.) Native-mode paths are freshly allocated.
 func (m *Monitor) CallPath(th *framework.Thread, opts PathOptions) CallPath {
 	m.stats.PathsBuilt++
 	ts := m.state(th)
@@ -107,9 +113,16 @@ func (m *Monitor) CallPath(th *framework.Thread, opts PathOptions) CallPath {
 }
 
 // lightPath concatenates cached Python frames with the shadow operator
-// stack; no unwinding.
+// stack; no unwinding. The path is assembled into the thread's reusable
+// scratch buffer (see the CallPath borrow contract), so a warm call does
+// not allocate.
 func (m *Monitor) lightPath(th *framework.Thread, ts *threadState, top *shadowEntry, opts PathOptions, out *CallPath) []cct.Frame {
-	var frames []cct.Frame
+	frames := ts.pathBuf[:0]
+	defer func() {
+		if cap(frames) > cap(ts.pathBuf) {
+			ts.pathBuf = frames
+		}
+	}()
 	if top != nil && top.fwdPrefix != nil {
 		// Backward operator: substitute the forward prefix.
 		frames = append(frames, top.fwdPrefix...)

@@ -97,6 +97,11 @@ type Config struct {
 	// and the cached-stop native unwinding optimization (§4.1). Used by
 	// the ablation benchmarks; production runs leave it enabled.
 	DisableCallPathCache bool
+	// Shards sizes the forward-path association table's shard set;
+	// sessions pass their CCT shard count so producer (dispatch) and
+	// consumer (autograd) threads hash into disjoint map shards. 0 or 1
+	// keeps a single table.
+	Shards int
 }
 
 // Stats counts DLMonitor work for evaluation.
@@ -126,6 +131,10 @@ type shadowEntry struct {
 
 type threadState struct {
 	shadow []shadowEntry
+	// pathBuf is the thread's reusable light-path scratch: CallPath
+	// assembles non-native paths into it instead of allocating a fresh
+	// slice per call. See the CallPath borrow contract.
+	pathBuf []cct.Frame
 }
 
 // Monitor is one initialized DLMonitor instance.
@@ -142,7 +151,7 @@ type Monitor struct {
 	customCBs  []CustomCallback
 
 	threads  map[*framework.Thread]*threadState
-	fwdPaths map[int64][]cct.Frame
+	fwdPaths *fwdTable
 
 	finalized bool
 	stats     Stats
@@ -167,7 +176,7 @@ func Init(cfg Config) (*Monitor, error) {
 		cfg:      cfg,
 		costs:    costs,
 		threads:  make(map[*framework.Thread]*threadState),
-		fwdPaths: make(map[int64][]cct.Frame),
+		fwdPaths: newFwdTable(cfg.Shards),
 	}
 	// LD_AUDIT hook: record libpython's mapping for the integration
 	// boundary test.
@@ -204,7 +213,7 @@ func (m *Monitor) Stats() Stats { return m.stats }
 
 // FwdPathsLive reports currently retained forward-path associations (a
 // memory-model input).
-func (m *Monitor) FwdPathsLive() int { return len(m.fwdPaths) }
+func (m *Monitor) FwdPathsLive() int { return m.fwdPaths.live() }
 
 // RegisterFrameworkCallback registers cb in DomainFramework.
 func (m *Monitor) RegisterFrameworkCallback(cb FrameworkCallback) {
@@ -256,9 +265,8 @@ func (m *Monitor) onOp(ev *framework.OpEvent, ph native.Phase) {
 		if ev.Phase == framework.Backward && ev.SeqID != 0 {
 			// Forward/backward association: fetch the forward
 			// operator's Python+framework prefix by sequence ID.
-			if pre, ok := m.fwdPaths[ev.SeqID]; ok {
+			if pre, ok := m.fwdPaths.take(ev.SeqID); ok {
 				e.fwdPrefix = pre
-				delete(m.fwdPaths, ev.SeqID)
 				m.stats.BwdAssociations++
 			}
 		} else {
@@ -273,7 +281,7 @@ func (m *Monitor) onOp(ev *framework.OpEvent, ph native.Phase) {
 					prefix = append(prefix, cct.OperatorFrame(se.name))
 				}
 				prefix = append(prefix, cct.OperatorFrame(ev.Name))
-				m.fwdPaths[ev.SeqID] = prefix
+				m.fwdPaths.put(ev.SeqID, prefix)
 				m.stats.FwdPathsRecorded++
 			}
 		}

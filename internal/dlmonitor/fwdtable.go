@@ -1,0 +1,57 @@
+package dlmonitor
+
+import "deepcontext/internal/cct"
+
+// fwdTable is the forward-path association table: the Python+operator prefix
+// recorded at a forward operator's entry, fetched on the autograd thread by
+// sequence ID when the matching backward operator runs (paper §4.1,
+// forward/backward association).
+//
+// The table is sharded by sequence ID so the autograd threads that consume
+// associations and the dispatch threads that produce them work on disjoint
+// map shards in the steady state instead of all hashing into — and, in a
+// real implementation, locking — one shared map. Shard count follows the
+// profiler's Config.Shards.
+type fwdTable struct {
+	shards []map[int64][]cct.Frame
+}
+
+func newFwdTable(shards int) *fwdTable {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &fwdTable{shards: make([]map[int64][]cct.Frame, shards)}
+	for i := range t.shards {
+		t.shards[i] = make(map[int64][]cct.Frame)
+	}
+	return t
+}
+
+func (t *fwdTable) shard(seq int64) map[int64][]cct.Frame {
+	if seq < 0 {
+		seq = -seq
+	}
+	return t.shards[seq%int64(len(t.shards))]
+}
+
+// put records the forward prefix for seq.
+func (t *fwdTable) put(seq int64, prefix []cct.Frame) { t.shard(seq)[seq] = prefix }
+
+// take fetches and removes the prefix recorded for seq.
+func (t *fwdTable) take(seq int64) ([]cct.Frame, bool) {
+	sh := t.shard(seq)
+	prefix, ok := sh[seq]
+	if ok {
+		delete(sh, seq)
+	}
+	return prefix, ok
+}
+
+// live counts retained associations (a memory-model input).
+func (t *fwdTable) live() int {
+	n := 0
+	for _, sh := range t.shards {
+		n += len(sh)
+	}
+	return n
+}

@@ -146,7 +146,7 @@ func Run(w *workloads.Workload, fw string, vendor gpu.Vendor, prof ProfKind, o O
 		}
 		if o.CPUSampling {
 			sess.AttachCPUSampler(env.Main)
-			env.M.NewThreadHook = sess.AttachCPUSampler
+			env.M.AddThreadHook(sess.AttachCPUSampler)
 		}
 	}
 

@@ -28,9 +28,16 @@ type Machine struct {
 
 	// NewThreadHook, when set, observes every thread creation; profilers
 	// use it to attach CPU samplers to late-created threads (autograd
-	// workers, data-loader workers).
+	// workers, data-loader workers). AddThreadHook registers additional
+	// observers — sharded ingestion and samplers both need to see new
+	// threads, so a single hook slot is not enough.
 	NewThreadHook func(*Thread)
+	threadHooks   []func(*Thread)
 }
+
+// AddThreadHook registers an additional thread-creation observer; hooks run
+// in registration order after NewThreadHook.
+func (m *Machine) AddThreadHook(fn func(*Thread)) { m.threadHooks = append(m.threadHooks, fn) }
 
 // NewMachine builds a machine around the given GPU device. PhysCores
 // defaults to 6, matching the allocation in the paper's U-Net data-loader
@@ -53,6 +60,9 @@ func (m *Machine) NewThread(name string) *Thread {
 	m.threads = append(m.threads, t)
 	if m.NewThreadHook != nil {
 		m.NewThreadHook(t)
+	}
+	for _, fn := range m.threadHooks {
+		fn(t)
 	}
 	return t
 }

@@ -40,7 +40,10 @@ func (t *Tracer) Device() gpu.DeviceSpec { return t.rt.Spec }
 func (t *Tracer) Subscribe(cb gpu.APICallback) { t.rt.Subscribe(cb) }
 
 // EnableActivity enables buffered activity records
-// (cuptiActivityRegisterCallbacks + cuptiActivityEnable).
+// (cuptiActivityRegisterCallbacks + cuptiActivityEnable). As with CUPTI's
+// bufferCompleted callback, the delivered slice is valid only during the
+// callback — the buffer is re-registered for the next generation after it
+// returns.
 func (t *Tracer) EnableActivity(bufCap int, flush func([]gpu.Activity)) {
 	t.rt.EnableActivity(bufCap, flush)
 }

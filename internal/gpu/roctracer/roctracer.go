@@ -38,7 +38,9 @@ func (t *Tracer) Device() gpu.DeviceSpec { return t.rt.Spec }
 // Subscribe registers a HIP API domain callback.
 func (t *Tracer) Subscribe(cb gpu.APICallback) { t.rt.Subscribe(cb) }
 
-// EnableActivity opens an activity pool delivering async records.
+// EnableActivity opens an activity pool delivering async records. The
+// delivered slice is valid only during the callback; the pool's memory is
+// reused for the next batch after it returns.
 func (t *Tracer) EnableActivity(bufCap int, flush func([]gpu.Activity)) {
 	t.rt.EnableActivity(bufCap, flush)
 }

@@ -168,6 +168,7 @@ type Runtime struct {
 
 	activityOn   bool
 	actBuf       []Activity
+	actSpare     []Activity
 	actCap       int
 	flushFn      func([]Activity)
 	pcSampling   bool
@@ -215,8 +216,10 @@ func NewRuntime(spec DeviceSpec, as *native.AddressSpace) *Runtime {
 		streams: make(map[int]*stream),
 		actCap:  4096,
 	}
-	for site, name := range names {
-		r.apiSyms[site] = as.AddSymbol(r.apiLib, name, 512, "", 0)
+	// Sites are laid out in enum order so symbol addresses — and with them
+	// profile files — are identical from run to run.
+	for site := SiteLaunchKernel; site <= SiteSynchronize; site++ {
+		r.apiSyms[site] = as.AddSymbol(r.apiLib, names[site], 512, "", 0)
 	}
 	return r
 }
@@ -246,7 +249,11 @@ func (r *Runtime) Subscribe(cb APICallback) { r.subs = append(r.subs, cb) }
 
 // EnableActivity turns on asynchronous activity records. flush is invoked
 // with a full buffer whenever bufCap records accumulate and once more on
-// FlushActivity; the slice is owned by the callee.
+// FlushActivity. The slice is borrowed: it is only valid for the duration
+// of the callback, because the runtime recycles the backing array for the
+// next buffer generation — exactly how CUPTI hands buffers back through
+// bufferCompleted and expects them re-registered. Callbacks that retain
+// records must copy them out.
 func (r *Runtime) EnableActivity(bufCap int, flush func([]Activity)) {
 	if bufCap <= 0 {
 		bufCap = 4096
@@ -266,7 +273,8 @@ func (r *Runtime) EnablePCSampling(period vtime.Duration) {
 	r.samplePeriod = period
 }
 
-// FlushActivity forces delivery of buffered activity records.
+// FlushActivity forces delivery of buffered activity records. The flushed
+// buffer's backing array is recycled once the callback returns.
 func (r *Runtime) FlushActivity() {
 	if len(r.actBuf) == 0 || r.flushFn == nil {
 		return
@@ -274,6 +282,12 @@ func (r *Runtime) FlushActivity() {
 	buf := r.actBuf
 	r.actBuf = nil
 	r.flushFn(buf)
+	// The callback has returned; its borrow is over. Clear record
+	// pointers so recycled slots don't pin symbols or sample slices.
+	for i := range buf {
+		buf[i] = Activity{}
+	}
+	r.actSpare = buf[:0]
 }
 
 // Stats returns execution counters.
@@ -303,6 +317,9 @@ func (r *Runtime) Frontier() vtime.Time {
 func (r *Runtime) record(a Activity) {
 	if !r.activityOn {
 		return
+	}
+	if r.actBuf == nil && r.actSpare != nil {
+		r.actBuf, r.actSpare = r.actSpare, nil
 	}
 	r.actBuf = append(r.actBuf, a)
 	if len(r.actBuf) >= r.actCap {

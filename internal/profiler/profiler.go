@@ -59,6 +59,13 @@ type Config struct {
 	HWCounters bool
 	// OpTiming attributes per-operator CPU time at operator exits.
 	OpTiming bool
+	// Shards is the number of CCT shards ingestion records into. Threads
+	// map to shards by thread ID, so the cupti/roctracer buffer-completion
+	// thread records on its own shard instead of contending with the
+	// dispatch path; the shards fold into one tree at Stop through
+	// cct.Merge. 0 or 1 selects the single-tree path, whose output is
+	// identical to the unsharded implementation.
+	Shards int
 	// Costs overrides the calibrated self-costs.
 	Costs *Costs
 }
@@ -117,7 +124,14 @@ type Session struct {
 	cfg    Config
 	costs  Costs
 
-	tree    *cct.Tree
+	// shards holds the per-thread CCT shards; tree is the folded result,
+	// set at Stop (and equal to the only shard when Shards <= 1).
+	shards *cct.Sharded
+	tree   *cct.Tree
+	// mirror caches dispatch-shard → tool-shard node translations so
+	// asynchronous attribution re-resolves each parked calling context
+	// only once (repeated kernel launches reuse contexts heavily).
+	mirror  map[*cct.Node]*cct.Node
 	pending map[uint64]*cct.Node
 	fused   map[string][]framework.FusedOrigin
 
@@ -151,33 +165,48 @@ func NewSession(mn *dlmonitor.Monitor, m *framework.Machine, tracer gpu.Tracer, 
 	if cfg.CPUSamplePeriod <= 0 {
 		cfg.CPUSamplePeriod = 4 * vtime.Millisecond
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	s := &Session{
 		mn:            mn,
 		m:             m,
 		tracer:        tracer,
 		cfg:           cfg,
 		costs:         costs,
-		tree:          cct.New(),
+		shards:        cct.NewSharded(cfg.Shards),
+		mirror:        make(map[*cct.Node]*cct.Node),
 		pending:       make(map[uint64]*cct.Node),
 		fused:         make(map[string][]framework.FusedOrigin),
 		threadByClock: make(map[*vtime.Clock]*framework.Thread),
 		opEnterTimes:  make(map[*framework.Thread][]vtime.Time),
 		stallIDs:      make(map[gpu.StallReason]cct.MetricID),
 	}
-	t := s.tree
-	s.idGPUTime = t.MetricID(cct.MetricGPUTime)
-	s.idCPUTime = t.MetricID(cct.MetricCPUTime)
-	s.idKernels = t.MetricID(cct.MetricKernelCount)
-	s.idAPICalls = t.MetricID(cct.MetricAPICount)
-	s.idMemcpyBytes = t.MetricID(cct.MetricMemcpyBytes)
-	s.idAllocBytes = t.MetricID(cct.MetricAllocBytes)
-	s.idWarps = t.MetricID(cct.MetricWarps)
-	s.idBlocks = t.MetricID(cct.MetricBlocks)
-	s.idSharedMem = t.MetricID(cct.MetricSharedMem)
-	s.idRegs = t.MetricID(cct.MetricRegisters)
-	s.idInstSamples = t.MetricID(cct.MetricInstSamples)
+	// Pre-intern the fixed metric schema into every shard in one order, so
+	// the cached IDs below are valid against any shard's tree.
+	for i := 0; i < s.shards.Len(); i++ {
+		t := s.shards.Shard(i)
+		s.idGPUTime = t.MetricID(cct.MetricGPUTime)
+		s.idCPUTime = t.MetricID(cct.MetricCPUTime)
+		s.idKernels = t.MetricID(cct.MetricKernelCount)
+		s.idAPICalls = t.MetricID(cct.MetricAPICount)
+		s.idMemcpyBytes = t.MetricID(cct.MetricMemcpyBytes)
+		s.idAllocBytes = t.MetricID(cct.MetricAllocBytes)
+		s.idWarps = t.MetricID(cct.MetricWarps)
+		s.idBlocks = t.MetricID(cct.MetricBlocks)
+		s.idSharedMem = t.MetricID(cct.MetricSharedMem)
+		s.idRegs = t.MetricID(cct.MetricRegisters)
+		s.idInstSamples = t.MetricID(cct.MetricInstSamples)
+	}
 	return s
 }
+
+// shardOf returns the CCT shard th records into.
+func (s *Session) shardOf(th *framework.Thread) *cct.Tree { return s.shards.Shard(th.ID) }
+
+// toolShard returns the shard owned by the profiler's worker thread, where
+// asynchronously attributed metrics land when sharding is on.
+func (s *Session) toolShard() *cct.Tree { return s.shards.Shard(s.tool.ID) }
 
 // SetMeta records run metadata for the produced profile.
 func (s *Session) SetMeta(meta Meta) { s.meta = meta }
@@ -216,12 +245,13 @@ func (s *Session) AttachCPUSampler(th *framework.Thread) {
 	if !s.cfg.CPUSampling {
 		return
 	}
+	tree := s.shardOf(th)
 	var counters *cpumetrics.Counters
 	var hwIDs []cct.MetricID
 	if s.cfg.HWCounters {
 		counters = cpumetrics.NewCounters(&th.Clock, nil)
 		for _, ev := range hwEvents {
-			hwIDs = append(hwIDs, s.tree.MetricID("papi:"+ev.String()))
+			hwIDs = append(hwIDs, tree.MetricID("papi:"+ev.String()))
 			counters.Reset(ev)
 		}
 	}
@@ -229,14 +259,14 @@ func (s *Session) AttachCPUSampler(th *framework.Thread) {
 		func(at vtime.Time, interval vtime.Duration) {
 			s.stats.CPUSamples++
 			path := s.mn.CallPath(th, s.cfg.Path)
-			node := s.tree.InsertPath(path.Frames)
+			node := tree.InsertPath(path.Frames)
 			th.Clock.Advance(vtime.Duration(len(path.Frames)) * s.costs.InsertPerFrame)
-			s.addMetric(node, s.idCPUTime, float64(interval))
+			s.addMetric(tree, node, s.idCPUTime, float64(interval))
 			if counters != nil {
 				for i, ev := range hwEvents {
 					delta := counters.Read(ev)
 					counters.Reset(ev)
-					s.addMetric(node, hwIDs[i], float64(delta))
+					s.addMetric(tree, node, hwIDs[i], float64(delta))
 				}
 			}
 		})
@@ -272,9 +302,10 @@ func (s *Session) onOp(ev *framework.OpEvent, ph native.Phase) {
 	s.opEnterTimes[th] = stack[:len(stack)-1]
 	s.stats.OpsTimed++
 	path := s.mn.CallPath(th, dlmonitor.PathOptions{Python: s.cfg.Path.Python, Framework: s.cfg.Path.Framework})
-	node := s.tree.InsertPath(path.Frames)
+	tree := s.shardOf(th)
+	node := tree.InsertPath(path.Frames)
 	th.Clock.Advance(vtime.Duration(len(path.Frames)) * s.costs.InsertPerFrame)
-	s.addMetric(node, s.idCPUTime, float64(th.Clock.Now().Sub(enter)))
+	s.addMetric(tree, node, s.idCPUTime, float64(th.Clock.Now().Sub(enter)))
 	if len(path.Fused) > 0 {
 		s.rememberFused(ev.Name, path.Fused)
 	}
@@ -300,19 +331,22 @@ func (s *Session) onGPU(ev *gpu.APIEvent) {
 	s.stats.APICallbacks++
 	path := s.mn.CallPath(th, s.cfg.Path)
 	frames := path.Frames
+	tree := s.shardOf(th)
+	node := tree.InsertPath(frames)
+	inserted := len(frames)
 	if !s.cfg.Path.Native {
 		// Without native unwinding the API frame is appended from the
-		// callback's own information.
-		sym := apiSymbolOf(s.m.GPU, ev.Site)
-		if sym != nil {
-			frames = append(append([]cct.Frame{}, frames...), cct.Frame{
+		// callback's own information; it extends the already-inserted
+		// path, so the borrowed CallPath slice never needs copying.
+		if sym := apiSymbolOf(s.m.GPU, ev.Site); sym != nil {
+			node = tree.InsertUnder(node, []cct.Frame{{
 				Kind: cct.KindGPUAPI, Name: sym.Name, Lib: sym.Lib.Name, PC: uint64(sym.Addr),
-			})
+			}})
+			inserted++
 		}
 	}
-	node := s.tree.InsertPath(frames)
-	th.Clock.Advance(vtime.Duration(len(frames)) * s.costs.InsertPerFrame)
-	s.addMetric(node, s.idAPICalls, 1)
+	th.Clock.Advance(vtime.Duration(inserted) * s.costs.InsertPerFrame)
+	s.addMetric(tree, node, s.idAPICalls, 1)
 	if len(path.Fused) > 0 && ev.Kernel != nil {
 		s.rememberFused(ev.Kernel.Name, path.Fused)
 	}
@@ -323,8 +357,11 @@ func apiSymbolOf(rt *gpu.Runtime, site gpu.APISite) *native.Symbol { return rt.A
 
 // onActivities attributes flushed activity records to their parked call
 // paths; it models the tracer's buffer-completion worker, so its costs go to
-// the tool thread.
+// the tool thread — and, when sharding is on, its metrics go to the tool
+// thread's own shard (resolved through the mirror cache) so attribution
+// never touches the dispatch threads' shards.
 func (s *Session) onActivities(acts []gpu.Activity) {
+	tree := s.toolShard()
 	for i := range acts {
 		act := &acts[i]
 		s.tool.Clock.Advance(s.costs.AttributePerActivity)
@@ -335,19 +372,37 @@ func (s *Session) onActivities(acts []gpu.Activity) {
 		}
 		delete(s.pending, act.Correlation)
 		s.stats.ActivitiesHandled++
+		node = s.mirrorNode(tree, node)
 		switch act.Kind {
 		case gpu.ActivityKernel:
-			s.attributeKernel(node, act)
+			s.attributeKernel(tree, node, act)
 		case gpu.ActivityMemcpy:
-			s.addMetric(node, s.idGPUTime, float64(act.Duration()))
-			s.addMetric(node, s.idMemcpyBytes, float64(act.Bytes))
+			s.addMetric(tree, node, s.idGPUTime, float64(act.Duration()))
+			s.addMetric(tree, node, s.idMemcpyBytes, float64(act.Bytes))
 		case gpu.ActivityMalloc, gpu.ActivityFree:
-			s.addMetric(node, s.idAllocBytes, float64(act.Bytes))
+			s.addMetric(tree, node, s.idAllocBytes, float64(act.Bytes))
 		}
 	}
 }
 
-func (s *Session) attributeKernel(apiNode *cct.Node, act *gpu.Activity) {
+// mirrorNode translates a calling context parked by a dispatch thread into
+// the tool shard, re-inserting its path on first sight and serving repeats
+// from the mirror cache. With a single shard the node is its own mirror.
+func (s *Session) mirrorNode(tree *cct.Tree, n *cct.Node) *cct.Node {
+	if s.shards.Len() == 1 {
+		return n
+	}
+	if m, ok := s.mirror[n]; ok {
+		return m
+	}
+	path := n.Path()
+	m := tree.InsertPath(path)
+	s.tool.Clock.Advance(vtime.Duration(len(path)) * s.costs.InsertPerFrame)
+	s.mirror[n] = m
+	return m
+}
+
+func (s *Session) attributeKernel(tree *cct.Tree, apiNode *cct.Node, act *gpu.Activity) {
 	kframe := cct.Frame{
 		Kind: cct.KindKernel,
 		Name: act.Name,
@@ -356,57 +411,68 @@ func (s *Session) attributeKernel(apiNode *cct.Node, act *gpu.Activity) {
 	if act.KernelSym != nil {
 		kframe.PC = uint64(act.KernelSym.Addr)
 	}
-	knode := s.tree.InsertUnder(apiNode, []cct.Frame{kframe})
+	knode := tree.InsertUnder(apiNode, []cct.Frame{kframe})
 	dev := s.tracer.Device()
 	warps := float64((act.Block.Volume() + dev.WarpSize - 1) / dev.WarpSize)
-	s.addMetric(knode, s.idGPUTime, float64(act.Duration()))
-	s.addMetric(knode, s.idKernels, 1)
-	s.addMetric(knode, s.idWarps, warps)
-	s.addMetric(knode, s.idBlocks, float64(act.Grid.Volume()))
-	s.addMetric(knode, s.idSharedMem, float64(act.SharedMemBytes))
-	s.addMetric(knode, s.idRegs, float64(act.RegsPerThread))
+	s.addMetric(tree, knode, s.idGPUTime, float64(act.Duration()))
+	s.addMetric(tree, knode, s.idKernels, 1)
+	s.addMetric(tree, knode, s.idWarps, warps)
+	s.addMetric(tree, knode, s.idBlocks, float64(act.Grid.Volume()))
+	s.addMetric(tree, knode, s.idSharedMem, float64(act.SharedMemBytes))
+	s.addMetric(tree, knode, s.idRegs, float64(act.RegsPerThread))
 	for _, sample := range act.Samples {
-		inode := s.tree.InsertUnder(knode, []cct.Frame{{
+		inode := tree.InsertUnder(knode, []cct.Frame{{
 			Kind: cct.KindInstruction,
 			Name: fmt.Sprintf("%s+0x%x", act.Name, sample.PC-native.Addr(kframe.PC)),
 			Lib:  kframe.Lib,
 			PC:   uint64(sample.PC),
 		}})
 		s.stats.SamplesAttributed += sample.Count
-		s.addMetric(inode, s.idInstSamples, float64(sample.Count))
-		s.addMetric(inode, s.stallID(sample.Stall), float64(sample.Count))
+		s.addMetric(tree, inode, s.idInstSamples, float64(sample.Count))
+		s.addMetric(tree, inode, s.stallID(tree, sample.Stall), float64(sample.Count))
 	}
 }
 
-// stallID interns the per-stall-reason sample metric.
-func (s *Session) stallID(r gpu.StallReason) cct.MetricID {
+// stallID interns the per-stall-reason sample metric. Stall samples are
+// only ever attributed by the tool thread, so the cache is valid against
+// the one tree attribution writes to.
+func (s *Session) stallID(tree *cct.Tree, r gpu.StallReason) cct.MetricID {
 	if id, ok := s.stallIDs[r]; ok {
 		return id
 	}
-	id := s.tree.MetricID("stall:" + r.String())
+	id := tree.MetricID("stall:" + r.String())
 	s.stallIDs[r] = id
 	return id
 }
 
-// addMetric records a sample and charges propagation cost to the tool
-// thread.
-func (s *Session) addMetric(n *cct.Node, id cct.MetricID, v float64) {
-	s.tree.AddMetric(n, id, v)
+// addMetric records a sample on tree and charges propagation cost to the
+// tool thread.
+func (s *Session) addMetric(tree *cct.Tree, n *cct.Node, id cct.MetricID, v float64) {
+	tree.AddMetric(n, id, v)
 	s.tool.Clock.Advance(vtime.Duration(n.Depth()+1) * s.costs.PropagatePerLevel)
 }
 
-// FootprintBytes models the profiler's resident memory: the CCT, parked
-// correlations, fused-origin notes and DLMonitor's forward-path table.
+// FootprintBytes models the profiler's resident memory: the CCT shards,
+// parked correlations, fused-origin notes and DLMonitor's forward-path
+// table.
 func (s *Session) FootprintBytes() int64 {
 	const pendingBytes, fusedBytes, fwdBytes = 64, 256, 512
-	return s.tree.FootprintBytes() +
+	var trees int64
+	if s.tree != nil {
+		trees = s.tree.FootprintBytes()
+	} else {
+		for i := 0; i < s.shards.Len(); i++ {
+			trees += s.shards.Shard(i).FootprintBytes()
+		}
+	}
+	return trees +
 		int64(len(s.pending))*pendingBytes +
 		int64(len(s.fused))*fusedBytes +
 		int64(s.mn.FwdPathsLive())*fwdBytes
 }
 
-// Stop flushes outstanding activity, detaches samplers, and returns the
-// profile.
+// Stop flushes outstanding activity, detaches samplers, folds the shard
+// CCTs into the final tree, and returns the profile.
 func (s *Session) Stop() *Profile {
 	if s.stopped {
 		return nil
@@ -418,18 +484,34 @@ func (s *Session) Stop() *Profile {
 	for _, sm := range s.samplers {
 		sm.Stop()
 	}
+	footprint := s.FootprintBytes() // pre-fold: the session's peak shape
+	s.tree = s.shards.Fold()
 	return &Profile{
 		Tree:           s.tree,
 		Meta:           s.meta,
 		Stats:          s.stats,
 		Fused:          s.fused,
 		MonitorStats:   s.mn.Stats(),
-		FootprintBytes: s.FootprintBytes(),
+		FootprintBytes: footprint,
 	}
 }
 
-// Tree exposes the live tree (tests and incremental GUIs).
-func (s *Session) Tree() *cct.Tree { return s.tree }
+// Tree exposes the session's tree (tests and incremental GUIs): the folded
+// tree after Stop, the only shard when unsharded, and otherwise a merged
+// snapshot of the live shards.
+func (s *Session) Tree() *cct.Tree {
+	if s.tree != nil {
+		return s.tree
+	}
+	if s.shards.Len() == 1 {
+		return s.shards.Shard(0)
+	}
+	snap := cct.New()
+	for i := 0; i < s.shards.Len(); i++ {
+		cct.Merge(snap, s.shards.Shard(i))
+	}
+	return snap
+}
 
 // Stats returns collection counters.
 func (s *Session) Stats() Stats { return s.stats }

@@ -1,0 +1,71 @@
+package deepcontext
+
+import (
+	"testing"
+
+	"deepcontext/internal/cct"
+)
+
+// TestShardCountEquivalence is the PR's acceptance gate for sharded
+// ingestion: profiling the same workload with one shard and with many must
+// produce identical trees — same contexts, same aggregates — after address
+// normalization, and identical collection statistics. Only child insertion
+// order may differ (shard folds concatenate per-thread orders), which
+// cct.Equivalent deliberately ignores.
+func TestShardCountEquivalence(t *testing.T) {
+	cases := []struct {
+		workload string
+		cfg      Config
+	}{
+		{"ViT", Config{}},
+		{"GNN", Config{CPUSampling: true}},
+		{"UNet", Config{PCSampling: true}},
+		{"Llama3-8B", Config{Framework: "jax", Vendor: "amd"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.workload, func(t *testing.T) {
+			single := tc.cfg
+			single.Shards = 1
+			many := tc.cfg
+			many.Shards = 8
+			p1, err := ProfileWorkload(tc.workload, single, Knobs{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p8, err := ProfileWorkload(tc.workload, many, Knobs{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cct.Equivalent(
+				cct.NormalizeAddresses(p1.Tree),
+				cct.NormalizeAddresses(p8.Tree)); err != nil {
+				t.Fatalf("1-shard vs 8-shard trees differ: %v", err)
+			}
+			if p1.Stats != p8.Stats {
+				t.Fatalf("stats differ: %+v vs %+v", p1.Stats, p8.Stats)
+			}
+			if p1.Tree.NodeCount() != p8.Tree.NodeCount() {
+				t.Fatalf("node counts differ: %d vs %d",
+					p1.Tree.NodeCount(), p8.Tree.NodeCount())
+			}
+		})
+	}
+}
+
+// TestShardDefaultIsUsable covers the Shards=0 (GOMAXPROCS) default end to
+// end: the profile must analyze and merge like any other.
+func TestShardDefaultIsUsable(t *testing.T) {
+	p, err := ProfileWorkload("NanoGPT", Config{}, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tree.NodeCount() == 0 {
+		t.Fatal("empty tree")
+	}
+	if _, err := MergeProfiles(p, p); err != nil {
+		t.Fatal(err)
+	}
+	if rep := Analyze(p); rep == nil {
+		t.Fatal("nil report")
+	}
+}
