@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepcontext"
+	"deepcontext/internal/profdb"
+	"deepcontext/internal/profstore"
+)
+
+// runLoadgen demonstrates sustained multi-client ingest: it starts the
+// server in-process on an ephemeral port, then drives `clients` concurrent
+// clients that each profile every requested workload (on alternating
+// vendors and frameworks, so several label series populate) and POST the
+// result through the real HTTP ingest path. Rounds land in distinct
+// aggregation windows — the store runs on a virtual clock the generator
+// advances by one window per round — so the run finishes by exercising the
+// query API: /hotspots over everything and /diff between the first and last
+// round's windows (rounds use different iteration counts, so the diff is
+// non-trivial).
+func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds int, maxBody int64) error {
+	var workloads []string
+	known := make(map[string]bool)
+	for _, w := range deepcontext.WorkloadNames() {
+		known[w] = true
+	}
+	for _, w := range strings.Split(loads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if !known[w] {
+			return fmt.Errorf("loadgen: unknown workload %q (known: %s)",
+				w, strings.Join(deepcontext.WorkloadNames(), ", "))
+		}
+		workloads = append(workloads, w)
+	}
+	if len(workloads) == 0 {
+		return fmt.Errorf("loadgen: no workloads")
+	}
+	if clients <= 0 {
+		clients = 1
+	}
+	if rounds <= 0 {
+		rounds = 1
+	}
+
+	// The store runs on a virtual clock so rounds land in distinct windows
+	// without sleeping a real window width between them.
+	base := time.Now()
+	var offset atomic.Int64
+	cfg.Now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	store := profstore.New(cfg)
+	defer store.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := newHTTPServer("", newHandler(store, maxBody))
+	go srv.Serve(ln)
+	defer srv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("loadgen: server on %s — %d clients x %d workloads x %d rounds (iters %d per round step)\n",
+		baseURL, clients, len(workloads), rounds, iters)
+
+	var ok, failed atomic.Int64
+	httpc := &http.Client{Timeout: time.Minute}
+	windowStarts := make([]time.Time, 0, rounds)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		windowStarts = append(windowStarts, cfg.Now().Truncate(store.Config().Window))
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i, w := range workloads {
+					if err := postOne(httpc, baseURL, w, c, i, iters*(r+1)); err != nil {
+						failed.Add(1)
+						fmt.Printf("loadgen: client %d %s: %v\n", c, w, err)
+					} else {
+						ok.Add(1)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		// Next round lands in the following window.
+		offset.Add(int64(store.Config().Window))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("loadgen: %d ingests ok, %d failed in %v (%.1f ingests/s)\n",
+		ok.Load(), failed.Load(), elapsed.Round(time.Millisecond),
+		float64(ok.Load())/elapsed.Seconds())
+	if failed.Load() > 0 {
+		return fmt.Errorf("loadgen: %d failed ingests", failed.Load())
+	}
+
+	// Exercise the query path over what was just ingested.
+	var hot struct {
+		Metric string `json:"metric"`
+		Rows   []struct {
+			Label string  `json:"label"`
+			Excl  float64 `json:"excl"`
+			Frac  float64 `json:"frac"`
+		} `json:"rows"`
+	}
+	if err := getJSON(httpc, baseURL+"/hotspots?top=5", &hot); err != nil {
+		return fmt.Errorf("loadgen: hotspots: %w", err)
+	}
+	if len(hot.Rows) == 0 {
+		return fmt.Errorf("loadgen: hotspot query returned no rows")
+	}
+	fmt.Printf("loadgen: top hotspot by %s: %s (%.0f ns, %.1f%% of total)\n",
+		hot.Metric, hot.Rows[0].Label, hot.Rows[0].Excl, 100*hot.Rows[0].Frac)
+
+	if len(windowStarts) >= 2 {
+		// RFC3339 offsets contain '+', which must be escaped or the server
+		// decodes it as a space.
+		q := url.Values{}
+		q.Set("before", windowStarts[0].Format(time.RFC3339Nano))
+		q.Set("after", windowStarts[len(windowStarts)-1].Format(time.RFC3339Nano))
+		q.Set("top", "3")
+		var diff struct {
+			Net  float64 `json:"net"`
+			Rows []struct {
+				Label string  `json:"label"`
+				Delta float64 `json:"delta"`
+			} `json:"rows"`
+		}
+		if err := getJSON(httpc, baseURL+"/diff?"+q.Encode(), &diff); err != nil {
+			return fmt.Errorf("loadgen: diff: %w", err)
+		}
+		fmt.Printf("loadgen: window diff (round 1 -> round %d): net %+.0f ns across %d changed contexts\n",
+			rounds, diff.Net, len(diff.Rows))
+		for _, row := range diff.Rows {
+			fmt.Printf("loadgen:   %+14.0f  %s\n", row.Delta, row.Label)
+		}
+	}
+
+	var stats struct {
+		Store profstore.Stats `json:"store"`
+	}
+	if err := getJSON(httpc, baseURL+"/stats", &stats); err != nil {
+		return fmt.Errorf("loadgen: stats: %w", err)
+	}
+	fmt.Printf("loadgen: store holds %d windows, %d series, %d CCT nodes after %d ingests\n",
+		stats.Store.FineWindows+stats.Store.CoarseWindows, stats.Store.Series,
+		stats.Store.Nodes, stats.Store.Ingested)
+	return nil
+}
+
+// postOne profiles one workload cell and POSTs it through /ingest. Vendor
+// and framework alternate by client and workload index so the store sees
+// several distinct label series.
+func postOne(httpc *http.Client, baseURL, workload string, client, index, iters int) error {
+	vendor := "nvidia"
+	if (client+index)%2 == 1 {
+		vendor = "amd"
+	}
+	fw := "pytorch"
+	if client%2 == 1 {
+		fw = "jax"
+	}
+	s, err := deepcontext.NewSession(deepcontext.Config{Vendor: vendor, Framework: fw, Shards: 1})
+	if err != nil {
+		return err
+	}
+	if err := s.RunWorkload(workload, deepcontext.Knobs{}, iters); err != nil {
+		return err
+	}
+	p := s.Stop()
+	p.Meta.Workload = workload
+	p.Meta.Iterations = iters
+
+	var buf bytes.Buffer
+	if err := profdb.Save(&buf, p); err != nil {
+		return err
+	}
+	resp, err := httpc.Post(baseURL+"/ingest", "application/octet-stream", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("ingest: HTTP %d: %s", resp.StatusCode, eb.Error)
+	}
+	return nil
+}
+
+func getJSON(httpc *http.Client, url string, v any) error {
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, eb.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,91 @@
+// Command dcserver is the continuous-profiling service: an HTTP frontend
+// over the internal/profstore rolling aggregator. Clients POST saved
+// profile databases (.dcp, single profiles or v2 bundles) to /ingest; the
+// server merges them into time-bucketed windows keyed by
+// workload/vendor/framework and serves hotspot, diff, flame-graph and
+// analyzer queries over any window range.
+//
+// Endpoints:
+//
+//	POST /ingest                         .dcp body (single or bundle)
+//	GET  /hotspots?metric=&top=&from=&to=&workload=&vendor=&framework=
+//	GET  /diff?before=&after=&metric=&top=     window-vs-window signed diff
+//	GET  /flame?format=html|folded&from=&to=   (or before=/after= for signed)
+//	GET  /analyze?from=&to=                    automated analyzer, JSON
+//	GET  /windows                              retained buckets
+//	GET  /stats                                occupancy and limits
+//	GET  /healthz
+//
+// Examples:
+//
+//	dcserver -addr :7070 -window 1m -retention 60
+//	deepcontext -workload UNet -o unet.dcp && curl --data-binary @unet.dcp http://localhost:7070/ingest
+//	curl 'http://localhost:7070/hotspots?metric=gpu_time_ns&top=10'
+//
+//	dcserver -loadgen -clients 8 -loads UNet,DLRM-small,Resnet   # ingest demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profdb"
+	"deepcontext/internal/profstore"
+)
+
+const defaultMetric = cct.MetricGPUTime
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":7070", "listen address")
+		window          = flag.Duration("window", time.Minute, "fine aggregation window width")
+		retention       = flag.Int("retention", 60, "fine windows kept before compaction")
+		coarseFactor    = flag.Int("coarse-factor", 10, "coarse window width in fine windows")
+		coarseRetention = flag.Int("coarse-retention", 144, "coarse windows kept")
+		compactEvery    = flag.Duration("compact-every", 0, "background compaction interval (0 = one window)")
+		maxBody         = flag.Int64("max-body", profdb.DefaultMaxBytes, "max /ingest body bytes")
+
+		loadgen = flag.Bool("loadgen", false, "run the multi-client ingest demo instead of serving")
+		clients = flag.Int("clients", 8, "loadgen: concurrent clients")
+		loads   = flag.String("loads", "UNet,DLRM-small,Resnet", "loadgen: comma-separated workloads")
+		iters   = flag.Int("iters", 10, "loadgen: iterations per profiled run")
+		rounds  = flag.Int("rounds", 2, "loadgen: ingest rounds (each lands in its own window)")
+	)
+	flag.Parse()
+
+	cfg := profstore.Config{
+		Window:          *window,
+		Retention:       *retention,
+		CoarseFactor:    *coarseFactor,
+		CoarseRetention: *coarseRetention,
+	}
+	if *loadgen {
+		if err := runLoadgen(cfg, *clients, *loads, *iters, *rounds, *maxBody); err != nil {
+			fmt.Fprintln(os.Stderr, "dcserver:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	store := profstore.New(cfg)
+	store.StartCompactor(*compactEvery)
+	defer store.Close()
+	// Listen before serving so ":0" (ephemeral port) reports the actual
+	// bound address — scripts scrape it from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcserver:", err)
+		os.Exit(1)
+	}
+	srv := newHTTPServer(*addr, newHandler(store, *maxBody))
+	fmt.Printf("dcserver: listening on %s (window %v, retention %d fine + %d coarse)\n",
+		ln.Addr(), store.Config().Window, store.Config().Retention, store.Config().CoarseRetention)
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "dcserver:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"deepcontext"
+	"deepcontext/internal/profdb"
+	"deepcontext/internal/profstore"
+)
+
+// newHandler wires the ingest/query API over one store. maxBody caps
+// POST /ingest bodies in bytes.
+func newHandler(store *profstore.Store, maxBody int64) http.Handler {
+	s := &server{store: store, maxBody: maxBody, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/hotspots", get(s.handleHotspots))
+	mux.HandleFunc("/diff", get(s.handleDiff))
+	mux.HandleFunc("/flame", get(s.handleFlame))
+	mux.HandleFunc("/analyze", get(s.handleAnalyze))
+	mux.HandleFunc("/windows", get(s.handleWindows))
+	mux.HandleFunc("/stats", get(s.handleStats))
+	mux.HandleFunc("/healthz", get(s.handleHealthz))
+	return mux
+}
+
+// newHTTPServer wraps the handler in an http.Server with sane production
+// timeouts (a stuck client must not pin a connection forever).
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+type server struct {
+	store   *profstore.Store
+	maxBody int64
+	started time.Time
+}
+
+// get rejects every method but GET (and HEAD, which net/http serves
+// through the GET handler body-suppressed — liveness probes use it) with
+// 405.
+func get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	// Content-Type must be set before WriteHeader flushes the headers.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// writeQueryError maps store query failures to HTTP codes: a bad metric
+// name is the client's mistake (400, retrying is pointless), while an
+// empty window range is 404 (data may arrive later).
+func writeQueryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, profstore.ErrUnknownMetric) {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeError(w, http.StatusNotFound, err)
+}
+
+// queryLabels builds the series filter from workload/vendor/framework
+// query parameters.
+func queryLabels(r *http.Request) profstore.Labels {
+	q := r.URL.Query()
+	return profstore.Labels{
+		Workload:  q.Get("workload"),
+		Vendor:    q.Get("vendor"),
+		Framework: q.Get("framework"),
+	}
+}
+
+// parseTime accepts RFC3339 or integer unix seconds/nanoseconds; empty
+// means zero (open bound).
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return t, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if n > 1e15 { // nanoseconds
+			return time.Unix(0, n), nil
+		}
+		return time.Unix(n, 0), nil
+	}
+	return time.Time{}, fmt.Errorf("bad time %q (want RFC3339 or unix seconds)", s)
+}
+
+func queryRange(r *http.Request) (from, to time.Time, err error) {
+	q := r.URL.Query()
+	if from, err = parseTime(q.Get("from")); err != nil {
+		return
+	}
+	to, err = parseTime(q.Get("to"))
+	return
+}
+
+func queryInt(r *http.Request, name string, def int) int {
+	if s := r.URL.Query().Get(name); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// POST /ingest — body is a .dcp database (single profile or v2 bundle);
+// every contained profile is folded into the current window.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	entries, err := profdb.LoadBundleLimit(body, s.maxBody)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.Is(err, profdb.ErrTooLarge) || errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	type resp struct {
+		Ingested int      `json:"ingested"`
+		Series   []string `json:"series"`
+		Windows  []string `json:"windows"`
+	}
+	var out resp
+	seenWin := map[string]bool{}
+	for _, e := range entries {
+		start, err := s.store.Ingest(e.Profile)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		out.Ingested++
+		out.Series = append(out.Series, profstore.LabelsOf(e.Profile.Meta).Key())
+		if ws := start.Format(time.RFC3339Nano); !seenWin[ws] {
+			seenWin[ws] = true
+			out.Windows = append(out.Windows, ws)
+		}
+	}
+	writeJSONStatus(w, http.StatusAccepted, out)
+}
+
+// GET /hotspots?metric=&top=&workload=&vendor=&framework=&from=&to=
+func (s *server) handleHotspots(w http.ResponseWriter, r *http.Request) {
+	from, to, err := queryRange(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	metric := r.URL.Query().Get("metric")
+	rows, info, err := s.store.Hotspots(from, to, queryLabels(r), metric, queryInt(r, "top", 20))
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	if metric == "" {
+		metric = defaultMetric
+	}
+	writeJSON(w, struct {
+		Metric string                  `json:"metric"`
+		Info   profstore.AggregateInfo `json:"info"`
+		Rows   []profstore.Hotspot     `json:"rows"`
+	}{metric, info, rows})
+}
+
+// GET /diff?before=&after=&metric=&top=&workload=&vendor=&framework=
+func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	before, err := parseTime(q.Get("before"))
+	if err != nil || before.IsZero() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("diff needs before= and after= window times: %v", err))
+		return
+	}
+	after, err := parseTime(q.Get("after"))
+	if err != nil || after.IsZero() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("diff needs before= and after= window times: %v", err))
+		return
+	}
+	res, err := s.store.Diff(before, after, queryLabels(r), q.Get("metric"), queryInt(r, "top", 20))
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// GET /flame?format=html|folded&metric=&bottomup=1&from=&to=&filters...
+// With before= and after= set it renders the signed diff flame instead.
+func (s *server) handleFlame(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	signed := false
+	var p *deepcontext.Profile
+	if q.Get("before") != "" || q.Get("after") != "" {
+		before, err1 := parseTime(q.Get("before"))
+		after, err2 := parseTime(q.Get("after"))
+		if err1 != nil || err2 != nil || before.IsZero() || after.IsZero() {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("signed flame needs both before= and after="))
+			return
+		}
+		res, err := s.store.Diff(before, after, queryLabels(r), metric, 0)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		p = &deepcontext.Profile{Tree: res.Tree}
+		p.Meta.Workload = "diff"
+		signed = true
+	} else {
+		from, to, err := queryRange(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		tree, info, err := s.store.Aggregate(from, to, queryLabels(r))
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		p = &deepcontext.Profile{Tree: tree}
+		p.Meta.Workload = strings.Join(info.Series, "+")
+	}
+	// A bad metric name is the client's mistake; catch it here so it maps
+	// to 400 like /hotspots and /diff, not the renderer's 500.
+	if metric != "" {
+		if _, ok := p.Tree.Schema.Lookup(metric); !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("metric %q not present (known: %s)",
+				metric, strings.Join(p.Tree.Schema.Names(), ", ")))
+			return
+		}
+	}
+	switch q.Get("format") {
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := deepcontext.WriteFolded(w, p, metric); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+	case "", "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		opts := deepcontext.FlameOptions{Metric: metric, Signed: signed, BottomUp: q.Get("bottomup") != ""}
+		if err := deepcontext.WriteFlameGraph(w, p, opts); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want html or folded)", q.Get("format")))
+	}
+}
+
+// GET /analyze?from=&to=&filters... — the automated analyzer over the
+// window aggregate, as JSON.
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	from, to, err := queryRange(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tree, info, err := s.store.Aggregate(from, to, queryLabels(r))
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	p := &deepcontext.Profile{Tree: tree}
+	rep := deepcontext.Analyze(p)
+	writeJSON(w, struct {
+		Info   profstore.AggregateInfo `json:"info"`
+		Report any                     `json:"report"`
+	}{info, rep.JSON()})
+}
+
+// GET /windows — retained buckets, oldest first.
+func (s *server) handleWindows(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.store.Windows())
+}
+
+// GET /stats — store occupancy plus server uptime and limits.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cfg := s.store.Config()
+	writeJSON(w, struct {
+		Store           profstore.Stats `json:"store"`
+		UptimeSeconds   float64         `json:"uptime_seconds"`
+		MaxBodyBytes    int64           `json:"max_body_bytes"`
+		WindowSeconds   float64         `json:"window_seconds"`
+		Retention       int             `json:"retention"`
+		CoarseFactor    int             `json:"coarse_factor"`
+		CoarseRetention int             `json:"coarse_retention"`
+	}{s.store.Stats(), time.Since(s.started).Seconds(), s.maxBody,
+		cfg.Window.Seconds(), cfg.Retention, cfg.CoarseFactor, cfg.CoarseRetention})
+}
+
+// GET /healthz
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Status   string `json:"status"`
+		Ingested int64  `json:"ingested"`
+	}{"ok", s.store.Stats().Ingested})
+}

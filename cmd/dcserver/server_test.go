@@ -1,0 +1,390 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profdb"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/profstore"
+)
+
+var testBase = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testProfile(workload string, scale float64) *profiler.Profile {
+	tree := cct.New()
+	gid := tree.MetricID(cct.MetricGPUTime)
+	leaf := tree.InsertPath([]cct.Frame{
+		cct.PythonFrame("train.py", 10, "main"),
+		cct.OperatorFrame("aten::conv2d"),
+		{Kind: cct.KindKernel, Name: "gemm", Lib: "[gpu]", PC: 0x100},
+	})
+	tree.AddMetric(leaf, gid, 100*scale)
+	return &profiler.Profile{
+		Tree: tree,
+		Meta: profiler.Meta{Workload: workload, Vendor: "Nvidia", Framework: "pytorch"},
+	}
+}
+
+func dcpBytes(t *testing.T, p *profiler.Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := profdb.Save(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, clock *testClock, maxBody int64) (*httptest.Server, *profstore.Store) {
+	t.Helper()
+	store := profstore.New(profstore.Config{Window: time.Minute, Now: clock.Now})
+	ts := httptest.NewServer(newHandler(store, maxBody))
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+func postIngest(t *testing.T, ts *httptest.Server, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestAndQueryEndpoints(t *testing.T) {
+	clock := &testClock{t: testBase}
+	ts, _ := newTestServer(t, clock, profdb.DefaultMaxBytes)
+
+	// Single profile plus a v2 bundle through the same endpoint.
+	resp := postIngest(t, ts, dcpBytes(t, testProfile("UNet", 1)))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("ingest Content-Type = %q", ct)
+	}
+	var ir struct {
+		Ingested int      `json:"ingested"`
+		Series   []string `json:"series"`
+	}
+	decodeJSON(t, resp, &ir)
+	if ir.Ingested != 1 || len(ir.Series) != 1 || ir.Series[0] != "unet/nvidia/pytorch" {
+		t.Fatalf("ingest response = %+v", ir)
+	}
+
+	var bundle bytes.Buffer
+	if err := profdb.SaveBundle(&bundle, []profdb.Entry{
+		{Name: "a", Profile: testProfile("UNet", 2)},
+		{Name: "b", Profile: testProfile("DLRM", 4)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp = postIngest(t, ts, bundle.Bytes())
+	var ir2 struct {
+		Ingested int `json:"ingested"`
+	}
+	decodeJSON(t, resp, &ir2)
+	if ir2.Ingested != 2 {
+		t.Fatalf("bundle ingest = %+v", ir2)
+	}
+
+	// Hotspots across everything, then filtered.
+	var hot struct {
+		Metric string `json:"metric"`
+		Rows   []struct {
+			Label string  `json:"label"`
+			Excl  float64 `json:"excl"`
+		} `json:"rows"`
+	}
+	resp, err := http.Get(ts.URL + "/hotspots?top=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &hot)
+	if hot.Metric != cct.MetricGPUTime || len(hot.Rows) == 0 {
+		t.Fatalf("hotspots = %+v", hot)
+	}
+	if hot.Rows[0].Label != "gemm" || hot.Rows[0].Excl != 700 {
+		t.Fatalf("top row = %+v", hot.Rows[0])
+	}
+	resp, err = http.Get(ts.URL + "/hotspots?workload=DLRM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &hot)
+	if len(hot.Rows) == 0 || hot.Rows[0].Excl != 400 {
+		t.Fatalf("filtered hotspots = %+v", hot.Rows)
+	}
+	// No data for the filter → 404; a bad metric name → 400.
+	resp, err = http.Get(ts.URL + "/hotspots?workload=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing-filter status = %d", resp.StatusCode)
+	}
+	for _, ep := range []string{"/hotspots?metric=bogus", "/flame?metric=bogus"} {
+		resp, err = http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s status = %d, want 400", ep, resp.StatusCode)
+		}
+	}
+
+	// Windows, stats, healthz.
+	var wins []profstore.WindowInfo
+	resp, err = http.Get(ts.URL + "/windows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &wins)
+	if len(wins) != 1 || wins[0].Profiles != 3 {
+		t.Fatalf("windows = %+v", wins)
+	}
+	var st struct {
+		Store profstore.Stats `json:"store"`
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &st)
+	if st.Store.Ingested != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &hz)
+	if hz.Status != "ok" {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	// Flame graph: HTML and folded renderings of the aggregate.
+	resp, err = http.Get(ts.URL + "/flame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(html), "<html") {
+		t.Fatalf("flame html status=%d body=%.80s", resp.StatusCode, html)
+	}
+	resp, err = http.Get(ts.URL + "/flame?format=folded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(folded), "gemm") {
+		t.Fatalf("folded = %.120s", folded)
+	}
+
+	// Analyzer over the aggregate.
+	var ar struct {
+		Report struct {
+			Findings int `json:"findings"`
+			Issues   []struct {
+				Analysis string `json:"analysis"`
+				Severity string `json:"severity"`
+			} `json:"issues"`
+		} `json:"report"`
+	}
+	resp, err = http.Get(ts.URL + "/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &ar)
+	if ar.Report.Findings != len(ar.Report.Issues) {
+		t.Fatalf("analyze = %+v", ar)
+	}
+}
+
+func TestDiffEndpointAcrossWindows(t *testing.T) {
+	clock := &testClock{t: testBase}
+	ts, _ := newTestServer(t, clock, profdb.DefaultMaxBytes)
+
+	postIngest(t, ts, dcpBytes(t, testProfile("UNet", 1))).Body.Close()
+	clock.Advance(time.Minute)
+	postIngest(t, ts, dcpBytes(t, testProfile("UNet", 3))).Body.Close()
+
+	q := url.Values{}
+	q.Set("before", testBase.Format(time.RFC3339Nano))
+	q.Set("after", testBase.Add(time.Minute).Format(time.RFC3339Nano))
+	q.Set("metric", cct.MetricGPUTime)
+	var dr struct {
+		Net  float64 `json:"net"`
+		Rows []struct {
+			Label  string  `json:"label"`
+			Delta  float64 `json:"delta"`
+			Before float64 `json:"before"`
+			After  float64 `json:"after"`
+		} `json:"rows"`
+	}
+	resp, err := http.Get(ts.URL + "/diff?" + q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &dr)
+	if dr.Net != 200 || len(dr.Rows) != 1 {
+		t.Fatalf("diff = %+v", dr)
+	}
+	if r := dr.Rows[0]; r.Label != "gemm" || r.Delta != 200 || r.Before != 100 || r.After != 300 {
+		t.Fatalf("diff row = %+v", r)
+	}
+
+	// The signed diff flame renders too.
+	resp, err = http.Get(ts.URL + "/flame?format=folded&" + q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "gemm") {
+		t.Fatalf("diff flame status=%d body=%.120s", resp.StatusCode, body)
+	}
+
+	// Missing params → 400.
+	resp, err = http.Get(ts.URL + "/diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bare diff status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodAndBodyRejections(t *testing.T) {
+	clock := &testClock{t: testBase}
+	ts, _ := newTestServer(t, clock, 512)
+
+	// Wrong methods → 405.
+	resp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest status = %d", resp.StatusCode)
+	}
+	for _, ep := range []string{"/hotspots", "/diff", "/flame", "/analyze", "/windows", "/stats", "/healthz"} {
+		resp, err := http.Post(ts.URL+ep, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s status = %d", ep, resp.StatusCode)
+		}
+	}
+
+	// HEAD stays allowed for probes (served body-suppressed by net/http).
+	resp, err = http.Head(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD /healthz status = %d", resp.StatusCode)
+	}
+
+	// Corrupt body → 400 with a JSON error.
+	resp = postIngest(t, ts, []byte("definitely not a profile"))
+	var eb errorBody
+	decodeJSON(t, resp, &eb)
+	if resp.StatusCode != http.StatusBadRequest || eb.Error == "" {
+		t.Fatalf("corrupt ingest: status=%d body=%+v", resp.StatusCode, eb)
+	}
+
+	// Oversized body (server capped at 512 bytes) → 413.
+	big := dcpBytes(t, testProfile("UNet", 1))
+	if len(big) <= 512 {
+		t.Fatalf("fixture too small to exceed cap: %d bytes", len(big))
+	}
+	resp = postIngest(t, ts, big)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentHTTPIngest(t *testing.T) {
+	clock := &testClock{t: testBase}
+	ts, store := newTestServer(t, clock, profdb.DefaultMaxBytes)
+
+	const clients = 8
+	const per = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*per)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				body := dcpBytes(t, testProfile(fmt.Sprintf("W%d", c%3), 1))
+				resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := store.Stats().Ingested; got != clients*per {
+		t.Fatalf("ingested = %d, want %d", got, clients*per)
+	}
+}

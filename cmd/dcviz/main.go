@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"deepcontext"
 )
@@ -68,7 +69,21 @@ func main() {
 	}
 }
 
-func serve(addr string, p *deepcontext.Profile, rep *deepcontext.Report, metric string) {
+// newMux builds the GUI's routes. Every endpoint is read-only, so non-GET
+// methods are rejected with 405.
+func newMux(p *deepcontext.Profile, rep *deepcontext.Report, metric string) *http.ServeMux {
+	get := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			// HEAD stays allowed: net/http serves it through the GET
+			// handler with the body suppressed, and probes rely on it.
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			h(w, r)
+		}
+	}
 	render := func(w http.ResponseWriter, bottomUp bool) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		opts := deepcontext.FlameOptions{Metric: metric, BottomUp: bottomUp, Annotate: rep}
@@ -77,17 +92,33 @@ func serve(addr string, p *deepcontext.Profile, rep *deepcontext.Report, metric 
 		}
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) { render(w, false) })
-	mux.HandleFunc("/bottom-up", func(w http.ResponseWriter, r *http.Request) { render(w, true) })
-	mux.HandleFunc("/json", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/", get(func(w http.ResponseWriter, r *http.Request) { render(w, false) }))
+	mux.HandleFunc("/bottom-up", get(func(w http.ResponseWriter, r *http.Request) { render(w, true) }))
+	mux.HandleFunc("/json", get(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := deepcontext.ExportJSON(w, p); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-	})
+	}))
+	mux.HandleFunc("/healthz", get(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}))
+	return mux
+}
+
+func serve(addr string, p *deepcontext.Profile, rep *deepcontext.Report, metric string) {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newMux(p, rep, metric),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	fmt.Printf("serving %s: top-down at http://%s/, bottom-up at /bottom-up, raw at /json\n",
 		p.Meta.Workload, addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
+	if err := srv.ListenAndServe(); err != nil {
 		fail(err)
 	}
 }

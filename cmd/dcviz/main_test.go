@@ -1,0 +1,80 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deepcontext"
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profiler"
+)
+
+func vizProfile() *deepcontext.Profile {
+	tree := cct.New()
+	gid := tree.MetricID(cct.MetricGPUTime)
+	leaf := tree.InsertPath([]cct.Frame{
+		cct.PythonFrame("train.py", 1, "main"),
+		cct.OperatorFrame("aten::conv2d"),
+		{Kind: cct.KindKernel, Name: "gemm", Lib: "[gpu]", PC: 0x1},
+	})
+	tree.AddMetric(leaf, gid, 100)
+	return &deepcontext.Profile{Tree: tree, Meta: profiler.Meta{Workload: "unit"}}
+}
+
+func TestMuxServesViewsAndHealth(t *testing.T) {
+	p := vizProfile()
+	ts := httptest.NewServer(newMux(p, deepcontext.Analyze(p), ""))
+	defer ts.Close()
+
+	for path, want := range map[string]string{
+		"/":          "<html",
+		"/bottom-up": "<html",
+		"/json":      "gemm",
+		"/healthz":   "ok",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status = %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("GET %s body lacks %q: %.80s", path, want, body)
+		}
+	}
+}
+
+func TestMuxRejectsNonGET(t *testing.T) {
+	p := vizProfile()
+	ts := httptest.NewServer(newMux(p, nil, ""))
+	defer ts.Close()
+
+	for _, path := range []string{"/", "/bottom-up", "/json", "/healthz"} {
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s status = %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+			t.Fatalf("POST %s Allow = %q", path, allow)
+		}
+		// HEAD stays allowed for probes.
+		head, err := http.Head(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head.Body.Close()
+		if head.StatusCode != http.StatusOK {
+			t.Fatalf("HEAD %s status = %d", path, head.StatusCode)
+		}
+	}
+}

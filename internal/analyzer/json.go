@@ -1,0 +1,41 @@
+package analyzer
+
+// JSON shapes for serving analyzer reports over HTTP (cmd/dcserver's
+// /analyze endpoint) and for external tooling. Issue itself is not
+// marshalable — it carries a *cct.Node — so the export flattens the node to
+// its call path.
+
+// IssueJSON is one finding in wire form.
+type IssueJSON struct {
+	Analysis   string   `json:"analysis"`
+	Severity   string   `json:"severity"`
+	Message    string   `json:"message"`
+	Suggestion string   `json:"suggestion,omitempty"`
+	Value      float64  `json:"value,omitempty"`
+	Path       []string `json:"path,omitempty"`
+}
+
+// ReportJSON is a marshalable analyzer report.
+type ReportJSON struct {
+	Findings int         `json:"findings"`
+	Issues   []IssueJSON `json:"issues"`
+}
+
+// JSON flattens the report into its wire form.
+func (r *Report) JSON() ReportJSON {
+	out := ReportJSON{Findings: len(r.Issues), Issues: make([]IssueJSON, 0, len(r.Issues))}
+	for _, is := range r.Issues {
+		ij := IssueJSON{
+			Analysis:   is.Analysis,
+			Severity:   is.Severity.String(),
+			Message:    is.Message,
+			Suggestion: is.Suggestion,
+			Value:      is.Value,
+		}
+		for _, f := range is.Path {
+			ij.Path = append(ij.Path, f.Label())
+		}
+		out.Issues = append(out.Issues, ij)
+	}
+	return out
+}

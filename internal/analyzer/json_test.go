@@ -1,0 +1,44 @@
+package analyzer
+
+import (
+	"encoding/json"
+	"testing"
+
+	"deepcontext/internal/cct"
+)
+
+func TestReportJSONFlattensIssues(t *testing.T) {
+	rep := &Report{Issues: []Issue{
+		{
+			Analysis:   "hotspot",
+			Severity:   Critical,
+			Path:       []cct.Frame{cct.OperatorFrame("aten::conv2d"), {Kind: cct.KindKernel, Name: "gemm", Lib: "[gpu]"}},
+			Message:    "dominant kernel",
+			Suggestion: "fuse it",
+			Value:      0.42,
+		},
+		{Analysis: "stalls", Severity: Info, Message: "minor"},
+	}}
+	out := rep.JSON()
+	if out.Findings != 2 || len(out.Issues) != 2 {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Issues[0].Severity != "critical" || out.Issues[0].Value != 0.42 {
+		t.Fatalf("issue 0 = %+v", out.Issues[0])
+	}
+	if len(out.Issues[0].Path) != 2 || out.Issues[0].Path[1] != "gemm" {
+		t.Fatalf("path = %v", out.Issues[0].Path)
+	}
+	// The whole shape must marshal (Issue itself cannot: it holds a *cct.Node).
+	raw, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round ReportJSON
+	if err := json.Unmarshal(raw, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Issues[0].Message != "dominant kernel" {
+		t.Fatalf("round trip = %+v", round)
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"bytes"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"deepcontext/internal/cct"
@@ -31,6 +33,21 @@ const (
 	// FormatMagicV1 identifies the legacy single-profile format, which
 	// Load still accepts.
 	FormatMagicV1 = "DEEPCONTEXT-PROFDB-1"
+)
+
+// DefaultMaxBytes caps how much Load/LoadBundle will read (256 MiB). A
+// malformed or hostile input — an HTTP ingest body, a truncated upload —
+// fails with ErrTooLarge instead of buffering without bound.
+const DefaultMaxBytes = 256 << 20
+
+// Typed load failures, for errors.Is dispatch at API boundaries (a server
+// maps ErrTooLarge to 413 and ErrCorrupt to 400 rather than 500).
+var (
+	// ErrTooLarge reports an input exceeding the size limit.
+	ErrTooLarge = errors.New("profdb: input exceeds size limit")
+	// ErrCorrupt reports an undecodable or structurally invalid database
+	// (bad magic, truncated gob stream, dangling parent references).
+	ErrCorrupt = errors.New("profdb: corrupt database")
 )
 
 type flatNode struct {
@@ -108,7 +125,7 @@ func unflatten(ff *fileFormat) (*profiler.Profile, error) {
 			nodes[i] = tree.Root
 		} else {
 			if fn.Parent >= i || nodes[fn.Parent] == nil {
-				return nil, fmt.Errorf("profdb: node %d has invalid parent %d", i, fn.Parent)
+				return nil, fmt.Errorf("profdb: node %d has invalid parent %d: %w", i, fn.Parent, ErrCorrupt)
 			}
 			nodes[i] = tree.InsertUnder(nodes[fn.Parent], []cct.Frame{fn.Frame})
 		}
@@ -140,24 +157,44 @@ func SaveBundle(w io.Writer, entries []Entry) error {
 	return gob.NewEncoder(w).Encode(&bf)
 }
 
-// LoadBundle reads every profile of a database. Legacy v1 files load as a
-// single-entry bundle.
+// LoadBundle reads every profile of a database, refusing inputs larger than
+// DefaultMaxBytes. Legacy v1 files load as a single-entry bundle.
 func LoadBundle(r io.Reader) ([]Entry, error) {
-	raw, err := io.ReadAll(r)
+	return LoadBundleLimit(r, DefaultMaxBytes)
+}
+
+// LoadBundleLimit is LoadBundle with an explicit size cap in bytes
+// (0 selects DefaultMaxBytes). Inputs exceeding the cap fail with an error
+// matching ErrTooLarge; undecodable inputs match ErrCorrupt.
+func LoadBundleLimit(r io.Reader, maxBytes int64) ([]Entry, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	// Read one byte past the cap so "exactly at the limit" and "over it"
+	// are distinguishable (guarding maxBytes+1 against overflow for
+	// callers passing MaxInt64 as "unlimited").
+	limit := maxBytes
+	if limit < math.MaxInt64 {
+		limit++
+	}
+	raw, err := io.ReadAll(io.LimitReader(r, limit))
 	if err != nil {
 		return nil, fmt.Errorf("profdb: read: %w", err)
+	}
+	if int64(len(raw)) > maxBytes {
+		return nil, fmt.Errorf("profdb: input larger than %d bytes: %w", maxBytes, ErrTooLarge)
 	}
 	// gob matches struct fields by name, so a v1 fileFormat payload decodes
 	// into bundleFormat with Magic set and Profiles empty — the magic then
 	// dispatches to the right shape.
 	var bf bundleFormat
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&bf); err != nil {
-		return nil, fmt.Errorf("profdb: decode: %w", err)
+		return nil, fmt.Errorf("profdb: decode: %v: %w", err, ErrCorrupt)
 	}
 	switch bf.Magic {
 	case FormatMagic:
 		if len(bf.Profiles) == 0 {
-			return nil, fmt.Errorf("profdb: bundle has no profiles")
+			return nil, fmt.Errorf("profdb: bundle has no profiles: %w", ErrCorrupt)
 		}
 		out := make([]Entry, 0, len(bf.Profiles))
 		for i := range bf.Profiles {
@@ -171,7 +208,7 @@ func LoadBundle(r io.Reader) ([]Entry, error) {
 	case FormatMagicV1:
 		var ff fileFormat
 		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&ff); err != nil {
-			return nil, fmt.Errorf("profdb: decode v1: %w", err)
+			return nil, fmt.Errorf("profdb: decode v1: %v: %w", err, ErrCorrupt)
 		}
 		p, err := unflatten(&ff)
 		if err != nil {
@@ -179,7 +216,7 @@ func LoadBundle(r io.Reader) ([]Entry, error) {
 		}
 		return []Entry{{Profile: p}}, nil
 	default:
-		return nil, fmt.Errorf("profdb: bad magic %q", bf.Magic)
+		return nil, fmt.Errorf("profdb: bad magic %q: %w", bf.Magic, ErrCorrupt)
 	}
 }
 
@@ -188,9 +225,16 @@ func Save(w io.Writer, p *profiler.Profile) error {
 	return SaveBundle(w, []Entry{{Profile: p}})
 }
 
-// Load reads the first profile of a database (v1 or v2).
+// Load reads the first profile of a database (v1 or v2), refusing inputs
+// larger than DefaultMaxBytes.
 func Load(r io.Reader) (*profiler.Profile, error) {
-	entries, err := LoadBundle(r)
+	return LoadLimit(r, DefaultMaxBytes)
+}
+
+// LoadLimit is Load with an explicit size cap in bytes (0 selects
+// DefaultMaxBytes).
+func LoadLimit(r io.Reader, maxBytes int64) (*profiler.Profile, error) {
+	entries, err := LoadBundleLimit(r, maxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -217,12 +261,23 @@ func SaveBundleFile(path string, entries []Entry) error {
 
 // LoadFile reads the first profile from path.
 func LoadFile(path string) (*profiler.Profile, error) {
-	f, err := os.Open(path)
+	entries, err := LoadBundleFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Load(f)
+	return entries[0].Profile, nil
+}
+
+// fileLimit sizes the read cap for a local file: its actual size, floored
+// at DefaultMaxBytes. The DoS cap exists for network boundaries (servers
+// pass their own limit); databases already on disk — a large batch-matrix
+// aggregate, say — must keep loading in the offline tools.
+func fileLimit(f *os.File) int64 {
+	max := int64(DefaultMaxBytes)
+	if st, err := f.Stat(); err == nil && st.Size() > max {
+		max = st.Size()
+	}
+	return max
 }
 
 // LoadBundleFile reads every profile from path.
@@ -232,7 +287,7 @@ func LoadBundleFile(path string) ([]Entry, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadBundle(f)
+	return LoadBundleLimit(f, fileLimit(f))
 }
 
 // jsonNode is the nested JSON export shape.

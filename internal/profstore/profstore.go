@@ -1,0 +1,617 @@
+// Package profstore is the continuous-profiling backend: it accepts
+// profiles from many concurrent clients and aggregates them into
+// time-bucketed rolling windows, one merged calling context tree per
+// (workload, vendor, framework) label set per window. Profiles are
+// normalized at ingest (cct.NormalizeAddresses) so runs from different
+// processes and machines unify, the same fleet-aggregation model as
+// datacenter-wide profilers: the store's size is proportional to distinct
+// calling contexts per window, not to the number of profiles received.
+//
+// Retention is two-tiered. Fine windows (Config.Window wide) hold recent
+// data at full label granularity; a compaction pass — callable directly or
+// run by a background goroutine — folds fine windows older than the
+// retention horizon into coarser windows (CoarseFactor × Window wide) via
+// the associative cct.Merge, and eventually drops coarse windows past their
+// own retention. Metric sums are conserved by compaction; only time
+// resolution is lost.
+//
+// Queries (top-N hotspots, window-vs-window signed diffs, merged aggregates
+// for flame graphs and the analyzer) run under a read lock and never mutate
+// stored trees.
+package profstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profiler"
+)
+
+// Typed query failures, for errors.Is dispatch at API boundaries (a server
+// maps ErrNoData to 404 and ErrUnknownMetric to 400).
+var (
+	// ErrNoData reports a query that matched no retained window or series.
+	ErrNoData = errors.New("profstore: no matching data")
+	// ErrUnknownMetric reports a metric name absent from the matched data.
+	ErrUnknownMetric = errors.New("profstore: unknown metric")
+)
+
+// Labels identify one profile series. As a query filter, empty fields match
+// anything (matching is case-insensitive, mirroring the facade's vendor and
+// framework parsing).
+type Labels struct {
+	Workload  string `json:"workload,omitempty"`
+	Vendor    string `json:"vendor,omitempty"`
+	Framework string `json:"framework,omitempty"`
+}
+
+// LabelsOf extracts the series labels from profile metadata.
+func LabelsOf(m profiler.Meta) Labels {
+	return Labels{Workload: m.Workload, Vendor: m.Vendor, Framework: m.Framework}
+}
+
+// Key renders the canonical series key "workload/vendor/framework".
+func (l Labels) Key() string {
+	return strings.ToLower(l.Workload + "/" + l.Vendor + "/" + l.Framework)
+}
+
+// Matches reports whether l satisfies the filter f (empty filter fields are
+// wildcards).
+func (l Labels) Matches(f Labels) bool {
+	return matchField(l.Workload, f.Workload) &&
+		matchField(l.Vendor, f.Vendor) &&
+		matchField(l.Framework, f.Framework)
+}
+
+func matchField(have, want string) bool {
+	return want == "" || strings.EqualFold(have, want)
+}
+
+// Config tunes windowing, retention and the clock.
+type Config struct {
+	// Window is the fine bucket width (default one minute).
+	Window time.Duration
+	// Retention is how many fine windows are kept before compaction folds
+	// them into coarse windows (default 60).
+	Retention int
+	// CoarseFactor is the coarse bucket width in fine windows (default 10).
+	CoarseFactor int
+	// CoarseRetention is how many coarse windows are kept (default 144).
+	CoarseRetention int
+	// Now supplies the ingest clock; tests and the load generator inject a
+	// virtual clock here. Defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.Retention <= 0 {
+		c.Retention = 60
+	}
+	if c.CoarseFactor <= 1 {
+		c.CoarseFactor = 10
+	}
+	if c.CoarseRetention <= 0 {
+		c.CoarseRetention = 144
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+func (c Config) coarse() time.Duration { return time.Duration(c.CoarseFactor) * c.Window }
+
+// series is one label set's rolling aggregate within a window.
+type series struct {
+	labels   Labels
+	tree     *cct.Tree
+	profiles int
+}
+
+// window is one time bucket holding per-label merged trees.
+type window struct {
+	start  time.Time
+	dur    time.Duration
+	series map[string]*series
+}
+
+func (w *window) profiles() int {
+	n := 0
+	for _, s := range w.series {
+		n += s.profiles
+	}
+	return n
+}
+
+func (w *window) nodes() int {
+	n := 0
+	for _, s := range w.series {
+		n += s.tree.NodeCount()
+	}
+	return n
+}
+
+// Store is a concurrency-safe rolling profile aggregator.
+type Store struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	fine   map[int64]*window // unix-nano window start → bucket
+	coarse map[int64]*window
+
+	ingested    int64
+	compactions int64
+	lastIngest  time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New returns an empty store. Call Close when done if StartCompactor was
+// used.
+func New(cfg Config) *Store {
+	return &Store{
+		cfg:    cfg.withDefaults(),
+		fine:   make(map[int64]*window),
+		coarse: make(map[int64]*window),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Config returns the store's effective (defaulted) configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Ingest folds p into the current fine window's series for p's labels and
+// returns that window's start. The profile's address-unified frames are
+// normalized to cross-run stable identities before merging; p itself is not
+// modified and may be discarded by the caller.
+func (s *Store) Ingest(p *profiler.Profile) (time.Time, error) {
+	if p == nil || p.Tree == nil {
+		return time.Time{}, fmt.Errorf("profstore: nil profile")
+	}
+	labels := LabelsOf(p.Meta)
+	// Normalization walks and rebuilds the whole tree — do it outside the
+	// lock so concurrent ingests only serialize on the (cheaper) merge.
+	normalized := cct.NormalizeAddresses(p.Tree)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.cfg.Now().Truncate(s.cfg.Window)
+	w := s.fine[start.UnixNano()]
+	if w == nil {
+		w = &window{start: start, dur: s.cfg.Window, series: make(map[string]*series)}
+		s.fine[start.UnixNano()] = w
+	}
+	key := labels.Key()
+	ser := w.series[key]
+	if ser == nil {
+		ser = &series{labels: labels, tree: cct.New()}
+		w.series[key] = ser
+	}
+	cct.Merge(ser.tree, normalized)
+	ser.profiles++
+	s.ingested++
+	s.lastIngest = s.cfg.Now()
+	return start, nil
+}
+
+// WindowInfo describes one retained bucket.
+type WindowInfo struct {
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Coarse   bool          `json:"coarse,omitempty"`
+	Series   int           `json:"series"`
+	Profiles int           `json:"profiles"`
+	Nodes    int           `json:"nodes"`
+}
+
+// Windows lists retained buckets, oldest first (fine and coarse
+// interleaved by start time).
+func (s *Store) Windows() []WindowInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]WindowInfo, 0, len(s.fine)+len(s.coarse))
+	for _, w := range s.fine {
+		out = append(out, WindowInfo{Start: w.start, Duration: w.dur,
+			Series: len(w.series), Profiles: w.profiles(), Nodes: w.nodes()})
+	}
+	for _, w := range s.coarse {
+		out = append(out, WindowInfo{Start: w.start, Duration: w.dur, Coarse: true,
+			Series: len(w.series), Profiles: w.profiles(), Nodes: w.nodes()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return !out[i].Coarse && out[j].Coarse
+	})
+	return out
+}
+
+// AggregateInfo summarizes what an aggregate query matched.
+type AggregateInfo struct {
+	Windows  int      `json:"windows"`
+	Profiles int      `json:"profiles"`
+	Series   []string `json:"series"`
+}
+
+// Aggregate merges every series matching filter in buckets whose start lies
+// in [from, to) into one fresh tree. Zero bounds are open (from the oldest
+// bucket / through the newest). The stored trees are not modified; the
+// result is owned by the caller.
+func (s *Store) Aggregate(from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.aggregateLocked(from, to, filter)
+}
+
+func (s *Store) aggregateLocked(from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
+	out := cct.New()
+	info := AggregateInfo{}
+	seen := make(map[string]bool)
+	fold := func(w *window) {
+		if !from.IsZero() && w.start.Before(from) {
+			return
+		}
+		if !to.IsZero() && !w.start.Before(to) {
+			return
+		}
+		matched := false
+		for _, ser := range w.series {
+			if !ser.labels.Matches(filter) {
+				continue
+			}
+			cct.Merge(out, ser.tree)
+			info.Profiles += ser.profiles
+			matched = true
+			if k := ser.labels.Key(); !seen[k] {
+				seen[k] = true
+				info.Series = append(info.Series, k)
+			}
+		}
+		if matched {
+			info.Windows++
+		}
+	}
+	for _, w := range s.fine {
+		fold(w)
+	}
+	for _, w := range s.coarse {
+		fold(w)
+	}
+	if info.Windows == 0 {
+		return nil, info, fmt.Errorf("no data for filter %s in [%v, %v): %w", filter.Key(), from, to, ErrNoData)
+	}
+	sort.Strings(info.Series)
+	return out, info, nil
+}
+
+// resolveWindowLocked returns the single bucket containing instant t,
+// preferring fine windows (full resolution) over coarse ones. Callers hold
+// s.mu.
+func (s *Store) resolveWindowLocked(t time.Time) (*window, error) {
+	if w := s.fine[t.Truncate(s.cfg.Window).UnixNano()]; w != nil {
+		return w, nil
+	}
+	if w := s.coarse[t.Truncate(s.cfg.coarse()).UnixNano()]; w != nil {
+		return w, nil
+	}
+	return nil, fmt.Errorf("no window contains %v: %w", t, ErrNoData)
+}
+
+// aggregateWindowLocked merges w's series matching filter into a fresh
+// tree. Unlike a time-range aggregate this reads exactly one bucket — a
+// coarse fallback must not sweep in fine windows sharing its range.
+func (s *Store) aggregateWindowLocked(w *window, filter Labels) (*cct.Tree, error) {
+	out := cct.New()
+	matched := false
+	for _, ser := range w.series {
+		if ser.labels.Matches(filter) {
+			cct.Merge(out, ser.tree)
+			matched = true
+		}
+	}
+	if !matched {
+		return nil, fmt.Errorf("no series match %s in window %v: %w", filter.Key(), w.start, ErrNoData)
+	}
+	return out, nil
+}
+
+// Hotspot is one top-N query row: a calling context ranked by the magnitude
+// of its exclusive metric.
+type Hotspot struct {
+	Rank  int      `json:"rank"`
+	Label string   `json:"label"`
+	Kind  string   `json:"kind"`
+	Path  []string `json:"path"`
+	Excl  float64  `json:"excl"`
+	Incl  float64  `json:"incl"`
+	// Frac is Excl relative to the root's inclusive total.
+	Frac float64 `json:"frac"`
+}
+
+// Hotspots returns the top calling contexts by exclusive metric over the
+// aggregate of [from, to) under filter.
+func (s *Store) Hotspots(from, to time.Time, filter Labels, metric string, top int) ([]Hotspot, AggregateInfo, error) {
+	if metric == "" {
+		metric = cct.MetricGPUTime
+	}
+	tree, info, err := s.Aggregate(from, to, filter)
+	if err != nil {
+		return nil, info, err
+	}
+	id, ok := tree.Schema.Lookup(metric)
+	if !ok {
+		return nil, info, fmt.Errorf("metric %q not present (known: %s): %w",
+			metric, strings.Join(tree.Schema.Names(), ", "), ErrUnknownMetric)
+	}
+	total := tree.Root.InclValue(id)
+	var rows []Hotspot
+	tree.Visit(func(n *cct.Node) {
+		v := n.ExclValue(id)
+		if v == 0 || n.Kind == cct.KindRoot {
+			return
+		}
+		h := Hotspot{Label: n.Label(), Kind: n.Kind.String(), Excl: v, Incl: n.InclValue(id)}
+		for _, f := range n.Path() {
+			h.Path = append(h.Path, f.Label())
+		}
+		if total != 0 {
+			h.Frac = v / total
+		}
+		rows = append(rows, h)
+	})
+	sort.SliceStable(rows, func(i, j int) bool {
+		return math.Abs(rows[i].Excl) > math.Abs(rows[j].Excl)
+	})
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+	return rows, info, nil
+}
+
+// DiffRow is one changed calling context of a window-vs-window comparison,
+// with the per-side exclusive values for context (the shape of cmd/dcdiff's
+// hotspot table).
+type DiffRow struct {
+	Rank   int     `json:"rank"`
+	Label  string  `json:"label"`
+	Kind   string  `json:"kind"`
+	Delta  float64 `json:"delta"`
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+}
+
+// DiffResult is a signed window-vs-window comparison: positive deltas mean
+// the "after" window spent more (a regression when after is the newer one).
+type DiffResult struct {
+	Metric      string    `json:"metric"`
+	BeforeTotal float64   `json:"before_total"`
+	AfterTotal  float64   `json:"after_total"`
+	Net         float64   `json:"net"`
+	Rows        []DiffRow `json:"rows"`
+	// Tree is the signed delta tree (after − before) for flame rendering;
+	// omitted from JSON.
+	Tree *cct.Tree `json:"-"`
+}
+
+// Diff compares the window containing the instant "after" against the one
+// containing "before" under filter, ranking changed contexts by magnitude.
+// Stored trees were normalized at ingest, so the result matches cmd/dcdiff
+// over the same profiles (up to child order).
+func (s *Store) Diff(before, after time.Time, filter Labels, metric string, top int) (*DiffResult, error) {
+	if metric == "" {
+		metric = cct.MetricGPUTime
+	}
+	// Resolve windows and aggregate under one read lock: a compaction pass
+	// between the two steps could fold a just-resolved fine window into a
+	// coarse bucket, making retained data look absent.
+	s.mu.RLock()
+	bWin, err := s.resolveWindowLocked(before)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("profstore: before: %w", err)
+	}
+	aWin, err := s.resolveWindowLocked(after)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("profstore: after: %w", err)
+	}
+	beforeTree, bErr := s.aggregateWindowLocked(bWin, filter)
+	afterTree, aErr := s.aggregateWindowLocked(aWin, filter)
+	s.mu.RUnlock()
+	if bErr != nil {
+		return nil, fmt.Errorf("profstore: before: %w", bErr)
+	}
+	if aErr != nil {
+		return nil, fmt.Errorf("profstore: after: %w", aErr)
+	}
+
+	diff := cct.Diff(afterTree, beforeTree)
+	id, ok := diff.Schema.Lookup(metric)
+	if !ok {
+		return nil, fmt.Errorf("metric %q not present in either window (known: %s): %w",
+			metric, strings.Join(diff.Schema.Names(), ", "), ErrUnknownMetric)
+	}
+	res := &DiffResult{Metric: metric, Tree: diff}
+	if bid, ok := beforeTree.Schema.Lookup(metric); ok {
+		res.BeforeTotal = beforeTree.Root.InclValue(bid)
+	}
+	if aid, ok := afterTree.Schema.Lookup(metric); ok {
+		res.AfterTotal = afterTree.Root.InclValue(aid)
+	}
+	res.Net = res.AfterTotal - res.BeforeTotal
+
+	beforeVals := exclByPath(beforeTree, metric)
+	afterVals := exclByPath(afterTree, metric)
+	diff.Visit(func(n *cct.Node) {
+		d := n.ExclValue(id)
+		if d == 0 || n.Kind == cct.KindRoot {
+			return
+		}
+		key := pathKey(n)
+		res.Rows = append(res.Rows, DiffRow{
+			Label:  n.Label(),
+			Kind:   n.Kind.String(),
+			Delta:  d,
+			Before: beforeVals[key],
+			After:  afterVals[key],
+		})
+	})
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		return math.Abs(res.Rows[i].Delta) > math.Abs(res.Rows[j].Delta)
+	})
+	if top > 0 && len(res.Rows) > top {
+		res.Rows = res.Rows[:top]
+	}
+	for i := range res.Rows {
+		res.Rows[i].Rank = i + 1
+	}
+	return res, nil
+}
+
+// exclByPath flattens a tree into path-key → exclusive value for metric.
+func exclByPath(t *cct.Tree, metric string) map[string]float64 {
+	out := make(map[string]float64)
+	id, ok := t.Schema.Lookup(metric)
+	if !ok {
+		return out
+	}
+	t.Visit(func(n *cct.Node) {
+		if v := n.ExclValue(id); v != 0 {
+			out[pathKey(n)] = v
+		}
+	})
+	return out
+}
+
+func pathKey(n *cct.Node) string {
+	var sb strings.Builder
+	for _, f := range n.Path() {
+		sb.WriteString(f.Key())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// CompactNow runs one compaction pass against the store's clock: fine
+// windows older than Retention×Window fold into their coarse bucket
+// (series-by-series, via the associative cct.Merge — metric sums are
+// conserved), and coarse windows older than CoarseRetention×coarse width
+// are dropped. It returns how many fine windows were folded and how many
+// coarse windows were dropped.
+func (s *Store) CompactNow() (folded, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Now()
+	fineHorizon := now.Add(-time.Duration(s.cfg.Retention) * s.cfg.Window).Truncate(s.cfg.Window)
+	for key, w := range s.fine {
+		if !w.start.Before(fineHorizon) {
+			continue
+		}
+		cStart := w.start.Truncate(s.cfg.coarse())
+		cw := s.coarse[cStart.UnixNano()]
+		if cw == nil {
+			cw = &window{start: cStart, dur: s.cfg.coarse(), series: make(map[string]*series)}
+			s.coarse[cStart.UnixNano()] = cw
+		}
+		for k, ser := range w.series {
+			dst := cw.series[k]
+			if dst == nil {
+				dst = &series{labels: ser.labels, tree: cct.New()}
+				cw.series[k] = dst
+			}
+			cct.Merge(dst.tree, ser.tree)
+			dst.profiles += ser.profiles
+		}
+		delete(s.fine, key)
+		folded++
+	}
+	coarseHorizon := now.Add(-time.Duration(s.cfg.CoarseRetention) * s.cfg.coarse()).Truncate(s.cfg.coarse())
+	for key, w := range s.coarse {
+		if w.start.Before(coarseHorizon) {
+			delete(s.coarse, key)
+			dropped++
+		}
+	}
+	if folded > 0 || dropped > 0 {
+		s.compactions++
+	}
+	return folded, dropped
+}
+
+// StartCompactor runs CompactNow every interval (default: one fine window)
+// until Close. Safe to call at most once.
+func (s *Store) StartCompactor(interval time.Duration) {
+	if interval <= 0 {
+		interval = s.cfg.Window
+	}
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.CompactNow()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the background compactor, if any.
+func (s *Store) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.done != nil {
+		<-s.done
+	}
+}
+
+// Stats is a point-in-time snapshot of store occupancy and activity.
+type Stats struct {
+	Ingested      int64     `json:"ingested"`
+	Compactions   int64     `json:"compactions"`
+	FineWindows   int       `json:"fine_windows"`
+	CoarseWindows int       `json:"coarse_windows"`
+	Series        int       `json:"series"`
+	Nodes         int       `json:"nodes"`
+	LastIngest    time.Time `json:"last_ingest,omitempty"`
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Ingested:      s.ingested,
+		Compactions:   s.compactions,
+		FineWindows:   len(s.fine),
+		CoarseWindows: len(s.coarse),
+		LastIngest:    s.lastIngest,
+	}
+	for _, w := range s.fine {
+		st.Series += len(w.series)
+		st.Nodes += w.nodes()
+	}
+	for _, w := range s.coarse {
+		st.Series += len(w.series)
+		st.Nodes += w.nodes()
+	}
+	return st
+}
