@@ -5,6 +5,12 @@
 // workload/vendor/framework and serves hotspot, diff, flame-graph and
 // analyzer queries over any window range.
 //
+// With -data-dir the store is durable: ingested profiles are appended to a
+// write-ahead log before they are acknowledged, periodic (and
+// shutdown-time) snapshots compact the log, and a restart with the same
+// directory recovers every retained window byte-equal — see
+// docs/OPERATIONS.md for the on-disk layout and recovery semantics.
+//
 // Endpoints:
 //
 //	POST /ingest                         .dcp body (single or bundle)
@@ -13,12 +19,12 @@
 //	GET  /flame?format=html|folded&from=&to=   (or before=/after= for signed)
 //	GET  /analyze?from=&to=                    automated analyzer, JSON
 //	GET  /windows                              retained buckets
-//	GET  /stats                                occupancy and limits
+//	GET  /stats                                occupancy, limits, persistence
 //	GET  /healthz
 //
 // Examples:
 //
-//	dcserver -addr :7070 -window 1m -retention 60
+//	dcserver -addr :7070 -window 1m -retention 60 -data-dir /var/lib/dcserver
 //	deepcontext -workload UNet -o unet.dcp && curl --data-binary @unet.dcp http://localhost:7070/ingest
 //	curl 'http://localhost:7070/hotspots?metric=gpu_time_ns&top=10'
 //
@@ -26,10 +32,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"deepcontext/internal/cct"
@@ -49,6 +59,9 @@ func main() {
 		compactEvery    = flag.Duration("compact-every", 0, "background compaction interval (0 = one window)")
 		maxBody         = flag.Int64("max-body", profdb.DefaultMaxBytes, "max /ingest body bytes")
 
+		dataDir      = flag.String("data-dir", "", "durable store directory (empty = in-memory only)")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot interval with -data-dir (0 = shutdown snapshot only)")
+
 		loadgen = flag.Bool("loadgen", false, "run the multi-client ingest demo instead of serving")
 		clients = flag.Int("clients", 8, "loadgen: concurrent clients")
 		loads   = flag.String("loads", "UNet,DLRM-small,Resnet", "loadgen: comma-separated workloads")
@@ -62,8 +75,16 @@ func main() {
 		Retention:       *retention,
 		CoarseFactor:    *coarseFactor,
 		CoarseRetention: *coarseRetention,
+		Dir:             *dataDir,
 	}
 	if *loadgen {
+		// The demo must never seed a real data directory: a later
+		// production boot would recover its synthetic profiles as fleet
+		// data.
+		if cfg.Dir != "" {
+			fmt.Fprintln(os.Stderr, "dcserver: -loadgen ignores -data-dir (demo data is not persisted)")
+			cfg.Dir = ""
+		}
 		if err := runLoadgen(cfg, *clients, *loads, *iters, *rounds, *maxBody); err != nil {
 			fmt.Fprintln(os.Stderr, "dcserver:", err)
 			os.Exit(1)
@@ -72,8 +93,25 @@ func main() {
 	}
 
 	store := profstore.New(cfg)
+	if *dataDir != "" {
+		rs, err := store.Recover()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcserver: recover:", err)
+			os.Exit(1)
+		}
+		for _, w := range rs.Warnings {
+			fmt.Fprintln(os.Stderr, "dcserver: recover:", w)
+		}
+		if rs.SnapshotError != "" {
+			fmt.Fprintln(os.Stderr, "dcserver: recover: snapshot unusable, replaying full WAL:", rs.SnapshotError)
+		}
+		fmt.Printf("dcserver: recovered from %s: snapshot=%v windows=%d wal_records=%d (skipped %d records, %d segments)\n",
+			*dataDir, rs.SnapshotLoaded, rs.WindowsRestored, rs.WALRecords, rs.WALSkippedRecords, rs.WALSkippedSegments)
+		store.StartSnapshotter(*snapInterval)
+	}
 	store.StartCompactor(*compactEvery)
 	defer store.Close()
+
 	// Listen before serving so ":0" (ephemeral port) reports the actual
 	// bound address — scripts scrape it from this line.
 	ln, err := net.Listen("tcp", *addr)
@@ -84,8 +122,28 @@ func main() {
 	srv := newHTTPServer(*addr, newHandler(store, *maxBody))
 	fmt.Printf("dcserver: listening on %s (window %v, retention %d fine + %d coarse)\n",
 		ln.Addr(), store.Config().Window, store.Config().Retention, store.Config().CoarseRetention)
-	if err := srv.Serve(ln); err != nil {
+
+	// SIGTERM/SIGINT drain in-flight requests, then a final snapshot makes
+	// the shutdown lossless even if the periodic snapshotter never fired.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}()
+
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "dcserver:", err)
 		os.Exit(1)
 	}
+	if *dataDir != "" {
+		if info, err := store.Snapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, "dcserver: shutdown snapshot:", err)
+		} else {
+			fmt.Printf("dcserver: shutdown snapshot %s (%d files, %d bytes)\n", info.Dir, info.Files, info.Bytes)
+		}
+	}
+	fmt.Println("dcserver: shut down")
 }

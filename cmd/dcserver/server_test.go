@@ -353,6 +353,100 @@ func TestMethodAndBodyRejections(t *testing.T) {
 	}
 }
 
+// getBytes fetches one endpoint's full response body.
+func getBytes(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status = %d: %s", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+// The acceptance criterion end-to-end: a server started with a data
+// directory survives a restart with byte-identical /hotspots and /diff
+// responses — whether the shutdown was graceful (snapshot written) or a
+// hard kill (WAL-only recovery).
+func TestRestartWithDataDirIsByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		graceful bool
+	}{{"graceful-snapshot", true}, {"hard-kill-wal-only", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			clock := &testClock{t: testBase}
+			cfg := profstore.Config{Window: time.Minute, Now: clock.Now, Dir: dir}
+
+			store := profstore.New(cfg)
+			if _, err := store.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(newHandler(store, profdb.DefaultMaxBytes))
+			postIngest(t, ts, dcpBytes(t, testProfile("UNet", 1))).Body.Close()
+			postIngest(t, ts, dcpBytes(t, testProfile("DLRM", 2))).Body.Close()
+			clock.Advance(time.Minute)
+			postIngest(t, ts, dcpBytes(t, testProfile("UNet", 5))).Body.Close()
+
+			q := url.Values{}
+			q.Set("before", testBase.Format(time.RFC3339Nano))
+			q.Set("after", testBase.Add(time.Minute).Format(time.RFC3339Nano))
+			diffPath := "/diff?" + q.Encode()
+			wantHot := getBytes(t, ts, "/hotspots?top=10")
+			wantDiff := getBytes(t, ts, diffPath)
+			wantWindows := getBytes(t, ts, "/windows")
+			ts.Close()
+			if tc.graceful {
+				if _, err := store.Snapshot(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			store.Close()
+
+			revived := profstore.New(cfg)
+			rs, err := revived.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer revived.Close()
+			if rs.SnapshotLoaded != tc.graceful {
+				t.Fatalf("snapshot loaded = %v, want %v (%+v)", rs.SnapshotLoaded, tc.graceful, rs)
+			}
+			ts2 := httptest.NewServer(newHandler(revived, profdb.DefaultMaxBytes))
+			defer ts2.Close()
+			if got := getBytes(t, ts2, "/hotspots?top=10"); !bytes.Equal(got, wantHot) {
+				t.Fatalf("/hotspots changed across restart:\n got %s\nwant %s", got, wantHot)
+			}
+			if got := getBytes(t, ts2, diffPath); !bytes.Equal(got, wantDiff) {
+				t.Fatalf("/diff changed across restart:\n got %s\nwant %s", got, wantDiff)
+			}
+			if got := getBytes(t, ts2, "/windows"); !bytes.Equal(got, wantWindows) {
+				t.Fatalf("/windows changed across restart:\n got %s\nwant %s", got, wantWindows)
+			}
+
+			// /stats exposes the persistence counters.
+			var st struct {
+				Store profstore.Stats `json:"store"`
+			}
+			resp, err := http.Get(ts2.URL + "/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			decodeJSON(t, resp, &st)
+			if st.Store.Persist == nil || st.Store.Persist.Dir != dir || st.Store.Persist.Recovery == nil {
+				t.Fatalf("persist stats = %+v", st.Store.Persist)
+			}
+		})
+	}
+}
+
 func TestConcurrentHTTPIngest(t *testing.T) {
 	clock := &testClock{t: testBase}
 	ts, store := newTestServer(t, clock, profdb.DefaultMaxBytes)

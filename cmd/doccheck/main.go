@@ -1,0 +1,121 @@
+// Command doccheck verifies that intra-repository markdown links resolve:
+// every [text](target) in every .md file under the given root (default ".")
+// whose target is a relative path must point at an existing file or
+// directory. External links (http/https/mailto) and pure #anchors are
+// ignored; fenced code blocks are stripped so shell snippets cannot
+// false-positive. CI runs it so the documentation suite cannot rot
+// silently when files move.
+//
+//	go run ./cmd/doccheck        # check the repository root
+//	go run ./cmd/doccheck docs   # check one subtree
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images. The target group stops
+// at whitespace or ')' so optional titles ([t](path "title")) parse too.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+var fenceRe = regexp.MustCompile("(?ms)^```.*?^```[ \t]*$")
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	for _, b := range broken {
+		fmt.Println(b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}
+
+// check walks root for markdown files and returns one line per broken
+// link: "file.md: broken link -> target".
+func check(root string) ([]string, error) {
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and vendored trees.
+			switch d.Name() {
+			case ".git", "node_modules", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		// SNIPPETS.md quotes exemplar code and README excerpts from
+		// external repositories verbatim; their links point into those
+		// repositories, not this one.
+		if d.Name() == "SNIPPETS.md" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, target := range linksIn(string(data)) {
+			if resolves(root, path, target) {
+				continue
+			}
+			broken = append(broken, fmt.Sprintf("%s: broken link -> %s", path, target))
+		}
+		return nil
+	})
+	return broken, err
+}
+
+// linksIn extracts checkable relative targets from markdown source.
+func linksIn(src string) []string {
+	src = fenceRe.ReplaceAllString(src, "")
+	var out []string
+	for _, m := range linkRe.FindAllStringSubmatch(src, -1) {
+		target := m[1]
+		if target == "" ||
+			strings.Contains(target, "://") ||
+			strings.HasPrefix(target, "mailto:") ||
+			strings.HasPrefix(target, "#") {
+			continue
+		}
+		// Drop a trailing anchor: FILE.md#section checks FILE.md.
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target != "" {
+			out = append(out, target)
+		}
+	}
+	return out
+}
+
+// resolves reports whether target exists relative to the linking file (or,
+// for root-absolute /paths, relative to the checked root).
+func resolves(root, from, target string) bool {
+	var p string
+	if strings.HasPrefix(target, "/") {
+		p = filepath.Join(root, target)
+	} else {
+		p = filepath.Join(filepath.Dir(from), target)
+	}
+	_, err := os.Stat(p)
+	return err == nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, root, name, content string) {
+	t.Helper()
+	path := filepath.Join(root, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFindsBrokenAndIgnoresExternal(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "docs/REAL.md", "# real\n")
+	write(t, root, "README.md", strings.Join([]string{
+		"[good](docs/REAL.md)",
+		"[good anchor](docs/REAL.md#section)",
+		"[good dir](docs)",
+		"[external](https://example.com/x.md)",
+		"[mail](mailto:a@b.c)",
+		"[anchor only](#local)",
+		"![image](missing.png)",
+		"[broken](docs/GONE.md)",
+		"",
+		"```sh",
+		"echo [not a link](nowhere.md)",
+		"```",
+	}, "\n"))
+	write(t, root, "docs/NESTED.md", "[up](../README.md)\n[bad](./nope/)\n")
+
+	broken, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, b := range broken {
+		// Strip the tempdir for stable comparison.
+		got = append(got, strings.TrimPrefix(b, root+string(filepath.Separator)))
+	}
+	want := map[string]bool{
+		"README.md: broken link -> missing.png":  true,
+		"README.md: broken link -> docs/GONE.md": true,
+		"docs/NESTED.md: broken link -> ./nope/": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("broken = %v, want %d entries", got, len(want))
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Fatalf("unexpected finding %q (all: %v)", g, got)
+		}
+	}
+}
+
+// The repository's own documentation must stay link-clean — this is the
+// same invariant the CI step enforces, kept as a test so it runs locally.
+func TestRepositoryDocsResolve(t *testing.T) {
+	broken, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) > 0 {
+		t.Fatalf("broken intra-repo markdown links:\n%s", strings.Join(broken, "\n"))
+	}
+}

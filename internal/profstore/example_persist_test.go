@@ -1,0 +1,69 @@
+package profstore_test
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/profstore"
+)
+
+// Example_snapshotAndRecover shows the durable-store lifecycle: ingest into
+// a store rooted at a data directory, snapshot it, then rebuild a fresh
+// store from disk and query it — the recovered hotspots match exactly.
+func Example_snapshotAndRecover() {
+	dir, err := os.MkdirTemp("", "profstore-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	cfg := profstore.Config{
+		Window: time.Minute,
+		Now:    func() time.Time { return clock },
+		Dir:    dir, // enables the WAL and snapshots
+	}
+
+	profile := func(gpuNanos float64) *profiler.Profile {
+		tree := cct.New()
+		gid := tree.MetricID(cct.MetricGPUTime)
+		leaf := tree.InsertPath([]cct.Frame{
+			cct.OperatorFrame("aten::conv2d"),
+			{Kind: cct.KindKernel, Name: "gemm", Lib: "[gpu]", PC: 0x100},
+		})
+		tree.AddMetric(leaf, gid, gpuNanos)
+		return &profiler.Profile{
+			Tree: tree,
+			Meta: profiler.Meta{Workload: "UNet", Vendor: "Nvidia", Framework: "pytorch"},
+		}
+	}
+
+	store := profstore.New(cfg)
+	store.Ingest(profile(100))
+	store.Ingest(profile(250))
+	if _, err := store.Snapshot(); err != nil {
+		panic(err)
+	}
+	store.Close()
+
+	// A new process: same directory, empty store, Recover before serving.
+	revived := profstore.New(cfg)
+	rs, err := revived.Recover()
+	if err != nil {
+		panic(err)
+	}
+	defer revived.Close()
+	fmt.Printf("snapshot loaded: %v, windows restored: %d\n", rs.SnapshotLoaded, rs.WindowsRestored)
+
+	rows, info, err := revived.Hotspots(time.Time{}, time.Time{}, profstore.Labels{}, cct.MetricGPUTime, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("profiles: %d, top hotspot: %s %.0f\n", info.Profiles, rows[0].Label, rows[0].Excl)
+	// Output:
+	// snapshot loaded: true, windows restored: 1
+	// profiles: 2, top hotspot: gemm 350
+}

@@ -1,0 +1,48 @@
+package profstore
+
+import (
+	"testing"
+	"time"
+)
+
+// The ingest-path durability tax: the same Store.Ingest call with and
+// without a WAL behind it. The delta is the full per-profile cost of
+// persistence — profdb encoding, record framing/CRC, and the (unsynced)
+// file append — measured for docs/PERFORMANCE.md § "WAL cost".
+func benchmarkIngest(b *testing.B, dir string) {
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	defer s.Close()
+	p := synthProfile("UNet", "Nvidia", "pytorch", 0x1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIngestStoreMemory(b *testing.B) { benchmarkIngest(b, "") }
+
+func BenchmarkIngestStoreWAL(b *testing.B) { benchmarkIngest(b, b.TempDir()) }
+
+// Snapshot cost at a representative occupancy (60 windows × 1 series).
+func BenchmarkSnapshot(b *testing.B) {
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Now: clock.Now, Dir: b.TempDir()})
+	defer s.Close()
+	for i := 0; i < 60; i++ {
+		if _, err := s.Ingest(synthProfile("UNet", "Nvidia", "pytorch", uint64(0x100*i), 1)); err != nil {
+			b.Fatal(err)
+		}
+		clock.Advance(time.Minute)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,12 +18,36 @@
 // Queries (top-N hotspots, window-vs-window signed diffs, merged aggregates
 // for flame graphs and the analyzer) run under a read lock and never mutate
 // stored trees.
+//
+// # Durability
+//
+// With Config.Dir set the store is durable: every ingested profile is
+// appended to a write-ahead log (rotated per window bucket) before it is
+// merged, and Snapshot writes an atomic compacted image of the retained
+// windows. Recover, called on an empty store at boot, loads the latest
+// snapshot and replays only the WAL suffix beyond the snapshot's
+// per-segment watermarks; because cct.Merge is associative and replay
+// preserves ingest order, the recovered store answers Hotspots and Diff
+// byte-equal to the pre-crash store. See internal/profstore/persist for
+// the on-disk format and corruption policy.
+//
+// # Locking
+//
+// One RWMutex (mu) guards all window state. Ingest, CompactNow and replay
+// take it exclusively; queries take it shared; Snapshot captures its image
+// under the shared lock (blocking writers, so WAL watermarks and window
+// state are one consistent cut) and performs disk I/O after release. The
+// WAL has an internal mutex that is only ever acquired while mu is held or
+// from Snapshot's post-capture prune — mu is always taken first, never
+// inside a WAL call, so the order mu → wal.mu is acyclic. snapMu
+// serializes whole Snapshot calls against each other only.
 package profstore
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +55,7 @@ import (
 
 	"deepcontext/internal/cct"
 	"deepcontext/internal/profiler"
+	"deepcontext/internal/profstore/persist"
 )
 
 // Typed query failures, for errors.Is dispatch at API boundaries (a server
@@ -87,6 +112,10 @@ type Config struct {
 	// Now supplies the ingest clock; tests and the load generator inject a
 	// virtual clock here. Defaults to time.Now.
 	Now func() time.Time
+	// Dir, when non-empty, roots the durable state (WAL segments and
+	// snapshots; see internal/profstore/persist). Empty keeps the store
+	// memory-only.
+	Dir string
 }
 
 func (c Config) withDefaults() Config {
@@ -152,13 +181,30 @@ type Store struct {
 	compactions int64
 	lastIngest  time.Time
 
+	// Persistence (all guarded by mu except where noted; nil/zero when
+	// cfg.Dir is empty).
+	wal            *persist.WAL
+	walAppends     int64
+	walBytes       int64
+	snapshots      int64
+	lastSnapshot   time.Time
+	lastSnapBytes  int64
+	lastSnapErr    string
+	prunedSegments int64
+	recovery       *RecoveryStats
+
+	// snapMu serializes Snapshot calls; it is never held together with mu
+	// (Snapshot acquires mu.RLock inside, which is fine — snapMu is
+	// strictly outermost and nothing else takes it).
+	snapMu sync.Mutex
+
 	stopOnce sync.Once
 	stop     chan struct{}
-	done     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // New returns an empty store. Call Close when done if StartCompactor was
-// used.
+// used (and always when Config.Dir is set, so the WAL is synced shut).
 func New(cfg Config) *Store {
 	return &Store{
 		cfg:    cfg.withDefaults(),
@@ -175,18 +221,46 @@ func (s *Store) Config() Config { return s.cfg }
 // returns that window's start. The profile's address-unified frames are
 // normalized to cross-run stable identities before merging; p itself is not
 // modified and may be discarded by the caller.
+//
+// With persistence enabled the raw profile is appended to the WAL before
+// the merge, under the same critical section, so log order equals merge
+// order and a replay reconstructs the exact tree. A WAL append failure
+// fails the ingest — an acknowledged profile must be durable.
 func (s *Store) Ingest(p *profiler.Profile) (time.Time, error) {
 	if p == nil || p.Tree == nil {
 		return time.Time{}, fmt.Errorf("profstore: nil profile")
 	}
 	labels := LabelsOf(p.Meta)
-	// Normalization walks and rebuilds the whole tree — do it outside the
-	// lock so concurrent ingests only serialize on the (cheaper) merge.
+	// Serialization for the WAL and normalization both walk the whole
+	// tree — do them outside the lock so concurrent ingests only
+	// serialize on the (cheaper) merge and the log write.
+	var payload []byte
+	if s.cfg.Dir != "" {
+		var err error
+		if payload, err = persist.EncodeProfile(p); err != nil {
+			return time.Time{}, fmt.Errorf("profstore: encode for wal: %w", err)
+		}
+	}
 	normalized := cct.NormalizeAddresses(p.Tree)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	start := s.cfg.Now().Truncate(s.cfg.Window)
+	now := s.cfg.Now()
+	start := now.Truncate(s.cfg.Window)
+	if payload != nil {
+		if err := s.walAppendLocked(start.UnixNano(), now.UnixNano(), payload); err != nil {
+			return time.Time{}, err
+		}
+	}
+	s.mergeIntoWindowLocked(start, labels, normalized)
+	s.ingested++
+	s.lastIngest = now
+	return start, nil
+}
+
+// mergeIntoWindowLocked folds an already-normalized tree into the fine
+// bucket starting at start. Callers hold mu exclusively.
+func (s *Store) mergeIntoWindowLocked(start time.Time, labels Labels, normalized *cct.Tree) {
 	w := s.fine[start.UnixNano()]
 	if w == nil {
 		w = &window{start: start, dur: s.cfg.Window, series: make(map[string]*series)}
@@ -200,9 +274,36 @@ func (s *Store) Ingest(p *profiler.Profile) (time.Time, error) {
 	}
 	cct.Merge(ser.tree, normalized)
 	ser.profiles++
-	s.ingested++
-	s.lastIngest = s.cfg.Now()
-	return start, nil
+}
+
+// walAppendLocked lazily opens the WAL and appends one framed record.
+// Callers hold mu exclusively.
+func (s *Store) walAppendLocked(startNS, tstampNS int64, payload []byte) error {
+	if err := s.openWALLocked(); err != nil {
+		return err
+	}
+	n, err := s.wal.Append(startNS, tstampNS, payload)
+	if err != nil {
+		return fmt.Errorf("profstore: wal append: %w", err)
+	}
+	s.walAppends++
+	s.walBytes += n
+	return nil
+}
+
+func (s *Store) openWALLocked() error {
+	if s.wal != nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("profstore: data dir: %w", err)
+	}
+	w, err := persist.OpenWAL(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	return nil
 }
 
 // WindowInfo describes one retained bucket.
@@ -267,14 +368,15 @@ func (s *Store) aggregateLocked(from, to time.Time, filter Labels) (*cct.Tree, A
 			return
 		}
 		matched := false
-		for _, ser := range w.series {
+		for _, k := range sortedKeys(w.series) {
+			ser := w.series[k]
 			if !ser.labels.Matches(filter) {
 				continue
 			}
 			cct.Merge(out, ser.tree)
 			info.Profiles += ser.profiles
 			matched = true
-			if k := ser.labels.Key(); !seen[k] {
+			if !seen[k] {
 				seen[k] = true
 				info.Series = append(info.Series, k)
 			}
@@ -283,11 +385,14 @@ func (s *Store) aggregateLocked(from, to time.Time, filter Labels) (*cct.Tree, A
 			info.Windows++
 		}
 	}
-	for _, w := range s.fine {
-		fold(w)
+	// Sorted iteration makes the merge order — and with it the result
+	// tree's child order, hence tie-breaking in ranked queries — fully
+	// deterministic across calls and restarts.
+	for _, k := range sortedKeys(s.fine) {
+		fold(s.fine[k])
 	}
-	for _, w := range s.coarse {
-		fold(w)
+	for _, k := range sortedKeys(s.coarse) {
+		fold(s.coarse[k])
 	}
 	if info.Windows == 0 {
 		return nil, info, fmt.Errorf("no data for filter %s in [%v, %v): %w", filter.Key(), from, to, ErrNoData)
@@ -315,8 +420,8 @@ func (s *Store) resolveWindowLocked(t time.Time) (*window, error) {
 func (s *Store) aggregateWindowLocked(w *window, filter Labels) (*cct.Tree, error) {
 	out := cct.New()
 	matched := false
-	for _, ser := range w.series {
-		if ser.labels.Matches(filter) {
+	for _, k := range sortedKeys(w.series) {
+		if ser := w.series[k]; ser.labels.Matches(filter) {
 			cct.Merge(out, ser.tree)
 			matched = true
 		}
@@ -516,9 +621,18 @@ func pathKey(n *cct.Node) string {
 func (s *Store) CompactNow() (folded, dropped int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked folds and drops in sorted window/series order, so the
+// coarse trees a compaction builds are reproducible: recovery relies on
+// this to re-fold replayed fine windows into the same coarse trees the
+// pre-crash store held (map-order folds would reassociate merges).
+func (s *Store) compactLocked() (folded, dropped int) {
 	now := s.cfg.Now()
 	fineHorizon := now.Add(-time.Duration(s.cfg.Retention) * s.cfg.Window).Truncate(s.cfg.Window)
-	for key, w := range s.fine {
+	for _, key := range sortedKeys(s.fine) {
+		w := s.fine[key]
 		if !w.start.Before(fineHorizon) {
 			continue
 		}
@@ -528,7 +642,8 @@ func (s *Store) CompactNow() (folded, dropped int) {
 			cw = &window{start: cStart, dur: s.cfg.coarse(), series: make(map[string]*series)}
 			s.coarse[cStart.UnixNano()] = cw
 		}
-		for k, ser := range w.series {
+		for _, k := range sortedKeys(w.series) {
+			ser := w.series[k]
 			dst := cw.series[k]
 			if dst == nil {
 				dst = &series{labels: ser.labels, tree: cct.New()}
@@ -541,10 +656,15 @@ func (s *Store) CompactNow() (folded, dropped int) {
 		folded++
 	}
 	coarseHorizon := now.Add(-time.Duration(s.cfg.CoarseRetention) * s.cfg.coarse()).Truncate(s.cfg.coarse())
-	for key, w := range s.coarse {
+	for _, key := range sortedKeys(s.coarse) {
+		w := s.coarse[key]
 		if w.start.Before(coarseHorizon) {
 			delete(s.coarse, key)
 			dropped++
+			// Retiring a coarse window retires the WAL segments of every
+			// fine window folded into it: the data has aged out, so a
+			// WAL-only recovery must not resurrect it.
+			s.pruneWALRangeLocked(w.start.UnixNano(), w.start.Add(w.dur).UnixNano())
 		}
 	}
 	if folded > 0 || dropped > 0 {
@@ -553,21 +673,63 @@ func (s *Store) CompactNow() (folded, dropped int) {
 	return folded, dropped
 }
 
+// sortedKeys returns m's keys ascending — iteration order for every fold
+// or drop that must be deterministic.
+func sortedKeys[K interface{ ~int64 | ~string }, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// pruneWALRangeLocked deletes WAL segments for window starts in [lo, hi).
+// Callers hold mu exclusively. Prune failures are recorded nowhere fatal —
+// a leftover segment only costs replay time and is re-dropped by the next
+// compaction after recovery.
+func (s *Store) pruneWALRangeLocked(lo, hi int64) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	if err := s.openWALLocked(); err != nil {
+		return
+	}
+	if n, err := s.wal.PruneRange(lo, hi); err == nil {
+		s.prunedSegments += int64(n)
+	}
+}
+
 // StartCompactor runs CompactNow every interval (default: one fine window)
-// until Close. Safe to call at most once.
+// until Close. Start background loops before any Close call; beyond that
+// they may be started from any goroutine (a shared WaitGroup tracks them —
+// PR 3 kept a single done channel here, which raced a concurrent Close).
 func (s *Store) StartCompactor(interval time.Duration) {
 	if interval <= 0 {
 		interval = s.cfg.Window
 	}
-	s.done = make(chan struct{})
+	s.startLoop(interval, func() { s.CompactNow() })
+}
+
+// StartSnapshotter snapshots every interval until Close. Errors are
+// retained in Stats (LastSnapshotError); the next tick retries.
+func (s *Store) StartSnapshotter(interval time.Duration) {
+	if interval <= 0 || s.cfg.Dir == "" {
+		return
+	}
+	s.startLoop(interval, func() { s.Snapshot() })
+}
+
+func (s *Store) startLoop(interval time.Duration, tick func()) {
+	s.wg.Add(1)
 	go func() {
-		defer close(s.done)
+		defer s.wg.Done()
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
 			case <-t.C:
-				s.CompactNow()
+				tick()
 			case <-s.stop:
 				return
 			}
@@ -575,12 +737,215 @@ func (s *Store) StartCompactor(interval time.Duration) {
 	}()
 }
 
-// Close stops the background compactor, if any.
+// Close stops the background loops and syncs the WAL shut. Idempotent.
 func (s *Store) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
-	if s.done != nil {
-		<-s.done
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.Close()
 	}
+}
+
+// Snapshot writes an atomic compacted image of the retained windows to
+// Config.Dir and prunes WAL segments the image fully covers. The capture
+// runs under the shared lock (blocking ingest, so window state and WAL
+// watermarks form one consistent cut); encoding and disk I/O happen after
+// release. Concurrent Snapshot calls serialize on snapMu.
+func (s *Store) Snapshot() (persist.Info, error) {
+	var info persist.Info
+	if s.cfg.Dir == "" {
+		return info, fmt.Errorf("profstore: snapshot: no Config.Dir")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	// Opening the WAL needs the exclusive lock; do it up front so the
+	// capture below can run shared.
+	s.mu.Lock()
+	if err := s.openWALLocked(); err != nil {
+		s.mu.Unlock()
+		return info, s.noteSnapshotErrLocked(err)
+	}
+	s.mu.Unlock()
+
+	s.mu.RLock()
+	offsets, err := s.wal.Offsets()
+	if err != nil {
+		s.mu.RUnlock()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return info, s.noteSnapshotErrLocked(err)
+	}
+	state := &persist.State{
+		CreatedUnixNano: s.cfg.Now().UnixNano(),
+		Ingested:        s.ingested,
+		Compactions:     s.compactions,
+		WALOffsets:      offsets,
+	}
+	if !s.lastIngest.IsZero() {
+		state.LastIngestUnixNano = s.lastIngest.UnixNano()
+	}
+	appendWindow := func(w *window, coarse bool) {
+		ws := persist.WindowState{Start: w.start.UnixNano(), DurNS: int64(w.dur), Coarse: coarse}
+		for key, ser := range w.series {
+			ws.Series = append(ws.Series, persist.SeriesState{
+				Key:      key,
+				Profiles: ser.profiles,
+				Profile: &profiler.Profile{
+					Tree: ser.tree,
+					Meta: profiler.Meta{
+						Workload:  ser.labels.Workload,
+						Vendor:    ser.labels.Vendor,
+						Framework: ser.labels.Framework,
+					},
+				},
+			})
+		}
+		state.Windows = append(state.Windows, ws)
+	}
+	for _, w := range s.fine {
+		appendWindow(w, false)
+	}
+	for _, w := range s.coarse {
+		appendWindow(w, true)
+	}
+	// CaptureState encodes the live trees, so it must finish before the
+	// read lock is released and a writer can mutate them.
+	capture, err := persist.CaptureState(state)
+	s.mu.RUnlock()
+	if err == nil {
+		info, err = capture.Commit(s.cfg.Dir)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		return info, s.noteSnapshotErrLocked(err)
+	}
+	s.snapshots++
+	s.lastSnapshot = s.cfg.Now()
+	s.lastSnapBytes = info.Bytes
+	s.lastSnapErr = ""
+	// Segments fully covered by the committed image are dead weight; only
+	// the currently-appending segment survives this (see persist.Prune).
+	if n, perr := s.wal.Prune(offsets); perr == nil {
+		s.prunedSegments += int64(n)
+	}
+	return info, nil
+}
+
+func (s *Store) noteSnapshotErrLocked(err error) error {
+	err = fmt.Errorf("profstore: snapshot: %w", err)
+	s.lastSnapErr = err.Error()
+	return err
+}
+
+// RecoveryStats reports what Recover rebuilt and what it had to skip.
+type RecoveryStats struct {
+	SnapshotLoaded bool `json:"snapshot_loaded"`
+	// SnapshotError is the non-fatal reason the snapshot was unusable
+	// (recovery then replays the WAL from the beginning).
+	SnapshotError      string   `json:"snapshot_error,omitempty"`
+	WindowsRestored    int      `json:"windows_restored"`
+	ProfilesFromSnap   int64    `json:"profiles_from_snapshot"`
+	WALSegments        int      `json:"wal_segments"`
+	WALRecords         int64    `json:"wal_records"`
+	WALSkippedRecords  int64    `json:"wal_skipped_records"`
+	WALSkippedSegments int      `json:"wal_skipped_segments"`
+	Warnings           []string `json:"warnings,omitempty"`
+}
+
+// Recover rebuilds the store from Config.Dir: latest snapshot first, then
+// the WAL suffix beyond the snapshot's watermarks, re-ingested through the
+// same normalize-and-merge path in original order — so recovered Hotspots
+// and Diff results are byte-equal to the pre-crash store. It must run on
+// an empty store (call it before serving). Corrupt snapshots or WAL tails
+// are skipped and reported in RecoveryStats, never fatal; only an unusable
+// data directory errors.
+func (s *Store) Recover() (RecoveryStats, error) {
+	var rs RecoveryStats
+	if s.cfg.Dir == "" {
+		return rs, fmt.Errorf("profstore: recover: no Config.Dir")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ingested != 0 || len(s.fine) != 0 || len(s.coarse) != 0 {
+		return rs, fmt.Errorf("profstore: recover: store is not empty")
+	}
+	if err := s.openWALLocked(); err != nil {
+		return rs, err
+	}
+
+	var offsets map[int64]int64
+	snap, err := persist.ReadSnapshot(s.cfg.Dir)
+	switch {
+	case err != nil:
+		// A snapshot that fails its checksums is discarded wholesale and
+		// recovery degrades to WAL-only — losing the windows whose
+		// segments were pruned, but never refusing to boot.
+		rs.SnapshotError = err.Error()
+	case snap != nil:
+		rs.SnapshotLoaded = true
+		rs.ProfilesFromSnap = snap.Ingested
+		s.ingested = snap.Ingested
+		s.compactions = snap.Compactions
+		if snap.LastIngestUnixNano != 0 {
+			s.lastIngest = time.Unix(0, snap.LastIngestUnixNano)
+		}
+		for _, ws := range snap.Windows {
+			w := &window{
+				start:  time.Unix(0, ws.Start),
+				dur:    time.Duration(ws.DurNS),
+				series: make(map[string]*series, len(ws.Series)),
+			}
+			for _, ss := range ws.Series {
+				// Snapshot trees were normalized at original ingest and
+				// are adopted as-is; labels round-trip through Meta.
+				w.series[ss.Key] = &series{
+					labels:   LabelsOf(ss.Profile.Meta),
+					tree:     ss.Profile.Tree,
+					profiles: ss.Profiles,
+				}
+			}
+			if ws.Coarse {
+				s.coarse[ws.Start] = w
+			} else {
+				s.fine[ws.Start] = w
+			}
+			rs.WindowsRestored++
+		}
+		offsets = snap.WALOffsets
+	}
+
+	rep, err := s.wal.Replay(offsets, func(start, tstamp int64, p *profiler.Profile) error {
+		if p == nil || p.Tree == nil {
+			return fmt.Errorf("nil profile")
+		}
+		s.mergeIntoWindowLocked(time.Unix(0, start), LabelsOf(p.Meta), cct.NormalizeAddresses(p.Tree))
+		s.ingested++
+		if ts := time.Unix(0, tstamp); ts.After(s.lastIngest) {
+			s.lastIngest = ts
+		}
+		return nil
+	})
+	if err != nil {
+		return rs, fmt.Errorf("profstore: recover: wal replay: %w", err)
+	}
+	rs.WALSegments = rep.Segments
+	rs.WALRecords = rep.Records
+	rs.WALSkippedRecords = rep.SkippedRecords
+	rs.WALSkippedSegments = rep.SkippedSegments
+	rs.Warnings = rep.Warnings
+	// If a compaction ran between the last snapshot and the crash, the
+	// replayed data sits in fine windows the pre-crash store had already
+	// folded coarse. Re-running the (deterministic, sorted-order) fold
+	// converges the recovered arrangement — and the trees themselves —
+	// with the pre-crash store before the first query sees it.
+	s.compactLocked()
+	s.recovery = &rs
+	return rs, nil
 }
 
 // Stats is a point-in-time snapshot of store occupancy and activity.
@@ -592,6 +957,21 @@ type Stats struct {
 	Series        int       `json:"series"`
 	Nodes         int       `json:"nodes"`
 	LastIngest    time.Time `json:"last_ingest,omitempty"`
+	// Persist is present only when Config.Dir is set.
+	Persist *PersistStats `json:"persist,omitempty"`
+}
+
+// PersistStats counts durability work since boot.
+type PersistStats struct {
+	Dir               string         `json:"dir"`
+	WALAppends        int64          `json:"wal_appends"`
+	WALBytes          int64          `json:"wal_bytes"`
+	Snapshots         int64          `json:"snapshots"`
+	LastSnapshot      time.Time      `json:"last_snapshot,omitempty"`
+	LastSnapshotBytes int64          `json:"last_snapshot_bytes,omitempty"`
+	LastSnapshotError string         `json:"last_snapshot_error,omitempty"`
+	PrunedWALSegments int64          `json:"pruned_wal_segments"`
+	Recovery          *RecoveryStats `json:"recovery,omitempty"`
 }
 
 // Stats snapshots the store.
@@ -612,6 +992,19 @@ func (s *Store) Stats() Stats {
 	for _, w := range s.coarse {
 		st.Series += len(w.series)
 		st.Nodes += w.nodes()
+	}
+	if s.cfg.Dir != "" {
+		st.Persist = &PersistStats{
+			Dir:               s.cfg.Dir,
+			WALAppends:        s.walAppends,
+			WALBytes:          s.walBytes,
+			Snapshots:         s.snapshots,
+			LastSnapshot:      s.lastSnapshot,
+			LastSnapshotBytes: s.lastSnapBytes,
+			LastSnapshotError: s.lastSnapErr,
+			PrunedWALSegments: s.prunedSegments,
+			Recovery:          s.recovery,
+		}
 	}
 	return st
 }

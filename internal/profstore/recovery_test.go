@@ -1,0 +1,454 @@
+package profstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deepcontext/internal/cct"
+)
+
+// queryImage renders every query surface the acceptance criteria cover —
+// hotspots over the full range, a window-vs-window diff, windows and the
+// aggregate info — as one JSON blob, so "recovered state answers byte-equal"
+// is literally a byte comparison.
+func queryImage(t *testing.T, s *Store, before, after time.Time) []byte {
+	t.Helper()
+	rows, info, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := s.Diff(before, after, Labels{}, cct.MetricGPUTime, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := json.Marshal(struct {
+		Rows    []Hotspot
+		Info    AggregateInfo
+		Diff    *DiffResult
+		Windows []WindowInfo
+	}{rows, info, diff, s.Windows()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// fillStores ingests the same profile sequence into every store: two
+// windows, two series, shifting PCs that normalization must fold.
+func fillStores(t *testing.T, clock *fakeClock, stores ...*Store) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		for _, s := range stores {
+			mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", uint64(0x1000+i*64), float64(i+1)))
+		}
+	}
+	for _, s := range stores {
+		mustIngest(t, s, synthProfile("DLRM", "AMD", "jax", 0x9000, 2))
+	}
+	clock.Advance(time.Minute)
+	for i := 0; i < 3; i++ {
+		for _, s := range stores {
+			mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", uint64(0x5000+i*32), float64(i+5)))
+		}
+	}
+}
+
+// The WAL-only path: a store killed between WAL append and any snapshot
+// (there is none at all here) recovers byte-equal from the log alone.
+func TestRecoverFromWALOnlyIsByteEqual(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock(base)
+	durable := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	control := New(Config{Window: time.Minute, Now: clock.Now})
+	fillStores(t, clock, durable, control)
+	want := queryImage(t, control, base, base.Add(time.Minute))
+	if got := queryImage(t, durable, base, base.Add(time.Minute)); string(got) != string(want) {
+		t.Fatal("durable store diverged from control before the crash")
+	}
+	durable.Close() // "crash": nothing snapshotted, only the WAL survives
+
+	revived := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	rs, err := revived.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	if rs.SnapshotLoaded || rs.WALRecords != 8 || rs.WALSkippedRecords != 0 || rs.WALSkippedSegments != 0 {
+		t.Fatalf("recovery = %+v", rs)
+	}
+	if got := queryImage(t, revived, base, base.Add(time.Minute)); string(got) != string(want) {
+		t.Fatalf("recovered image differs from uninterrupted store:\n got %s\nwant %s", got, want)
+	}
+	if st := revived.Stats(); st.Ingested != 8 || !st.LastIngest.Equal(base.Add(time.Minute)) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// The snapshot-plus-suffix path: kill after more ingests landed beyond the
+// last snapshot. Recovery loads the snapshot and replays only the WAL
+// suffix; nothing is double-counted, and the result is byte-equal.
+func TestRecoverSnapshotPlusWALSuffixIsByteEqual(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock(base)
+	durable := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	control := New(Config{Window: time.Minute, Now: clock.Now})
+
+	for i := 0; i < 3; i++ {
+		p := synthProfile("UNet", "Nvidia", "pytorch", uint64(0x100*i), float64(i+1))
+		mustIngest(t, durable, p)
+		mustIngest(t, control, p)
+	}
+	if _, err := durable.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash happens after these appends but before any later snapshot.
+	clock.Advance(time.Minute)
+	for i := 0; i < 2; i++ {
+		p := synthProfile("UNet", "Nvidia", "pytorch", uint64(0x700*(i+1)), float64(i+9))
+		mustIngest(t, durable, p)
+		mustIngest(t, control, p)
+	}
+	want := queryImage(t, control, base, base.Add(time.Minute))
+	durable.Close()
+
+	revived := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	rs, err := revived.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	if !rs.SnapshotLoaded || rs.WindowsRestored != 1 || rs.ProfilesFromSnap != 3 {
+		t.Fatalf("recovery = %+v", rs)
+	}
+	// Only the post-snapshot suffix replays (the covered first-window
+	// records must not be re-ingested).
+	if rs.WALRecords != 2 || rs.WALSkippedRecords != 0 {
+		t.Fatalf("recovery = %+v", rs)
+	}
+	if got := queryImage(t, revived, base, base.Add(time.Minute)); string(got) != string(want) {
+		t.Fatalf("recovered image differs from uninterrupted store:\n got %s\nwant %s", got, want)
+	}
+	if st := revived.Stats(); st.Ingested != 5 {
+		t.Fatalf("ingested = %d, want 5", st.Ingested)
+	}
+}
+
+// A snapshot prunes the WAL segments it fully covers; the segment still
+// receiving appends survives.
+func TestSnapshotPrunesCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	defer s.Close()
+	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x1, 1))
+	clock.Advance(time.Minute)
+	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x2, 2))
+
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segments after snapshot = %v, want only the open one", segs)
+	}
+	st := s.Stats()
+	if st.Persist == nil || st.Persist.Snapshots != 1 || st.Persist.PrunedWALSegments != 1 || st.Persist.WALAppends != 2 {
+		t.Fatalf("persist stats = %+v", st.Persist)
+	}
+}
+
+// Retention drops a coarse window; its fine windows' WAL segments must go
+// with it, or a WAL-only recovery would resurrect aged-out data.
+func TestCompactionPrunesWALOfDroppedCoarseWindows(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock(base)
+	s := New(Config{
+		Window: time.Minute, Retention: 2, CoarseFactor: 3, CoarseRetention: 2,
+		Now: clock.Now, Dir: dir,
+	})
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", uint64(0x10*i), 1))
+		clock.Advance(time.Minute)
+	}
+	clock.Advance(24 * time.Hour)
+	s.CompactNow() // folds everything into coarse buckets
+	s.CompactNow() // drops the (now expired) coarse buckets
+
+	if st := s.Stats(); st.FineWindows != 0 || st.CoarseWindows != 0 {
+		t.Fatalf("store not empty: %+v", st)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if len(segs) != 0 {
+		t.Fatalf("WAL segments survived retention: %v", segs)
+	}
+
+	// And a recovery over the emptied directory starts empty.
+	s.Close()
+	revived := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	rs, err := revived.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	if rs.WALRecords != 0 {
+		t.Fatalf("aged-out data resurrected: %+v", rs)
+	}
+}
+
+// A compaction that runs AFTER the last snapshot folds fine windows the
+// snapshot still holds as fine. Recovery must converge: replay, then the
+// deterministic sorted-order re-fold, so the recovered arrangement AND the
+// coarse trees match the pre-crash store byte-for-byte.
+func TestRecoverAfterPostSnapshotCompactionIsByteEqual(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock(base)
+	cfg := Config{Window: time.Minute, Retention: 2, CoarseFactor: 3, Now: clock.Now, Dir: dir}
+	durable := New(cfg)
+
+	for i := 0; i < 3; i++ {
+		mustIngest(t, durable, synthProfile("UNet", "Nvidia", "pytorch", uint64(0x100*i), float64(i+1)))
+		mustIngest(t, durable, synthProfile("DLRM", "AMD", "jax", uint64(0x900*i), float64(i+2)))
+		clock.Advance(time.Minute)
+	}
+	if _, err := durable.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Time passes; compaction folds the oldest windows into a coarse
+	// bucket — a state the snapshot has never seen. Then the crash.
+	clock.Advance(2 * time.Minute)
+	if folded, _ := durable.CompactNow(); folded == 0 {
+		t.Fatal("setup: compaction folded nothing")
+	}
+	preStats := durable.Stats()
+	if preStats.CoarseWindows == 0 {
+		t.Fatalf("setup: no coarse window (%+v)", preStats)
+	}
+	// The diff's before side resolves through the coarse bucket now.
+	want := queryImage(t, durable, base, base.Add(2*time.Minute))
+	durable.Close()
+
+	revived := New(cfg)
+	if _, err := revived.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	st := revived.Stats()
+	if st.FineWindows != preStats.FineWindows || st.CoarseWindows != preStats.CoarseWindows {
+		t.Fatalf("window arrangement diverged: pre %+v post %+v", preStats, st)
+	}
+	if got := queryImage(t, revived, base, base.Add(2*time.Minute)); string(got) != string(want) {
+		t.Fatalf("recovered image differs after post-snapshot compaction:\n got %s\nwant %s", got, want)
+	}
+}
+
+// A corrupted snapshot must not stop the boot: recovery degrades to
+// WAL-only replay and reports why.
+func TestRecoverSurvivesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x1, 1))
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// More data lands after the snapshot, then the snapshot rots. The
+	// snapshot prune already removed nothing (open segment), so the full
+	// WAL is still there to recover from.
+	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x2, 2))
+	s.Close()
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*", "MANIFEST.json"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %v", snaps)
+	}
+	if err := os.WriteFile(snaps[0], []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	revived := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	rs, err := revived.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	if rs.SnapshotLoaded || rs.SnapshotError == "" {
+		t.Fatalf("recovery = %+v", rs)
+	}
+	if rs.WALRecords != 2 {
+		t.Fatalf("WAL-only replay records = %d, want 2", rs.WALRecords)
+	}
+	rows, _, err := revived.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 1)
+	if err != nil || rows[0].Excl != 300 {
+		t.Fatalf("rows = %+v (%v)", rows, err)
+	}
+}
+
+// Truncated or garbage WAL segments are skipped and logged, never fatal —
+// the store boots with whatever decodes.
+func TestRecoverSkipsCorruptWALTail(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x1, 1))
+	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x2, 2))
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second record in half.
+	if err := os.WriteFile(segs[0], data[:len(data)-len(data)/4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	revived := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	rs, err := revived.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	if rs.WALRecords != 1 || rs.WALSkippedSegments != 1 || len(rs.Warnings) == 0 {
+		t.Fatalf("recovery = %+v", rs)
+	}
+	rows, _, err := revived.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 1)
+	if err != nil || rows[0].Excl != 100 {
+		t.Fatalf("rows = %+v (%v)", rows, err)
+	}
+}
+
+func TestRecoverGuards(t *testing.T) {
+	clock := newClock(base)
+	if _, err := New(Config{Now: clock.Now}).Recover(); err == nil {
+		t.Fatal("Recover without Dir should fail")
+	}
+	dir := t.TempDir()
+	s := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	defer s.Close()
+	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x1, 1))
+	if _, err := s.Recover(); err == nil {
+		t.Fatal("Recover on a non-empty store should fail")
+	}
+	if _, err := New(Config{Now: clock.Now}).Snapshot(); err == nil {
+		t.Fatal("Snapshot without Dir should fail")
+	}
+}
+
+// The PR 3 lock-ordering audit, held to under the race detector: ingest,
+// compaction, snapshotting and queries all run concurrently against the
+// same series, and metric totals are conserved throughout (the clock never
+// advances past the retention horizon, so nothing is dropped — only folded).
+func TestCompactionSnapshotIngestRace(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Retention: 5, CoarseFactor: 2, Now: clock.Now, Dir: dir})
+	defer s.Close()
+
+	const writers = 8
+	const perWriter = 10
+	var wg sync.WaitGroup
+	stopBg := make(chan struct{})
+	for _, bg := range []func(){
+		func() { s.CompactNow() },
+		func() { s.Snapshot() },
+		func() { s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 5) },
+		func() { s.Windows(); s.Stats() },
+	} {
+		wg.Add(1)
+		go func(tick func()) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopBg:
+					return
+				default:
+					tick()
+				}
+			}
+		}(bg)
+	}
+	var writerWg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writerWg.Add(1)
+		go func(g int) {
+			defer writerWg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Everyone ingests the SAME series so compaction's fold
+				// and ingest's merge contend on one tree.
+				mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", uint64(g*1000+i), 1))
+				if i%3 == 0 {
+					clock.Advance(time.Second)
+				}
+			}
+		}(g)
+	}
+	writerWg.Wait()
+	close(stopBg)
+	wg.Wait()
+
+	tree, info, err := s.Aggregate(time.Time{}, time.Time{}, Labels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Profiles != writers*perWriter {
+		t.Fatalf("profiles = %d, want %d", info.Profiles, writers*perWriter)
+	}
+	id, _ := tree.Schema.Lookup(cct.MetricGPUTime)
+	if got := tree.Root.InclValue(id); got != 140*writers*perWriter {
+		t.Fatalf("total = %v, want %v", got, 140*writers*perWriter)
+	}
+
+	// And the durable image is coherent: a recovery of whatever the last
+	// snapshot + WAL holds reproduces the same totals.
+	s.Close()
+	revived := New(Config{Window: time.Minute, Retention: 5, CoarseFactor: 2, Now: clock.Now, Dir: dir})
+	if _, err := revived.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	rTree, rInfo, err := revived.Aggregate(time.Time{}, time.Time{}, Labels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rInfo.Profiles != info.Profiles {
+		t.Fatalf("recovered profiles = %d, want %d", rInfo.Profiles, info.Profiles)
+	}
+	rid, _ := rTree.Schema.Lookup(cct.MetricGPUTime)
+	if got := rTree.Root.InclValue(rid); got != 140*writers*perWriter {
+		t.Fatalf("recovered total = %v, want %v", got, 140*writers*perWriter)
+	}
+}
+
+// Warnings surface the skip-and-log contract in a form an operator can
+// grep: every skipped record or segment appears in the recovery warnings.
+func TestRecoveryWarningsMentionSegment(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x1, 1))
+	s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	os.WriteFile(segs[0], []byte("junk"), 0o644)
+
+	revived := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
+	rs, err := revived.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	if len(rs.Warnings) != 1 || !strings.Contains(rs.Warnings[0], filepath.Base(segs[0])) {
+		t.Fatalf("warnings = %v", rs.Warnings)
+	}
+}
