@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -164,40 +166,11 @@ func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds i
 // and framework alternate by client and workload index so the store sees
 // several distinct label series.
 func postOne(httpc *http.Client, baseURL, workload string, client, index, iters int) error {
-	vendor := "nvidia"
-	if (client+index)%2 == 1 {
-		vendor = "amd"
-	}
-	fw := "pytorch"
-	if client%2 == 1 {
-		fw = "jax"
-	}
-	s, err := deepcontext.NewSession(deepcontext.Config{Vendor: vendor, Framework: fw, Shards: 1})
+	body, err := encodeOne(workload, client, index, iters)
 	if err != nil {
 		return err
 	}
-	if err := s.RunWorkload(workload, deepcontext.Knobs{}, iters); err != nil {
-		return err
-	}
-	p := s.Stop()
-	p.Meta.Workload = workload
-	p.Meta.Iterations = iters
-
-	var buf bytes.Buffer
-	if err := profdb.Save(&buf, p); err != nil {
-		return err
-	}
-	resp, err := httpc.Post(baseURL+"/ingest", "application/octet-stream", &buf)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		var eb errorBody
-		json.NewDecoder(resp.Body).Decode(&eb)
-		return fmt.Errorf("ingest: HTTP %d: %s", resp.StatusCode, eb.Error)
-	}
-	return nil
+	return postBody(httpc, baseURL, body)
 }
 
 func getJSON(httpc *http.Client, url string, v any) error {
@@ -212,4 +185,281 @@ func getJSON(httpc *http.Client, url string, v any) error {
 		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, eb.Error)
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// runLoadgenMixed hammers the query API concurrently with sustained
+// ingest — the workload shape the query cache exists for. Two seeding
+// rounds land every series in two closed windows; then, for `duration`,
+// `clients` writers re-POST pre-encoded profiles through /ingest (the
+// store's virtual clock advancing one window per `rounds`-th of the run)
+// while `readers` query clients loop over a dashboard-like mix: hotspots
+// over everything (invalidated by every live ingest), per-workload
+// filtered hotspots, bounded hotspots and a window diff over the two
+// closed seed windows (stable, so a cache can serve them). It reports
+// aggregate query throughput, /hotspots latency and the store's cache
+// counters — run it with -query-cache 0 and again with the cache on to
+// measure the cache's contribution (CI's bench-smoke does exactly that).
+func runLoadgenMixed(cfg profstore.Config, clients, readers int, loads string, iters, rounds int, duration time.Duration, maxBody int64) error {
+	var workloads []string
+	known := make(map[string]bool)
+	for _, w := range deepcontext.WorkloadNames() {
+		known[w] = true
+	}
+	for _, w := range strings.Split(loads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if !known[w] {
+			return fmt.Errorf("loadgen: unknown workload %q (known: %s)",
+				w, strings.Join(deepcontext.WorkloadNames(), ", "))
+		}
+		workloads = append(workloads, w)
+	}
+	if len(workloads) == 0 {
+		return fmt.Errorf("loadgen: no workloads")
+	}
+	if clients <= 0 {
+		clients = 1
+	}
+	if readers <= 0 {
+		readers = 2 * clients
+	}
+	if rounds <= 0 {
+		rounds = 1
+	}
+	if duration <= 0 {
+		duration = 5 * time.Second
+	}
+
+	base := time.Now()
+	var offset atomic.Int64
+	cfg.Now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	store := profstore.New(cfg)
+	defer store.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := newHTTPServer("", newHandler(store, maxBody))
+	go srv.Serve(ln)
+	defer srv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	window := store.Config().Window
+	fmt.Printf("loadgen-mixed: server on %s — %d writers, %d readers, %d workloads, %v, shards=%d cache=%d\n",
+		baseURL, clients, readers, len(workloads), duration, store.Config().Shards, store.Config().CacheSize)
+
+	// Profile every (client, workload) cell once up front: the mixed phase
+	// re-POSTs these bodies, so write pressure is bounded by the ingest
+	// path, not by profile collection.
+	bodies := make([][]byte, clients*len(workloads))
+	var genWg sync.WaitGroup
+	genErrs := make(chan error, len(bodies))
+	for c := 0; c < clients; c++ {
+		for i, w := range workloads {
+			genWg.Add(1)
+			go func(c, i int, w string) {
+				defer genWg.Done()
+				body, err := encodeOne(w, c, i, iters)
+				if err != nil {
+					genErrs <- err
+					return
+				}
+				bodies[c*len(workloads)+i] = body
+			}(c, i, w)
+		}
+	}
+	genWg.Wait()
+	close(genErrs)
+	for err := range genErrs {
+		return fmt.Errorf("loadgen: profile generation: %w", err)
+	}
+
+	// Seed two closed windows so bounded queries and the window diff have
+	// stable targets no live ingest will touch.
+	httpc := &http.Client{Timeout: time.Minute}
+	seedWindows := make([]time.Time, 0, 2)
+	for r := 0; r < 2; r++ {
+		seedWindows = append(seedWindows, cfg.Now().Truncate(window))
+		for _, body := range bodies {
+			if err := postBody(httpc, baseURL, body); err != nil {
+				return fmt.Errorf("loadgen: seed ingest: %w", err)
+			}
+		}
+		offset.Add(int64(window))
+	}
+	fmt.Printf("loadgen-mixed: seeded %d windows with %d profiles\n", len(seedWindows), 2*len(bodies))
+
+	// The query mix. RFC3339 offsets contain '+': always url.Values.
+	fmtT := func(t time.Time) string { return t.Format(time.RFC3339Nano) }
+	boundedQ := url.Values{}
+	boundedQ.Set("from", fmtT(seedWindows[0]))
+	boundedQ.Set("to", fmtT(seedWindows[0].Add(window)))
+	boundedQ.Set("top", "10")
+	diffQ := url.Values{}
+	diffQ.Set("before", fmtT(seedWindows[0]))
+	diffQ.Set("after", fmtT(seedWindows[1]))
+	diffQ.Set("top", "5")
+	queries := []string{
+		"/hotspots?top=10",
+		"/hotspots?" + boundedQ.Encode(),
+		"/diff?" + diffQ.Encode(),
+	}
+	for _, w := range workloads {
+		wq := url.Values{}
+		wq.Set("workload", w)
+		wq.Set("top", "10")
+		queries = append(queries, "/hotspots?"+wq.Encode())
+	}
+
+	var (
+		ingestOK, ingestFail atomic.Int64
+		queryCount           atomic.Int64
+		queryFail            atomic.Int64
+	)
+	latencies := make([][]time.Duration, readers)
+	deadline := time.Now().Add(duration)
+	stop := make(chan struct{})
+
+	// One goroutine walks the virtual clock so live ingest spreads over
+	// `rounds` windows during the run. It is stopped after the writers and
+	// readers drain, so it lives outside their WaitGroup.
+	var wg sync.WaitGroup
+	go func() {
+		tick := time.NewTicker(duration / time.Duration(rounds))
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				offset.Add(int64(window))
+			case <-stop:
+				return
+			}
+		}
+	}()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			wc := &http.Client{Timeout: time.Minute}
+			for i := 0; time.Now().Before(deadline); i++ {
+				body := bodies[(c*len(workloads)+i)%len(bodies)]
+				if err := postBody(wc, baseURL, body); err != nil {
+					ingestFail.Add(1)
+				} else {
+					ingestOK.Add(1)
+				}
+			}
+		}(c)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rc := &http.Client{Timeout: time.Minute}
+			for i := 0; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				t0 := time.Now()
+				resp, err := rc.Get(baseURL + q)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					queryFail.Add(1)
+					if resp != nil {
+						resp.Body.Close()
+					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				latencies[r] = append(latencies[r], time.Since(t0))
+				queryCount.Add(1)
+			}
+		}(r)
+	}
+	start := time.Now()
+	wg.Wait()
+	close(stop)
+	elapsed := time.Since(start)
+
+	if ingestFail.Load() > 0 {
+		return fmt.Errorf("loadgen: %d failed ingests", ingestFail.Load())
+	}
+	if queryFail.Load() > 0 {
+		return fmt.Errorf("loadgen: %d failed queries", queryFail.Load())
+	}
+	if queryCount.Load() == 0 {
+		return fmt.Errorf("loadgen: no queries completed")
+	}
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	qps := float64(queryCount.Load()) / elapsed.Seconds()
+	fmt.Printf("loadgen-mixed: ingests=%d ok (%.1f/s) concurrent with queries=%d in %v\n",
+		ingestOK.Load(), float64(ingestOK.Load())/elapsed.Seconds(), queryCount.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen-mixed: query latency p50=%v p95=%v p99=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+
+	var stats struct {
+		Store profstore.Stats `json:"store"`
+	}
+	if err := getJSON(httpc, baseURL+"/stats", &stats); err != nil {
+		return fmt.Errorf("loadgen: stats: %w", err)
+	}
+	hitRate := 0.0
+	if c := stats.Store.Cache; c != nil && c.Hits+c.Misses > 0 {
+		hitRate = 100 * float64(c.Hits) / float64(c.Hits+c.Misses)
+		fmt.Printf("loadgen-mixed: cache hits=%d misses=%d invalidations=%d evictions=%d hit_rate=%.1f%%\n",
+			c.Hits, c.Misses, c.Invalidations, c.Evictions, hitRate)
+	}
+	fmt.Printf("loadgen-mixed: RESULT qps=%.1f p50_us=%d hit_rate=%.1f\n",
+		qps, pct(0.50).Microseconds(), hitRate)
+	return nil
+}
+
+// encodeOne profiles one workload cell (same vendor/framework alternation
+// as postOne) and returns its encoded .dcp body.
+func encodeOne(workload string, client, index, iters int) ([]byte, error) {
+	vendor := "nvidia"
+	if (client+index)%2 == 1 {
+		vendor = "amd"
+	}
+	fw := "pytorch"
+	if client%2 == 1 {
+		fw = "jax"
+	}
+	s, err := deepcontext.NewSession(deepcontext.Config{Vendor: vendor, Framework: fw, Shards: 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RunWorkload(workload, deepcontext.Knobs{}, iters); err != nil {
+		return nil, err
+	}
+	p := s.Stop()
+	p.Meta.Workload = workload
+	p.Meta.Iterations = iters
+
+	var buf bytes.Buffer
+	if err := profdb.Save(&buf, p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// postBody POSTs one pre-encoded profile through /ingest.
+func postBody(httpc *http.Client, baseURL string, body []byte) error {
+	resp, err := httpc.Post(baseURL+"/ingest", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("ingest: HTTP %d: %s", resp.StatusCode, eb.Error)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
 }

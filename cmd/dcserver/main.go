@@ -29,6 +29,17 @@
 //	curl 'http://localhost:7070/hotspots?metric=gpu_time_ns&top=10'
 //
 //	dcserver -loadgen -clients 8 -loads UNet,DLRM-small,Resnet   # ingest demo
+//	dcserver -loadgen -mixed -clients 4 -readers 8 -duration 5s  # read/write bench
+//
+// The store is lock-striped (-store-shards; the default adopts the data
+// dir's committed count, GOMAXPROCS for fresh dirs) so ingest of disjoint
+// series never contends, and repeated queries are served from a
+// generation-stamped cache (-query-cache entries; 0 disables) that is
+// invalidated per (shard, window) on ingest, compaction and retention —
+// /stats reports shard count and cache hit/miss/invalidation counters.
+// Restarting with an explicit -store-shards (or over a pre-shard data
+// directory) migrates the directory in place during recovery, staged and
+// crash-safe.
 package main
 
 import (
@@ -39,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -58,23 +70,42 @@ func main() {
 		coarseRetention = flag.Int("coarse-retention", 144, "coarse windows kept")
 		compactEvery    = flag.Duration("compact-every", 0, "background compaction interval (0 = one window)")
 		maxBody         = flag.Int64("max-body", profdb.DefaultMaxBytes, "max /ingest body bytes")
+		storeShards     = flag.Int("store-shards", 0, "store lock-stripe count (0 = the data dir's committed count, else GOMAXPROCS; an explicit count migrates the dir)")
+		queryCache      = flag.Int("query-cache", 512, "query cache entries (0 = disabled)")
 
 		dataDir      = flag.String("data-dir", "", "durable store directory (empty = in-memory only)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot interval with -data-dir (0 = shutdown snapshot only)")
 
-		loadgen = flag.Bool("loadgen", false, "run the multi-client ingest demo instead of serving")
-		clients = flag.Int("clients", 8, "loadgen: concurrent clients")
-		loads   = flag.String("loads", "UNet,DLRM-small,Resnet", "loadgen: comma-separated workloads")
-		iters   = flag.Int("iters", 10, "loadgen: iterations per profiled run")
-		rounds  = flag.Int("rounds", 2, "loadgen: ingest rounds (each lands in its own window)")
+		loadgen  = flag.Bool("loadgen", false, "run the multi-client ingest demo instead of serving")
+		mixed    = flag.Bool("mixed", false, "loadgen: mixed read/write mode — readers hammer queries while writers ingest")
+		clients  = flag.Int("clients", 8, "loadgen: concurrent clients")
+		readers  = flag.Int("readers", 0, "loadgen -mixed: concurrent query clients (0 = 2x -clients)")
+		duration = flag.Duration("duration", 5*time.Second, "loadgen -mixed: wall time to sustain the mixed load")
+		loads    = flag.String("loads", "UNet,DLRM-small,Resnet", "loadgen: comma-separated workloads")
+		iters    = flag.Int("iters", 10, "loadgen: iterations per profiled run")
+		rounds   = flag.Int("rounds", 2, "loadgen: ingest rounds (each lands in its own window)")
 	)
 	flag.Parse()
 
+	// Auto shard count adopts the directory's committed layout first: the
+	// stripe count must not track a machine-dependent value (GOMAXPROCS),
+	// or moving the data dir across hosts would migrate it on every boot.
+	shards := *storeShards
+	if shards <= 0 && *dataDir != "" {
+		if n, ok := profstore.CommittedShards(*dataDir); ok {
+			shards = n
+		}
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 	cfg := profstore.Config{
 		Window:          *window,
 		Retention:       *retention,
 		CoarseFactor:    *coarseFactor,
 		CoarseRetention: *coarseRetention,
+		Shards:          shards,
+		CacheSize:       *queryCache,
 		Dir:             *dataDir,
 	}
 	if *loadgen {
@@ -85,7 +116,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dcserver: -loadgen ignores -data-dir (demo data is not persisted)")
 			cfg.Dir = ""
 		}
-		if err := runLoadgen(cfg, *clients, *loads, *iters, *rounds, *maxBody); err != nil {
+		var err error
+		if *mixed {
+			err = runLoadgenMixed(cfg, *clients, *readers, *loads, *iters, *rounds, *duration, *maxBody)
+		} else {
+			err = runLoadgen(cfg, *clients, *loads, *iters, *rounds, *maxBody)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcserver:", err)
 			os.Exit(1)
 		}
@@ -105,6 +142,9 @@ func main() {
 		if rs.SnapshotError != "" {
 			fmt.Fprintln(os.Stderr, "dcserver: recover: snapshot unusable, replaying full WAL:", rs.SnapshotError)
 		}
+		if rs.Migrated {
+			fmt.Printf("dcserver: recover: migrated %s to the %d-shard layout\n", *dataDir, shards)
+		}
 		fmt.Printf("dcserver: recovered from %s: snapshot=%v windows=%d wal_records=%d (skipped %d records, %d segments)\n",
 			*dataDir, rs.SnapshotLoaded, rs.WindowsRestored, rs.WALRecords, rs.WALSkippedRecords, rs.WALSkippedSegments)
 		store.StartSnapshotter(*snapInterval)
@@ -120,8 +160,9 @@ func main() {
 		os.Exit(1)
 	}
 	srv := newHTTPServer(*addr, newHandler(store, *maxBody))
-	fmt.Printf("dcserver: listening on %s (window %v, retention %d fine + %d coarse)\n",
-		ln.Addr(), store.Config().Window, store.Config().Retention, store.Config().CoarseRetention)
+	fmt.Printf("dcserver: listening on %s (window %v, retention %d fine + %d coarse, %d shards, cache %d)\n",
+		ln.Addr(), store.Config().Window, store.Config().Retention, store.Config().CoarseRetention,
+		store.Config().Shards, store.Config().CacheSize)
 
 	// SIGTERM/SIGINT drain in-flight requests, then a final snapshot makes
 	// the shutdown lossless even if the periodic snapshotter never fired.

@@ -15,32 +15,61 @@
 // own retention. Metric sums are conserved by compaction; only time
 // resolution is lost.
 //
-// Queries (top-N hotspots, window-vs-window signed diffs, merged aggregates
-// for flame graphs and the analyzer) run under a read lock and never mutate
-// stored trees.
+// # Sharding
+//
+// The store is split into Config.Shards lock-striped shards; each series
+// (label set) is routed to one shard by hash of its key, so concurrent
+// ingest from disjoint series never contends. Queries (top-N hotspots,
+// window-vs-window signed diffs, merged aggregates for flame graphs and
+// the analyzer) take every shard's read lock — in ascending shard order,
+// the store-wide lock order — for one consistent cut, and fold series in
+// globally sorted (window, series-key) order, so query results are
+// byte-identical for every shard count.
+//
+// # Query cache
+//
+// With Config.CacheSize > 0, hotspot, diff and aggregate results are
+// memoized. Each shard stamps every retained bucket with a generation,
+// bumped on ingest merge and compaction fold; a cached result records the
+// stamps of every bucket it read, and is served only when re-deriving the
+// stamp set under the query's read lock matches exactly — so a mutation of
+// any (shard, window) a result depends on invalidates precisely the
+// queries that read it, and a cache hit is indistinguishable from
+// recomputing. Cached results (rows, trees) are shared between callers and
+// must be treated as read-only; with the cache disabled (the default)
+// every query returns a fresh tree the caller owns.
 //
 // # Durability
 //
 // With Config.Dir set the store is durable: every ingested profile is
-// appended to a write-ahead log (rotated per window bucket) before it is
-// merged, and Snapshot writes an atomic compacted image of the retained
-// windows. Recover, called on an empty store at boot, loads the latest
-// snapshot and replays only the WAL suffix beyond the snapshot's
-// per-segment watermarks; because cct.Merge is associative and replay
-// preserves ingest order, the recovered store answers Hotspots and Diff
-// byte-equal to the pre-crash store. See internal/profstore/persist for
-// the on-disk format and corruption policy.
+// appended to its shard's write-ahead log (rotated per window bucket)
+// before it is merged, and Snapshot writes an atomic compacted image of
+// each shard's retained windows under <dir>/shard-<i>/. Recover, called on
+// an empty store at boot, loads each shard's latest snapshot and replays
+// only the WAL suffix beyond the snapshot's per-segment watermarks;
+// because cct.Merge is associative and replay preserves ingest order, the
+// recovered store answers Hotspots and Diff byte-equal to the pre-crash
+// store. Recover also adopts directories written under other layouts — the
+// pre-shard single-store layout, or a different shard count — by routing
+// every recovered series to its current shard and re-committing the
+// directory, with an atomically-written STORE.json as the migration commit
+// point. See internal/profstore/persist for the on-disk format and
+// corruption policy.
 //
 // # Locking
 //
-// One RWMutex (mu) guards all window state. Ingest, CompactNow and replay
-// take it exclusively; queries take it shared; Snapshot captures its image
-// under the shared lock (blocking writers, so WAL watermarks and window
-// state are one consistent cut) and performs disk I/O after release. The
-// WAL has an internal mutex that is only ever acquired while mu is held or
-// from Snapshot's post-capture prune — mu is always taken first, never
-// inside a WAL call, so the order mu → wal.mu is acyclic. snapMu
-// serializes whole Snapshot calls against each other only.
+// Each shard has one RWMutex guarding its window maps, generation stamps
+// and counters. Ingest and compaction take exactly one shard's lock at a
+// time; queries and Stats take all shard read locks in ascending order and
+// nothing acquires a lower-numbered shard lock while holding a higher one,
+// so the order is acyclic. Each shard's WAL has an internal mutex only
+// ever acquired under that shard's lock (or from Snapshot's post-capture
+// prune) — shard.mu is always taken first, never inside a WAL call. The
+// query cache has its own mutex, acquired under shard read locks on
+// lookup but never the other way around. snapMu serializes whole Snapshot
+// calls against each other only. Store-level counters (compactions,
+// snapshot bookkeeping, cache hit counts) are atomics, so Stats reads no
+// counter unguarded.
 package profstore
 
 import (
@@ -51,6 +80,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"deepcontext/internal/cct"
@@ -98,7 +128,7 @@ func matchField(have, want string) bool {
 	return want == "" || strings.EqualFold(have, want)
 }
 
-// Config tunes windowing, retention and the clock.
+// Config tunes windowing, retention, sharding, caching and the clock.
 type Config struct {
 	// Window is the fine bucket width (default one minute).
 	Window time.Duration
@@ -109,12 +139,21 @@ type Config struct {
 	CoarseFactor int
 	// CoarseRetention is how many coarse windows are kept (default 144).
 	CoarseRetention int
+	// Shards is the lock-stripe count; series route to shards by hash of
+	// their label key, so ingest of disjoint series never contends.
+	// Default 1. Query results are independent of the shard count.
+	Shards int
+	// CacheSize bounds the query cache in entries; 0 (the default)
+	// disables caching. With caching enabled, results returned by
+	// Hotspots, Diff and Aggregate may be shared between callers and must
+	// be treated as read-only.
+	CacheSize int
 	// Now supplies the ingest clock; tests and the load generator inject a
 	// virtual clock here. Defaults to time.Now.
 	Now func() time.Time
-	// Dir, when non-empty, roots the durable state (WAL segments and
-	// snapshots; see internal/profstore/persist). Empty keeps the store
-	// memory-only.
+	// Dir, when non-empty, roots the durable state (per-shard WAL segments
+	// and snapshots; see internal/profstore/persist). Empty keeps the
+	// store memory-only.
 	Dir string
 }
 
@@ -131,6 +170,12 @@ func (c Config) withDefaults() Config {
 	if c.CoarseRetention <= 0 {
 		c.CoarseRetention = 144
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -139,64 +184,29 @@ func (c Config) withDefaults() Config {
 
 func (c Config) coarse() time.Duration { return time.Duration(c.CoarseFactor) * c.Window }
 
-// series is one label set's rolling aggregate within a window.
-type series struct {
-	labels   Labels
-	tree     *cct.Tree
-	profiles int
-}
-
-// window is one time bucket holding per-label merged trees.
-type window struct {
-	start  time.Time
-	dur    time.Duration
-	series map[string]*series
-}
-
-func (w *window) profiles() int {
-	n := 0
-	for _, s := range w.series {
-		n += s.profiles
-	}
-	return n
-}
-
-func (w *window) nodes() int {
-	n := 0
-	for _, s := range w.series {
-		n += s.tree.NodeCount()
-	}
-	return n
-}
-
-// Store is a concurrency-safe rolling profile aggregator.
+// Store is a concurrency-safe, lock-striped rolling profile aggregator.
 type Store struct {
-	cfg Config
+	cfg    Config
+	shards []*shard
+	cache  *queryCache
 
-	mu     sync.RWMutex
-	fine   map[int64]*window // unix-nano window start → bucket
-	coarse map[int64]*window
+	compactions atomic.Int64
 
-	ingested    int64
-	compactions int64
-	lastIngest  time.Time
+	// Snapshot bookkeeping. snapMu serializes Snapshot calls; it is never
+	// held together with a shard lock (per-shard capture takes its own
+	// locks inside).
+	snapMu        sync.Mutex
+	snapshots     atomic.Int64
+	lastSnapshot  atomic.Int64 // unix nanoseconds; 0 = never
+	lastSnapBytes atomic.Int64
+	lastSnapErr   atomic.Value // string
+	recovery      atomic.Pointer[RecoveryStats]
 
-	// Persistence (all guarded by mu except where noted; nil/zero when
-	// cfg.Dir is empty).
-	wal            *persist.WAL
-	walAppends     int64
-	walBytes       int64
-	snapshots      int64
-	lastSnapshot   time.Time
-	lastSnapBytes  int64
-	lastSnapErr    string
-	prunedSegments int64
-	recovery       *RecoveryStats
-
-	// snapMu serializes Snapshot calls; it is never held together with mu
-	// (Snapshot acquires mu.RLock inside, which is fine — snapMu is
-	// strictly outermost and nothing else takes it).
-	snapMu sync.Mutex
+	// metaOK latches only SUCCESS of the layout check (a transient failure
+	// — full disk, unmounted volume — must retry on the next ingest, so
+	// errors are never cached).
+	metaMu sync.Mutex
+	metaOK bool
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -204,28 +214,120 @@ type Store struct {
 }
 
 // New returns an empty store. Call Close when done if StartCompactor was
-// used (and always when Config.Dir is set, so the WAL is synced shut).
+// used (and always when Config.Dir is set, so the WALs are synced shut).
 func New(cfg Config) *Store {
-	return &Store{
-		cfg:    cfg.withDefaults(),
-		fine:   make(map[int64]*window),
-		coarse: make(map[int64]*window),
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		cache:  newQueryCache(cfg.CacheSize),
 		stop:   make(chan struct{}),
 	}
+	for i := range s.shards {
+		s.shards[i] = newShard(i, cfg)
+	}
+	return s
 }
 
 // Config returns the store's effective (defaulted) configuration.
 func (s *Store) Config() Config { return s.cfg }
 
-// Ingest folds p into the current fine window's series for p's labels and
+// shardFor routes a series key to its shard by FNV-1a hash. The hash is
+// deterministic across processes: a restarted store routes every recovered
+// series back to the shard directory that wrote it.
+func (s *Store) shardFor(key string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return s.shards[int(h%uint32(len(s.shards)))]
+}
+
+// rlockAll acquires every shard's read lock in ascending id order (the
+// store-wide lock order), giving queries one consistent cut across shards.
+func (s *Store) rlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.RUnlock()
+	}
+}
+
+// ensureMeta stamps the data directory with the store's shard layout
+// before the first WAL byte lands, and refuses to ingest into a directory
+// committed under a different layout — Recover owns migrations. Only
+// success is latched; a transient failure retries on the next ingest.
+func (s *Store) ensureMeta() error {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	if s.metaOK {
+		return nil
+	}
+	dir := s.cfg.Dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("profstore: data dir: %w", err)
+	}
+	meta, err := persist.ReadStoreMeta(dir)
+	if err != nil {
+		return fmt.Errorf("profstore: %w", err)
+	}
+	switch {
+	case meta == nil && persist.LegacyLayoutPresent(dir):
+		return fmt.Errorf("profstore: %s holds a pre-shard store layout; call Recover to migrate it before ingesting", dir)
+	case meta == nil:
+		if err := persist.WriteStoreMeta(dir, persist.StoreMeta{Shards: len(s.shards)}); err != nil {
+			return err
+		}
+	case meta.Shards != len(s.shards):
+		return fmt.Errorf("profstore: %s was committed with %d shards but the store is configured with %d; call Recover to migrate", dir, meta.Shards, len(s.shards))
+	case meta.Pending != "":
+		return fmt.Errorf("profstore: %s has an unfinished layout swap; call Recover to resume it before ingesting", dir)
+	}
+	s.metaOK = true
+	return nil
+}
+
+// noteMetaCommitted marks the layout check as already satisfied (Recover
+// calls it after committing the layout).
+func (s *Store) noteMetaCommitted() {
+	s.metaMu.Lock()
+	s.metaOK = true
+	s.metaMu.Unlock()
+}
+
+// CommittedShards reports the shard count dir was last committed with,
+// and false for a directory without a committed sharded layout (fresh, or
+// pre-shard legacy). dcserver derives its -store-shards default from this
+// so a CPU-count change never triggers an implicit migration.
+func CommittedShards(dir string) (int, bool) {
+	meta, err := persist.ReadStoreMeta(dir)
+	if err != nil || meta == nil {
+		return 0, false
+	}
+	return meta.Shards, true
+}
+
+// Ingest folds p into the current fine window of its series' shard and
 // returns that window's start. The profile's address-unified frames are
 // normalized to cross-run stable identities before merging; p itself is not
 // modified and may be discarded by the caller.
 //
-// With persistence enabled the raw profile is appended to the WAL before
-// the merge, under the same critical section, so log order equals merge
-// order and a replay reconstructs the exact tree. A WAL append failure
-// fails the ingest — an acknowledged profile must be durable.
+// With persistence enabled the raw profile is appended to the shard's WAL
+// before the merge, under the same critical section, so log order equals
+// merge order and a replay reconstructs the exact tree. A WAL append
+// failure fails the ingest — an acknowledged profile must be durable.
 func (s *Store) Ingest(p *profiler.Profile) (time.Time, error) {
 	if p == nil || p.Tree == nil {
 		return time.Time{}, fmt.Errorf("profstore: nil profile")
@@ -236,74 +338,16 @@ func (s *Store) Ingest(p *profiler.Profile) (time.Time, error) {
 	// serialize on the (cheaper) merge and the log write.
 	var payload []byte
 	if s.cfg.Dir != "" {
+		if err := s.ensureMeta(); err != nil {
+			return time.Time{}, err
+		}
 		var err error
 		if payload, err = persist.EncodeProfile(p); err != nil {
 			return time.Time{}, fmt.Errorf("profstore: encode for wal: %w", err)
 		}
 	}
 	normalized := cct.NormalizeAddresses(p.Tree)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.cfg.Now()
-	start := now.Truncate(s.cfg.Window)
-	if payload != nil {
-		if err := s.walAppendLocked(start.UnixNano(), now.UnixNano(), payload); err != nil {
-			return time.Time{}, err
-		}
-	}
-	s.mergeIntoWindowLocked(start, labels, normalized)
-	s.ingested++
-	s.lastIngest = now
-	return start, nil
-}
-
-// mergeIntoWindowLocked folds an already-normalized tree into the fine
-// bucket starting at start. Callers hold mu exclusively.
-func (s *Store) mergeIntoWindowLocked(start time.Time, labels Labels, normalized *cct.Tree) {
-	w := s.fine[start.UnixNano()]
-	if w == nil {
-		w = &window{start: start, dur: s.cfg.Window, series: make(map[string]*series)}
-		s.fine[start.UnixNano()] = w
-	}
-	key := labels.Key()
-	ser := w.series[key]
-	if ser == nil {
-		ser = &series{labels: labels, tree: cct.New()}
-		w.series[key] = ser
-	}
-	cct.Merge(ser.tree, normalized)
-	ser.profiles++
-}
-
-// walAppendLocked lazily opens the WAL and appends one framed record.
-// Callers hold mu exclusively.
-func (s *Store) walAppendLocked(startNS, tstampNS int64, payload []byte) error {
-	if err := s.openWALLocked(); err != nil {
-		return err
-	}
-	n, err := s.wal.Append(startNS, tstampNS, payload)
-	if err != nil {
-		return fmt.Errorf("profstore: wal append: %w", err)
-	}
-	s.walAppends++
-	s.walBytes += n
-	return nil
-}
-
-func (s *Store) openWALLocked() error {
-	if s.wal != nil {
-		return nil
-	}
-	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
-		return fmt.Errorf("profstore: data dir: %w", err)
-	}
-	w, err := persist.OpenWAL(s.cfg.Dir)
-	if err != nil {
-		return err
-	}
-	s.wal = w
-	return nil
+	return s.shardFor(labels.Key()).ingest(labels, normalized, payload)
 }
 
 // WindowInfo describes one retained bucket.
@@ -317,25 +361,48 @@ type WindowInfo struct {
 }
 
 // Windows lists retained buckets, oldest first (fine and coarse
-// interleaved by start time).
+// interleaved by start time), each combined across shards.
 func (s *Store) Windows() []WindowInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]WindowInfo, 0, len(s.fine)+len(s.coarse))
-	for _, w := range s.fine {
-		out = append(out, WindowInfo{Start: w.start, Duration: w.dur,
-			Series: len(w.series), Profiles: w.profiles(), Nodes: w.nodes()})
+	s.rlockAll()
+	defer s.runlockAll()
+	combine := func(coarse bool) []WindowInfo {
+		buckets := s.bucketsLocked(coarse)
+		out := make([]WindowInfo, 0, len(buckets))
+		for _, start := range sortedKeys(buckets) {
+			wins := buckets[start]
+			wi := WindowInfo{Start: wins[0].start, Duration: wins[0].dur, Coarse: coarse}
+			for _, w := range wins {
+				wi.Series += len(w.series)
+				wi.Profiles += w.profiles()
+				wi.Nodes += w.nodes()
+			}
+			out = append(out, wi)
+		}
+		return out
 	}
-	for _, w := range s.coarse {
-		out = append(out, WindowInfo{Start: w.start, Duration: w.dur, Coarse: true,
-			Series: len(w.series), Profiles: w.profiles(), Nodes: w.nodes()})
-	}
+	out := append(combine(false), combine(true)...)
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Start.Equal(out[j].Start) {
 			return out[i].Start.Before(out[j].Start)
 		}
 		return !out[i].Coarse && out[j].Coarse
 	})
+	return out
+}
+
+// bucketsLocked gathers one resolution tier's windows from every shard,
+// grouped by bucket start. Callers hold all shard read locks.
+func (s *Store) bucketsLocked(coarse bool) map[int64][]*window {
+	out := make(map[int64][]*window)
+	for _, sh := range s.shards {
+		m := sh.fine
+		if coarse {
+			m = sh.coarse
+		}
+		for k, w := range m {
+			out[k] = append(out[k], w)
+		}
+	}
 	return out
 }
 
@@ -348,52 +415,80 @@ type AggregateInfo struct {
 
 // Aggregate merges every series matching filter in buckets whose start lies
 // in [from, to) into one fresh tree. Zero bounds are open (from the oldest
-// bucket / through the newest). The stored trees are not modified; the
-// result is owned by the caller.
+// bucket / through the newest). The stored trees are never modified; with
+// the query cache disabled the result is owned by the caller, with it
+// enabled the result may be shared and must be treated as read-only.
 func (s *Store) Aggregate(from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.aggregateLocked(from, to, filter)
+	type aggResult struct {
+		tree *cct.Tree
+		info AggregateInfo
+	}
+	var qkey string
+	var deps []dep
+	s.rlockAll()
+	if s.cache != nil {
+		qkey = fmt.Sprintf("agg|%d|%d|%s", from.UnixNano(), to.UnixNano(), filter.Key())
+		deps = s.rangeDepsLocked(from, to)
+		if v, ok := s.cache.serve(qkey, "", deps); ok {
+			s.runlockAll()
+			r := v.(*aggResult)
+			return r.tree, r.info, nil
+		}
+	}
+	tree, info, err := s.aggregateAllLocked(from, to, filter)
+	s.runlockAll()
+	if err != nil {
+		return nil, info, err
+	}
+	if s.cache != nil {
+		s.cache.put(qkey, "", deps, &aggResult{tree, info})
+	}
+	return tree, info, nil
 }
 
-func (s *Store) aggregateLocked(from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
+// aggregateAllLocked folds matching series from every shard in globally
+// sorted (tier, bucket start, series key) order — the exact fold order of
+// the pre-shard single-map store, so the result tree's child order, hence
+// tie-breaking in ranked queries, is identical for every shard count and
+// fully deterministic across calls and restarts. Callers hold all shard
+// read locks.
+func (s *Store) aggregateAllLocked(from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
 	out := cct.New()
 	info := AggregateInfo{}
 	seen := make(map[string]bool)
-	fold := func(w *window) {
-		if !from.IsZero() && w.start.Before(from) {
-			return
-		}
-		if !to.IsZero() && !w.start.Before(to) {
-			return
-		}
-		matched := false
-		for _, k := range sortedKeys(w.series) {
-			ser := w.series[k]
-			if !ser.labels.Matches(filter) {
+	foldTier := func(coarse bool) {
+		buckets := s.bucketsLocked(coarse)
+		for _, start := range sortedKeys(buckets) {
+			wins := buckets[start]
+			st := wins[0].start
+			if !from.IsZero() && st.Before(from) {
 				continue
 			}
-			cct.Merge(out, ser.tree)
-			info.Profiles += ser.profiles
-			matched = true
-			if !seen[k] {
-				seen[k] = true
-				info.Series = append(info.Series, k)
+			if !to.IsZero() && !st.Before(to) {
+				continue
+			}
+			merged := mergeSeriesViews(wins)
+			matched := false
+			for _, k := range sortedKeys(merged) {
+				ser := merged[k]
+				if !ser.labels.Matches(filter) {
+					continue
+				}
+				cct.Merge(out, ser.tree)
+				info.Profiles += ser.profiles
+				matched = true
+				if !seen[k] {
+					seen[k] = true
+					info.Series = append(info.Series, k)
+				}
+			}
+			if matched {
+				info.Windows++
 			}
 		}
-		if matched {
-			info.Windows++
-		}
 	}
-	// Sorted iteration makes the merge order — and with it the result
-	// tree's child order, hence tie-breaking in ranked queries — fully
-	// deterministic across calls and restarts.
-	for _, k := range sortedKeys(s.fine) {
-		fold(s.fine[k])
-	}
-	for _, k := range sortedKeys(s.coarse) {
-		fold(s.coarse[k])
-	}
+	foldTier(false)
+	foldTier(true)
 	if info.Windows == 0 {
 		return nil, info, fmt.Errorf("no data for filter %s in [%v, %v): %w", filter.Key(), from, to, ErrNoData)
 	}
@@ -401,35 +496,109 @@ func (s *Store) aggregateLocked(from, to time.Time, filter Labels) (*cct.Tree, A
 	return out, info, nil
 }
 
-// resolveWindowLocked returns the single bucket containing instant t,
-// preferring fine windows (full resolution) over coarse ones. Callers hold
-// s.mu.
-func (s *Store) resolveWindowLocked(t time.Time) (*window, error) {
-	if w := s.fine[t.Truncate(s.cfg.Window).UnixNano()]; w != nil {
-		return w, nil
+// mergeSeriesViews flattens one bucket's per-shard windows into a single
+// series map. Series keys are disjoint across shards (each key routes to
+// exactly one shard), so this is a union, not a merge.
+func mergeSeriesViews(wins []*window) map[string]*series {
+	if len(wins) == 1 {
+		return wins[0].series
 	}
-	if w := s.coarse[t.Truncate(s.cfg.coarse()).UnixNano()]; w != nil {
-		return w, nil
+	merged := make(map[string]*series)
+	for _, w := range wins {
+		for k, ser := range w.series {
+			merged[k] = ser
+		}
 	}
-	return nil, fmt.Errorf("no window contains %v: %w", t, ErrNoData)
+	return merged
 }
 
-// aggregateWindowLocked merges w's series matching filter into a fresh
-// tree. Unlike a time-range aggregate this reads exactly one bucket — a
-// coarse fallback must not sweep in fine windows sharing its range.
-func (s *Store) aggregateWindowLocked(w *window, filter Labels) (*cct.Tree, error) {
+// resolveBucketLocked returns the single bucket containing instant t —
+// its per-shard windows and its identity — preferring fine windows (full
+// resolution) over coarse ones. Callers hold all shard read locks.
+func (s *Store) resolveBucketLocked(t time.Time) ([]*window, winKey, error) {
+	fk := t.Truncate(s.cfg.Window).UnixNano()
+	var wins []*window
+	for _, sh := range s.shards {
+		if w := sh.fine[fk]; w != nil {
+			wins = append(wins, w)
+		}
+	}
+	if len(wins) > 0 {
+		return wins, winKey{fk, false}, nil
+	}
+	ck := t.Truncate(s.cfg.coarse()).UnixNano()
+	for _, sh := range s.shards {
+		if w := sh.coarse[ck]; w != nil {
+			wins = append(wins, w)
+		}
+	}
+	if len(wins) > 0 {
+		return wins, winKey{ck, true}, nil
+	}
+	return nil, winKey{}, fmt.Errorf("no window contains %v: %w", t, ErrNoData)
+}
+
+// aggregateBucketLocked merges one bucket's series matching filter into a
+// fresh tree, in sorted series-key order across shards. Unlike a
+// time-range aggregate this reads exactly one bucket — a coarse fallback
+// must not sweep in fine windows sharing its range. Callers hold all shard
+// read locks.
+func (s *Store) aggregateBucketLocked(wins []*window, filter Labels) (*cct.Tree, error) {
+	merged := mergeSeriesViews(wins)
 	out := cct.New()
 	matched := false
-	for _, k := range sortedKeys(w.series) {
-		if ser := w.series[k]; ser.labels.Matches(filter) {
+	for _, k := range sortedKeys(merged) {
+		if ser := merged[k]; ser.labels.Matches(filter) {
 			cct.Merge(out, ser.tree)
 			matched = true
 		}
 	}
 	if !matched {
-		return nil, fmt.Errorf("no series match %s in window %v: %w", filter.Key(), w.start, ErrNoData)
+		return nil, fmt.Errorf("no series match %s in window %v: %w", filter.Key(), wins[0].start, ErrNoData)
 	}
 	return out, nil
+}
+
+// rangeDepsLocked stamps every bucket whose start lies in [from, to): the
+// full dependency set of a range query. Any mutation of those buckets, or
+// a bucket appearing in or vanishing from the range, changes the derived
+// set and misses the cache. Callers hold all shard read locks.
+func (s *Store) rangeDepsLocked(from, to time.Time) []dep {
+	in := func(st time.Time) bool {
+		return (from.IsZero() || !st.Before(from)) && (to.IsZero() || st.Before(to))
+	}
+	var deps []dep
+	for si, sh := range s.shards {
+		for _, k := range sortedKeys(sh.fine) {
+			if in(sh.fine[k].start) {
+				wk := winKey{k, false}
+				deps = append(deps, dep{si, wk, sh.gens[wk]})
+			}
+		}
+		for _, k := range sortedKeys(sh.coarse) {
+			if in(sh.coarse[k].start) {
+				wk := winKey{k, true}
+				deps = append(deps, dep{si, wk, sh.gens[wk]})
+			}
+		}
+	}
+	return deps
+}
+
+// bucketDepsLocked stamps one resolved bucket across the shards that hold
+// it. Callers hold all shard read locks.
+func (s *Store) bucketDepsLocked(key winKey) []dep {
+	var deps []dep
+	for si, sh := range s.shards {
+		m := sh.fine
+		if key.coarse {
+			m = sh.coarse
+		}
+		if m[key.start] != nil {
+			deps = append(deps, dep{si, key, sh.gens[key]})
+		}
+	}
+	return deps
 }
 
 // Hotspot is one top-N query row: a calling context ranked by the magnitude
@@ -446,18 +615,49 @@ type Hotspot struct {
 }
 
 // Hotspots returns the top calling contexts by exclusive metric over the
-// aggregate of [from, to) under filter.
+// aggregate of [from, to) under filter. With the query cache enabled the
+// returned rows may be shared and must be treated as read-only.
 func (s *Store) Hotspots(from, to time.Time, filter Labels, metric string, top int) ([]Hotspot, AggregateInfo, error) {
 	if metric == "" {
 		metric = cct.MetricGPUTime
 	}
-	tree, info, err := s.Aggregate(from, to, filter)
+	type hotResult struct {
+		rows []Hotspot
+		info AggregateInfo
+	}
+	var qkey string
+	var deps []dep
+	s.rlockAll()
+	if s.cache != nil {
+		qkey = fmt.Sprintf("hot|%d|%d|%s|%s|%d", from.UnixNano(), to.UnixNano(), filter.Key(), metric, top)
+		deps = s.rangeDepsLocked(from, to)
+		if v, ok := s.cache.serve(qkey, "", deps); ok {
+			s.runlockAll()
+			r := v.(*hotResult)
+			return r.rows, r.info, nil
+		}
+	}
+	tree, info, err := s.aggregateAllLocked(from, to, filter)
+	s.runlockAll()
 	if err != nil {
 		return nil, info, err
 	}
+	rows, err := rankHotspots(tree, metric, top)
+	if err != nil {
+		return nil, info, err
+	}
+	if s.cache != nil {
+		s.cache.put(qkey, "", deps, &hotResult{rows, info})
+	}
+	return rows, info, nil
+}
+
+// rankHotspots flattens a (fresh, caller-owned) aggregate tree into rows
+// ranked by exclusive-metric magnitude.
+func rankHotspots(tree *cct.Tree, metric string, top int) ([]Hotspot, error) {
 	id, ok := tree.Schema.Lookup(metric)
 	if !ok {
-		return nil, info, fmt.Errorf("metric %q not present (known: %s): %w",
+		return nil, fmt.Errorf("metric %q not present (known: %s): %w",
 			metric, strings.Join(tree.Schema.Names(), ", "), ErrUnknownMetric)
 	}
 	total := tree.Root.InclValue(id)
@@ -485,7 +685,7 @@ func (s *Store) Hotspots(from, to time.Time, filter Labels, metric string, top i
 	for i := range rows {
 		rows[i].Rank = i + 1
 	}
-	return rows, info, nil
+	return rows, nil
 }
 
 // DiffRow is one changed calling context of a window-vs-window comparison,
@@ -516,35 +716,63 @@ type DiffResult struct {
 // Diff compares the window containing the instant "after" against the one
 // containing "before" under filter, ranking changed contexts by magnitude.
 // Stored trees were normalized at ingest, so the result matches cmd/dcdiff
-// over the same profiles (up to child order).
+// over the same profiles (up to child order). With the query cache enabled
+// the result may be shared and must be treated as read-only.
 func (s *Store) Diff(before, after time.Time, filter Labels, metric string, top int) (*DiffResult, error) {
 	if metric == "" {
 		metric = cct.MetricGPUTime
 	}
-	// Resolve windows and aggregate under one read lock: a compaction pass
-	// between the two steps could fold a just-resolved fine window into a
-	// coarse bucket, making retained data look absent.
-	s.mu.RLock()
-	bWin, err := s.resolveWindowLocked(before)
+	// Resolve windows and aggregate under one all-shard read lock: a
+	// compaction pass between the two steps could fold a just-resolved
+	// fine window into a coarse bucket, making retained data look absent.
+	s.rlockAll()
+	bWins, bKey, err := s.resolveBucketLocked(before)
 	if err != nil {
-		s.mu.RUnlock()
+		s.runlockAll()
 		return nil, fmt.Errorf("profstore: before: %w", err)
 	}
-	aWin, err := s.resolveWindowLocked(after)
+	aWins, aKey, err := s.resolveBucketLocked(after)
 	if err != nil {
-		s.mu.RUnlock()
+		s.runlockAll()
 		return nil, fmt.Errorf("profstore: after: %w", err)
 	}
-	beforeTree, bErr := s.aggregateWindowLocked(bWin, filter)
-	afterTree, aErr := s.aggregateWindowLocked(aWin, filter)
-	s.mu.RUnlock()
+	var qkey, shape string
+	var deps []dep
+	if s.cache != nil {
+		qkey = fmt.Sprintf("diff|%d|%d|%s|%s|%d", before.UnixNano(), after.UnixNano(), filter.Key(), metric, top)
+		// The shape pins which buckets the instants resolved to: a fine
+		// window appearing over a previously-coarse instant changes the
+		// result even if the cached buckets themselves never mutated.
+		shape = fmt.Sprintf("%d.%v|%d.%v", bKey.start, bKey.coarse, aKey.start, aKey.coarse)
+		deps = append(s.bucketDepsLocked(bKey), s.bucketDepsLocked(aKey)...)
+		if v, ok := s.cache.serve(qkey, shape, deps); ok {
+			s.runlockAll()
+			return v.(*DiffResult), nil
+		}
+	}
+	beforeTree, bErr := s.aggregateBucketLocked(bWins, filter)
+	afterTree, aErr := s.aggregateBucketLocked(aWins, filter)
+	s.runlockAll()
 	if bErr != nil {
 		return nil, fmt.Errorf("profstore: before: %w", bErr)
 	}
 	if aErr != nil {
 		return nil, fmt.Errorf("profstore: after: %w", aErr)
 	}
+	res, err := buildDiffResult(beforeTree, afterTree, metric, top)
+	if err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		s.cache.put(qkey, shape, deps, res)
+	}
+	return res, nil
+}
 
+// buildDiffResult assembles the signed comparison of two (fresh,
+// caller-owned) single-bucket aggregates: the delta tree, per-side totals,
+// and changed contexts ranked by |delta|.
+func buildDiffResult(beforeTree, afterTree *cct.Tree, metric string, top int) (*DiffResult, error) {
 	diff := cct.Diff(afterTree, beforeTree)
 	id, ok := diff.Schema.Lookup(metric)
 	if !ok {
@@ -612,92 +840,23 @@ func pathKey(n *cct.Node) string {
 	return sb.String()
 }
 
-// CompactNow runs one compaction pass against the store's clock: fine
-// windows older than Retention×Window fold into their coarse bucket
-// (series-by-series, via the associative cct.Merge — metric sums are
-// conserved), and coarse windows older than CoarseRetention×coarse width
-// are dropped. It returns how many fine windows were folded and how many
-// coarse windows were dropped.
+// CompactNow runs one compaction pass over every shard against the store's
+// clock: fine windows older than Retention×Window fold into their coarse
+// bucket (series-by-series, via the associative cct.Merge — metric sums
+// are conserved), and coarse windows older than CoarseRetention×coarse
+// width are dropped. It returns how many fine windows were folded and how
+// many coarse windows were dropped across all shards.
 func (s *Store) CompactNow() (folded, dropped int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.compactLocked()
-}
-
-// compactLocked folds and drops in sorted window/series order, so the
-// coarse trees a compaction builds are reproducible: recovery relies on
-// this to re-fold replayed fine windows into the same coarse trees the
-// pre-crash store held (map-order folds would reassociate merges).
-func (s *Store) compactLocked() (folded, dropped int) {
 	now := s.cfg.Now()
-	fineHorizon := now.Add(-time.Duration(s.cfg.Retention) * s.cfg.Window).Truncate(s.cfg.Window)
-	for _, key := range sortedKeys(s.fine) {
-		w := s.fine[key]
-		if !w.start.Before(fineHorizon) {
-			continue
-		}
-		cStart := w.start.Truncate(s.cfg.coarse())
-		cw := s.coarse[cStart.UnixNano()]
-		if cw == nil {
-			cw = &window{start: cStart, dur: s.cfg.coarse(), series: make(map[string]*series)}
-			s.coarse[cStart.UnixNano()] = cw
-		}
-		for _, k := range sortedKeys(w.series) {
-			ser := w.series[k]
-			dst := cw.series[k]
-			if dst == nil {
-				dst = &series{labels: ser.labels, tree: cct.New()}
-				cw.series[k] = dst
-			}
-			cct.Merge(dst.tree, ser.tree)
-			dst.profiles += ser.profiles
-		}
-		delete(s.fine, key)
-		folded++
-	}
-	coarseHorizon := now.Add(-time.Duration(s.cfg.CoarseRetention) * s.cfg.coarse()).Truncate(s.cfg.coarse())
-	for _, key := range sortedKeys(s.coarse) {
-		w := s.coarse[key]
-		if w.start.Before(coarseHorizon) {
-			delete(s.coarse, key)
-			dropped++
-			// Retiring a coarse window retires the WAL segments of every
-			// fine window folded into it: the data has aged out, so a
-			// WAL-only recovery must not resurrect it.
-			s.pruneWALRangeLocked(w.start.UnixNano(), w.start.Add(w.dur).UnixNano())
-		}
+	for _, sh := range s.shards {
+		f, d := sh.compact(now)
+		folded += f
+		dropped += d
 	}
 	if folded > 0 || dropped > 0 {
-		s.compactions++
+		s.compactions.Add(1)
 	}
 	return folded, dropped
-}
-
-// sortedKeys returns m's keys ascending — iteration order for every fold
-// or drop that must be deterministic.
-func sortedKeys[K interface{ ~int64 | ~string }, V any](m map[K]V) []K {
-	out := make([]K, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// pruneWALRangeLocked deletes WAL segments for window starts in [lo, hi).
-// Callers hold mu exclusively. Prune failures are recorded nowhere fatal —
-// a leftover segment only costs replay time and is re-dropped by the next
-// compaction after recovery.
-func (s *Store) pruneWALRangeLocked(lo, hi int64) {
-	if s.cfg.Dir == "" {
-		return
-	}
-	if err := s.openWALLocked(); err != nil {
-		return
-	}
-	if n, err := s.wal.PruneRange(lo, hi); err == nil {
-		s.prunedSegments += int64(n)
-	}
 }
 
 // StartCompactor runs CompactNow every interval (default: one fine window)
@@ -737,231 +896,76 @@ func (s *Store) startLoop(interval time.Duration, tick func()) {
 	}()
 }
 
-// Close stops the background loops and syncs the WAL shut. Idempotent.
+// Close stops the background loops and syncs every shard's WAL shut.
+// Idempotent.
 func (s *Store) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal != nil {
-		s.wal.Close()
+	for _, sh := range s.shards {
+		sh.closeWAL()
 	}
 }
 
-// Snapshot writes an atomic compacted image of the retained windows to
-// Config.Dir and prunes WAL segments the image fully covers. The capture
-// runs under the shared lock (blocking ingest, so window state and WAL
-// watermarks form one consistent cut); encoding and disk I/O happen after
-// release. Concurrent Snapshot calls serialize on snapMu.
+// Snapshot writes an atomic compacted image of every shard's retained
+// windows under Config.Dir and prunes WAL segments the images fully cover.
+// Each shard's capture runs under its read lock (blocking that shard's
+// ingest, so window state and WAL watermarks form one consistent cut);
+// encoding and disk I/O happen per shard after release. Concurrent
+// Snapshot calls serialize on snapMu.
 func (s *Store) Snapshot() (persist.Info, error) {
-	var info persist.Info
+	var total persist.Info
 	if s.cfg.Dir == "" {
-		return info, fmt.Errorf("profstore: snapshot: no Config.Dir")
+		return total, fmt.Errorf("profstore: snapshot: no Config.Dir")
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-
-	// Opening the WAL needs the exclusive lock; do it up front so the
-	// capture below can run shared.
-	s.mu.Lock()
-	if err := s.openWALLocked(); err != nil {
-		s.mu.Unlock()
-		return info, s.noteSnapshotErrLocked(err)
-	}
-	s.mu.Unlock()
-
-	s.mu.RLock()
-	offsets, err := s.wal.Offsets()
-	if err != nil {
-		s.mu.RUnlock()
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return info, s.noteSnapshotErrLocked(err)
-	}
-	state := &persist.State{
-		CreatedUnixNano: s.cfg.Now().UnixNano(),
-		Ingested:        s.ingested,
-		Compactions:     s.compactions,
-		WALOffsets:      offsets,
-	}
-	if !s.lastIngest.IsZero() {
-		state.LastIngestUnixNano = s.lastIngest.UnixNano()
-	}
-	appendWindow := func(w *window, coarse bool) {
-		ws := persist.WindowState{Start: w.start.UnixNano(), DurNS: int64(w.dur), Coarse: coarse}
-		for key, ser := range w.series {
-			ws.Series = append(ws.Series, persist.SeriesState{
-				Key:      key,
-				Profiles: ser.profiles,
-				Profile: &profiler.Profile{
-					Tree: ser.tree,
-					Meta: profiler.Meta{
-						Workload:  ser.labels.Workload,
-						Vendor:    ser.labels.Vendor,
-						Framework: ser.labels.Framework,
-					},
-				},
-			})
+	now := s.cfg.Now()
+	// The store-wide compaction count rides in shard 0's image, so the
+	// directory-wide sum recovers exactly.
+	comp := s.compactions.Load()
+	for i, sh := range s.shards {
+		c := int64(0)
+		if i == 0 {
+			c = comp
 		}
-		state.Windows = append(state.Windows, ws)
+		info, err := sh.snapshot(now, c)
+		total.Files += info.Files
+		total.Bytes += info.Bytes
+		if err != nil {
+			return total, s.noteSnapshotErr(fmt.Errorf("shard %d: %w", i, err))
+		}
 	}
-	for _, w := range s.fine {
-		appendWindow(w, false)
-	}
-	for _, w := range s.coarse {
-		appendWindow(w, true)
-	}
-	// CaptureState encodes the live trees, so it must finish before the
-	// read lock is released and a writer can mutate them.
-	capture, err := persist.CaptureState(state)
-	s.mu.RUnlock()
-	if err == nil {
-		info, err = capture.Commit(s.cfg.Dir)
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err != nil {
-		return info, s.noteSnapshotErrLocked(err)
-	}
-	s.snapshots++
-	s.lastSnapshot = s.cfg.Now()
-	s.lastSnapBytes = info.Bytes
-	s.lastSnapErr = ""
-	// Segments fully covered by the committed image are dead weight; only
-	// the currently-appending segment survives this (see persist.Prune).
-	if n, perr := s.wal.Prune(offsets); perr == nil {
-		s.prunedSegments += int64(n)
-	}
-	return info, nil
+	total.Dir = s.cfg.Dir
+	s.snapshots.Add(1)
+	s.lastSnapshot.Store(now.UnixNano())
+	s.lastSnapBytes.Store(total.Bytes)
+	s.lastSnapErr.Store("")
+	return total, nil
 }
 
-func (s *Store) noteSnapshotErrLocked(err error) error {
+func (s *Store) noteSnapshotErr(err error) error {
 	err = fmt.Errorf("profstore: snapshot: %w", err)
-	s.lastSnapErr = err.Error()
+	s.lastSnapErr.Store(err.Error())
 	return err
-}
-
-// RecoveryStats reports what Recover rebuilt and what it had to skip.
-type RecoveryStats struct {
-	SnapshotLoaded bool `json:"snapshot_loaded"`
-	// SnapshotError is the non-fatal reason the snapshot was unusable
-	// (recovery then replays the WAL from the beginning).
-	SnapshotError      string   `json:"snapshot_error,omitempty"`
-	WindowsRestored    int      `json:"windows_restored"`
-	ProfilesFromSnap   int64    `json:"profiles_from_snapshot"`
-	WALSegments        int      `json:"wal_segments"`
-	WALRecords         int64    `json:"wal_records"`
-	WALSkippedRecords  int64    `json:"wal_skipped_records"`
-	WALSkippedSegments int      `json:"wal_skipped_segments"`
-	Warnings           []string `json:"warnings,omitempty"`
-}
-
-// Recover rebuilds the store from Config.Dir: latest snapshot first, then
-// the WAL suffix beyond the snapshot's watermarks, re-ingested through the
-// same normalize-and-merge path in original order — so recovered Hotspots
-// and Diff results are byte-equal to the pre-crash store. It must run on
-// an empty store (call it before serving). Corrupt snapshots or WAL tails
-// are skipped and reported in RecoveryStats, never fatal; only an unusable
-// data directory errors.
-func (s *Store) Recover() (RecoveryStats, error) {
-	var rs RecoveryStats
-	if s.cfg.Dir == "" {
-		return rs, fmt.Errorf("profstore: recover: no Config.Dir")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ingested != 0 || len(s.fine) != 0 || len(s.coarse) != 0 {
-		return rs, fmt.Errorf("profstore: recover: store is not empty")
-	}
-	if err := s.openWALLocked(); err != nil {
-		return rs, err
-	}
-
-	var offsets map[int64]int64
-	snap, err := persist.ReadSnapshot(s.cfg.Dir)
-	switch {
-	case err != nil:
-		// A snapshot that fails its checksums is discarded wholesale and
-		// recovery degrades to WAL-only — losing the windows whose
-		// segments were pruned, but never refusing to boot.
-		rs.SnapshotError = err.Error()
-	case snap != nil:
-		rs.SnapshotLoaded = true
-		rs.ProfilesFromSnap = snap.Ingested
-		s.ingested = snap.Ingested
-		s.compactions = snap.Compactions
-		if snap.LastIngestUnixNano != 0 {
-			s.lastIngest = time.Unix(0, snap.LastIngestUnixNano)
-		}
-		for _, ws := range snap.Windows {
-			w := &window{
-				start:  time.Unix(0, ws.Start),
-				dur:    time.Duration(ws.DurNS),
-				series: make(map[string]*series, len(ws.Series)),
-			}
-			for _, ss := range ws.Series {
-				// Snapshot trees were normalized at original ingest and
-				// are adopted as-is; labels round-trip through Meta.
-				w.series[ss.Key] = &series{
-					labels:   LabelsOf(ss.Profile.Meta),
-					tree:     ss.Profile.Tree,
-					profiles: ss.Profiles,
-				}
-			}
-			if ws.Coarse {
-				s.coarse[ws.Start] = w
-			} else {
-				s.fine[ws.Start] = w
-			}
-			rs.WindowsRestored++
-		}
-		offsets = snap.WALOffsets
-	}
-
-	rep, err := s.wal.Replay(offsets, func(start, tstamp int64, p *profiler.Profile) error {
-		if p == nil || p.Tree == nil {
-			return fmt.Errorf("nil profile")
-		}
-		s.mergeIntoWindowLocked(time.Unix(0, start), LabelsOf(p.Meta), cct.NormalizeAddresses(p.Tree))
-		s.ingested++
-		if ts := time.Unix(0, tstamp); ts.After(s.lastIngest) {
-			s.lastIngest = ts
-		}
-		return nil
-	})
-	if err != nil {
-		return rs, fmt.Errorf("profstore: recover: wal replay: %w", err)
-	}
-	rs.WALSegments = rep.Segments
-	rs.WALRecords = rep.Records
-	rs.WALSkippedRecords = rep.SkippedRecords
-	rs.WALSkippedSegments = rep.SkippedSegments
-	rs.Warnings = rep.Warnings
-	// If a compaction ran between the last snapshot and the crash, the
-	// replayed data sits in fine windows the pre-crash store had already
-	// folded coarse. Re-running the (deterministic, sorted-order) fold
-	// converges the recovered arrangement — and the trees themselves —
-	// with the pre-crash store before the first query sees it.
-	s.compactLocked()
-	s.recovery = &rs
-	return rs, nil
 }
 
 // Stats is a point-in-time snapshot of store occupancy and activity.
 type Stats struct {
 	Ingested      int64     `json:"ingested"`
 	Compactions   int64     `json:"compactions"`
+	Shards        int       `json:"shards"`
 	FineWindows   int       `json:"fine_windows"`
 	CoarseWindows int       `json:"coarse_windows"`
 	Series        int       `json:"series"`
 	Nodes         int       `json:"nodes"`
 	LastIngest    time.Time `json:"last_ingest,omitempty"`
+	// Cache is present only when Config.CacheSize > 0.
+	Cache *CacheStats `json:"cache,omitempty"`
 	// Persist is present only when Config.Dir is set.
 	Persist *PersistStats `json:"persist,omitempty"`
 }
 
-// PersistStats counts durability work since boot.
+// PersistStats counts durability work since boot, summed across shards.
 type PersistStats struct {
 	Dir               string         `json:"dir"`
 	WALAppends        int64          `json:"wal_appends"`
@@ -974,37 +978,57 @@ type PersistStats struct {
 	Recovery          *RecoveryStats `json:"recovery,omitempty"`
 }
 
-// Stats snapshots the store.
+// Stats snapshots the store under all shard read locks, so the counters
+// form one consistent cut.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
+	defer s.runlockAll()
 	st := Stats{
-		Ingested:      s.ingested,
-		Compactions:   s.compactions,
-		FineWindows:   len(s.fine),
-		CoarseWindows: len(s.coarse),
-		LastIngest:    s.lastIngest,
+		Compactions: s.compactions.Load(),
+		Shards:      len(s.shards),
+		Cache:       s.cache.stats(),
 	}
-	for _, w := range s.fine {
-		st.Series += len(w.series)
-		st.Nodes += w.nodes()
-	}
-	for _, w := range s.coarse {
-		st.Series += len(w.series)
-		st.Nodes += w.nodes()
-	}
-	if s.cfg.Dir != "" {
-		st.Persist = &PersistStats{
-			Dir:               s.cfg.Dir,
-			WALAppends:        s.walAppends,
-			WALBytes:          s.walBytes,
-			Snapshots:         s.snapshots,
-			LastSnapshot:      s.lastSnapshot,
-			LastSnapshotBytes: s.lastSnapBytes,
-			LastSnapshotError: s.lastSnapErr,
-			PrunedWALSegments: s.prunedSegments,
-			Recovery:          s.recovery,
+	fineStarts := make(map[int64]bool)
+	coarseStarts := make(map[int64]bool)
+	var walAppends, walBytes, pruned int64
+	for _, sh := range s.shards {
+		st.Ingested += sh.ingested
+		if sh.lastIngest.After(st.LastIngest) {
+			st.LastIngest = sh.lastIngest
 		}
+		for k, w := range sh.fine {
+			fineStarts[k] = true
+			st.Series += len(w.series)
+			st.Nodes += w.nodes()
+		}
+		for k, w := range sh.coarse {
+			coarseStarts[k] = true
+			st.Series += len(w.series)
+			st.Nodes += w.nodes()
+		}
+		walAppends += sh.walAppends
+		walBytes += sh.walBytes
+		pruned += sh.prunedSegments
+	}
+	st.FineWindows = len(fineStarts)
+	st.CoarseWindows = len(coarseStarts)
+	if s.cfg.Dir != "" {
+		ps := &PersistStats{
+			Dir:               s.cfg.Dir,
+			WALAppends:        walAppends,
+			WALBytes:          walBytes,
+			Snapshots:         s.snapshots.Load(),
+			LastSnapshotBytes: s.lastSnapBytes.Load(),
+			PrunedWALSegments: pruned,
+			Recovery:          s.recovery.Load(),
+		}
+		if ns := s.lastSnapshot.Load(); ns != 0 {
+			ps.LastSnapshot = time.Unix(0, ns)
+		}
+		if e, ok := s.lastSnapErr.Load().(string); ok {
+			ps.LastSnapshotError = e
+		}
+		st.Persist = ps
 	}
 	return st
 }

@@ -1,0 +1,99 @@
+package profstore
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profiler"
+)
+
+// populate fills a store with `windows` windows × `seriesN` series of
+// synthetic profiles (distinct PCs folded by normalization), a
+// representative dashboard-query working set.
+func populate(b *testing.B, s *Store, clock *fakeClock, windows, seriesN, perSeries int) {
+	b.Helper()
+	for w := 0; w < windows; w++ {
+		for si := 0; si < seriesN; si++ {
+			for p := 0; p < perSeries; p++ {
+				prof := synthProfile(fmt.Sprintf("W%d", si), "Nvidia", "pytorch",
+					uint64(0x1000+w*4096+si*256+p*8), float64(p+1))
+				if _, err := s.Ingest(prof); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		clock.Advance(time.Minute)
+	}
+}
+
+// benchmarkHotspots measures the repeated-query path — the exact shape a
+// dashboard produces — with and without the generation-stamped cache.
+func benchmarkHotspots(b *testing.B, cacheSize int) {
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Shards: 4, CacheSize: cacheSize, Now: clock.Now})
+	defer s.Close()
+	populate(b, s, clock, 30, 4, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotspotsUncached(b *testing.B) { benchmarkHotspots(b, 0) }
+
+func BenchmarkHotspotsCached(b *testing.B) { benchmarkHotspots(b, 128) }
+
+// wideProfile builds a profile with `paths` distinct calling contexts, so
+// the under-lock merge does representative work (the small synthProfile
+// fixture makes ingest benchmarks measure profile construction instead).
+func wideProfile(workload string, paths int) *profiler.Profile {
+	tree := cct.New()
+	gid := tree.MetricID(cct.MetricGPUTime)
+	for i := 0; i < paths; i++ {
+		n := tree.InsertPath([]cct.Frame{
+			cct.PythonFrame("train.py", i%40+1, fmt.Sprintf("fn%d", i%40)),
+			cct.OperatorFrame(fmt.Sprintf("aten::op%d", i%60)),
+			{Kind: cct.KindKernel, Name: fmt.Sprintf("kern%d", i), Lib: "[gpu]", PC: uint64(0x1000 + i*16)},
+		})
+		tree.AddMetric(n, gid, float64(i+1))
+	}
+	return &profiler.Profile{
+		Tree: tree,
+		Meta: profiler.Meta{Workload: workload, Vendor: "Nvidia", Framework: "pytorch"},
+	}
+}
+
+// BenchmarkConcurrentIngestShards measures ingest contention across
+// disjoint series: every goroutine repeatedly folds its own pre-built
+// wide profile into its own series, so shards>1 lets the under-lock
+// merges run in parallel where the single-stripe store serialized them.
+func benchmarkConcurrentIngest(b *testing.B, shards int) {
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Shards: shards, Now: clock.Now})
+	defer s.Close()
+	var id atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := id.Add(1)
+		p := wideProfile(fmt.Sprintf("W%d", g), 400)
+		for pb.Next() {
+			if _, err := s.Ingest(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkConcurrentIngestShards1(b *testing.B) { benchmarkConcurrentIngest(b, 1) }
+
+func BenchmarkConcurrentIngestShardsMax(b *testing.B) {
+	benchmarkConcurrentIngest(b, runtime.GOMAXPROCS(0))
+}

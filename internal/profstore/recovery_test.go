@@ -152,7 +152,7 @@ func TestSnapshotPrunesCoveredSegments(t *testing.T) {
 	if _, err := s.Snapshot(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-0", "wal", "*.wal"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestCompactionPrunesWALOfDroppedCoarseWindows(t *testing.T) {
 	if st := s.Stats(); st.FineWindows != 0 || st.CoarseWindows != 0 {
 		t.Fatalf("store not empty: %+v", st)
 	}
-	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	segs, _ := filepath.Glob(filepath.Join(dir, "shard-0", "wal", "*.wal"))
 	if len(segs) != 0 {
 		t.Fatalf("WAL segments survived retention: %v", segs)
 	}
@@ -265,7 +265,7 @@ func TestRecoverSurvivesCorruptSnapshot(t *testing.T) {
 	// WAL is still there to recover from.
 	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x2, 2))
 	s.Close()
-	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*", "MANIFEST.json"))
+	snaps, _ := filepath.Glob(filepath.Join(dir, "shard-0", "snap-*", "MANIFEST.json"))
 	if len(snaps) != 1 {
 		t.Fatalf("snapshots = %v", snaps)
 	}
@@ -301,7 +301,7 @@ func TestRecoverSkipsCorruptWALTail(t *testing.T) {
 	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x2, 2))
 	s.Close()
 
-	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	segs, _ := filepath.Glob(filepath.Join(dir, "shard-0", "wal", "*.wal"))
 	if len(segs) != 1 {
 		t.Fatalf("segments = %v", segs)
 	}
@@ -439,7 +439,7 @@ func TestRecoveryWarningsMentionSegment(t *testing.T) {
 	s := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})
 	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x1, 1))
 	s.Close()
-	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	segs, _ := filepath.Glob(filepath.Join(dir, "shard-0", "wal", "*.wal"))
 	os.WriteFile(segs[0], []byte("junk"), 0o644)
 
 	revived := New(Config{Window: time.Minute, Now: clock.Now, Dir: dir})

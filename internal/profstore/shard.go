@@ -1,0 +1,350 @@
+package profstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/profstore/persist"
+)
+
+// series is one label set's rolling aggregate within a window.
+type series struct {
+	labels   Labels
+	tree     *cct.Tree
+	profiles int
+}
+
+// window is one time bucket holding per-label merged trees.
+type window struct {
+	start  time.Time
+	dur    time.Duration
+	series map[string]*series
+}
+
+func (w *window) profiles() int {
+	n := 0
+	for _, s := range w.series {
+		n += s.profiles
+	}
+	return n
+}
+
+func (w *window) nodes() int {
+	n := 0
+	for _, s := range w.series {
+		n += s.tree.NodeCount()
+	}
+	return n
+}
+
+// winKey identifies one bucket within a shard: its start instant and
+// resolution tier.
+type winKey struct {
+	start  int64 // unix nanoseconds
+	coarse bool
+}
+
+// shard is one lock stripe of the store: a disjoint subset of series (by
+// hash of the workload/vendor/framework key) with its own window maps, its
+// own WAL segment set under <dir>/shard-<id>, and per-bucket generation
+// stamps the query cache validates against. Ingest for different series
+// never contends across shards; queries take every shard's read lock (in
+// ascending id order — the store-wide lock order) for a consistent cut.
+type shard struct {
+	id  int
+	cfg Config
+	dir string // <cfg.Dir>/shard-<id>; "" when the store is memory-only
+
+	mu     sync.RWMutex
+	fine   map[int64]*window // unix-nano window start → bucket
+	coarse map[int64]*window
+	// gens stamps every retained bucket with a content generation, bumped
+	// on each mutation (ingest merge, compaction fold). Bucket creation and
+	// removal need no extra stamp: cache validation recomputes the bucket
+	// set itself and any membership change misses.
+	gens map[winKey]uint64
+
+	ingested   int64
+	lastIngest time.Time
+
+	wal            *persist.WAL
+	walAppends     int64
+	walBytes       int64
+	prunedSegments int64
+}
+
+func newShard(id int, cfg Config) *shard {
+	sh := &shard{
+		id:     id,
+		cfg:    cfg,
+		fine:   make(map[int64]*window),
+		coarse: make(map[int64]*window),
+		gens:   make(map[winKey]uint64),
+	}
+	if cfg.Dir != "" {
+		sh.dir = shardDir(cfg.Dir, id)
+	}
+	return sh
+}
+
+func shardDir(dataDir string, id int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%d", id))
+}
+
+// ingest appends to the shard's WAL (when durable) and merges the
+// normalized tree into the current fine window. payload is nil for
+// memory-only stores.
+func (sh *shard) ingest(labels Labels, normalized *cct.Tree, payload []byte) (time.Time, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	now := sh.cfg.Now()
+	start := now.Truncate(sh.cfg.Window)
+	if payload != nil {
+		if err := sh.walAppendLocked(start.UnixNano(), now.UnixNano(), payload); err != nil {
+			return time.Time{}, err
+		}
+	}
+	sh.mergeIntoWindowLocked(start, labels, normalized)
+	sh.ingested++
+	sh.lastIngest = now
+	return start, nil
+}
+
+// mergeIntoWindowLocked folds an already-normalized tree into the fine
+// bucket starting at start and bumps its generation. Callers hold sh.mu
+// exclusively.
+func (sh *shard) mergeIntoWindowLocked(start time.Time, labels Labels, normalized *cct.Tree) {
+	w := sh.fine[start.UnixNano()]
+	if w == nil {
+		w = &window{start: start, dur: sh.cfg.Window, series: make(map[string]*series)}
+		sh.fine[start.UnixNano()] = w
+	}
+	key := labels.Key()
+	ser := w.series[key]
+	if ser == nil {
+		ser = &series{labels: labels, tree: cct.New()}
+		w.series[key] = ser
+	}
+	cct.Merge(ser.tree, normalized)
+	ser.profiles++
+	sh.gens[winKey{start.UnixNano(), false}]++
+}
+
+// walAppendLocked lazily opens the shard WAL and appends one framed
+// record. Callers hold sh.mu exclusively.
+func (sh *shard) walAppendLocked(startNS, tstampNS int64, payload []byte) error {
+	if err := sh.openWALLocked(); err != nil {
+		return err
+	}
+	n, err := sh.wal.Append(startNS, tstampNS, payload)
+	if err != nil {
+		return fmt.Errorf("profstore: shard %d wal append: %w", sh.id, err)
+	}
+	sh.walAppends++
+	sh.walBytes += n
+	return nil
+}
+
+func (sh *shard) openWALLocked() error {
+	if sh.wal != nil {
+		return nil
+	}
+	if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+		return fmt.Errorf("profstore: shard dir: %w", err)
+	}
+	w, err := persist.OpenWAL(sh.dir)
+	if err != nil {
+		return err
+	}
+	sh.wal = w
+	return nil
+}
+
+// compact runs one retention pass against now: fine windows older than the
+// horizon fold (in sorted window/series order, so the coarse trees are
+// reproducible across recoveries) into their coarse bucket, and expired
+// coarse windows drop along with their fine windows' WAL segments. It
+// returns how many fine windows folded and how many coarse windows dropped.
+func (sh *shard) compact(now time.Time) (folded, dropped int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fineHorizon := now.Add(-time.Duration(sh.cfg.Retention) * sh.cfg.Window).Truncate(sh.cfg.Window)
+	for _, key := range sortedKeys(sh.fine) {
+		w := sh.fine[key]
+		if !w.start.Before(fineHorizon) {
+			continue
+		}
+		cStart := w.start.Truncate(sh.cfg.coarse())
+		cw := sh.coarse[cStart.UnixNano()]
+		if cw == nil {
+			cw = &window{start: cStart, dur: sh.cfg.coarse(), series: make(map[string]*series)}
+			sh.coarse[cStart.UnixNano()] = cw
+		}
+		for _, k := range sortedKeys(w.series) {
+			ser := w.series[k]
+			dst := cw.series[k]
+			if dst == nil {
+				dst = &series{labels: ser.labels, tree: cct.New()}
+				cw.series[k] = dst
+			}
+			cct.Merge(dst.tree, ser.tree)
+			dst.profiles += ser.profiles
+		}
+		delete(sh.fine, key)
+		delete(sh.gens, winKey{key, false})
+		sh.gens[winKey{cStart.UnixNano(), true}]++
+		folded++
+	}
+	coarseHorizon := now.Add(-time.Duration(sh.cfg.CoarseRetention) * sh.cfg.coarse()).Truncate(sh.cfg.coarse())
+	for _, key := range sortedKeys(sh.coarse) {
+		w := sh.coarse[key]
+		if w.start.Before(coarseHorizon) {
+			delete(sh.coarse, key)
+			delete(sh.gens, winKey{key, true})
+			dropped++
+			// Retiring a coarse window retires the WAL segments of every
+			// fine window folded into it: the data has aged out, so a
+			// WAL-only recovery must not resurrect it.
+			sh.pruneWALRangeLocked(w.start.UnixNano(), w.start.Add(w.dur).UnixNano())
+		}
+	}
+	return folded, dropped
+}
+
+// pruneWALRangeLocked deletes WAL segments for window starts in [lo, hi).
+// Callers hold sh.mu exclusively. Prune failures are recorded nowhere fatal
+// — a leftover segment only costs replay time and is re-dropped by the next
+// compaction after recovery.
+func (sh *shard) pruneWALRangeLocked(lo, hi int64) {
+	if sh.dir == "" {
+		return
+	}
+	if err := sh.openWALLocked(); err != nil {
+		return
+	}
+	if n, err := sh.wal.PruneRange(lo, hi); err == nil {
+		sh.prunedSegments += int64(n)
+	}
+}
+
+// snapshot captures the shard's retained windows under its read lock and
+// commits them atomically to the shard directory, then prunes WAL segments
+// the image fully covers. compactions carries the store-wide compaction
+// count (the store passes it on shard 0 only, so the directory-wide sum is
+// conserved across snapshot/recover cycles).
+func (sh *shard) snapshot(now time.Time, compactions int64) (persist.Info, error) {
+	var info persist.Info
+	sh.mu.Lock()
+	if err := sh.openWALLocked(); err != nil {
+		sh.mu.Unlock()
+		return info, err
+	}
+	sh.mu.Unlock()
+
+	sh.mu.RLock()
+	offsets, err := sh.wal.Offsets()
+	if err != nil {
+		sh.mu.RUnlock()
+		return info, err
+	}
+	// CaptureState encodes the live trees, so it must finish before the
+	// read lock is released and a writer can mutate them.
+	capture, err := sh.captureLocked(now, compactions, offsets)
+	sh.mu.RUnlock()
+	if err != nil {
+		return info, err
+	}
+	info, err = capture.Commit(sh.dir)
+	if err != nil {
+		return info, err
+	}
+	// Segments fully covered by the committed image are dead weight; only
+	// the currently-appending segment survives this (see persist.Prune).
+	sh.mu.Lock()
+	if n, perr := sh.wal.Prune(offsets); perr == nil {
+		sh.prunedSegments += int64(n)
+	}
+	sh.mu.Unlock()
+	return info, nil
+}
+
+// captureLocked encodes the shard's retained windows into a commit-ready
+// image. offsets is the WAL watermark set the image covers; nil for a
+// migration export, whose target directory starts WAL-free. Callers hold
+// at least sh.mu's read lock.
+func (sh *shard) captureLocked(now time.Time, compactions int64, offsets map[int64]int64) (*persist.Capture, error) {
+	state := &persist.State{
+		CreatedUnixNano: now.UnixNano(),
+		Ingested:        sh.ingested,
+		Compactions:     compactions,
+		WALOffsets:      offsets,
+	}
+	if !sh.lastIngest.IsZero() {
+		state.LastIngestUnixNano = sh.lastIngest.UnixNano()
+	}
+	appendWindow := func(w *window, coarse bool) {
+		ws := persist.WindowState{Start: w.start.UnixNano(), DurNS: int64(w.dur), Coarse: coarse}
+		for key, ser := range w.series {
+			ws.Series = append(ws.Series, persist.SeriesState{
+				Key:      key,
+				Profiles: ser.profiles,
+				Profile: &profiler.Profile{
+					Tree: ser.tree,
+					Meta: profiler.Meta{
+						Workload:  ser.labels.Workload,
+						Vendor:    ser.labels.Vendor,
+						Framework: ser.labels.Framework,
+					},
+				},
+			})
+		}
+		state.Windows = append(state.Windows, ws)
+	}
+	for _, w := range sh.fine {
+		appendWindow(w, false)
+	}
+	for _, w := range sh.coarse {
+		appendWindow(w, true)
+	}
+	return persist.CaptureState(state)
+}
+
+// exportTo commits the shard's current image into dir — a migration
+// staging directory, never sh.dir. Nothing in the shard's own directory
+// is touched: no WAL open, no prune, no snapshot rotation, so the source
+// layout stays fully authoritative until the migration commits.
+func (sh *shard) exportTo(dir string, now time.Time, compactions int64) (persist.Info, error) {
+	sh.mu.RLock()
+	capture, err := sh.captureLocked(now, compactions, nil)
+	sh.mu.RUnlock()
+	if err != nil {
+		return persist.Info{}, err
+	}
+	return capture.Commit(dir)
+}
+
+// closeWAL syncs the shard's WAL shut.
+func (sh *shard) closeWAL() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.wal != nil {
+		sh.wal.Close()
+	}
+}
+
+// sortedKeys returns m's keys ascending — iteration order for every fold
+// or drop that must be deterministic.
+func sortedKeys[K interface{ ~int64 | ~string }, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
