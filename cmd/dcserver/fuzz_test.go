@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/url"
+	"strconv"
+	"testing"
+	"unicode/utf8"
+
+	"deepcontext/internal/profstore/trend"
+)
+
+// FuzzRegressionQueryParams holds the /regressions query parser to its
+// contract: arbitrary raw query strings either parse into a well-formed
+// store query or are rejected — never a panic, never an out-of-range
+// direction, never a negative limit (which would silently mean
+// "unbounded" to the store).
+func FuzzRegressionQueryParams(f *testing.F) {
+	f.Add("dir=up&limit=10")
+	f.Add("dir=down&workload=UNet&vendor=Nvidia&framework=pytorch")
+	f.Add("dir=both&since=2026-01-01T00:00:00Z")
+	f.Add("since=1767225960000000000&limit=0")
+	f.Add("dir=sideways")
+	f.Add("limit=-3")
+	f.Add("limit=9999999999999999999999")
+	f.Add("since=not-a-time")
+	f.Add("%gh&&=%zz")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		rq, err := parseRegressionQuery(q)
+		if err != nil {
+			return
+		}
+		if rq.Direction < -1 || rq.Direction > 1 {
+			t.Fatalf("direction out of range for %q: %+v", raw, rq)
+		}
+		if rq.Limit < 0 {
+			t.Fatalf("negative limit accepted for %q: %+v", raw, rq)
+		}
+		if d := q.Get("dir"); d != "" && d != "up" && d != "down" && d != "both" {
+			t.Fatalf("bad dir %q accepted", d)
+		}
+	})
+}
+
+// FuzzWebhookPayloadEncoder round-trips arbitrary finding field values
+// through the webhook body encoder: the payload must marshal, decode back
+// to the same finding, and carry a flame URL whose query parameters
+// survive URL encoding (labels are free-form strings — a kernel named
+// "a&b=c#d" must not corrupt the link).
+func FuzzWebhookPayloadEncoder(f *testing.F) {
+	f.Add("unet/nvidia/pytorch", "UNet", "Nvidia", "pytorch", "gemm", int64(100), int64(400), 0.3, 0.6, 1)
+	f.Add("d/l/r", "DLRM", "AMD", "jax", "a&b=c#d", int64(-5), int64(0), 0.0, 1.0, -1)
+	f.Add("", "", "", "", "", int64(0), int64(0), 0.0, 0.0, 0)
+	f.Fuzz(func(t *testing.T, series, workload, vendor, fw, frame string, beforeNS, afterNS int64, beforeShare, share float64, dir int) {
+		for _, v := range []float64{beforeShare, share} {
+			// The detector only emits finite shares; JSON has no encoding
+			// for anything else.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		for _, s := range []string{series, workload, vendor, fw, frame} {
+			// Labels are interned from valid UTF-8; json replaces invalid
+			// bytes with U+FFFD, so they cannot round-trip byte-for-byte.
+			if !utf8.ValidString(s) {
+				return
+			}
+		}
+		fd := trend.Finding{
+			Series: series, Workload: workload, Vendor: vendor, Framework: fw,
+			Frame: frame, Metric: "gpu_time_ns", Direction: dir,
+			BeforeUnixNano: beforeNS, AfterUnixNano: afterNS,
+			BeforeShare: beforeShare, Share: share,
+			BaselineShare: beforeShare, Band: 0.05, Windows: 3,
+		}
+		body, err := encodeWebhookPayload([]trend.Finding{fd})
+		if err != nil {
+			t.Fatalf("encode failed: %v", err)
+		}
+		var got webhookPayload
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("payload does not decode: %v\n%s", err, body)
+		}
+		if got.Source != "dcserver" || got.Count != 1 || len(got.Findings) != 1 {
+			t.Fatalf("payload shape: %+v", got)
+		}
+		r := got.Findings[0]
+		if r.Series != series || r.Frame != frame || r.Direction != dir ||
+			r.BeforeUnixNano != beforeNS || r.AfterUnixNano != afterNS ||
+			r.BeforeShare != beforeShare || r.Share != share {
+			t.Fatalf("finding did not round-trip:\n in %+v\nout %+v", fd, r)
+		}
+		if r.Severity == "" || r.Message == "" {
+			t.Fatalf("ungraded row: %+v", r)
+		}
+		u, err := url.Parse(r.FlameURL)
+		if err != nil || u.Path != "/flame" {
+			t.Fatalf("flame URL %q: %v", r.FlameURL, err)
+		}
+		uq := u.Query()
+		if uq.Get("workload") != workload || uq.Get("vendor") != vendor || uq.Get("framework") != fw {
+			t.Fatalf("flame URL lost labels: %q vs %q/%q/%q", r.FlameURL, workload, vendor, fw)
+		}
+		if uq.Get("before") != strconv.FormatInt(beforeNS, 10) || uq.Get("after") != strconv.FormatInt(afterNS, 10) {
+			t.Fatalf("flame URL lost the window pair: %q", r.FlameURL)
+		}
+	})
+}

@@ -15,9 +15,22 @@ import (
 	"time"
 
 	"deepcontext"
+	"deepcontext/internal/cct"
 	"deepcontext/internal/profdb"
 	"deepcontext/internal/profstore"
 )
+
+// injectOptions configures loadgen's -inject-regression mode: from Round
+// on, every profiled body has Kernel's exclusive cost multiplied by
+// Factor before encoding, simulating a deploy that regressed one kernel.
+// The run finishes by asserting /regressions flags exactly that kernel.
+type injectOptions struct {
+	Factor float64 // > 1 enables the mode
+	Kernel string  // "" picks the run's top kernel by the trend metric
+	Round  int     // 0 = rounds/2
+}
+
+func (o injectOptions) enabled() bool { return o.Factor > 1 }
 
 // runLoadgen demonstrates sustained multi-client ingest: it starts the
 // server in-process on an ephemeral port, then drives `clients` concurrent
@@ -29,7 +42,13 @@ import (
 // query API: /hotspots over everything and /diff between the first and last
 // round's windows (rounds use different iteration counts, so the diff is
 // non-trivial).
-func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds int, maxBody int64) error {
+//
+// With inject enabled the run turns into the regression-detection smoke:
+// rounds use a constant iteration count (identical bodies, so every
+// series' shares are perfectly steady), the chosen kernel's cost is
+// multiplied from inject.Round on, and the run ends by querying
+// /regressions and failing unless exactly that kernel is flagged.
+func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds int, maxBody int64, inject injectOptions) error {
 	var workloads []string
 	known := make(map[string]bool)
 	for _, w := range deepcontext.WorkloadNames() {
@@ -64,6 +83,33 @@ func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds i
 	store := profstore.New(cfg)
 	defer store.Close()
 
+	trendCfg := store.Config().Trend
+	if inject.enabled() {
+		if trendCfg.Disabled {
+			return fmt.Errorf("loadgen: -inject-regression needs trend tracking enabled")
+		}
+		if inject.Round <= 0 {
+			inject.Round = rounds / 2
+		}
+		// The baseline needs Warmup windows plus one armed in-band window
+		// before the shift; K shifted windows then confirm it.
+		if need := trendCfg.Warmup + 1; inject.Round < need {
+			inject.Round = need
+		}
+		if need := inject.Round + trendCfg.K; rounds < need {
+			fmt.Printf("loadgen: raising rounds to %d (%d baseline + %d confirmation windows)\n",
+				need, inject.Round, trendCfg.K)
+			rounds = need
+		}
+		if inject.Kernel == "" {
+			k, err := pickTopKernel(workloads[0], iters, trendCfg.Metric)
+			if err != nil {
+				return fmt.Errorf("loadgen: pick kernel: %w", err)
+			}
+			inject.Kernel = k
+		}
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -74,6 +120,10 @@ func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds i
 	baseURL := "http://" + ln.Addr().String()
 	fmt.Printf("loadgen: server on %s — %d clients x %d workloads x %d rounds (iters %d per round step)\n",
 		baseURL, clients, len(workloads), rounds, iters)
+	if inject.enabled() {
+		fmt.Printf("loadgen: injecting a %gx cost regression into kernel %q from round %d\n",
+			inject.Factor, inject.Kernel, inject.Round)
+	}
 
 	var ok, failed atomic.Int64
 	httpc := &http.Client{Timeout: time.Minute}
@@ -87,7 +137,17 @@ func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds i
 			go func(c int) {
 				defer wg.Done()
 				for i, w := range workloads {
-					if err := postOne(httpc, baseURL, w, c, i, iters*(r+1)); err != nil {
+					n := iters * (r + 1)
+					var scale kernelScale
+					if inject.enabled() {
+						// Constant iterations keep every series' shares
+						// steady; the injected scale is the only drift.
+						n = iters
+						if r >= inject.Round {
+							scale = kernelScale{Kernel: inject.Kernel, Metric: trendCfg.Metric, Factor: inject.Factor}
+						}
+					}
+					if err := postOne(httpc, baseURL, w, c, i, n, scale); err != nil {
 						failed.Add(1)
 						fmt.Printf("loadgen: client %d %s: %v\n", c, w, err)
 					} else {
@@ -159,14 +219,55 @@ func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds i
 	fmt.Printf("loadgen: store holds %d windows, %d series, %d CCT nodes after %d ingests\n",
 		stats.Store.FineWindows+stats.Store.CoarseWindows, stats.Store.Series,
 		stats.Store.Nodes, stats.Store.Ingested)
+
+	if inject.enabled() {
+		return checkInjectedRegression(httpc, baseURL, inject)
+	}
+	return nil
+}
+
+// checkInjectedRegression queries /regressions after an injected run and
+// fails unless the flagged regressions are exactly the injected kernel —
+// at least one finding, and no finding for any other frame. The final
+// round already closed its window (the round loop advances the clock one
+// window past it), so the handler's sweep observes everything.
+func checkInjectedRegression(httpc *http.Client, baseURL string, inject injectOptions) error {
+	var rr struct {
+		Count int `json:"count"`
+		Rows  []struct {
+			Series      string  `json:"series"`
+			Frame       string  `json:"frame"`
+			BeforeShare float64 `json:"before_share"`
+			Share       float64 `json:"share"`
+			Severity    string  `json:"severity"`
+		} `json:"rows"`
+	}
+	if err := getJSON(httpc, baseURL+"/regressions?dir=up&limit=0", &rr); err != nil {
+		return fmt.Errorf("loadgen: regressions: %w", err)
+	}
+	spurious := 0
+	for _, row := range rr.Rows {
+		fmt.Printf("loadgen: regression [%s] %s: %s %.1f%% -> %.1f%%\n",
+			row.Severity, row.Series, row.Frame, 100*row.BeforeShare, 100*row.Share)
+		if row.Frame != inject.Kernel {
+			spurious++
+		}
+	}
+	ok := len(rr.Rows) > 0 && spurious == 0
+	fmt.Printf("loadgen: RESULT inject kernel=%s factor=%g up_findings=%d spurious=%d ok=%v\n",
+		inject.Kernel, inject.Factor, len(rr.Rows), spurious, ok)
+	if !ok {
+		return fmt.Errorf("loadgen: injected regression not cleanly detected (%d findings, %d spurious)",
+			len(rr.Rows), spurious)
+	}
 	return nil
 }
 
 // postOne profiles one workload cell and POSTs it through /ingest. Vendor
 // and framework alternate by client and workload index so the store sees
 // several distinct label series.
-func postOne(httpc *http.Client, baseURL, workload string, client, index, iters int) error {
-	body, err := encodeOne(workload, client, index, iters)
+func postOne(httpc *http.Client, baseURL, workload string, client, index, iters int, scale kernelScale) error {
+	body, err := encodeOne(workload, client, index, iters, scale)
 	if err != nil {
 		return err
 	}
@@ -261,7 +362,7 @@ func runLoadgenMixed(cfg profstore.Config, clients, readers int, loads string, i
 			genWg.Add(1)
 			go func(c, i int, w string) {
 				defer genWg.Done()
-				body, err := encodeOne(w, c, i, iters)
+				body, err := encodeOne(w, c, i, iters, kernelScale{})
 				if err != nil {
 					genErrs <- err
 					return
@@ -419,9 +520,18 @@ func runLoadgenMixed(cfg profstore.Config, clients, readers int, loads string, i
 	return nil
 }
 
+// kernelScale optionally inflates one kernel's exclusive metric before a
+// profile is encoded (the -inject-regression mechanism). A Factor of 1 or
+// less, or an empty Kernel, leaves the profile untouched.
+type kernelScale struct {
+	Kernel string
+	Metric string
+	Factor float64
+}
+
 // encodeOne profiles one workload cell (same vendor/framework alternation
-// as postOne) and returns its encoded .dcp body.
-func encodeOne(workload string, client, index, iters int) ([]byte, error) {
+// as postOne), applies scale, and returns its encoded .dcp body.
+func encodeOne(workload string, client, index, iters int, scale kernelScale) ([]byte, error) {
 	vendor := "nvidia"
 	if (client+index)%2 == 1 {
 		vendor = "amd"
@@ -440,12 +550,68 @@ func encodeOne(workload string, client, index, iters int) ([]byte, error) {
 	p := s.Stop()
 	p.Meta.Workload = workload
 	p.Meta.Iterations = iters
+	if scale.Factor > 1 && scale.Kernel != "" {
+		scaleKernel(p.Tree, scale.Kernel, scale.Metric, scale.Factor)
+	}
 
 	var buf bytes.Buffer
 	if err := profdb.Save(&buf, p); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// scaleKernel multiplies kernel's exclusive metric by factor at every
+// calling context it appears in, propagating the delta to ancestors. A
+// profile without the kernel (another vendor may name it differently) is
+// left untouched, which simply keeps that series steady.
+func scaleKernel(t *cct.Tree, kernel, metric string, factor float64) {
+	id, ok := t.Schema.Lookup(metric)
+	if !ok {
+		return
+	}
+	t.Visit(func(n *cct.Node) {
+		if n.Kind != cct.KindKernel || n.Label() != kernel {
+			return
+		}
+		if v := n.ExclValue(id); v != 0 {
+			t.AddMetric(n, id, v*(factor-1))
+		}
+	})
+}
+
+// pickTopKernel profiles one run of workload (on the vendor/framework
+// cell client 0 uses) and returns the kernel label with the largest
+// exclusive sum of metric, ties broken lexicographically.
+func pickTopKernel(workload string, iters int, metric string) (string, error) {
+	s, err := deepcontext.NewSession(deepcontext.Config{Vendor: "nvidia", Framework: "pytorch", Shards: 1})
+	if err != nil {
+		return "", err
+	}
+	if err := s.RunWorkload(workload, deepcontext.Knobs{}, iters); err != nil {
+		return "", err
+	}
+	p := s.Stop()
+	id, ok := p.Tree.Schema.Lookup(metric)
+	if !ok {
+		return "", fmt.Errorf("metric %q not in a %s profile", metric, workload)
+	}
+	sums := map[string]float64{}
+	p.Tree.Visit(func(n *cct.Node) {
+		if n.Kind == cct.KindKernel {
+			sums[n.Label()] += n.ExclValue(id)
+		}
+	})
+	best, bestV := "", -1.0
+	for label, v := range sums {
+		if v > bestV || (v == bestV && label < best) {
+			best, bestV = label, v
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no kernels in a %s profile", workload)
+	}
+	return best, nil
 }
 
 // postBody POSTs one pre-encoded profile through /ingest.

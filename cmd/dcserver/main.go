@@ -18,9 +18,17 @@
 //	GET  /diff?before=&after=&metric=&top=     window-vs-window signed diff
 //	GET  /flame?format=html|folded&from=&to=   (or before=/after= for signed)
 //	GET  /analyze?from=&to=                    automated analyzer, JSON
+//	GET  /regressions?dir=up|down|both&since=  confirmed trend change points
 //	GET  /windows                              retained buckets
 //	GET  /stats                                occupancy, limits, persistence
 //	GET  /healthz
+//
+// The store tracks every series' per-frame metric shares across closed
+// windows and flags sustained drifts (-trend-band, -trend-k; -no-trend
+// opts out). /regressions serves the confirmed change points with
+// severity grades and signed-flame drill-down links; -webhook-url POSTs
+// newly confirmed findings to an external receiver — see
+// docs/OPERATIONS.md for the runbook.
 //
 // Examples:
 //
@@ -57,6 +65,7 @@ import (
 	"deepcontext/internal/cct"
 	"deepcontext/internal/profdb"
 	"deepcontext/internal/profstore"
+	"deepcontext/internal/profstore/trend"
 )
 
 const defaultMetric = cct.MetricGPUTime
@@ -76,6 +85,13 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable store directory (empty = in-memory only)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot interval with -data-dir (0 = shutdown snapshot only)")
 
+		noTrend         = flag.Bool("no-trend", false, "disable per-series trend tracking and /regressions")
+		trendMetric     = flag.String("trend-metric", "", "metric the trend detector tracks (default gpu_time_ns)")
+		trendBand       = flag.Float64("trend-band", 0, "share-deviation noise band for change points (0 = default 0.05)")
+		trendK          = flag.Int("trend-k", 0, "consecutive out-of-band windows that confirm a change point (0 = default 3)")
+		webhookURL      = flag.String("webhook-url", "", "POST newly confirmed /regressions findings to this URL")
+		webhookInterval = flag.Duration("webhook-interval", 30*time.Second, "webhook poll interval")
+
 		loadgen  = flag.Bool("loadgen", false, "run the multi-client ingest demo instead of serving")
 		mixed    = flag.Bool("mixed", false, "loadgen: mixed read/write mode — readers hammer queries while writers ingest")
 		clients  = flag.Int("clients", 8, "loadgen: concurrent clients")
@@ -84,6 +100,10 @@ func main() {
 		loads    = flag.String("loads", "UNet,DLRM-small,Resnet", "loadgen: comma-separated workloads")
 		iters    = flag.Int("iters", 10, "loadgen: iterations per profiled run")
 		rounds   = flag.Int("rounds", 2, "loadgen: ingest rounds (each lands in its own window)")
+
+		injectFactor = flag.Float64("inject-regression", 0, "loadgen: multiply one kernel's cost by this factor mid-run, then assert /regressions flags exactly that kernel (0 disables)")
+		injectKernel = flag.String("inject-kernel", "", "loadgen -inject-regression: kernel label to inflate (empty = the run's top kernel)")
+		injectRound  = flag.Int("inject-round", 0, "loadgen -inject-regression: first inflated round (0 = rounds/2)")
 	)
 	flag.Parse()
 
@@ -107,6 +127,12 @@ func main() {
 		Shards:          shards,
 		CacheSize:       *queryCache,
 		Dir:             *dataDir,
+		Trend: trend.Config{
+			Disabled: *noTrend,
+			Metric:   *trendMetric,
+			Band:     *trendBand,
+			K:        *trendK,
+		},
 	}
 	if *loadgen {
 		// The demo must never seed a real data directory: a later
@@ -120,7 +146,8 @@ func main() {
 		if *mixed {
 			err = runLoadgenMixed(cfg, *clients, *readers, *loads, *iters, *rounds, *duration, *maxBody)
 		} else {
-			err = runLoadgen(cfg, *clients, *loads, *iters, *rounds, *maxBody)
+			inject := injectOptions{Factor: *injectFactor, Kernel: *injectKernel, Round: *injectRound}
+			err = runLoadgen(cfg, *clients, *loads, *iters, *rounds, *maxBody, inject)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcserver:", err)
@@ -151,6 +178,11 @@ func main() {
 	}
 	store.StartCompactor(*compactEvery)
 	defer store.Close()
+	if *webhookURL != "" && !*noTrend {
+		n := startNotifier(store, *webhookURL, *webhookInterval)
+		defer n.Close()
+		fmt.Printf("dcserver: webhook notifier posting new regressions to %s every %v\n", *webhookURL, *webhookInterval)
+	}
 
 	// Listen before serving so ":0" (ephemeral port) reports the actual
 	// bound address — scripts scrape it from this line.

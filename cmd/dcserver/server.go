@@ -24,6 +24,7 @@ func newHandler(store *profstore.Store, maxBody int64) http.Handler {
 	mux.HandleFunc("/diff", get(s.handleDiff))
 	mux.HandleFunc("/flame", get(s.handleFlame))
 	mux.HandleFunc("/analyze", get(s.handleAnalyze))
+	mux.HandleFunc("/regressions", get(s.handleRegressions))
 	mux.HandleFunc("/windows", get(s.handleWindows))
 	mux.HandleFunc("/stats", get(s.handleStats))
 	mux.HandleFunc("/healthz", get(s.handleHealthz))

@@ -312,7 +312,7 @@ func TestMethodAndBodyRejections(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /ingest status = %d", resp.StatusCode)
 	}
-	for _, ep := range []string{"/hotspots", "/diff", "/flame", "/analyze", "/windows", "/stats", "/healthz"} {
+	for _, ep := range []string{"/hotspots", "/diff", "/flame", "/analyze", "/regressions", "/windows", "/stats", "/healthz"} {
 		resp, err := http.Post(ts.URL+ep, "text/plain", strings.NewReader("x"))
 		if err != nil {
 			t.Fatal(err)
@@ -444,6 +444,196 @@ func TestRestartWithDataDirIsByteIdentical(t *testing.T) {
 				t.Fatalf("persist stats = %+v", st.Store.Persist)
 			}
 		})
+	}
+}
+
+// shareProfile builds a two-kernel profile whose gemm/relu GPU-time split
+// the trend detector will track as shares.
+func shareProfile(workload string, gemm, relu float64) *profiler.Profile {
+	tree := cct.New()
+	gid := tree.MetricID(cct.MetricGPUTime)
+	py := cct.PythonFrame("train.py", 10, "main")
+	g := tree.InsertPath([]cct.Frame{py, cct.OperatorFrame("aten::conv2d"),
+		{Kind: cct.KindKernel, Name: "gemm", Lib: "[gpu]", PC: 0x100}})
+	tree.AddMetric(g, gid, gemm)
+	r := tree.InsertPath([]cct.Frame{py, cct.OperatorFrame("aten::relu"),
+		{Kind: cct.KindKernel, Name: "relu", Lib: "[gpu]", PC: 0x108}})
+	tree.AddMetric(r, gid, relu)
+	return &profiler.Profile{
+		Tree: tree,
+		Meta: profiler.Meta{Workload: workload, Vendor: "Nvidia", Framework: "pytorch"},
+	}
+}
+
+// ingestShareWindows lands one shareProfile per window: gemm at 70 through
+// window 5, then 180 (share 0.7 → ~0.857) — a sustained shift the default
+// detector (warmup 3, K 3) confirms in window 8. The window index is read
+// off the clock, so consecutive calls continue the same schedule.
+func ingestShareWindows(t *testing.T, ts *httptest.Server, clock *testClock, windows int) {
+	t.Helper()
+	for i := 0; i < windows; i++ {
+		gemm := 70.0
+		if clock.Now().Sub(testBase) >= 6*time.Minute {
+			gemm = 180
+		}
+		postIngest(t, ts, dcpBytes(t, shareProfile("UNet", gemm, 30))).Body.Close()
+		clock.Advance(time.Minute)
+	}
+}
+
+func TestRegressionsEndpoint(t *testing.T) {
+	clock := &testClock{t: testBase}
+	ts, _ := newTestServer(t, clock, profdb.DefaultMaxBytes)
+	ingestShareWindows(t, ts, clock, 10)
+
+	type rr struct {
+		Count int                   `json:"count"`
+		Trend *profstore.TrendStats `json:"trend"`
+		Rows  []struct {
+			Series    string `json:"series"`
+			Frame     string `json:"frame"`
+			Direction int    `json:"direction"`
+			Severity  string `json:"severity"`
+			Message   string `json:"message"`
+			FlameURL  string `json:"flame_url"`
+		} `json:"rows"`
+	}
+	var up rr
+	resp, err := http.Get(ts.URL + "/regressions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &up)
+	if up.Count != 1 || len(up.Rows) != 1 {
+		t.Fatalf("default (up) view = %+v", up)
+	}
+	row := up.Rows[0]
+	if row.Frame != "gemm" || row.Direction != 1 || row.Series != "unet/nvidia/pytorch" {
+		t.Fatalf("row = %+v", row)
+	}
+	// 0.7 → ~0.857 is more than twice the 0.05 band over the baseline.
+	if row.Severity != "critical" || !strings.Contains(row.Message, "rose") {
+		t.Fatalf("grading: %+v", row)
+	}
+	if up.Trend == nil || up.Trend.Series != 1 || up.Trend.Findings != 2 {
+		t.Fatalf("trend stats = %+v", up.Trend)
+	}
+
+	// The drill-down link renders the signed diff flame directly.
+	if row.FlameURL == "" {
+		t.Fatal("no flame_url")
+	}
+	resp, err = http.Get(ts.URL + row.FlameURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(html), "<html") {
+		t.Fatalf("flame_url %q: status=%d body=%.80s", row.FlameURL, resp.StatusCode, html)
+	}
+
+	// Direction and label filters.
+	var down rr
+	resp, err = http.Get(ts.URL + "/regressions?dir=down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &down)
+	if down.Count != 1 || down.Rows[0].Frame != "relu" || down.Rows[0].Severity != "info" {
+		t.Fatalf("down view = %+v", down)
+	}
+	var both rr
+	resp, err = http.Get(ts.URL + "/regressions?dir=both")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &both)
+	if both.Count != 2 {
+		t.Fatalf("both view = %+v", both)
+	}
+	var none rr
+	resp, err = http.Get(ts.URL + "/regressions?workload=DLRM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &none)
+	if none.Count != 0 {
+		t.Fatalf("filtered view = %+v", none)
+	}
+
+	// Malformed parameters are the client's mistake.
+	for _, q := range []string{"?dir=sideways", "?limit=-1", "?limit=x", "?since=nope"} {
+		resp, err := http.Get(ts.URL + "/regressions" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /regressions%s status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestWebhookNotifierPostsNewFindings(t *testing.T) {
+	clock := &testClock{t: testBase}
+	ts, store := newTestServer(t, clock, profdb.DefaultMaxBytes)
+
+	var mu sync.Mutex
+	var posts [][]byte
+	recv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		posts = append(posts, body)
+		mu.Unlock()
+	}))
+	defer recv.Close()
+
+	// Drive poll() directly: the timing loop is trivial, the dedup and
+	// payload logic is what needs holding still.
+	n := &notifier{store: store, url: recv.URL, client: recv.Client(), seen: map[string]bool{}}
+
+	// Priming poll on a quiet store: nothing posted, ever after restart.
+	ingestShareWindows(t, ts, clock, 5)
+	if posted, err := n.poll(); err != nil || posted != 0 {
+		t.Fatalf("priming poll: posted=%d err=%v", posted, err)
+	}
+
+	// The shift confirms (windows 6..8): one POST with both findings.
+	ingestShareWindows(t, ts, clock, 5)
+	posted, err := n.poll()
+	if err != nil || posted != 2 {
+		t.Fatalf("confirming poll: posted=%d err=%v", posted, err)
+	}
+	mu.Lock()
+	got := len(posts)
+	var payload webhookPayload
+	if got == 1 {
+		if err := json.Unmarshal(posts[0], &payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Unlock()
+	if got != 1 || payload.Source != "dcserver" || payload.Count != 2 {
+		t.Fatalf("webhook delivery: posts=%d payload=%+v", got, payload)
+	}
+	frames := map[string]int{}
+	for _, f := range payload.Findings {
+		frames[f.Frame] = f.Direction
+	}
+	if frames["gemm"] != 1 || frames["relu"] != -1 {
+		t.Fatalf("payload findings = %+v", payload.Findings)
+	}
+
+	// Already-notified findings stay quiet on the next poll.
+	if posted, err := n.poll(); err != nil || posted != 0 {
+		t.Fatalf("repeat poll: posted=%d err=%v", posted, err)
+	}
+	mu.Lock()
+	got = len(posts)
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("dedup failed: %d posts", got)
 	}
 }
 

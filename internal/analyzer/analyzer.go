@@ -170,13 +170,19 @@ func Run(p *profiler.Profile, th Thresholds, analyses ...Analysis) *Report {
 	for _, a := range analyses {
 		rep.Issues = append(rep.Issues, a.Run(ctx)...)
 	}
-	sort.SliceStable(rep.Issues, func(i, j int) bool {
-		if rep.Issues[i].Severity != rep.Issues[j].Severity {
-			return rep.Issues[i].Severity > rep.Issues[j].Severity
-		}
-		return rep.Issues[i].Value > rep.Issues[j].Value
-	})
+	sortIssues(rep.Issues)
 	return rep
+}
+
+// sortIssues orders issues by severity, then by the analysis's key
+// quantity — the report order every producer (Run, TrendReport) shares.
+func sortIssues(issues []Issue) {
+	sort.SliceStable(issues, func(i, j int) bool {
+		if issues[i].Severity != issues[j].Severity {
+			return issues[i].Severity > issues[j].Severity
+		}
+		return issues[i].Value > issues[j].Value
+	})
 }
 
 // BuiltinAnalyses returns the paper's five example analyses.

@@ -1,0 +1,66 @@
+package analyzer
+
+// Trend-backed rules: unlike the tree-based analyses, these grade the
+// profstore trend detector's change-point findings (a frame's metric share
+// drifting out of its noise band for K consecutive windows) into the same
+// Issue/Report shape the /analyze surface serves, so dcserver's
+// /regressions endpoint colour-codes findings with one vocabulary.
+
+import (
+	"fmt"
+
+	"deepcontext/internal/profstore/trend"
+)
+
+// Analysis names for trend-backed issues.
+const (
+	TrendRegressionAnalysis  = "trend-regression"
+	TrendImprovementAnalysis = "trend-improvement"
+)
+
+// GradeTrend maps one change-point finding to a graded issue. Share
+// increases are regressions: Critical when the drift dwarfs the noise band
+// (≥ 2× the band) or the frame at least doubled its share into dominant
+// territory (≥ 20% of the series' metric); Warning otherwise. Share
+// decreases are improvements and grade Info. Value carries the absolute
+// share delta, matching the analyzer's severity-then-value sort.
+func GradeTrend(f trend.Finding) Issue {
+	delta := f.Share - f.BaselineShare
+	is := Issue{
+		Analysis: TrendImprovementAnalysis,
+		Severity: Info,
+		Value:    delta,
+	}
+	if delta < 0 {
+		is.Value = -delta
+	}
+	verb := "fell"
+	if f.Direction > 0 {
+		verb = "rose"
+		is.Analysis = TrendRegressionAnalysis
+		is.Severity = Warning
+		if delta >= 2*f.Band || (f.BaselineShare > 0 && f.Share >= 2*f.BaselineShare && f.Share >= 0.2) {
+			is.Severity = Critical
+		}
+	}
+	is.Message = fmt.Sprintf("%s: %q's %s share %s from %.1f%% to %.1f%% (baseline %.1f%% ± %.1f, band %.1f%%) over %d consecutive windows",
+		f.Series, f.Frame, f.Metric, verb,
+		f.BeforeShare*100, f.Share*100, f.BaselineShare*100, f.BaselineSigma*100, f.Band*100, f.Windows)
+	if f.Direction > 0 {
+		is.Suggestion = fmt.Sprintf("diff the flagged windows (before=%d, after=%d) to see which calling contexts grew, and correlate with deploys to %s on %s",
+			f.BeforeUnixNano, f.AfterUnixNano, f.Workload, f.Vendor)
+	}
+	return is
+}
+
+// TrendReport grades a finding list into a Report, sorted by the
+// analyzer's severity-then-value order (ties keep the input order, which
+// profstore already makes canonical).
+func TrendReport(findings []trend.Finding) *Report {
+	rep := &Report{}
+	for _, f := range findings {
+		rep.Issues = append(rep.Issues, GradeTrend(f))
+	}
+	sortIssues(rep.Issues)
+	return rep
+}

@@ -1,0 +1,67 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"deepcontext/internal/profstore/trend"
+)
+
+func trendFinding(dir int, baseline, share float64) trend.Finding {
+	return trend.Finding{
+		Series: "unet/nvidia/pytorch", Workload: "UNet", Vendor: "Nvidia", Framework: "pytorch",
+		Frame: "gemm", Metric: "gpu_time_ns", Direction: dir,
+		BeforeUnixNano: 100, AfterUnixNano: 400,
+		BeforeShare: baseline, Share: share, BaselineShare: baseline,
+		Band: 0.05, Windows: 3,
+	}
+}
+
+func TestGradeTrendSeverities(t *testing.T) {
+	cases := []struct {
+		name     string
+		f        trend.Finding
+		analysis string
+		severity Severity
+	}{
+		// 0.30 → 0.38: out of band but modest — a warning.
+		{"modest-regression", trendFinding(1, 0.30, 0.38), TrendRegressionAnalysis, Warning},
+		// 0.30 → 0.55: drift is 5× the band — critical.
+		{"large-regression", trendFinding(1, 0.30, 0.55), TrendRegressionAnalysis, Critical},
+		// 0.12 → 0.25: more than doubled into dominant share — critical.
+		{"doubled-regression", trendFinding(1, 0.12, 0.25), TrendRegressionAnalysis, Critical},
+		// Any improvement is informational.
+		{"improvement", trendFinding(-1, 0.40, 0.20), TrendImprovementAnalysis, Info},
+	}
+	for _, tc := range cases {
+		is := GradeTrend(tc.f)
+		if is.Analysis != tc.analysis || is.Severity != tc.severity {
+			t.Errorf("%s: got (%s, %s), want (%s, %s)", tc.name, is.Analysis, is.Severity, tc.analysis, tc.severity)
+		}
+		if !strings.Contains(is.Message, "gemm") || !strings.Contains(is.Message, tc.f.Series) {
+			t.Errorf("%s: message lacks frame/series context: %q", tc.name, is.Message)
+		}
+		if tc.f.Direction > 0 && !strings.Contains(is.Suggestion, "before=100") {
+			t.Errorf("%s: regression suggestion should point at the window pair: %q", tc.name, is.Suggestion)
+		}
+	}
+}
+
+func TestTrendReportOrdering(t *testing.T) {
+	rep := TrendReport([]trend.Finding{
+		trendFinding(-1, 0.40, 0.20),
+		trendFinding(1, 0.30, 0.38),
+		trendFinding(1, 0.30, 0.55),
+	})
+	if len(rep.Issues) != 3 {
+		t.Fatalf("issues = %d", len(rep.Issues))
+	}
+	if rep.Issues[0].Severity != Critical || rep.Issues[1].Severity != Warning || rep.Issues[2].Severity != Info {
+		t.Fatalf("report not severity-sorted: %+v", rep.Issues)
+	}
+	// The wire form flattens cleanly (no Node on trend issues).
+	js := rep.JSON()
+	if js.Findings != 3 || js.Issues[0].Severity != "critical" {
+		t.Fatalf("JSON form: %+v", js)
+	}
+}

@@ -42,8 +42,9 @@ type WindowState struct {
 }
 
 // State is everything a snapshot persists: the retained windows, the
-// store's monotonic counters, and the per-segment WAL watermarks the
-// snapshot already covers.
+// store's monotonic counters, the per-segment WAL watermarks the snapshot
+// already covers, and the shard's trend-tracker state (an opaque blob the
+// trend package encodes/decodes; nil when tracking is disabled or empty).
 type State struct {
 	CreatedUnixNano    int64
 	Ingested           int64
@@ -51,6 +52,7 @@ type State struct {
 	LastIngestUnixNano int64
 	Windows            []WindowState
 	WALOffsets         map[int64]int64
+	Trend              []byte
 }
 
 // manifest is the JSON index of one snapshot directory.
@@ -62,6 +64,11 @@ type manifest struct {
 	LastIngestUnixNano int64             `json:"last_ingest_unix_nano,omitempty"`
 	Windows            []manifestWindow  `json:"windows"`
 	WAL                []manifestSegment `json:"wal,omitempty"`
+	// TrendFile/TrendSHA256 name and checksum the trend-state blob.
+	// Optional and additive: snapshots written before trend tracking
+	// simply lack them.
+	TrendFile   string `json:"trend_file,omitempty"`
+	TrendSHA256 string `json:"trend_sha256,omitempty"`
 }
 
 type manifestWindow struct {
@@ -141,6 +148,12 @@ func CaptureState(st *State) (*Capture, error) {
 			File: name, SHA256: hex.EncodeToString(sum[:]),
 			Start: w.Start, DurNS: w.DurNS, Coarse: w.Coarse, Series: counts,
 		})
+	}
+	if len(st.Trend) > 0 {
+		sum := sha256.Sum256(st.Trend)
+		c.files = append(c.files, capturedFile{name: "trend.json", data: st.Trend})
+		c.man.TrendFile = "trend.json"
+		c.man.TrendSHA256 = hex.EncodeToString(sum[:])
 	}
 	segs := make([]manifestSegment, 0, len(st.WALOffsets))
 	for start, off := range st.WALOffsets {
@@ -285,6 +298,20 @@ func ReadSnapshot(dataDir string) (*State, error) {
 	}
 	for _, seg := range man.WAL {
 		st.WALOffsets[seg.Start] = seg.Offset
+	}
+	if man.TrendFile != "" {
+		if strings.ContainsAny(man.TrendFile, "/\\") {
+			return nil, fmt.Errorf("persist: snapshot %s: invalid trend file name %q", name, man.TrendFile)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, man.TrendFile))
+		if err != nil {
+			return nil, fmt.Errorf("persist: snapshot %s: %w", name, err)
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != man.TrendSHA256 {
+			return nil, fmt.Errorf("persist: snapshot %s: checksum mismatch on %s", name, man.TrendFile)
+		}
+		st.Trend = data
 	}
 	for _, mw := range man.Windows {
 		if strings.ContainsAny(mw.File, "/\\") {

@@ -3,6 +3,8 @@ package profstore
 import (
 	"testing"
 	"time"
+
+	"deepcontext/internal/profstore/trend"
 )
 
 // The ingest-path durability tax: the same Store.Ingest call with and
@@ -26,6 +28,30 @@ func benchmarkIngest(b *testing.B, dir string) {
 func BenchmarkIngestStoreMemory(b *testing.B) { benchmarkIngest(b, "") }
 
 func BenchmarkIngestStoreWAL(b *testing.B) { benchmarkIngest(b, b.TempDir()) }
+
+// The regression-detection tax on the ingest path. Observation happens
+// when an ingest rolls to a new window (the previous one just closed), so
+// each iteration advances the clock one window and compacts — the
+// steady-state production rhythm — with the detector on vs off.
+func benchmarkIngestRolling(b *testing.B, disabled bool) {
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Now: clock.Now, Trend: trend.Config{Disabled: disabled}})
+	defer s.Close()
+	p := synthProfile("UNet", "Nvidia", "pytorch", 0x1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(p); err != nil {
+			b.Fatal(err)
+		}
+		clock.Advance(time.Minute)
+		s.CompactNow()
+	}
+}
+
+func BenchmarkIngestWindowRollTrendOn(b *testing.B) { benchmarkIngestRolling(b, false) }
+
+func BenchmarkIngestWindowRollTrendOff(b *testing.B) { benchmarkIngestRolling(b, true) }
 
 // Snapshot cost at a representative occupancy (60 windows × 1 series).
 func BenchmarkSnapshot(b *testing.B) {

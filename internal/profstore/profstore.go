@@ -39,6 +39,16 @@
 // must be treated as read-only; with the cache disabled (the default)
 // every query returns a fresh tree the caller owns.
 //
+// # Regression detection
+//
+// Unless Config.Trend.Disabled, each shard feeds every fine window that
+// closes (detected at ingest window transitions, compaction passes, and
+// explicit TrendSweep calls) to a trend tracker that maintains per-(series,
+// frame) EWMA share baselines and flags sustained drifts — see
+// internal/profstore/trend. Regressions returns the retained findings in a
+// canonical order independent of shard count and restarts; tracker state
+// rides in snapshots so detection history survives recovery.
+//
 // # Durability
 //
 // With Config.Dir set the store is durable: every ingested profile is
@@ -86,6 +96,7 @@ import (
 	"deepcontext/internal/cct"
 	"deepcontext/internal/profiler"
 	"deepcontext/internal/profstore/persist"
+	"deepcontext/internal/profstore/trend"
 )
 
 // Typed query failures, for errors.Is dispatch at API boundaries (a server
@@ -155,6 +166,9 @@ type Config struct {
 	// and snapshots; see internal/profstore/persist). Empty keeps the
 	// store memory-only.
 	Dir string
+	// Trend tunes the regression detector (see internal/profstore/trend).
+	// Tracking is on by default; set Trend.Disabled to opt out.
+	Trend trend.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +193,7 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	c.Trend = c.Trend.WithDefaults()
 	return c
 }
 
@@ -963,6 +978,8 @@ type Stats struct {
 	Cache *CacheStats `json:"cache,omitempty"`
 	// Persist is present only when Config.Dir is set.
 	Persist *PersistStats `json:"persist,omitempty"`
+	// Trend is present unless Config.Trend.Disabled.
+	Trend *TrendStats `json:"trend,omitempty"`
 }
 
 // PersistStats counts durability work since boot, summed across shards.
@@ -1009,6 +1026,17 @@ func (s *Store) Stats() Stats {
 		walAppends += sh.walAppends
 		walBytes += sh.walBytes
 		pruned += sh.prunedSegments
+		if sh.tracker != nil {
+			ts := sh.tracker.Stats()
+			if st.Trend == nil {
+				st.Trend = &TrendStats{}
+			}
+			st.Trend.Series += ts.Series
+			st.Trend.Frames += ts.Frames
+			st.Trend.Findings += ts.Findings
+			st.Trend.Suppressed += ts.Suppressed
+			st.Trend.Late += ts.Late
+		}
 	}
 	st.FineWindows = len(fineStarts)
 	st.CoarseWindows = len(coarseStarts)

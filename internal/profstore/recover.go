@@ -11,6 +11,7 @@ import (
 	"deepcontext/internal/cct"
 	"deepcontext/internal/profiler"
 	"deepcontext/internal/profstore/persist"
+	"deepcontext/internal/profstore/trend"
 )
 
 // RecoveryStats reports what Recover rebuilt and what it had to skip,
@@ -317,6 +318,27 @@ func (s *Store) recoverSource(src string, rs *RecoveryStats) error {
 				sh.mu.Unlock()
 			}
 			rs.WindowsRestored++
+		}
+		// Adopt the snapshot's trend-tracker state, each series routed to
+		// its current shard (so trend state survives shard-count
+		// migrations too). Windows observed after this snapshot are
+		// re-observed by the catch-up pass Recover's CompactNow runs —
+		// replayed windows recover byte-equal and are fed in the same
+		// per-series order, so the tracker converges with the pre-crash
+		// store. A corrupt blob degrades to rebuilding from retained
+		// windows only, reported but never fatal.
+		if len(snap.Trend) > 0 && !s.cfg.Trend.Disabled {
+			states, terr := trend.DecodeState(snap.Trend)
+			if terr != nil {
+				rs.Warnings = append(rs.Warnings, fmt.Sprintf("trend state discarded: %v", terr))
+			} else {
+				for _, key := range sortedKeys(states) {
+					sh := s.shardFor(key)
+					sh.mu.Lock()
+					sh.tracker.Adopt(key, states[key])
+					sh.mu.Unlock()
+				}
+			}
 		}
 		offsets = snap.WALOffsets
 	}

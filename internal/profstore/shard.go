@@ -11,6 +11,7 @@ import (
 	"deepcontext/internal/cct"
 	"deepcontext/internal/profiler"
 	"deepcontext/internal/profstore/persist"
+	"deepcontext/internal/profstore/trend"
 )
 
 // series is one label set's rolling aggregate within a window.
@@ -73,6 +74,23 @@ type shard struct {
 	ingested   int64
 	lastIngest time.Time
 
+	// tracker holds the shard's regression-detection state (series are
+	// disjoint across shards, so trackers never overlap); nil when trend
+	// tracking is disabled. Guarded by mu like the window maps: observation
+	// happens under the write lock at ingest/compaction, reads (findings,
+	// stats, snapshot capture) under at least the read lock.
+	tracker *trend.Tracker
+	// trendCursor marks the observation frontier: every fine window with
+	// start below it has been fed to the tracker. Closed fine windows are
+	// immutable (ingest only lands in the current window), so the cursor
+	// only moves forward; an ingest below it is late data the tracker
+	// counts but does not re-fold.
+	trendCursor int64
+	// trendWinNS is the newest window start ingest has seen — the cheap
+	// per-ingest guard that triggers an observation pass only on window
+	// transitions.
+	trendWinNS int64
+
 	wal            *persist.WAL
 	walAppends     int64
 	walBytes       int64
@@ -89,6 +107,9 @@ func newShard(id int, cfg Config) *shard {
 	}
 	if cfg.Dir != "" {
 		sh.dir = shardDir(cfg.Dir, id)
+	}
+	if !cfg.Trend.Disabled {
+		sh.tracker = trend.New(cfg.Trend)
 	}
 	return sh
 }
@@ -110,10 +131,50 @@ func (sh *shard) ingest(labels Labels, normalized *cct.Tree, payload []byte) (ti
 			return time.Time{}, err
 		}
 	}
+	if sh.tracker != nil {
+		if ns := start.UnixNano(); ns != sh.trendWinNS {
+			if ns < sh.trendCursor {
+				sh.tracker.NoteLate()
+			} else {
+				// A new window opened: everything before it has closed.
+				sh.observeClosedLocked(now)
+				sh.trendWinNS = ns
+			}
+		}
+	}
 	sh.mergeIntoWindowLocked(start, labels, normalized)
 	sh.ingested++
 	sh.lastIngest = now
 	return start, nil
+}
+
+// observeClosedLocked feeds every fine window that closed by asOf — and
+// has not been observed yet — to the trend tracker, oldest first, each
+// series in sorted key order. A window is closed once asOf passes its end;
+// from then on its trees are immutable, so one observation is final.
+// Callers hold sh.mu exclusively.
+func (sh *shard) observeClosedLocked(asOf time.Time) {
+	if sh.tracker == nil {
+		return
+	}
+	asNS := asOf.UnixNano()
+	metric := sh.cfg.Trend.Metric
+	for _, k := range sortedKeys(sh.fine) {
+		if k < sh.trendCursor {
+			continue
+		}
+		w := sh.fine[k]
+		if k+int64(w.dur) > asNS {
+			break // sorted ascending: every later window is open too
+		}
+		for _, key := range sortedKeys(w.series) {
+			ser := w.series[key]
+			if shares, ok := metricShares(ser.tree, metric); ok {
+				sh.tracker.Observe(key, ser.labels.Workload, ser.labels.Vendor, ser.labels.Framework, k, shares)
+			}
+		}
+		sh.trendCursor = k + 1
+	}
 }
 
 // mergeIntoWindowLocked folds an already-normalized tree into the fine
@@ -174,6 +235,9 @@ func (sh *shard) openWALLocked() error {
 func (sh *shard) compact(now time.Time) (folded, dropped int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// Feed closed windows to the trend tracker before any of them fold
+	// away: folding is lossy in time resolution, observation is not.
+	sh.observeClosedLocked(now)
 	fineHorizon := now.Add(-time.Duration(sh.cfg.Retention) * sh.cfg.Window).Truncate(sh.cfg.Window)
 	for _, key := range sortedKeys(sh.fine) {
 		w := sh.fine[key]
@@ -287,6 +351,13 @@ func (sh *shard) captureLocked(now time.Time, compactions int64, offsets map[int
 	}
 	if !sh.lastIngest.IsZero() {
 		state.LastIngestUnixNano = sh.lastIngest.UnixNano()
+	}
+	if sh.tracker != nil {
+		blob, err := sh.tracker.EncodeState()
+		if err != nil {
+			return nil, fmt.Errorf("profstore: shard %d encode trend state: %w", sh.id, err)
+		}
+		state.Trend = blob
 	}
 	appendWindow := func(w *window, coarse bool) {
 		ws := persist.WindowState{Start: w.start.UnixNano(), DurNS: int64(w.dur), Coarse: coarse}

@@ -1,0 +1,234 @@
+package trend
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{Band: 0.05, Z: 3, Alpha: 0.3, K: 3, Warmup: 3, MinShare: 0.01}
+}
+
+const win = int64(60e9) // one-minute windows in unix nanos
+
+// observeSteady feeds n windows of a fixed share split starting at startNS
+// and returns the next window start.
+func observeSteady(t *Tracker, series string, startNS int64, n int, shares map[string]float64) int64 {
+	for i := 0; i < n; i++ {
+		t.Observe(series, "w", "v", "f", startNS, shares)
+		startNS += win
+	}
+	return startNS
+}
+
+func TestNoFindingsOnSteadyShares(t *testing.T) {
+	tr := New(testConfig())
+	observeSteady(tr, "w/v/f", win, 20, map[string]float64{"gemm": 0.7, "relu": 0.3})
+	if got := tr.AppendFindings(nil); len(got) != 0 {
+		t.Fatalf("steady shares produced findings: %+v", got)
+	}
+	st := tr.Stats()
+	if st.Series != 1 || st.Frames != 2 || st.Findings != 0 || st.Suppressed != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestSustainedShiftConfirmsAfterKWindows(t *testing.T) {
+	tr := New(testConfig())
+	next := observeSteady(tr, "w/v/f", win, 6, map[string]float64{"gemm": 0.7, "relu": 0.3})
+	shifted := map[string]float64{"gemm": 0.85, "relu": 0.15}
+	// K-1 drift windows: no finding yet.
+	next = observeSteady(tr, "w/v/f", next, 2, shifted)
+	if got := tr.AppendFindings(nil); len(got) != 0 {
+		t.Fatalf("finding before K windows: %+v", got)
+	}
+	confirmNS := next
+	observeSteady(tr, "w/v/f", next, 1, shifted)
+	got := tr.AppendFindings(nil)
+	if len(got) != 2 {
+		t.Fatalf("want gemm up + relu down, got %+v", got)
+	}
+	byFrame := map[string]Finding{}
+	for _, f := range got {
+		byFrame[f.Frame] = f
+	}
+	g, ok := byFrame["gemm"]
+	if !ok || g.Direction != 1 {
+		t.Fatalf("missing gemm regression: %+v", got)
+	}
+	if g.AfterUnixNano != confirmNS {
+		t.Fatalf("after window = %d, want %d", g.AfterUnixNano, confirmNS)
+	}
+	if g.BeforeUnixNano != confirmNS-3*win {
+		t.Fatalf("before window = %d, want last in-band window %d", g.BeforeUnixNano, confirmNS-3*win)
+	}
+	if g.BeforeShare != 0.7 || g.Share != 0.85 {
+		t.Fatalf("shares: before=%v after=%v", g.BeforeShare, g.Share)
+	}
+	if g.Windows != 3 || g.Metric != "gpu_time_ns" || g.Workload != "w" {
+		t.Fatalf("finding metadata: %+v", g)
+	}
+	if r := byFrame["relu"]; r.Direction != -1 {
+		t.Fatalf("relu should improve: %+v", r)
+	}
+	// The baseline re-armed at the new level: the shift reports once.
+	observeSteady(tr, "w/v/f", confirmNS+win, 10, shifted)
+	if again := tr.AppendFindings(nil); len(again) != 2 {
+		t.Fatalf("sustained shift reported more than once: %+v", again)
+	}
+}
+
+func TestTransientBlipIsSuppressed(t *testing.T) {
+	tr := New(testConfig())
+	steady := map[string]float64{"gemm": 0.7, "relu": 0.3}
+	next := observeSteady(tr, "w/v/f", win, 6, steady)
+	next = observeSteady(tr, "w/v/f", next, 2, map[string]float64{"gemm": 0.9, "relu": 0.1})
+	observeSteady(tr, "w/v/f", next, 8, steady)
+	if got := tr.AppendFindings(nil); len(got) != 0 {
+		t.Fatalf("blip shorter than K produced findings: %+v", got)
+	}
+	if st := tr.Stats(); st.Suppressed != 2 { // one discharged run per frame
+		t.Fatalf("suppressed = %d, want 2", st.Suppressed)
+	}
+}
+
+func TestDirectionFlipRestartsRun(t *testing.T) {
+	tr := New(testConfig())
+	next := observeSteady(tr, "w/v/f", win, 6, map[string]float64{"gemm": 0.5, "relu": 0.5})
+	// Two up, then flip down before K: no finding from the up run.
+	next = observeSteady(tr, "w/v/f", next, 2, map[string]float64{"gemm": 0.7, "relu": 0.3})
+	next = observeSteady(tr, "w/v/f", next, 2, map[string]float64{"gemm": 0.3, "relu": 0.7})
+	_ = next
+	for _, f := range tr.AppendFindings(nil) {
+		if f.Windows >= 3 {
+			t.Fatalf("flip should not confirm: %+v", f)
+		}
+	}
+}
+
+func TestNoiseFloorFramesIgnored(t *testing.T) {
+	tr := New(testConfig())
+	// tiny never crosses MinShare: it must not be tracked at all.
+	next := observeSteady(tr, "w/v/f", win, 6, map[string]float64{"gemm": 0.995, "tiny": 0.005})
+	observeSteady(tr, "w/v/f", next, 6, map[string]float64{"gemm": 0.992, "tiny": 0.008})
+	if st := tr.Stats(); st.Frames != 1 {
+		t.Fatalf("noise-floor frame tracked: %+v", st)
+	}
+}
+
+func TestVanishedFrameFlagsImprovement(t *testing.T) {
+	tr := New(testConfig())
+	next := observeSteady(tr, "w/v/f", win, 6, map[string]float64{"gemm": 0.6, "relu": 0.4})
+	observeSteady(tr, "w/v/f", next, 4, map[string]float64{"gemm": 1.0})
+	var reluDown bool
+	for _, f := range tr.AppendFindings(nil) {
+		if f.Frame == "relu" && f.Direction == -1 && f.Share == 0 {
+			reluDown = true
+		}
+	}
+	if !reluDown {
+		t.Fatalf("vanished frame not flagged: %+v", tr.AppendFindings(nil))
+	}
+}
+
+func TestObserveIgnoresStaleWindows(t *testing.T) {
+	tr := New(testConfig())
+	shares := map[string]float64{"gemm": 1.0}
+	tr.Observe("w/v/f", "w", "v", "f", 5*win, shares)
+	if wm := tr.Watermark("w/v/f"); wm != 5*win {
+		t.Fatalf("watermark = %d", wm)
+	}
+	before, _ := tr.EncodeState()
+	tr.Observe("w/v/f", "w", "v", "f", 5*win, shares) // same window again
+	tr.Observe("w/v/f", "w", "v", "f", 3*win, shares) // older window
+	after, _ := tr.EncodeState()
+	if !bytes.Equal(before, after) {
+		t.Fatalf("stale observations mutated state:\n%s\n%s", before, after)
+	}
+}
+
+func TestStateRoundTripPreservesBehavior(t *testing.T) {
+	mk := func() *Tracker { return New(testConfig()) }
+	steady := map[string]float64{"gemm": 0.7, "relu": 0.3}
+	shifted := map[string]float64{"gemm": 0.85, "relu": 0.15}
+
+	// Continuous run.
+	live := mk()
+	next := observeSteady(live, "w/v/f", win, 6, steady)
+	observeSteady(live, "w/v/f", next, 4, shifted)
+
+	// Same sequence with an encode/decode/adopt cycle in the middle.
+	a := mk()
+	mid := observeSteady(a, "w/v/f", win, 6, steady)
+	blob, err := a.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := DecodeState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mk()
+	for key, st := range states {
+		b.Adopt(key, st)
+	}
+	observeSteady(b, "w/v/f", mid, 4, shifted)
+
+	liveBytes, _ := live.EncodeState()
+	restBytes, _ := b.EncodeState()
+	if !bytes.Equal(liveBytes, restBytes) {
+		t.Fatalf("state diverged across round trip:\nlive: %s\nrest: %s", liveBytes, restBytes)
+	}
+	lf, _ := json.Marshal(live.AppendFindings(nil))
+	rf, _ := json.Marshal(b.AppendFindings(nil))
+	if !bytes.Equal(lf, rf) {
+		t.Fatalf("findings diverged:\nlive: %s\nrest: %s", lf, rf)
+	}
+}
+
+func TestAdoptKeepsHigherWatermark(t *testing.T) {
+	tr := New(testConfig())
+	observeSteady(tr, "w/v/f", win, 5, map[string]float64{"gemm": 1.0})
+	stale := &SeriesState{WatermarkUnixNano: 2 * win, Frames: map[string]*FrameState{}}
+	tr.Adopt("w/v/f", stale)
+	if tr.Watermark("w/v/f") != 5*win {
+		t.Fatal("stale adopt overwrote newer state")
+	}
+}
+
+func TestFindingsCapDropsOldest(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxFindingsPerSeries = 2
+	tr := New(cfg)
+	next := observeSteady(tr, "w/v/f", win, 6, map[string]float64{"a": 0.5, "b": 0.5})
+	// Three alternating level shifts; each confirmed shift emits two
+	// findings (one per frame), so the per-series log must stay at 2.
+	levels := []map[string]float64{
+		{"a": 0.8, "b": 0.2},
+		{"a": 0.4, "b": 0.6},
+		{"a": 0.9, "b": 0.1},
+	}
+	for _, lv := range levels {
+		next = observeSteady(tr, "w/v/f", next, 4, lv)
+	}
+	got := tr.AppendFindings(nil)
+	if len(got) != 2 {
+		t.Fatalf("cap not enforced: %d findings", len(got))
+	}
+	if st := tr.Stats(); st.Findings < 4 {
+		t.Fatalf("emitted counter should keep counting past the cap: %+v", st)
+	}
+}
+
+func TestDecodeStateRejectsGarbage(t *testing.T) {
+	if _, err := DecodeState([]byte("{nope")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := DecodeState([]byte(`{"k": null}`)); err == nil {
+		t.Fatal("nil series accepted")
+	}
+	if _, err := DecodeState([]byte(`{"k": {"frames": {"f": null}}}`)); err == nil {
+		t.Fatal("nil frame accepted")
+	}
+}
