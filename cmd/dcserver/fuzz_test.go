@@ -47,6 +47,69 @@ func FuzzRegressionQueryParams(f *testing.F) {
 	})
 }
 
+// FuzzTopKQueryParams holds the /topk query parser to the same contract:
+// arbitrary raw query strings either parse into a well-formed store query
+// or are rejected — never a panic, never a negative k (which would
+// silently mean "unbounded" to the store), and the default k survives
+// every unrelated parameter.
+func FuzzTopKQueryParams(f *testing.F) {
+	f.Add("k=10&metric=gpu_time_ns")
+	f.Add("workload=UNet&vendor=Nvidia&framework=pytorch&k=0")
+	f.Add("from=2026-01-01T00:00:00Z&to=1767225960000000000")
+	f.Add("k=-1")
+	f.Add("k=9999999999999999999999")
+	f.Add("from=not-a-time")
+	f.Add("%gh&&=%zz")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		tq, err := parseTopKQuery(q)
+		if err != nil {
+			return
+		}
+		if tq.k < 0 {
+			t.Fatalf("negative k accepted for %q: %+v", raw, tq)
+		}
+		if q.Get("k") == "" && tq.k != 20 {
+			t.Fatalf("default k = %d for %q, want 20", tq.k, raw)
+		}
+	})
+}
+
+// FuzzSearchQueryParams holds the /search query parser to its contract:
+// never a panic, never an accepted empty frame (the store would scan for
+// a label no tree can carry), never a negative limit.
+func FuzzSearchQueryParams(f *testing.F) {
+	f.Add("frame=gemm&limit=10")
+	f.Add("frame=a%26b%3Dc&metric=cpu_time_ns")
+	f.Add("limit=5")
+	f.Add("frame=gemm&limit=-2")
+	f.Add("frame=gemm&limit=9999999999999999999999")
+	f.Add("frame=gemm&from=junk")
+	f.Add("%gh&&=%zz")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		sq, err := parseSearchQuery(q)
+		if err != nil {
+			return
+		}
+		if sq.frame == "" {
+			t.Fatalf("empty frame accepted for %q: %+v", raw, sq)
+		}
+		if sq.limit < 0 {
+			t.Fatalf("negative limit accepted for %q: %+v", raw, sq)
+		}
+		if q.Get("limit") == "" && sq.limit != 50 {
+			t.Fatalf("default limit = %d for %q, want 50", sq.limit, raw)
+		}
+	})
+}
+
 // FuzzWebhookPayloadEncoder round-trips arbitrary finding field values
 // through the webhook body encoder: the payload must marshal, decode back
 // to the same finding, and carry a flame URL whose query parameters

@@ -1,0 +1,230 @@
+package main
+
+// loadgen -fleet: the fleet-wide query benchmark — many series (a few
+// profiled trees re-labeled into `series` distinct label sets), few hot
+// kernels, readers hammering /topk and /search while the store holds two
+// closed windows per series. Run it with and without -no-index to measure
+// the indexed fast path (CI's fleet smoke gates the qps ratio).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepcontext"
+	"deepcontext/internal/profdb"
+	"deepcontext/internal/profstore"
+)
+
+// runLoadgenFleet seeds a fleet-shaped store (seriesN series over the
+// workload matrix, two closed windows each) in-process, then drives
+// `readers` query clients alternating fleet-wide /topk with /search for
+// the fleet's hottest kernel over `duration`, and emits a RESULT qps
+// line. The query cache is forced off so the figure measures the
+// close-time aggregates and the inverted index, not result memoization.
+func runLoadgenFleet(cfg profstore.Config, seriesN, readers int, loads string, iters int, duration time.Duration, maxBody int64) error {
+	var workloads []string
+	known := make(map[string]bool)
+	for _, w := range deepcontext.WorkloadNames() {
+		known[w] = true
+	}
+	for _, w := range strings.Split(loads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if !known[w] {
+			return fmt.Errorf("loadgen: unknown workload %q (known: %s)",
+				w, strings.Join(deepcontext.WorkloadNames(), ", "))
+		}
+		workloads = append(workloads, w)
+	}
+	if len(workloads) == 0 {
+		return fmt.Errorf("loadgen: no workloads")
+	}
+	if seriesN <= 0 {
+		seriesN = 200
+	}
+	if readers <= 0 {
+		readers = 4
+	}
+	if duration <= 0 {
+		duration = 5 * time.Second
+	}
+	if cfg.CacheSize != 0 {
+		fmt.Fprintln(os.Stderr, "dcserver: -fleet forces -query-cache 0 (the benchmark measures the index, not the cache)")
+		cfg.CacheSize = 0
+	}
+
+	base := time.Now()
+	var offset atomic.Int64
+	cfg.Now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	store := profstore.New(cfg)
+	defer store.Close()
+
+	// One profiled tree per workload, re-labeled into seriesN distinct
+	// series — the fleet shape: many series sharing few hot kernels.
+	hotKernel, err := pickTopKernel(workloads[0], iters, defaultMetric)
+	if err != nil {
+		return fmt.Errorf("loadgen: pick kernel: %w", err)
+	}
+	profiles := make(map[string]*deepcontext.Profile, len(workloads))
+	for _, w := range workloads {
+		s, err := deepcontext.NewSession(deepcontext.Config{Vendor: "nvidia", Framework: "pytorch", Shards: 1})
+		if err != nil {
+			return err
+		}
+		if err := s.RunWorkload(w, deepcontext.Knobs{}, iters); err != nil {
+			return err
+		}
+		profiles[w] = s.Stop()
+	}
+	bodies := make([][]byte, seriesN)
+	for i := 0; i < seriesN; i++ {
+		wl := workloads[i%len(workloads)]
+		p := profiles[wl]
+		p.Meta.Workload = fmt.Sprintf("%s-%04d", wl, i)
+		p.Meta.Iterations = iters
+		p.Meta.Vendor = "nvidia"
+		if i%2 == 1 {
+			p.Meta.Vendor = "amd"
+		}
+		p.Meta.Framework = "pytorch"
+		if (i/2)%2 == 1 {
+			p.Meta.Framework = "jax"
+		}
+		var buf bytes.Buffer
+		if err := profdb.Save(&buf, p); err != nil {
+			return fmt.Errorf("loadgen: encode series %d: %w", i, err)
+		}
+		bodies[i] = buf.Bytes()
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := newHTTPServer("", newHandler(store, maxBody))
+	go srv.Serve(ln)
+	defer srv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	window := store.Config().Window
+	fmt.Printf("loadgen-fleet: server on %s — %d series x %d workloads, %d readers, %v, shards=%d indexed=%v\n",
+		baseURL, seriesN, len(workloads), readers, duration, store.Config().Shards, !cfg.IndexDisabled)
+
+	// Seed two windows, then advance the clock past them so both close
+	// (the query handlers' sweep aggregates and indexes them).
+	httpc := &http.Client{Timeout: time.Minute}
+	for r := 0; r < 2; r++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		per := (len(bodies) + 7) / 8
+		for w := 0; w < 8; w++ {
+			lo, hi := w*per, (w+1)*per
+			if hi > len(bodies) {
+				hi = len(bodies)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(chunk [][]byte) {
+				defer wg.Done()
+				wc := &http.Client{Timeout: time.Minute}
+				for _, body := range chunk {
+					if err := postBody(wc, baseURL, body); err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+					}
+				}
+			}(bodies[lo:hi])
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return fmt.Errorf("loadgen: seed ingest: %w", err)
+		}
+		offset.Add(int64(window))
+	}
+	fmt.Printf("loadgen-fleet: seeded %d profiles across 2 windows; hot kernel %q\n", 2*len(bodies), hotKernel)
+
+	searchQ := url.Values{}
+	searchQ.Set("frame", hotKernel)
+	searchQ.Set("limit", "10")
+	queries := []string{
+		"/topk?k=10",
+		"/search?" + searchQ.Encode(),
+	}
+
+	var queryCount, queryFail atomic.Int64
+	latencies := make([][]time.Duration, readers)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rc := &http.Client{Timeout: time.Minute}
+			for i := 0; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				t0 := time.Now()
+				resp, err := rc.Get(baseURL + q)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					queryFail.Add(1)
+					if resp != nil {
+						resp.Body.Close()
+					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				latencies[r] = append(latencies[r], time.Since(t0))
+				queryCount.Add(1)
+			}
+		}(r)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if queryFail.Load() > 0 {
+		return fmt.Errorf("loadgen: %d failed queries", queryFail.Load())
+	}
+	if queryCount.Load() == 0 {
+		return fmt.Errorf("loadgen: no queries completed")
+	}
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	qps := float64(queryCount.Load()) / elapsed.Seconds()
+
+	var stats struct {
+		Store profstore.Stats `json:"store"`
+	}
+	if err := getJSON(httpc, baseURL+"/stats", &stats); err != nil {
+		return fmt.Errorf("loadgen: stats: %w", err)
+	}
+	if ix := stats.Store.Index; ix != nil {
+		fmt.Printf("loadgen-fleet: index frames=%d postings=%d rebuilds=%d\n", ix.Frames, ix.Postings, ix.Rebuilds)
+	}
+	fmt.Printf("loadgen-fleet: %d queries in %v, latency p50=%v p95=%v\n",
+		queryCount.Load(), elapsed.Round(time.Millisecond),
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond))
+	fmt.Printf("loadgen-fleet: RESULT qps=%.1f p50_us=%d series=%d indexed=%v\n",
+		qps, pct(0.50).Microseconds(), seriesN, !cfg.IndexDisabled)
+	return nil
+}

@@ -19,6 +19,8 @@
 //	GET  /flame?format=html|folded&from=&to=   (or before=/after= for signed)
 //	GET  /analyze?from=&to=                    automated analyzer, JSON
 //	GET  /regressions?dir=up|down|both&since=  confirmed trend change points
+//	GET  /topk?metric=&k=                      fleet-wide frame ranking
+//	GET  /search?frame=&metric=&limit=         series containing a frame
 //	GET  /windows                              retained buckets
 //	GET  /stats                                occupancy, limits, persistence
 //	GET  /healthz
@@ -38,6 +40,12 @@
 //
 //	dcserver -loadgen -clients 8 -loads UNet,DLRM-small,Resnet   # ingest demo
 //	dcserver -loadgen -mixed -clients 4 -readers 8 -duration 5s  # read/write bench
+//	dcserver -loadgen -fleet -series 500 -duration 5s            # /topk + /search bench
+//
+// Fleet-wide queries (/topk ranks frames across every matching series,
+// /search finds the series containing a frame) are served from per-window
+// aggregates and an inverted frame index maintained when windows close;
+// -no-index disables the fast path without changing any result.
 //
 // The store is lock-striped (-store-shards; the default adopts the data
 // dir's committed count, GOMAXPROCS for fresh dirs) so ingest of disjoint
@@ -94,12 +102,16 @@ func main() {
 
 		loadgen  = flag.Bool("loadgen", false, "run the multi-client ingest demo instead of serving")
 		mixed    = flag.Bool("mixed", false, "loadgen: mixed read/write mode — readers hammer queries while writers ingest")
+		fleet    = flag.Bool("fleet", false, "loadgen: fleet-query benchmark — many series, readers hammer /topk and /search (RESULT qps line)")
+		series   = flag.Int("series", 200, "loadgen -fleet: distinct label series to seed")
 		clients  = flag.Int("clients", 8, "loadgen: concurrent clients")
 		readers  = flag.Int("readers", 0, "loadgen -mixed: concurrent query clients (0 = 2x -clients)")
 		duration = flag.Duration("duration", 5*time.Second, "loadgen -mixed: wall time to sustain the mixed load")
 		loads    = flag.String("loads", "UNet,DLRM-small,Resnet", "loadgen: comma-separated workloads")
 		iters    = flag.Int("iters", 10, "loadgen: iterations per profiled run")
 		rounds   = flag.Int("rounds", 2, "loadgen: ingest rounds (each lands in its own window)")
+
+		noIndex = flag.Bool("no-index", false, "disable the fleet-query frame index (TopK/Search fall back to folding trees; results are identical)")
 
 		injectFactor = flag.Float64("inject-regression", 0, "loadgen: multiply one kernel's cost by this factor mid-run, then assert /regressions flags exactly that kernel (0 disables)")
 		injectKernel = flag.String("inject-kernel", "", "loadgen -inject-regression: kernel label to inflate (empty = the run's top kernel)")
@@ -133,6 +145,7 @@ func main() {
 			Band:     *trendBand,
 			K:        *trendK,
 		},
+		IndexDisabled: *noIndex,
 	}
 	if *loadgen {
 		// The demo must never seed a real data directory: a later
@@ -143,9 +156,12 @@ func main() {
 			cfg.Dir = ""
 		}
 		var err error
-		if *mixed {
+		switch {
+		case *fleet:
+			err = runLoadgenFleet(cfg, *series, *readers, *loads, *iters, *duration, *maxBody)
+		case *mixed:
 			err = runLoadgenMixed(cfg, *clients, *readers, *loads, *iters, *rounds, *duration, *maxBody)
-		} else {
+		default:
 			inject := injectOptions{Factor: *injectFactor, Kernel: *injectKernel, Round: *injectRound}
 			err = runLoadgen(cfg, *clients, *loads, *iters, *rounds, *maxBody, inject)
 		}

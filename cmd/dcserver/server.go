@@ -25,6 +25,8 @@ func newHandler(store *profstore.Store, maxBody int64) http.Handler {
 	mux.HandleFunc("/flame", get(s.handleFlame))
 	mux.HandleFunc("/analyze", get(s.handleAnalyze))
 	mux.HandleFunc("/regressions", get(s.handleRegressions))
+	mux.HandleFunc("/topk", get(s.handleTopK))
+	mux.HandleFunc("/search", get(s.handleSearch))
 	mux.HandleFunc("/windows", get(s.handleWindows))
 	mux.HandleFunc("/stats", get(s.handleStats))
 	mux.HandleFunc("/healthz", get(s.handleHealthz))

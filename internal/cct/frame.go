@@ -46,10 +46,17 @@ var kindNames = [...]string{
 
 // String names the kind.
 func (k FrameKind) String() string {
-	if int(k) < len(kindNames) {
+	if k.Valid() {
 		return kindNames[k]
 	}
 	return "unknown"
+}
+
+// Valid reports whether k is one of the defined frame kinds — the range
+// check deserializers use before trusting a kind read from disk or the
+// wire.
+func (k FrameKind) Valid() bool {
+	return k >= KindRoot && int(k) < len(kindNames)
 }
 
 // Frame is one entry of a unified call path.

@@ -133,6 +133,86 @@ func (r *refStore) aggregate(from, to time.Time, filter Labels) (*cct.Tree, Aggr
 	return out, info, nil
 }
 
+// foldAggs enumerates every matched series in the canonical (tier,
+// bucket start, series key) order, visiting each once per bucket — the
+// naive reference enumeration behind topK and search.
+func (r *refStore) foldAggs(from, to time.Time, filter Labels, visit func(key string, labels Labels, ser *refSeries)) (AggregateInfo, error) {
+	info := AggregateInfo{}
+	seen := make(map[string]bool)
+	fold := func(buckets map[int64]map[string]*refSeries) {
+		for _, start := range sortedKeys(buckets) {
+			st := time.Unix(0, start)
+			if !from.IsZero() && st.Before(from) {
+				continue
+			}
+			if !to.IsZero() && !st.Before(to) {
+				continue
+			}
+			matched := false
+			w := buckets[start]
+			for _, k := range sortedKeys(w) {
+				ser := w[k]
+				if !ser.labels.Matches(filter) {
+					continue
+				}
+				visit(k, ser.labels, ser)
+				info.Profiles += ser.profiles
+				matched = true
+				if !seen[k] {
+					seen[k] = true
+					info.Series = append(info.Series, k)
+				}
+			}
+			if matched {
+				info.Windows++
+			}
+		}
+	}
+	fold(r.fine)
+	fold(r.coarse)
+	if info.Windows == 0 {
+		return info, ErrNoData
+	}
+	sort.Strings(info.Series)
+	return info, nil
+}
+
+// topK is the uncached reference for Store.TopK: every (bucket, series)
+// aggregate recomputed fresh from the tree, no close-time cache, no
+// index. It shares the accumulator with the store so the float operations
+// are bit-identical; only the aggregate provenance differs.
+func (r *refStore) topK(from, to time.Time, filter Labels, metric string, k int) ([]TopKRow, AggregateInfo, error) {
+	if metric == "" {
+		metric = cct.MetricGPUTime
+	}
+	acc := newTopKAcc(metric)
+	info, err := r.foldAggs(from, to, filter, func(key string, _ Labels, ser *refSeries) {
+		acc.addSeries(key, computeSeriesAgg(ser.tree))
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	rows, err := acc.finish(k)
+	return rows, info, err
+}
+
+// search is the uncached reference for Store.Search: every series
+// inspected (no posting-list skip), aggregates recomputed fresh.
+func (r *refStore) search(from, to time.Time, filter Labels, frame, metric string, limit int) ([]SearchRow, AggregateInfo, error) {
+	if metric == "" {
+		metric = cct.MetricGPUTime
+	}
+	acc := newSearchAcc(frame, metric)
+	info, err := r.foldAggs(from, to, filter, func(key string, labels Labels, ser *refSeries) {
+		acc.addSeries(key, labels, computeSeriesAgg(ser.tree))
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	rows, err := acc.finish(limit)
+	return rows, info, err
+}
+
 func (r *refStore) hotspots(from, to time.Time, filter Labels, metric string, top int) ([]Hotspot, AggregateInfo, error) {
 	tree, info, err := r.aggregate(from, to, filter)
 	if err != nil {
@@ -231,6 +311,17 @@ func runEquivalenceScript(t *testing.T, seed int64) {
 			defer v.s.Close()
 		}
 	}
+	// One variant runs with the fleet-query index disabled: TopK/Search
+	// must fall back to folding trees and still match byte-for-byte.
+	{
+		cfg := cfgBase
+		cfg.Shards = 4
+		cfg.CacheSize = 64
+		cfg.IndexDisabled = true
+		v := variant{"shards=4/cache=64/noindex", New(cfg)}
+		variants = append(variants, v)
+		defer v.s.Close()
+	}
 	ref := newRefStore(cfgBase)
 
 	var windowStarts []time.Time
@@ -279,6 +370,71 @@ func runEquivalenceScript(t *testing.T, seed int64) {
 				}
 				if mustJSON(t, gotRows) != mustJSON(t, wantRows) || mustJSON(t, gotInfo) != mustJSON(t, wantInfo) {
 					t.Fatalf("step %d %s hotspots[%d] diverged from reference:\n got %s %s\nwant %s %s",
+						step, v.name, qi, mustJSON(t, gotRows), mustJSON(t, gotInfo), mustJSON(t, wantRows), mustJSON(t, wantInfo))
+				}
+			}
+		}
+		// Fleet queries: TopK over the close-time aggregates and Search
+		// through the inverted index must match the naive reference that
+		// recomputes every aggregate and inspects every series.
+		topkQueries := []struct {
+			from, to time.Time
+			filter   Labels
+			metric   string
+			k        int
+		}{
+			{time.Time{}, time.Time{}, Labels{}, "", 0},
+			{time.Time{}, time.Time{}, Labels{Vendor: "nvidia"}, cct.MetricGPUTime, 3},
+			{time.Time{}, time.Time{}, Labels{}, cct.MetricCPUTime, 0},
+		}
+		if len(windowStarts) > 1 {
+			lo := windowStarts[rng.Intn(len(windowStarts))]
+			topkQueries = append(topkQueries, struct {
+				from, to time.Time
+				filter   Labels
+				metric   string
+				k        int
+			}{lo, lo.Add(2 * cfgBase.Window), Labels{}, "", 2})
+		}
+		for qi, q := range topkQueries {
+			wantRows, wantInfo, wantErr := ref.topK(q.from, q.to, q.filter, q.metric, q.k)
+			for _, v := range variants {
+				gotRows, gotInfo, gotErr := v.s.TopK(q.from, q.to, q.filter, q.metric, q.k)
+				if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, ErrNoData) && !errors.Is(gotErr, ErrUnknownMetric)) {
+					t.Fatalf("step %d %s topk[%d]: err %v, ref err %v", step, v.name, qi, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if mustJSON(t, gotRows) != mustJSON(t, wantRows) || mustJSON(t, gotInfo) != mustJSON(t, wantInfo) {
+					t.Fatalf("step %d %s topk[%d] diverged from reference:\n got %s %s\nwant %s %s",
+						step, v.name, qi, mustJSON(t, gotRows), mustJSON(t, gotInfo), mustJSON(t, wantRows), mustJSON(t, wantInfo))
+				}
+			}
+		}
+		searchQueries := []struct {
+			frame  string
+			filter Labels
+			metric string
+			limit  int
+		}{
+			{"gemm", Labels{}, "", 0},
+			{"relu", Labels{Framework: "pytorch"}, cct.MetricGPUTime, 2},
+			{"aten::conv2d", Labels{}, cct.MetricCPUTime, 0},
+			{"no_such_kernel", Labels{}, "", 0},
+		}
+		for qi, q := range searchQueries {
+			wantRows, wantInfo, wantErr := ref.search(time.Time{}, time.Time{}, q.filter, q.frame, q.metric, q.limit)
+			for _, v := range variants {
+				gotRows, gotInfo, gotErr := v.s.Search(time.Time{}, time.Time{}, q.filter, q.frame, q.metric, q.limit)
+				if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, ErrNoData) && !errors.Is(gotErr, ErrUnknownMetric)) {
+					t.Fatalf("step %d %s search[%d]: err %v, ref err %v", step, v.name, qi, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if mustJSON(t, gotRows) != mustJSON(t, wantRows) || mustJSON(t, gotInfo) != mustJSON(t, wantInfo) {
+					t.Fatalf("step %d %s search[%d] diverged from reference:\n got %s %s\nwant %s %s",
 						step, v.name, qi, mustJSON(t, gotRows), mustJSON(t, gotInfo), mustJSON(t, wantRows), mustJSON(t, wantInfo))
 				}
 			}

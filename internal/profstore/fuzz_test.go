@@ -1,0 +1,49 @@
+package profstore
+
+import (
+	"testing"
+
+	"deepcontext/internal/cct"
+)
+
+// FuzzIndexStateCodec holds the frame-index snapshot codec to its
+// contract: arbitrary bytes either decode into well-formed state or are
+// rejected — never a panic, never a kept frame with an out-of-range kind
+// (a corrupt or adversarial blob degrades to a smaller index) — and
+// whatever decodes can be adopted into a live index and re-encoded into a
+// blob that decodes again.
+func FuzzIndexStateCodec(f *testing.F) {
+	// A real blob seeds the corpus: the index of one normalized series.
+	x := newFrameIndex()
+	x.addSeries("unet/nvidia/pytorch", cct.NormalizeAddresses(synthProfile("UNet", "Nvidia", "pytorch", 0x1000, 1).Tree))
+	blob, err := x.encodeState()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte(`{"frames":[{"kind":99,"labels":["x"],"series":["a"]}]}`))
+	f.Add([]byte(`{"frames":[{"kind":-1,"name":"gemm"}]}`))
+	f.Add([]byte(`{"frames":[{"kind":0,"series":["root-must-drop"]}]}`))
+	f.Add([]byte(`{"frames":null}`))
+	f.Add([]byte("{broken"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := decodeIndexState(data)
+		if err != nil {
+			return
+		}
+		idx := newFrameIndex()
+		for _, fs := range st.Frames {
+			if !cct.FrameKind(fs.Kind).Valid() || fs.Kind == int(cct.KindRoot) {
+				t.Fatalf("decode kept an out-of-range kind: %+v", fs)
+			}
+			idx.adoptFrame(fs, fs.Series)
+		}
+		out, err := idx.encodeState()
+		if err != nil {
+			t.Fatalf("adopted state does not re-encode: %v", err)
+		}
+		if _, err := decodeIndexState(out); err != nil {
+			t.Fatalf("re-encoded state does not decode: %v\n%s", err, out)
+		}
+	})
+}

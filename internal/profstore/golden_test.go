@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -98,11 +99,71 @@ func goldenImage(t *testing.T, s *Store) []byte {
 		diffs = append(diffs, res)
 	}
 
+	type topkKey struct {
+		Name     string
+		From, To time.Time
+		Filter   Labels
+		Metric   string
+		K        int
+		Rows     []TopKRow
+		Info     AggregateInfo
+	}
+	var topks []topkKey
+	for _, q := range []struct {
+		name     string
+		from, to time.Time
+		filter   Labels
+		metric   string
+		k        int
+	}{
+		{"all", time.Time{}, time.Time{}, Labels{}, "", 0},
+		{"amd-top2", time.Time{}, time.Time{}, Labels{Vendor: "amd"}, "", 2},
+		{"cpu", time.Time{}, time.Time{}, Labels{}, cct.MetricCPUTime, 0},
+		{"bounded", base.Add(time.Minute), base.Add(4 * time.Minute), Labels{}, "", 0},
+	} {
+		rows, info, err := s.TopK(q.from, q.to, q.filter, q.metric, q.k)
+		if err != nil {
+			t.Fatalf("topk %s: %v", q.name, err)
+		}
+		topks = append(topks, topkKey{q.name, q.from, q.to, q.filter, q.metric, q.k, rows, info})
+	}
+
+	type searchKey struct {
+		Name   string
+		Frame  string
+		Filter Labels
+		Metric string
+		Limit  int
+		Rows   []SearchRow
+		Info   AggregateInfo
+	}
+	var searches []searchKey
+	for _, q := range []struct {
+		name   string
+		frame  string
+		filter Labels
+		metric string
+		limit  int
+	}{
+		{"gemm", "gemm", Labels{}, "", 0},
+		{"relu-jax-top2", "relu", Labels{Framework: "jax"}, "", 2},
+		{"operator-cpu", "aten::relu", Labels{}, cct.MetricCPUTime, 0},
+		{"python-frame", "train.py:10 (main)", Labels{}, "", 0},
+	} {
+		rows, info, err := s.Search(time.Time{}, time.Time{}, q.filter, q.frame, q.metric, q.limit)
+		if err != nil {
+			t.Fatalf("search %s: %v", q.name, err)
+		}
+		searches = append(searches, searchKey{q.name, q.frame, q.filter, q.metric, q.limit, rows, info})
+	}
+
 	img, err := json.MarshalIndent(struct {
 		Hotspots []hotKey
 		Diffs    []*DiffResult
+		TopK     []topkKey
+		Search   []searchKey
 		Windows  []WindowInfo
-	}{hots, diffs, s.Windows()}, "", "  ")
+	}{hots, diffs, topks, searches, s.Windows()}, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,5 +233,74 @@ func TestQueryGolden(t *testing.T) {
 			}
 		}
 		s.Close()
+	}
+}
+
+// TestQueryGoldenAcrossRestart pins the restart half of the acceptance
+// matrix: a durable store answers the golden corpus byte-identical to the
+// in-memory recording after a graceful restart (snapshot adopted, index
+// blob included) AND after a hard one (snapshots deleted, WAL-only replay
+// rebuilds everything — including the frame index), for every shard and
+// cache combination.
+func TestQueryGoldenAcrossRestart(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "queries.golden.json"))
+	if err != nil {
+		t.Fatalf("missing golden (run TestQueryGolden with -update-golden to create): %v", err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, cache := range []int{0, 128} {
+			for _, hard := range []bool{false, true} {
+				t.Run(fmt.Sprintf("shards=%d/cache=%d/hard=%v", shards, cache, hard), func(t *testing.T) {
+					clock := newClock(base)
+					cfg := goldenConfigs()[0]
+					cfg.Shards = shards
+					cfg.CacheSize = cache
+					cfg.Now = clock.Now
+					cfg.Dir = t.TempDir()
+					s := New(cfg)
+					goldenCorpus(t, s, clock)
+					if !hard {
+						if _, err := s.Snapshot(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					s.Close()
+					if hard {
+						// A hard crash that also lost the snapshots: recovery
+						// must rebuild from the WAL alone.
+						for _, pat := range []string{"shard-*/snap-*", "shard-*/CURRENT"} {
+							paths, err := filepath.Glob(filepath.Join(cfg.Dir, pat))
+							if err != nil {
+								t.Fatal(err)
+							}
+							for _, p := range paths {
+								if err := os.RemoveAll(p); err != nil {
+									t.Fatal(err)
+								}
+							}
+						}
+					}
+					revived := New(cfg)
+					rs, err := revived.Recover()
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer revived.Close()
+					if hard && rs.SnapshotLoaded {
+						t.Fatalf("hard restart loaded a snapshot: %+v", rs)
+					}
+					if !hard && !rs.SnapshotLoaded {
+						t.Fatalf("graceful restart missed the snapshot: %+v", rs)
+					}
+					// Two passes so the second is served from the cache when
+					// enabled.
+					for pass := 0; pass < 2; pass++ {
+						if got := goldenImage(t, revived); !bytes.Equal(got, want) {
+							t.Errorf("pass %d: recovered query image diverged from golden", pass)
+						}
+					}
+				})
+			}
+		}
 	}
 }

@@ -1,0 +1,264 @@
+package profstore
+
+// The fleet-wide query layer's data structures: per-(bucket, series)
+// coarse aggregates computed once at window close, and a per-shard
+// inverted frame index mapping interned frame identities to the series
+// keys whose retained trees contain them. Both are maintained only at the
+// points where the trend detector already hooks window lifecycle — ingest
+// window roll, compaction and recovery — so the in-window ingest hot path
+// stays untouched (one int64 compare, zero allocations).
+//
+// Soundness invariant, relied on by Store.Search's posting-list skip:
+// whenever a bucket's series has ser.agg != nil, every frame of that
+// series' tree (identity AND display label) is registered in the owning
+// shard's index under that series key. The index is over-approximate —
+// postings are never removed when windows age out — which only costs a
+// wasted aggregate lookup, never a wrong skip. A series whose closed
+// bucket receives late data has its agg cleared (mergeIntoWindowLocked),
+// which both disables the skip and forces queries to re-derive the
+// aggregate from the tree.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"deepcontext/internal/cct"
+)
+
+// seriesAgg is one series' close-time aggregate within one bucket:
+// exclusive metric sums per frame label, accumulated in the tree's
+// deterministic DFS order and then sorted by label. It answers TopK and
+// Search without re-walking the merged CCT. The float operations are
+// exactly those of a fresh DFS over the same tree, so a cached agg is
+// bit-identical to recomputing (the equivalence harness pins this).
+type seriesAgg struct {
+	labels  []string    // frame labels, ascending
+	kinds   []string    // kinds[i] classifies labels[i] (first DFS sighting)
+	metrics []string    // the tree's schema names, in schema order
+	sums    [][]float64 // sums[i][m] = Σ excl of labels[i] for metrics[m]
+}
+
+// computeSeriesAgg reduces one series tree to its per-label exclusive
+// sums for every schema metric. Root is skipped (it carries no exclusive
+// cost and is not a queryable frame). Accumulation happens in DFS order
+// per label before the final sort, so the same tree always yields the
+// same floats regardless of when the aggregate is computed.
+func computeSeriesAgg(t *cct.Tree) *seriesAgg {
+	a := &seriesAgg{metrics: t.Schema.Names()}
+	nm := len(a.metrics)
+	idx := make(map[string]int)
+	t.Visit(func(n *cct.Node) {
+		if n.Kind == cct.KindRoot {
+			return
+		}
+		label := n.Label()
+		i, ok := idx[label]
+		if !ok {
+			i = len(a.labels)
+			idx[label] = i
+			a.labels = append(a.labels, label)
+			a.kinds = append(a.kinds, n.Kind.String())
+			a.sums = append(a.sums, make([]float64, nm))
+		}
+		for m := 0; m < nm; m++ {
+			a.sums[i][m] += n.ExclValue(cct.MetricID(m))
+		}
+	})
+	order := make([]int, len(a.labels))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return a.labels[order[i]] < a.labels[order[j]] })
+	labels := make([]string, len(order))
+	kinds := make([]string, len(order))
+	sums := make([][]float64, len(order))
+	for to, from := range order {
+		labels[to], kinds[to], sums[to] = a.labels[from], a.kinds[from], a.sums[from]
+	}
+	a.labels, a.kinds, a.sums = labels, kinds, sums
+	return a
+}
+
+// labelIndex locates label in the sorted label set; -1 when absent.
+func (a *seriesAgg) labelIndex(label string) int {
+	i := sort.SearchStrings(a.labels, label)
+	if i < len(a.labels) && a.labels[i] == label {
+		return i
+	}
+	return -1
+}
+
+// metricIndex locates metric in the schema names; -1 when absent.
+func (a *seriesAgg) metricIndex(metric string) int {
+	for i, m := range a.metrics {
+		if m == metric {
+			return i
+		}
+	}
+	return -1
+}
+
+// frameIndex is one shard's inverted index: interned frame identity →
+// the series keys whose indexed trees contain it, plus a label → identity
+// map so queries by display label resolve every identity ever observed
+// under that label. Guarded by the owning shard's mutex (writes under the
+// write lock at window close/compaction/recovery, reads under the query
+// read lock); the interner's own lock makes its accessors safe for the
+// lock-free Stats path too.
+type frameIndex struct {
+	in      *cct.Interner
+	byLabel map[string][]cct.FrameID
+	post    []map[string]struct{} // FrameID → series keys
+	// postings counts the (frame, series) pairs across post — the stats
+	// figure; maintained here so Stats never walks the posting lists.
+	postings int64
+}
+
+func newFrameIndex() *frameIndex {
+	return &frameIndex{in: cct.NewInterner(), byLabel: make(map[string][]cct.FrameID)}
+}
+
+// addSeries registers every non-root frame of tree under key. Idempotent:
+// re-adding an already-indexed tree changes nothing, so recovery sweeps
+// and repeated compactions are safe.
+func (x *frameIndex) addSeries(key string, tree *cct.Tree) {
+	tree.Visit(func(n *cct.Node) {
+		if n.Kind == cct.KindRoot {
+			return
+		}
+		x.add(n.Frame, n.Label(), key)
+	})
+}
+
+// add registers one (identity, label, series) observation.
+func (x *frameIndex) add(f cct.Frame, label, key string) {
+	id := x.in.Intern(f)
+	if int(id) == len(x.post) {
+		x.post = append(x.post, make(map[string]struct{}))
+	}
+	ids := x.byLabel[label]
+	found := false
+	for _, have := range ids {
+		if have == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		x.byLabel[label] = append(ids, id)
+	}
+	if _, ok := x.post[id][key]; !ok {
+		x.post[id][key] = struct{}{}
+		x.postings++
+	}
+}
+
+// seriesMayHave reports whether any identity observed under label has a
+// posting for key. False proves the frame is absent from every indexed
+// tree of that series (the Search skip); true may be stale
+// over-approximation and only means "look at the aggregate".
+func (x *frameIndex) seriesMayHave(label, key string) bool {
+	for _, id := range x.byLabel[label] {
+		if _, ok := x.post[id][key]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// indexFrameState is one interned identity on disk: the representative
+// frame's identity fields, every display label observed for it, and its
+// sorted posting list.
+type indexFrameState struct {
+	Kind   int      `json:"kind"`
+	Name   string   `json:"name,omitempty"`
+	File   string   `json:"file,omitempty"`
+	Line   int      `json:"line,omitempty"`
+	Lib    string   `json:"lib,omitempty"`
+	PC     uint64   `json:"pc,omitempty"`
+	Labels []string `json:"labels"`
+	Series []string `json:"series"`
+}
+
+// indexState is the snapshot codec for one shard's frame index.
+type indexState struct {
+	Frames []indexFrameState `json:"frames"`
+}
+
+// encodeState renders the index deterministically: frames in dense
+// FrameID order, labels and postings sorted. Callers hold at least the
+// shard's read lock.
+func (x *frameIndex) encodeState() ([]byte, error) {
+	st := indexState{Frames: make([]indexFrameState, len(x.post))}
+	for id := range x.post {
+		f := x.in.FrameOf(cct.FrameID(id))
+		fs := &st.Frames[id]
+		fs.Kind, fs.Name, fs.File, fs.Line, fs.Lib, fs.PC =
+			int(f.Kind), f.Name, f.File, f.Line, f.Lib, f.PC
+		for key := range x.post[id] {
+			fs.Series = append(fs.Series, key)
+		}
+		sort.Strings(fs.Series)
+	}
+	for label, ids := range x.byLabel {
+		for _, id := range ids {
+			st.Frames[id].Labels = append(st.Frames[id].Labels, label)
+		}
+	}
+	for i := range st.Frames {
+		sort.Strings(st.Frames[i].Labels)
+	}
+	data, err := json.Marshal(&st)
+	if err != nil {
+		return nil, fmt.Errorf("profstore: encode index state: %w", err)
+	}
+	return data, nil
+}
+
+// decodeIndexState parses a persisted index blob, dropping entries whose
+// kind is out of range (a corrupt or adversarial blob must degrade to a
+// smaller index, never a panic — the posting list is an over-approximation
+// anyway, so dropping entries is always sound).
+func decodeIndexState(data []byte) (*indexState, error) {
+	var st indexState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("profstore: decode index state: %w", err)
+	}
+	kept := st.Frames[:0]
+	for _, f := range st.Frames {
+		if !cct.FrameKind(f.Kind).Valid() || f.Kind == int(cct.KindRoot) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	st.Frames = kept
+	return &st, nil
+}
+
+// adoptFrame installs one decoded identity's observations for the series
+// keys routed to this shard. Callers hold the shard's write lock.
+func (x *frameIndex) adoptFrame(fs indexFrameState, keys []string) {
+	f := cct.Frame{Kind: cct.FrameKind(fs.Kind), Name: fs.Name, File: fs.File, Line: fs.Line, Lib: fs.Lib, PC: fs.PC}
+	labels := fs.Labels
+	if len(labels) == 0 {
+		labels = []string{f.Label()}
+	}
+	for _, key := range keys {
+		for _, label := range labels {
+			x.add(f, label, key)
+		}
+	}
+}
+
+// IndexStats reports the fleet-query index across all shards.
+type IndexStats struct {
+	// Frames counts interned frame identities, summed per shard (an
+	// identity appearing in series on two shards counts twice).
+	Frames int64 `json:"frames"`
+	// Postings counts (frame, series) posting entries.
+	Postings int64 `json:"postings"`
+	// Rebuilds counts recoveries that found no usable persisted index for
+	// a source directory and rebuilt it from retained windows instead.
+	Rebuilds int64 `json:"rebuilds"`
+}

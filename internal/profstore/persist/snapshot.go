@@ -53,6 +53,9 @@ type State struct {
 	Windows            []WindowState
 	WALOffsets         map[int64]int64
 	Trend              []byte
+	// Index is the shard's fleet-query frame index (an opaque blob the
+	// profstore encodes/decodes; nil when the index is disabled or empty).
+	Index []byte
 }
 
 // manifest is the JSON index of one snapshot directory.
@@ -69,6 +72,10 @@ type manifest struct {
 	// simply lack them.
 	TrendFile   string `json:"trend_file,omitempty"`
 	TrendSHA256 string `json:"trend_sha256,omitempty"`
+	// IndexFile/IndexSHA256 name and checksum the fleet-query frame index
+	// blob; same additive policy as the trend pair.
+	IndexFile   string `json:"index_file,omitempty"`
+	IndexSHA256 string `json:"index_sha256,omitempty"`
 }
 
 type manifestWindow struct {
@@ -154,6 +161,12 @@ func CaptureState(st *State) (*Capture, error) {
 		c.files = append(c.files, capturedFile{name: "trend.json", data: st.Trend})
 		c.man.TrendFile = "trend.json"
 		c.man.TrendSHA256 = hex.EncodeToString(sum[:])
+	}
+	if len(st.Index) > 0 {
+		sum := sha256.Sum256(st.Index)
+		c.files = append(c.files, capturedFile{name: "index.json", data: st.Index})
+		c.man.IndexFile = "index.json"
+		c.man.IndexSHA256 = hex.EncodeToString(sum[:])
 	}
 	segs := make([]manifestSegment, 0, len(st.WALOffsets))
 	for start, off := range st.WALOffsets {
@@ -312,6 +325,20 @@ func ReadSnapshot(dataDir string) (*State, error) {
 			return nil, fmt.Errorf("persist: snapshot %s: checksum mismatch on %s", name, man.TrendFile)
 		}
 		st.Trend = data
+	}
+	if man.IndexFile != "" {
+		if strings.ContainsAny(man.IndexFile, "/\\") {
+			return nil, fmt.Errorf("persist: snapshot %s: invalid index file name %q", name, man.IndexFile)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, man.IndexFile))
+		if err != nil {
+			return nil, fmt.Errorf("persist: snapshot %s: %w", name, err)
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != man.IndexSHA256 {
+			return nil, fmt.Errorf("persist: snapshot %s: checksum mismatch on %s", name, man.IndexFile)
+		}
+		st.Index = data
 	}
 	for _, mw := range man.Windows {
 		if strings.ContainsAny(mw.File, "/\\") {

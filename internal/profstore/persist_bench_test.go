@@ -53,6 +53,31 @@ func BenchmarkIngestWindowRollTrendOn(b *testing.B) { benchmarkIngestRolling(b, 
 
 func BenchmarkIngestWindowRollTrendOff(b *testing.B) { benchmarkIngestRolling(b, true) }
 
+// The fleet-index tax on the same rolling rhythm, isolated from the trend
+// detector: every iteration closes a window, which computes the series
+// aggregate and registers its frames. In-window ingest (the hot path) is
+// untouched either way — one int64 compare guards the close pass; the
+// pinned BenchmarkIngestStoreMemory profile must not move.
+func benchmarkIngestRollingIndex(b *testing.B, disabled bool) {
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Now: clock.Now, Trend: trend.Config{Disabled: true}, IndexDisabled: disabled})
+	defer s.Close()
+	p := synthProfile("UNet", "Nvidia", "pytorch", 0x1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(p); err != nil {
+			b.Fatal(err)
+		}
+		clock.Advance(time.Minute)
+		s.CompactNow()
+	}
+}
+
+func BenchmarkIngestWindowRollIndexOn(b *testing.B) { benchmarkIngestRollingIndex(b, false) }
+
+func BenchmarkIngestWindowRollIndexOff(b *testing.B) { benchmarkIngestRollingIndex(b, true) }
+
 // Snapshot cost at a representative occupancy (60 windows × 1 series).
 func BenchmarkSnapshot(b *testing.B) {
 	clock := newClock(base)

@@ -39,6 +39,20 @@
 // must be treated as read-only; with the cache disabled (the default)
 // every query returns a fresh tree the caller owns.
 //
+// # Fleet-wide queries
+//
+// TopK (global frame ranking) and Search (which series contain a frame)
+// answer fleet-scale questions without folding trees: when a fine window
+// closes — the same transition points the trend tracker hooks — each of
+// its series is reduced to a per-label exclusive-sum aggregate and its
+// frames are registered in the shard's inverted index (interned identity
+// → posting list of series keys; see index.go). Queries fold the cached
+// aggregates in the canonical (tier, start, seriesKey) order and Search
+// prunes series whose posting lists prove the frame absent. Both paths
+// are bit-identical to aggregating the trees on the fly, which the
+// equivalence and golden tests pin; Config.IndexDisabled turns the fast
+// path off without changing any result.
+//
 // # Regression detection
 //
 // Unless Config.Trend.Disabled, each shard feeds every fine window that
@@ -169,6 +183,11 @@ type Config struct {
 	// Trend tunes the regression detector (see internal/profstore/trend).
 	// Tracking is on by default; set Trend.Disabled to opt out.
 	Trend trend.Config
+	// IndexDisabled turns off the fleet-query frame index and close-time
+	// aggregates (see index.go). TopK and Search still work — they fall
+	// back to aggregating trees on the fly — and return byte-identical
+	// results, just without the indexed fast path. On by default.
+	IndexDisabled bool
 }
 
 func (c Config) withDefaults() Config {
@@ -206,6 +225,10 @@ type Store struct {
 	cache  *queryCache
 
 	compactions atomic.Int64
+	// indexRebuilds counts recoveries of snapshot sources that carried no
+	// usable persisted frame index, forcing a rebuild from retained
+	// windows (see Recover).
+	indexRebuilds atomic.Int64
 
 	// Snapshot bookkeeping. snapMu serializes Snapshot calls; it is never
 	// held together with a shard lock (per-shard capture takes its own
@@ -980,6 +1003,8 @@ type Stats struct {
 	Persist *PersistStats `json:"persist,omitempty"`
 	// Trend is present unless Config.Trend.Disabled.
 	Trend *TrendStats `json:"trend,omitempty"`
+	// Index is present unless Config.IndexDisabled.
+	Index *IndexStats `json:"index,omitempty"`
 }
 
 // PersistStats counts durability work since boot, summed across shards.
@@ -1036,6 +1061,13 @@ func (s *Store) Stats() Stats {
 			st.Trend.Findings += ts.Findings
 			st.Trend.Suppressed += ts.Suppressed
 			st.Trend.Late += ts.Late
+		}
+		if sh.idx != nil {
+			if st.Index == nil {
+				st.Index = &IndexStats{Rebuilds: s.indexRebuilds.Load()}
+			}
+			st.Index.Frames += int64(sh.idx.in.Len())
+			st.Index.Postings += sh.idx.postings
 		}
 	}
 	st.FineWindows = len(fineStarts)

@@ -50,6 +50,81 @@ func BenchmarkHotspotsUncached(b *testing.B) { benchmarkHotspots(b, 0) }
 
 func BenchmarkHotspotsCached(b *testing.B) { benchmarkHotspots(b, 128) }
 
+// populateFleet fills a store with one closed window of seriesN distinct
+// series — the fleet-query shape: many series, wide trees (32 calling
+// contexts each, the representative profile width; the 6-frame
+// synthProfile would make the per-series fold the index skips look
+// artificially cheap). Every 100th series additionally carries a rare
+// kernel only those series have, so Search benchmarks exercise the
+// posting-list skip.
+func populateFleet(b *testing.B, s *Store, clock *fakeClock, seriesN int) {
+	b.Helper()
+	for si := 0; si < seriesN; si++ {
+		workload := fmt.Sprintf("W%d", si)
+		prof := wideProfile(workload, 32)
+		if si%100 == 0 {
+			n := prof.Tree.InsertPath([]cct.Frame{
+				cct.PythonFrame("train.py", 30, "main"),
+				cct.OperatorFrame("aten::rare"),
+				{Kind: cct.KindKernel, Name: "rare_kernel", Lib: "[gpu]", PC: 0xdead0},
+			})
+			prof.Tree.AddMetric(n, prof.Tree.MetricID(cct.MetricGPUTime), 5)
+		}
+		if _, err := s.Ingest(prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+	clock.Advance(2 * time.Minute)
+	s.TrendSweep() // closes the window: aggregates computed, index built
+}
+
+// benchmarkTopK measures the fleet-wide ranking with the close-time
+// aggregates (index on) against the naive per-query tree fold (index
+// off). The cache is off in both: this measures the fold, not
+// memoization.
+func benchmarkTopK(b *testing.B, indexDisabled bool) {
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Shards: 4, CacheSize: 0, Now: clock.Now, IndexDisabled: indexDisabled})
+	defer s.Close()
+	populateFleet(b, s, clock, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.TopK(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopK10kSeriesIndexed(b *testing.B) { benchmarkTopK(b, false) }
+
+func BenchmarkTopK10kSeriesUncachedFold(b *testing.B) { benchmarkTopK(b, true) }
+
+// benchmarkSearchRare measures finding the 1-in-100 series that carry a
+// rare kernel: the posting lists prove the frame absent for the other 99%
+// without touching their aggregates.
+func benchmarkSearchRare(b *testing.B, indexDisabled bool) {
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Shards: 4, CacheSize: 0, Now: clock.Now, IndexDisabled: indexDisabled})
+	defer s.Close()
+	populateFleet(b, s, clock, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := s.Search(time.Time{}, time.Time{}, Labels{}, "rare_kernel", cct.MetricGPUTime, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 100 {
+			b.Fatalf("rows = %d, want 100", len(rows))
+		}
+	}
+}
+
+func BenchmarkSearchRare10kSeriesIndexed(b *testing.B) { benchmarkSearchRare(b, false) }
+
+func BenchmarkSearchRare10kSeriesUncachedFold(b *testing.B) { benchmarkSearchRare(b, true) }
+
 // wideProfile builds a profile with `paths` distinct calling contexts, so
 // the under-lock merge does representative work (the small synthProfile
 // fixture makes ingest benchmarks measure profile construction instead).

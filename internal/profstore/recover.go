@@ -281,6 +281,7 @@ func (s *Store) emptyForRecover() bool {
 // rebuilt byte-equal regardless of how routing changed.
 func (s *Store) recoverSource(src string, rs *RecoveryStats) error {
 	var offsets map[int64]int64
+	indexAdopted := false
 	snap, err := persist.ReadSnapshot(src)
 	switch {
 	case err != nil:
@@ -340,6 +341,36 @@ func (s *Store) recoverSource(src string, rs *RecoveryStats) error {
 				}
 			}
 		}
+		// Adopt the snapshot's frame index, each posting routed to the
+		// series' current shard (like trend state, so the index survives
+		// shard-count migrations). Postings are over-approximate, so
+		// adopting historical ones is always sound; windows replayed beyond
+		// the snapshot re-register their frames when the catch-up
+		// CompactNow closes them. A corrupt blob degrades to rebuilding
+		// from retained windows, reported but never fatal.
+		if !s.cfg.IndexDisabled && len(snap.Index) > 0 {
+			st, ierr := decodeIndexState(snap.Index)
+			if ierr != nil {
+				rs.Warnings = append(rs.Warnings, fmt.Sprintf("index state discarded: %v", ierr))
+			} else {
+				for _, sh := range s.shards {
+					sh.mu.Lock()
+					for _, fs := range st.Frames {
+						var keys []string
+						for _, key := range fs.Series {
+							if s.shardFor(key) == sh {
+								keys = append(keys, key)
+							}
+						}
+						if len(keys) > 0 {
+							sh.idx.adoptFrame(fs, keys)
+						}
+					}
+					sh.mu.Unlock()
+				}
+				indexAdopted = true
+			}
+		}
 		offsets = snap.WALOffsets
 	}
 
@@ -369,6 +400,14 @@ func (s *Store) recoverSource(src string, rs *RecoveryStats) error {
 	rs.WALRecords += rep.Records
 	rs.WALSkippedRecords += rep.SkippedRecords
 	rs.WALSkippedSegments += rep.SkippedSegments
+	// A source that carried data but no usable index blob (pre-index
+	// snapshot, corrupt blob, or WAL-only recovery) forces an index
+	// rebuild from the retained windows — Recover's CompactNow does the
+	// actual work; here we only count it for Stats.
+	if !s.cfg.IndexDisabled && !indexAdopted &&
+		(rep.Records > 0 || (snap != nil && len(snap.Windows) > 0)) {
+		s.indexRebuilds.Add(1)
+	}
 	if len(rep.Warnings) > 0 && src != s.cfg.Dir {
 		prefix := filepath.Base(src) + ": "
 		for _, w := range rep.Warnings {
@@ -400,6 +439,7 @@ func (sh *shard) adoptSeriesLocked(startNS, durNS int64, coarse bool, key string
 	}
 	if ser := w.series[key]; ser != nil {
 		cct.Merge(ser.tree, tree)
+		ser.agg = nil // tree changed; re-aggregated at the next close pass
 		ser.profiles += profiles
 	} else {
 		w.series[key] = &series{labels: labels, tree: tree, profiles: profiles}

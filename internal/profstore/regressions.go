@@ -73,18 +73,19 @@ func (s *Store) Regressions(q RegressionQuery) []trend.Finding {
 	return out
 }
 
-// TrendSweep observes every fine window that has closed under the store's
-// clock but has not been fed to the trend tracker yet — the same pass
-// ingest and compaction run incrementally. Query handlers call it so
-// findings are current even when ingest has gone quiet.
+// TrendSweep closes every fine window that has ended under the store's
+// clock but has not been processed yet — trend observation plus frame
+// index/aggregate maintenance, the same pass ingest and compaction run
+// incrementally. Query handlers call it so findings and the fleet-query
+// index are current even when ingest has gone quiet.
 func (s *Store) TrendSweep() {
-	if s.cfg.Trend.Disabled {
+	if s.cfg.Trend.Disabled && s.cfg.IndexDisabled {
 		return
 	}
 	now := s.cfg.Now()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		sh.observeClosedLocked(now)
+		sh.closeWindowsLocked(now)
 		sh.mu.Unlock()
 	}
 }

@@ -19,6 +19,12 @@ type series struct {
 	labels   Labels
 	tree     *cct.Tree
 	profiles int
+	// agg is the close-time per-label aggregate for the fleet queries;
+	// nil while the window is open or after late data lands (queries then
+	// compute on the fly). Non-nil implies the tree is registered in the
+	// owning shard's frame index under this series' key — the invariant
+	// Search's posting-list skip relies on (see index.go).
+	agg *seriesAgg
 }
 
 // window is one time bucket holding per-label merged trees.
@@ -80,16 +86,22 @@ type shard struct {
 	// happens under the write lock at ingest/compaction, reads (findings,
 	// stats, snapshot capture) under at least the read lock.
 	tracker *trend.Tracker
-	// trendCursor marks the observation frontier: every fine window with
-	// start below it has been fed to the tracker. Closed fine windows are
-	// immutable (ingest only lands in the current window), so the cursor
-	// only moves forward; an ingest below it is late data the tracker
-	// counts but does not re-fold.
-	trendCursor int64
-	// trendWinNS is the newest window start ingest has seen — the cheap
-	// per-ingest guard that triggers an observation pass only on window
+	// idx is the shard's inverted frame index for the fleet queries,
+	// fed at the same window-close points as the tracker; nil when
+	// Config.IndexDisabled. Guarded by mu like the tracker.
+	idx *frameIndex
+	// closeCursor marks the window-close frontier: every fine window with
+	// start below it has been closed — fed to the tracker and aggregated
+	// into the frame index. Closed fine windows are immutable (ingest only
+	// lands in the current window), so the cursor only moves forward; an
+	// ingest below it is late data the tracker counts but does not re-fold
+	// (and which clears the bucket's cached aggregate, see
+	// mergeIntoWindowLocked).
+	closeCursor int64
+	// curWinNS is the newest window start ingest has seen — the cheap
+	// per-ingest guard that triggers a close pass only on window
 	// transitions.
-	trendWinNS int64
+	curWinNS int64
 
 	wal            *persist.WAL
 	walAppends     int64
@@ -111,6 +123,9 @@ func newShard(id int, cfg Config) *shard {
 	if !cfg.Trend.Disabled {
 		sh.tracker = trend.New(cfg.Trend)
 	}
+	if !cfg.IndexDisabled {
+		sh.idx = newFrameIndex()
+	}
 	return sh
 }
 
@@ -131,14 +146,16 @@ func (sh *shard) ingest(labels Labels, normalized *cct.Tree, payload []byte) (ti
 			return time.Time{}, err
 		}
 	}
-	if sh.tracker != nil {
-		if ns := start.UnixNano(); ns != sh.trendWinNS {
-			if ns < sh.trendCursor {
-				sh.tracker.NoteLate()
+	if sh.tracker != nil || sh.idx != nil {
+		if ns := start.UnixNano(); ns != sh.curWinNS {
+			if ns < sh.closeCursor {
+				if sh.tracker != nil {
+					sh.tracker.NoteLate()
+				}
 			} else {
 				// A new window opened: everything before it has closed.
-				sh.observeClosedLocked(now)
-				sh.trendWinNS = ns
+				sh.closeWindowsLocked(now)
+				sh.curWinNS = ns
 			}
 		}
 	}
@@ -148,19 +165,20 @@ func (sh *shard) ingest(labels Labels, normalized *cct.Tree, payload []byte) (ti
 	return start, nil
 }
 
-// observeClosedLocked feeds every fine window that closed by asOf — and
-// has not been observed yet — to the trend tracker, oldest first, each
-// series in sorted key order. A window is closed once asOf passes its end;
-// from then on its trees are immutable, so one observation is final.
-// Callers hold sh.mu exclusively.
-func (sh *shard) observeClosedLocked(asOf time.Time) {
-	if sh.tracker == nil {
+// closeWindowsLocked processes every fine window that closed by asOf —
+// and has not been closed yet — oldest first, each series in sorted key
+// order: the trend tracker observes it and the frame index gains its
+// frames plus the series' close-time aggregate. A window is closed once
+// asOf passes its end; from then on its trees are immutable, so one pass
+// is final. Callers hold sh.mu exclusively.
+func (sh *shard) closeWindowsLocked(asOf time.Time) {
+	if sh.tracker == nil && sh.idx == nil {
 		return
 	}
 	asNS := asOf.UnixNano()
 	metric := sh.cfg.Trend.Metric
 	for _, k := range sortedKeys(sh.fine) {
-		if k < sh.trendCursor {
+		if k < sh.closeCursor {
 			continue
 		}
 		w := sh.fine[k]
@@ -169,11 +187,17 @@ func (sh *shard) observeClosedLocked(asOf time.Time) {
 		}
 		for _, key := range sortedKeys(w.series) {
 			ser := w.series[key]
-			if shares, ok := metricShares(ser.tree, metric); ok {
-				sh.tracker.Observe(key, ser.labels.Workload, ser.labels.Vendor, ser.labels.Framework, k, shares)
+			if sh.tracker != nil {
+				if shares, ok := metricShares(ser.tree, metric); ok {
+					sh.tracker.Observe(key, ser.labels.Workload, ser.labels.Vendor, ser.labels.Framework, k, shares)
+				}
+			}
+			if sh.idx != nil && ser.agg == nil {
+				ser.agg = computeSeriesAgg(ser.tree)
+				sh.idx.addSeries(key, ser.tree)
 			}
 		}
-		sh.trendCursor = k + 1
+		sh.closeCursor = k + 1
 	}
 }
 
@@ -193,6 +217,11 @@ func (sh *shard) mergeIntoWindowLocked(start time.Time, labels Labels, normalize
 		w.series[key] = ser
 	}
 	cct.Merge(ser.tree, normalized)
+	// Late data into an already-closed bucket invalidates its close-time
+	// aggregate: queries fall back to the tree until the bucket next
+	// closes (compaction for fine buckets). The index keeps its old
+	// postings — over-approximation is sound — but the skip needs agg.
+	ser.agg = nil
 	ser.profiles++
 	sh.gens[winKey{start.UnixNano(), false}]++
 }
@@ -235,9 +264,10 @@ func (sh *shard) openWALLocked() error {
 func (sh *shard) compact(now time.Time) (folded, dropped int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	// Feed closed windows to the trend tracker before any of them fold
-	// away: folding is lossy in time resolution, observation is not.
-	sh.observeClosedLocked(now)
+	// Close windows (trend observation + index/aggregate maintenance)
+	// before any of them fold away: folding is lossy in time resolution,
+	// observation is not.
+	sh.closeWindowsLocked(now)
 	fineHorizon := now.Add(-time.Duration(sh.cfg.Retention) * sh.cfg.Window).Truncate(sh.cfg.Window)
 	for _, key := range sortedKeys(sh.fine) {
 		w := sh.fine[key]
@@ -258,12 +288,32 @@ func (sh *shard) compact(now time.Time) (folded, dropped int) {
 				cw.series[k] = dst
 			}
 			cct.Merge(dst.tree, ser.tree)
+			// The coarse tree changed; its close-time aggregate is
+			// recomputed by the sweep below once the fold settles.
+			dst.agg = nil
 			dst.profiles += ser.profiles
 		}
 		delete(sh.fine, key)
 		delete(sh.gens, winKey{key, false})
 		sh.gens[winKey{cStart.UnixNano(), true}]++
 		folded++
+	}
+	if sh.idx != nil {
+		// Re-aggregate and index every coarse series whose aggregate was
+		// invalidated — by the fold above or by recovery adoption (Recover
+		// converges through CompactNow, so adopted coarse windows are
+		// indexed here too). Coarse buckets only change at compaction, so
+		// between passes their aggregates stay valid.
+		for _, key := range sortedKeys(sh.coarse) {
+			w := sh.coarse[key]
+			for _, k := range sortedKeys(w.series) {
+				ser := w.series[k]
+				if ser.agg == nil {
+					ser.agg = computeSeriesAgg(ser.tree)
+					sh.idx.addSeries(k, ser.tree)
+				}
+			}
+		}
 	}
 	coarseHorizon := now.Add(-time.Duration(sh.cfg.CoarseRetention) * sh.cfg.coarse()).Truncate(sh.cfg.coarse())
 	for _, key := range sortedKeys(sh.coarse) {
@@ -358,6 +408,13 @@ func (sh *shard) captureLocked(now time.Time, compactions int64, offsets map[int
 			return nil, fmt.Errorf("profstore: shard %d encode trend state: %w", sh.id, err)
 		}
 		state.Trend = blob
+	}
+	if sh.idx != nil {
+		blob, err := sh.idx.encodeState()
+		if err != nil {
+			return nil, fmt.Errorf("profstore: shard %d encode index state: %w", sh.id, err)
+		}
+		state.Index = blob
 	}
 	appendWindow := func(w *window, coarse bool) {
 		ws := persist.WindowState{Start: w.start.UnixNano(), DurNS: int64(w.dur), Coarse: coarse}

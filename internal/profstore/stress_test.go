@@ -151,6 +151,139 @@ func TestShardedStressConservedSumsAndFreshReads(t *testing.T) {
 	}
 }
 
+// searchExcl reads one series' gemm total through Search; absent data
+// (or a series whose gemm never landed yet) reads 0.
+func searchExcl(t *testing.T, s *Store, filter Labels) float64 {
+	t.Helper()
+	rows, _, err := s.Search(time.Time{}, time.Time{}, filter, "gemm", cct.MetricGPUTime, 0)
+	if err != nil {
+		if errors.Is(err, ErrNoData) {
+			return 0
+		}
+		t.Error(err)
+		return 0
+	}
+	total := 0.0
+	for _, r := range rows {
+		total += r.Excl
+	}
+	return total
+}
+
+// TestShardedStressTopKSearch is the fleet-query half of the -race stress
+// satellite: concurrent ingest, TopK, Search and compaction across shards
+// with the cache on. Window closes compute aggregates and index postings
+// under the write lock while readers fold them under the read locks; a
+// paired reader polls its writer's series through Search("gemm"), which
+// must be non-decreasing (merges only add, the clock never crosses the
+// retention horizon, and a stale cached row or an unsound index skip
+// would read low). The run ends with exact conserved sums through TopK.
+func TestShardedStressTopKSearch(t *testing.T) {
+	clock := newClock(base)
+	s := New(Config{
+		Window: time.Minute, Retention: 60, CoarseFactor: 2,
+		Shards: 4, CacheSize: 256, Now: clock.Now,
+	})
+	defer s.Close()
+
+	const writers = 8
+	const perWriter = 12
+	// Per profile (see synthProfile): gemm 100, relu 40 GPU ns.
+	const gemmPer = 100.0
+	const reluPer = 40.0
+
+	stopBg := make(chan struct{})
+	var bgWg sync.WaitGroup
+	for _, bg := range []func(){
+		func() { s.CompactNow() },
+		func() { s.TopK(time.Time{}, time.Time{}, Labels{}, "", 5) },
+		func() { s.Search(time.Time{}, time.Time{}, Labels{}, "relu", "", 0) },
+		func() { s.TrendSweep(); s.Stats() },
+	} {
+		bgWg.Add(1)
+		go func(tick func()) {
+			defer bgWg.Done()
+			for {
+				select {
+				case <-stopBg:
+					return
+				default:
+					tick()
+				}
+			}
+		}(bg)
+	}
+
+	var rwWg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		workload := fmt.Sprintf("W%d", g)
+		filter := Labels{Workload: workload}
+		writerDone := make(chan struct{})
+		rwWg.Add(2)
+		go func(g int) { // writer: owns one series
+			defer rwWg.Done()
+			defer close(writerDone)
+			for i := 0; i < perWriter; i++ {
+				mustIngest(t, s, synthProfile(workload, "Nvidia", "pytorch", uint64(g*4096+i*8), 1))
+				if i%4 == 0 {
+					clock.Advance(time.Second)
+				}
+			}
+		}(g)
+		go func() { // reader: monotonic gemm total over the paired series
+			defer rwWg.Done()
+			last := 0.0
+			for {
+				got := searchExcl(t, s, filter)
+				if got < last {
+					t.Errorf("series %s gemm total went backwards: %v after %v (stale cache or unsound index skip)", workload, got, last)
+					return
+				}
+				last = got
+				select {
+				case <-writerDone:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	rwWg.Wait()
+	close(stopBg)
+	bgWg.Wait()
+
+	// Exact conservation, twice so the second pass serves from the cache:
+	// per series through Search, fleet-wide through TopK.
+	for pass := 0; pass < 2; pass++ {
+		for g := 0; g < writers; g++ {
+			filter := Labels{Workload: fmt.Sprintf("W%d", g)}
+			if got := searchExcl(t, s, filter); got != gemmPer*perWriter {
+				t.Fatalf("pass %d: series W%d gemm = %v, want %v", pass, g, got, gemmPer*perWriter)
+			}
+		}
+		rows, _, err := s.TopK(time.Time{}, time.Time{}, Labels{}, "", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byLabel := make(map[string]TopKRow, len(rows))
+		for _, r := range rows {
+			byLabel[r.Label] = r
+		}
+		if got := byLabel["gemm"]; got.Excl != gemmPer*writers*perWriter || got.Series != writers {
+			t.Fatalf("pass %d: gemm row = %+v, want excl %v over %d series", pass, got, gemmPer*writers*perWriter, writers)
+		}
+		if got := byLabel["relu"]; got.Excl != reluPer*writers*perWriter {
+			t.Fatalf("pass %d: relu row = %+v, want excl %v", pass, got, reluPer*writers*perWriter)
+		}
+		if rows[0].Label != "gemm" {
+			t.Fatalf("pass %d: top row = %+v, want gemm", pass, rows[0])
+		}
+	}
+	if cs := s.Stats().Cache; cs == nil || cs.Hits == 0 {
+		t.Fatalf("cache saw no hits under stress: %+v", s.Stats().Cache)
+	}
+}
+
 // TestCacheServesAndInvalidatesPrecisely pins the cache semantics the
 // mixed read/write workload relies on: repeats hit; an ingest into a
 // window a query read invalidates exactly that query; bounded queries
