@@ -174,3 +174,45 @@ func FuzzWebhookPayloadEncoder(f *testing.F) {
 		}
 	})
 }
+
+// FuzzEventsQueryParams holds the /debug/events query parser to the same
+// contract: arbitrary raw query strings either parse into a well-formed
+// journal filter or are rejected — never a panic, never a negative
+// sequence cursor, and the limit always lands in (0, maxEventsLimit].
+func FuzzEventsQueryParams(f *testing.F) {
+	f.Add("kind=window_close&limit=10")
+	f.Add("kind=snapshot,compaction&kind=slow_request")
+	f.Add("since=2026-01-01T00:00:00Z&since_seq=42")
+	f.Add("since=1767225960000000000&limit=0")
+	f.Add("kind=, , ,")
+	f.Add("limit=-3")
+	f.Add("limit=9999999999999999999999")
+	f.Add("since_seq=-1")
+	f.Add("since=not-a-time")
+	f.Add("kinds=typo")
+	f.Add("%gh&&=%zz")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		ef, err := parseEventsQuery(q)
+		if err != nil {
+			return
+		}
+		if ef.SinceSeq < 0 {
+			t.Fatalf("negative since_seq accepted for %q: %+v", raw, ef)
+		}
+		if ef.Limit <= 0 || ef.Limit > maxEventsLimit {
+			t.Fatalf("limit out of range for %q: %+v", raw, ef)
+		}
+		for _, k := range ef.Kinds {
+			if k == "" {
+				t.Fatalf("empty kind accepted for %q: %+v", raw, ef)
+			}
+		}
+		if len(q["kind"]) == 0 && len(ef.Kinds) != 0 {
+			t.Fatalf("kinds appeared from nowhere for %q: %+v", raw, ef)
+		}
+	})
+}

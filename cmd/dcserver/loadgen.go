@@ -114,7 +114,7 @@ func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds i
 	if err != nil {
 		return err
 	}
-	srv := newHTTPServer("", newHandler(store, maxBody))
+	srv := newHTTPServer("", newHandler(store, maxBody, 0))
 	go srv.Serve(ln)
 	defer srv.Close()
 	baseURL := "http://" + ln.Addr().String()
@@ -220,9 +220,17 @@ func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds i
 		stats.Store.FineWindows+stats.Store.CoarseWindows, stats.Store.Series,
 		stats.Store.Nodes, stats.Store.Ingested)
 
-	if inject.enabled() {
-		return checkInjectedRegression(httpc, baseURL, inject)
+	// The server's own telemetry is the benchmark's latency source: a
+	// broken /metrics fails the run, not just the dashboard.
+	expo, err := fetchMetrics(httpc, baseURL)
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
 	}
+	lat := scrapedLatencies(expo, "/ingest", "/hotspots")
+	if inject.enabled() {
+		return checkInjectedRegression(httpc, baseURL, inject, lat)
+	}
+	fmt.Printf("loadgen: RESULT ingest ok=%d failed=%d%s\n", ok.Load(), failed.Load(), lat)
 	return nil
 }
 
@@ -231,7 +239,7 @@ func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds i
 // at least one finding, and no finding for any other frame. The final
 // round already closed its window (the round loop advances the clock one
 // window past it), so the handler's sweep observes everything.
-func checkInjectedRegression(httpc *http.Client, baseURL string, inject injectOptions) error {
+func checkInjectedRegression(httpc *http.Client, baseURL string, inject injectOptions, lat string) error {
 	var rr struct {
 		Count int `json:"count"`
 		Rows  []struct {
@@ -254,8 +262,8 @@ func checkInjectedRegression(httpc *http.Client, baseURL string, inject injectOp
 		}
 	}
 	ok := len(rr.Rows) > 0 && spurious == 0
-	fmt.Printf("loadgen: RESULT inject kernel=%s factor=%g up_findings=%d spurious=%d ok=%v\n",
-		inject.Kernel, inject.Factor, len(rr.Rows), spurious, ok)
+	fmt.Printf("loadgen: RESULT inject kernel=%s factor=%g up_findings=%d spurious=%d ok=%v%s\n",
+		inject.Kernel, inject.Factor, len(rr.Rows), spurious, ok, lat)
 	if !ok {
 		return fmt.Errorf("loadgen: injected regression not cleanly detected (%d findings, %d spurious)",
 			len(rr.Rows), spurious)
@@ -343,7 +351,7 @@ func runLoadgenMixed(cfg profstore.Config, clients, readers int, loads string, i
 	if err != nil {
 		return err
 	}
-	srv := newHTTPServer("", newHandler(store, maxBody))
+	srv := newHTTPServer("", newHandler(store, maxBody, 0))
 	go srv.Serve(ln)
 	defer srv.Close()
 	baseURL := "http://" + ln.Addr().String()
@@ -515,8 +523,13 @@ func runLoadgenMixed(cfg profstore.Config, clients, readers int, loads string, i
 		fmt.Printf("loadgen-mixed: cache hits=%d misses=%d invalidations=%d evictions=%d hit_rate=%.1f%%\n",
 			c.Hits, c.Misses, c.Invalidations, c.Evictions, hitRate)
 	}
-	fmt.Printf("loadgen-mixed: RESULT qps=%.1f p50_us=%d hit_rate=%.1f\n",
-		qps, pct(0.50).Microseconds(), hitRate)
+	expo, err := fetchMetrics(httpc, baseURL)
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	fmt.Printf("loadgen-mixed: RESULT qps=%.1f p50_us=%d hit_rate=%.1f%s\n",
+		qps, pct(0.50).Microseconds(), hitRate,
+		scrapedLatencies(expo, "/ingest", "/hotspots", "/diff"))
 	return nil
 }
 

@@ -113,7 +113,7 @@ func runLoadgenFleet(cfg profstore.Config, seriesN, readers int, loads string, i
 	if err != nil {
 		return err
 	}
-	srv := newHTTPServer("", newHandler(store, maxBody))
+	srv := newHTTPServer("", newHandler(store, maxBody, 0))
 	go srv.Serve(ln)
 	defer srv.Close()
 	baseURL := "http://" + ln.Addr().String()
@@ -224,7 +224,12 @@ func runLoadgenFleet(cfg profstore.Config, seriesN, readers int, loads string, i
 	fmt.Printf("loadgen-fleet: %d queries in %v, latency p50=%v p95=%v\n",
 		queryCount.Load(), elapsed.Round(time.Millisecond),
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond))
-	fmt.Printf("loadgen-fleet: RESULT qps=%.1f p50_us=%d series=%d indexed=%v\n",
-		qps, pct(0.50).Microseconds(), seriesN, !cfg.IndexDisabled)
+	expo, err := fetchMetrics(httpc, baseURL)
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	fmt.Printf("loadgen-fleet: RESULT qps=%.1f p50_us=%d series=%d indexed=%v%s\n",
+		qps, pct(0.50).Microseconds(), seriesN, !cfg.IndexDisabled,
+		scrapedLatencies(expo, "/topk", "/search"))
 	return nil
 }

@@ -24,6 +24,20 @@
 //	GET  /windows                              retained buckets
 //	GET  /stats                                occupancy, limits, persistence
 //	GET  /healthz
+//	GET  /metrics                              Prometheus text exposition
+//	GET  /debug/events?kind=&since=&limit=     internal lifecycle journal
+//
+// Every request, store mutation and persistence step is observed in an
+// in-process telemetry registry served on /metrics (request latency by
+// endpoint, ingest/WAL/fsync/compaction/snapshot timings, cache and
+// index occupancy); structured lifecycle events (window closes,
+// compactions, snapshots, recoveries, slow requests) land in a bounded
+// in-memory journal served on /debug/events. Telemetry is on by default
+// and costs no allocations on the ingest path; -no-telemetry disables
+// the latency timings and journal (counters stay on — they back /stats).
+// -pprof-addr serves net/http/pprof on a second listener, kept off the
+// public API surface. See docs/OPERATIONS.md for the metric inventory
+// and alerting runbook.
 //
 // The store tracks every series' per-frame metric shares across closed
 // windows and flags sustained drifts (-trend-band, -trend-k; -no-trend
@@ -113,6 +127,10 @@ func main() {
 
 		noIndex = flag.Bool("no-index", false, "disable the fleet-query frame index (TopK/Search fall back to folding trees; results are identical)")
 
+		noTelemetry = flag.Bool("no-telemetry", false, "disable latency timings and the event journal (counters and /metrics stay on)")
+		slowRequest = flag.Duration("slow-request", defaultSlowRequest, "journal requests taking at least this long (0 disables)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+
 		injectFactor = flag.Float64("inject-regression", 0, "loadgen: multiply one kernel's cost by this factor mid-run, then assert /regressions flags exactly that kernel (0 disables)")
 		injectKernel = flag.String("inject-kernel", "", "loadgen -inject-regression: kernel label to inflate (empty = the run's top kernel)")
 		injectRound  = flag.Int("inject-round", 0, "loadgen -inject-regression: first inflated round (0 = rounds/2)")
@@ -145,7 +163,8 @@ func main() {
 			Band:     *trendBand,
 			K:        *trendK,
 		},
-		IndexDisabled: *noIndex,
+		IndexDisabled:   *noIndex,
+		TimingsDisabled: *noTelemetry,
 	}
 	if *loadgen {
 		// The demo must never seed a real data directory: a later
@@ -207,10 +226,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dcserver:", err)
 		os.Exit(1)
 	}
-	srv := newHTTPServer(*addr, newHandler(store, *maxBody))
+	slow := *slowRequest
+	if *noTelemetry {
+		slow = 0 // -no-telemetry silences the journal end to end
+	}
+	srv := newHTTPServer(*addr, newHandler(store, *maxBody, slow))
 	fmt.Printf("dcserver: listening on %s (window %v, retention %d fine + %d coarse, %d shards, cache %d)\n",
 		ln.Addr(), store.Config().Window, store.Config().Retention, store.Config().CoarseRetention,
 		store.Config().Shards, store.Config().CacheSize)
+	if !*noTelemetry {
+		store.Telemetry().Journal().Record("server_start", ln.Addr().String())
+	}
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcserver: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dcserver: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go http.Serve(pln, pprofMux())
+	}
 
 	// SIGTERM/SIGINT drain in-flight requests, then a final snapshot makes
 	// the shutdown lossless even if the periodic snapshotter never fired.
@@ -226,6 +261,9 @@ func main() {
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "dcserver:", err)
 		os.Exit(1)
+	}
+	if !*noTelemetry {
+		store.Telemetry().Journal().Record("server_stop", ln.Addr().String())
 	}
 	if *dataDir != "" {
 		if info, err := store.Snapshot(); err != nil {

@@ -1,0 +1,113 @@
+package main
+
+// End-of-run /metrics scraping for the loadgen harnesses: every mode
+// finishes by deriving per-endpoint latency quantiles from the server's
+// own dcserver_request_seconds histograms and appending them to its
+// RESULT line — the benchmark reports what the telemetry measured, so a
+// broken exposition fails the benchmark, not just the dashboard.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// fetchMetrics GETs the Prometheus exposition from baseURL/metrics.
+func fetchMetrics(httpc *http.Client, baseURL string) (string, error) {
+	resp, err := httpc.Get(baseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// endpointQuantiles derives latency quantiles for one endpoint from the
+// dcserver_request_seconds histogram in a scraped exposition, using the
+// same linear within-bucket interpolation as histogram_quantile. Returns
+// false when the endpoint has no observations.
+func endpointQuantiles(expo, endpoint string, qs ...float64) ([]time.Duration, bool) {
+	type bucket struct{ bound, cum float64 }
+	var buckets []bucket
+	needle := `endpoint="` + endpoint + `"`
+	for _, line := range strings.Split(expo, "\n") {
+		if !strings.HasPrefix(line, "dcserver_request_seconds_bucket{") || !strings.Contains(line, needle) {
+			continue
+		}
+		le := strings.Index(line, `le="`)
+		if le < 0 {
+			continue
+		}
+		rest := line[le+4:]
+		q := strings.IndexByte(rest, '"')
+		sp := strings.LastIndexByte(line, ' ')
+		if q < 0 || sp < 0 {
+			continue
+		}
+		bound, err1 := strconv.ParseFloat(rest[:q], 64)
+		cum, err2 := strconv.ParseFloat(line[sp+1:], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{bound, cum})
+	}
+	if len(buckets) == 0 {
+		return nil, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].bound < buckets[j].bound })
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return nil, false
+	}
+	quantile := func(q float64) time.Duration {
+		rank := q * total
+		prevBound, prevCum := 0.0, 0.0
+		for _, b := range buckets {
+			if b.cum >= rank {
+				if math.IsInf(b.bound, 1) {
+					// Overflow bucket: the last finite bound is all we know.
+					return time.Duration(prevBound * float64(time.Second))
+				}
+				frac := 0.0
+				if b.cum > prevCum {
+					frac = (rank - prevCum) / (b.cum - prevCum)
+				}
+				sec := prevBound + (b.bound-prevBound)*frac
+				return time.Duration(sec * float64(time.Second))
+			}
+			prevBound, prevCum = b.bound, b.cum
+		}
+		return time.Duration(buckets[len(buckets)-1].bound * float64(time.Second))
+	}
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = quantile(q)
+	}
+	return out, true
+}
+
+// scrapedLatencies renders " <name>_p50_ms=… <name>_p99_ms=…" fragments
+// for each endpoint (leading space included), ready to append to a
+// RESULT line. Endpoints without observations are skipped.
+func scrapedLatencies(expo string, endpoints ...string) string {
+	var sb strings.Builder
+	for _, ep := range endpoints {
+		qs, ok := endpointQuantiles(expo, ep, 0.50, 0.99)
+		if !ok {
+			continue
+		}
+		name := strings.TrimPrefix(ep, "/")
+		fmt.Fprintf(&sb, " %s_p50_ms=%.3f %s_p99_ms=%.3f",
+			name, float64(qs[0].Nanoseconds())/1e6, name, float64(qs[1].Nanoseconds())/1e6)
+	}
+	return sb.String()
+}

@@ -15,21 +15,29 @@ import (
 )
 
 // newHandler wires the ingest/query API over one store. maxBody caps
-// POST /ingest bodies in bytes.
-func newHandler(store *profstore.Store, maxBody int64) http.Handler {
+// POST /ingest bodies in bytes; requests taking slow or longer land in
+// the event journal (0 disables). Every route is instrumented into the
+// store's telemetry registry, which /metrics and /debug/events expose.
+func newHandler(store *profstore.Store, maxBody int64, slow time.Duration) http.Handler {
 	s := &server{store: store, maxBody: maxBody, started: time.Now()}
+	m := newServerMetrics(store.Telemetry(), slow)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/hotspots", get(s.handleHotspots))
-	mux.HandleFunc("/diff", get(s.handleDiff))
-	mux.HandleFunc("/flame", get(s.handleFlame))
-	mux.HandleFunc("/analyze", get(s.handleAnalyze))
-	mux.HandleFunc("/regressions", get(s.handleRegressions))
-	mux.HandleFunc("/topk", get(s.handleTopK))
-	mux.HandleFunc("/search", get(s.handleSearch))
-	mux.HandleFunc("/windows", get(s.handleWindows))
-	mux.HandleFunc("/stats", get(s.handleStats))
-	mux.HandleFunc("/healthz", get(s.handleHealthz))
+	handle := func(route string, h http.HandlerFunc) {
+		mux.HandleFunc(route, m.wrap(route, h))
+	}
+	handle("/ingest", s.handleIngest)
+	handle("/hotspots", get(s.handleHotspots))
+	handle("/diff", get(s.handleDiff))
+	handle("/flame", get(s.handleFlame))
+	handle("/analyze", get(s.handleAnalyze))
+	handle("/regressions", get(s.handleRegressions))
+	handle("/topk", get(s.handleTopK))
+	handle("/search", get(s.handleSearch))
+	handle("/windows", get(s.handleWindows))
+	handle("/stats", get(s.handleStats))
+	handle("/healthz", get(s.handleHealthz))
+	handle("/metrics", get(s.handleMetrics))
+	handle("/debug/events", get(s.handleEvents))
 	return mux
 }
 

@@ -3,7 +3,8 @@ package profstore
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
+
+	"deepcontext/internal/telemetry"
 )
 
 // dep is one generation stamp a cached result depends on: bucket key.start
@@ -34,10 +35,13 @@ type queryCache struct {
 	entries map[string]*cacheEntry
 	lru     *list.List // front = most recently served
 
-	hits          atomic.Int64
-	misses        atomic.Int64
-	invalidations atomic.Int64
-	evictions     atomic.Int64
+	// Effectiveness counters are telemetry handles (shared with /metrics
+	// and Stats — one source of truth); recording stays off the cache
+	// mutex.
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+	invalidations *telemetry.Counter
+	evictions     *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -53,11 +57,19 @@ type cacheEntry struct {
 
 // newQueryCache returns nil when max <= 0 — a nil *queryCache is a valid,
 // permanently-disabled cache (every method no-ops).
-func newQueryCache(max int) *queryCache {
+func newQueryCache(max int, met *storeMetrics) *queryCache {
 	if max <= 0 {
 		return nil
 	}
-	return &queryCache{max: max, entries: make(map[string]*cacheEntry), lru: list.New()}
+	return &queryCache{
+		max:           max,
+		entries:       make(map[string]*cacheEntry),
+		lru:           list.New(),
+		hits:          met.cacheHits,
+		misses:        met.cacheMisses,
+		invalidations: met.cacheInvalidations,
+		evictions:     met.cacheEvictions,
+	}
 }
 
 // serve returns the cached value for qkey when its recorded stamps match
@@ -73,14 +85,14 @@ func (c *queryCache) serve(qkey, shape string, deps []dep) (any, bool) {
 	if ok && ent.shape == shape && depsEqual(ent.deps, deps) {
 		c.lru.MoveToFront(ent.elem)
 		c.mu.Unlock()
-		c.hits.Add(1)
+		c.hits.Inc()
 		return ent.value, true
 	}
 	c.mu.Unlock()
 	if ok {
-		c.invalidations.Add(1)
+		c.invalidations.Inc()
 	}
-	c.misses.Add(1)
+	c.misses.Inc()
 	return nil, false
 }
 
@@ -105,7 +117,7 @@ func (c *queryCache) put(qkey, shape string, deps []dep, value any) {
 		old := oldest.Value.(*cacheEntry)
 		c.lru.Remove(oldest)
 		delete(c.entries, old.qkey)
-		c.evictions.Add(1)
+		c.evictions.Inc()
 	}
 }
 
@@ -139,15 +151,22 @@ func (c *queryCache) stats() *CacheStats {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	n := len(c.entries)
-	c.mu.Unlock()
 	return &CacheStats{
-		Entries:       n,
+		Entries:       c.len(),
 		Max:           c.max,
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Invalidations: c.invalidations.Load(),
-		Evictions:     c.evictions.Load(),
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Invalidations: c.invalidations.Value(),
+		Evictions:     c.evictions.Value(),
 	}
+}
+
+// len reports current occupancy (0 for a nil/disabled cache).
+func (c *queryCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }

@@ -13,9 +13,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"deepcontext/internal/profdb"
 	"deepcontext/internal/profiler"
+	"deepcontext/internal/telemetry"
 )
 
 const (
@@ -45,6 +47,42 @@ type WAL struct {
 	// write and the repair): further appends to it would land beyond the
 	// tear and be dropped by replay, so they are refused instead.
 	tornStart int64
+	met       WALMetrics
+}
+
+// WALMetrics holds optional telemetry hooks for the append and fsync
+// paths. Histograms are observed only when non-nil (skipping the clock
+// reads entirely when timing is off); the fsync counter is nil-safe.
+type WALMetrics struct {
+	// AppendSeconds observes each Append, including any segment rotation
+	// (and its fsync) the append triggered — rotation stalls are exactly
+	// what an append-latency histogram must not hide.
+	AppendSeconds *telemetry.Histogram
+	// FsyncSeconds observes each segment fsync (rotation, Sync, Close).
+	FsyncSeconds *telemetry.Histogram
+	// Fsyncs counts segment fsyncs.
+	Fsyncs *telemetry.Counter
+}
+
+// SetMetrics installs telemetry hooks. Call before the first Append;
+// not safe to call concurrently with WAL use.
+func (w *WAL) SetMetrics(m WALMetrics) {
+	w.mu.Lock()
+	w.met = m
+	w.mu.Unlock()
+}
+
+// syncLocked fsyncs f under the telemetry hooks. Callers hold w.mu.
+func (w *WAL) syncLocked(f *os.File) error {
+	if w.met.FsyncSeconds == nil {
+		w.met.Fsyncs.Inc()
+		return f.Sync()
+	}
+	t0 := time.Now()
+	err := f.Sync()
+	w.met.FsyncSeconds.Observe(time.Since(t0))
+	w.met.Fsyncs.Inc()
+	return err
 }
 
 // OpenWAL opens (creating if needed) the WAL under dataDir.
@@ -78,6 +116,10 @@ func parseSegName(name string) (int64, bool) {
 func (w *WAL) Append(start, tstamp int64, payload []byte) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.met.AppendSeconds != nil {
+		t0 := time.Now()
+		defer func() { w.met.AppendSeconds.Observe(time.Since(t0)) }()
+	}
 	if start == w.tornStart {
 		return 0, fmt.Errorf("persist: wal segment %d is torn beyond repair; refusing append", start)
 	}
@@ -118,7 +160,7 @@ func (w *WAL) Append(start, tstamp int64, payload []byte) (int64, error) {
 // replay instead of hiding behind undecodable bytes.
 func (w *WAL) rotateLocked(start int64) error {
 	if w.f != nil {
-		w.f.Sync()
+		w.syncLocked(w.f)
 		w.f.Close()
 		w.f = nil
 	}
@@ -221,7 +263,7 @@ func (w *WAL) Sync() error {
 	if w.f == nil {
 		return nil
 	}
-	return w.f.Sync()
+	return w.syncLocked(w.f)
 }
 
 // Close syncs and closes the open segment.
@@ -231,7 +273,7 @@ func (w *WAL) Close() error {
 	if w.f == nil {
 		return nil
 	}
-	err := w.f.Sync()
+	err := w.syncLocked(w.f)
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}

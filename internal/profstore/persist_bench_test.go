@@ -29,6 +29,24 @@ func BenchmarkIngestStoreMemory(b *testing.B) { benchmarkIngest(b, "") }
 
 func BenchmarkIngestStoreWAL(b *testing.B) { benchmarkIngest(b, b.TempDir()) }
 
+// The telemetry tax on the hot path: identical to IngestStoreMemory but
+// with the latency timings off (counters stay on — they back Stats()).
+// The delta is the cost of two time.Now reads and two histogram bucket
+// increments per ingest; the alloc profile must be identical.
+func BenchmarkIngestStoreMemoryNoTimings(b *testing.B) {
+	clock := newClock(base)
+	s := New(Config{Window: time.Minute, Now: clock.Now, TimingsDisabled: true})
+	defer s.Close()
+	p := synthProfile("UNet", "Nvidia", "pytorch", 0x1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // The regression-detection tax on the ingest path. Observation happens
 // when an ingest rolls to a new window (the previous one just closed), so
 // each iteration advances the clock one window and compacts — the

@@ -92,8 +92,20 @@
 // query cache has its own mutex, acquired under shard read locks on
 // lookup but never the other way around. snapMu serializes whole Snapshot
 // calls against each other only. Store-level counters (compactions,
-// snapshot bookkeeping, cache hit counts) are atomics, so Stats reads no
-// counter unguarded.
+// snapshot bookkeeping, cache hit counts) are atomic telemetry counters,
+// so Stats reads no counter unguarded.
+//
+// # Telemetry
+//
+// The store registers its metrics — activity counters, occupancy gauges,
+// and latency histograms for ingest, lock wait, WAL append/fsync, window
+// close, compaction, snapshot, recovery and trend sweeps — on
+// Config.Telemetry (or a private registry when nil; see
+// internal/telemetry), and records lifecycle events in the registry's
+// journal. Stats() reads the same counters the registry exports, so the
+// JSON and /metrics surfaces cannot drift. Hot-path recording is
+// zero-alloc and lock-free; Config.TimingsDisabled turns off the latency
+// observations and journal events to measure the residual tax.
 package profstore
 
 import (
@@ -111,6 +123,7 @@ import (
 	"deepcontext/internal/profiler"
 	"deepcontext/internal/profstore/persist"
 	"deepcontext/internal/profstore/trend"
+	"deepcontext/internal/telemetry"
 )
 
 // Typed query failures, for errors.Is dispatch at API boundaries (a server
@@ -188,6 +201,16 @@ type Config struct {
 	// back to aggregating trees on the fly — and return byte-identical
 	// results, just without the indexed fast path. On by default.
 	IndexDisabled bool
+	// Telemetry receives the store's metrics and lifecycle events; nil
+	// gives the store a private registry (Stats() is backed by the same
+	// counters either way). Stores sharing a registry share counters —
+	// give each store its own.
+	Telemetry *telemetry.Registry
+	// TimingsDisabled turns off latency observation (the clock reads and
+	// histogram updates on the ingest, WAL, close, compaction and
+	// snapshot paths) and journal events, for measuring the telemetry
+	// tax. Counters stay on — they back Stats().
+	TimingsDisabled bool
 }
 
 func (c Config) withDefaults() Config {
@@ -223,18 +246,14 @@ type Store struct {
 	cfg    Config
 	shards []*shard
 	cache  *queryCache
-
-	compactions atomic.Int64
-	// indexRebuilds counts recoveries of snapshot sources that carried no
-	// usable persisted frame index, forcing a rebuild from retained
-	// windows (see Recover).
-	indexRebuilds atomic.Int64
+	// met holds the telemetry handles (counters, histograms, journal)
+	// the store records into; the same counters back Stats().
+	met *storeMetrics
 
 	// Snapshot bookkeeping. snapMu serializes Snapshot calls; it is never
 	// held together with a shard lock (per-shard capture takes its own
 	// locks inside).
 	snapMu        sync.Mutex
-	snapshots     atomic.Int64
 	lastSnapshot  atomic.Int64 // unix nanoseconds; 0 = never
 	lastSnapBytes atomic.Int64
 	lastSnapErr   atomic.Value // string
@@ -255,20 +274,33 @@ type Store struct {
 // used (and always when Config.Dir is set, so the WALs are synced shut).
 func New(cfg Config) *Store {
 	cfg = cfg.withDefaults()
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	met := newStoreMetrics(reg, !cfg.TimingsDisabled)
 	s := &Store{
 		cfg:    cfg,
 		shards: make([]*shard, cfg.Shards),
-		cache:  newQueryCache(cfg.CacheSize),
+		cache:  newQueryCache(cfg.CacheSize, met),
+		met:    met,
 		stop:   make(chan struct{}),
 	}
 	for i := range s.shards {
-		s.shards[i] = newShard(i, cfg)
+		s.shards[i] = newShard(i, cfg, met)
 	}
+	s.registerStoreGauges(reg)
 	return s
 }
 
 // Config returns the store's effective (defaulted) configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// Telemetry returns the registry the store records into — the one from
+// Config.Telemetry, or the private registry New created when none was
+// supplied. Servers expose it (/metrics, /debug/events) and may register
+// their own families on it.
+func (s *Store) Telemetry() *telemetry.Registry { return s.met.reg }
 
 // shardFor routes a series key to its shard by FNV-1a hash. The hash is
 // deterministic across processes: a restarted store routes every recovered
@@ -367,6 +399,10 @@ func CommittedShards(dir string) (int, bool) {
 // merge order and a replay reconstructs the exact tree. A WAL append
 // failure fails the ingest — an acknowledged profile must be durable.
 func (s *Store) Ingest(p *profiler.Profile) (time.Time, error) {
+	var t0 time.Time
+	if s.met.timings {
+		t0 = time.Now()
+	}
 	if p == nil || p.Tree == nil {
 		return time.Time{}, fmt.Errorf("profstore: nil profile")
 	}
@@ -385,7 +421,11 @@ func (s *Store) Ingest(p *profiler.Profile) (time.Time, error) {
 		}
 	}
 	normalized := cct.NormalizeAddresses(p.Tree)
-	return s.shardFor(labels.Key()).ingest(labels, normalized, payload)
+	start, err := s.shardFor(labels.Key()).ingest(labels, normalized, payload)
+	if err == nil && s.met.timings {
+		s.met.ingestSeconds.Observe(time.Since(t0))
+	}
+	return start, err
 }
 
 // WindowInfo describes one retained bucket.
@@ -885,6 +925,10 @@ func pathKey(n *cct.Node) string {
 // width are dropped. It returns how many fine windows were folded and how
 // many coarse windows were dropped across all shards.
 func (s *Store) CompactNow() (folded, dropped int) {
+	var t0 time.Time
+	if s.met.timings {
+		t0 = time.Now()
+	}
 	now := s.cfg.Now()
 	for _, sh := range s.shards {
 		f, d := sh.compact(now)
@@ -892,7 +936,15 @@ func (s *Store) CompactNow() (folded, dropped int) {
 		dropped += d
 	}
 	if folded > 0 || dropped > 0 {
-		s.compactions.Add(1)
+		s.met.compactions.Inc()
+		s.met.windowsFolded.Add(int64(folded))
+		s.met.windowsDropped.Add(int64(dropped))
+		if s.met.timings {
+			d := time.Since(t0)
+			s.met.compactSeconds.Observe(d)
+			s.met.journal.Record("compaction", fmt.Sprintf("folded %d fine windows, dropped %d coarse", folded, dropped),
+				"folded", fmt.Sprint(folded), "dropped", fmt.Sprint(dropped), "duration", d.String())
+		}
 	}
 	return folded, dropped
 }
@@ -957,10 +1009,14 @@ func (s *Store) Snapshot() (persist.Info, error) {
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	var t0 time.Time
+	if s.met.timings {
+		t0 = time.Now()
+	}
 	now := s.cfg.Now()
 	// The store-wide compaction count rides in shard 0's image, so the
 	// directory-wide sum recovers exactly.
-	comp := s.compactions.Load()
+	comp := s.met.compactions.Value()
 	for i, sh := range s.shards {
 		c := int64(0)
 		if i == 0 {
@@ -974,16 +1030,26 @@ func (s *Store) Snapshot() (persist.Info, error) {
 		}
 	}
 	total.Dir = s.cfg.Dir
-	s.snapshots.Add(1)
+	s.met.snapshots.Inc()
 	s.lastSnapshot.Store(now.UnixNano())
 	s.lastSnapBytes.Store(total.Bytes)
 	s.lastSnapErr.Store("")
+	if s.met.timings {
+		d := time.Since(t0)
+		s.met.snapshotSeconds.Observe(d)
+		s.met.journal.Record("snapshot", fmt.Sprintf("committed %d files, %d bytes", total.Files, total.Bytes),
+			"files", fmt.Sprint(total.Files), "bytes", fmt.Sprint(total.Bytes), "duration", d.String())
+	}
 	return total, nil
 }
 
 func (s *Store) noteSnapshotErr(err error) error {
 	err = fmt.Errorf("profstore: snapshot: %w", err)
+	s.met.snapshotErrors.Inc()
 	s.lastSnapErr.Store(err.Error())
+	if s.met.timings {
+		s.met.journal.Record("snapshot_error", err.Error())
+	}
 	return err
 }
 
@@ -1020,19 +1086,21 @@ type PersistStats struct {
 	Recovery          *RecoveryStats `json:"recovery,omitempty"`
 }
 
-// Stats snapshots the store under all shard read locks, so the counters
-// form one consistent cut.
+// Stats snapshots the store under all shard read locks, so the
+// occupancy values form one consistent cut. The activity counters
+// (compactions, WAL work, cache effectiveness) are read from the same
+// telemetry counters /metrics exports — one source of truth, so the two
+// surfaces agree by construction.
 func (s *Store) Stats() Stats {
 	s.rlockAll()
 	defer s.runlockAll()
 	st := Stats{
-		Compactions: s.compactions.Load(),
+		Compactions: s.met.compactions.Value(),
 		Shards:      len(s.shards),
 		Cache:       s.cache.stats(),
 	}
 	fineStarts := make(map[int64]bool)
 	coarseStarts := make(map[int64]bool)
-	var walAppends, walBytes, pruned int64
 	for _, sh := range s.shards {
 		st.Ingested += sh.ingested
 		if sh.lastIngest.After(st.LastIngest) {
@@ -1048,9 +1116,6 @@ func (s *Store) Stats() Stats {
 			st.Series += len(w.series)
 			st.Nodes += w.nodes()
 		}
-		walAppends += sh.walAppends
-		walBytes += sh.walBytes
-		pruned += sh.prunedSegments
 		if sh.tracker != nil {
 			ts := sh.tracker.Stats()
 			if st.Trend == nil {
@@ -1064,7 +1129,7 @@ func (s *Store) Stats() Stats {
 		}
 		if sh.idx != nil {
 			if st.Index == nil {
-				st.Index = &IndexStats{Rebuilds: s.indexRebuilds.Load()}
+				st.Index = &IndexStats{Rebuilds: s.met.indexRebuilds.Value()}
 			}
 			st.Index.Frames += int64(sh.idx.in.Len())
 			st.Index.Postings += sh.idx.postings
@@ -1075,11 +1140,11 @@ func (s *Store) Stats() Stats {
 	if s.cfg.Dir != "" {
 		ps := &PersistStats{
 			Dir:               s.cfg.Dir,
-			WALAppends:        walAppends,
-			WALBytes:          walBytes,
-			Snapshots:         s.snapshots.Load(),
+			WALAppends:        s.met.walAppends.Value(),
+			WALBytes:          s.met.walBytes.Value(),
+			Snapshots:         s.met.snapshots.Value(),
 			LastSnapshotBytes: s.lastSnapBytes.Load(),
-			PrunedWALSegments: pruned,
+			PrunedWALSegments: s.met.walPruned.Value(),
 			Recovery:          s.recovery.Load(),
 		}
 		if ns := s.lastSnapshot.Load(); ns != 0 {

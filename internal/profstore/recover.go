@@ -99,6 +99,10 @@ func wipeShardDirs(dataDir string, from int) {
 // layout is authoritative, never a torn mix.
 func (s *Store) Recover() (RecoveryStats, error) {
 	var rs RecoveryStats
+	var t0 time.Time
+	if s.met.timings {
+		t0 = time.Now()
+	}
 	if s.cfg.Dir == "" {
 		return rs, fmt.Errorf("profstore: recover: no Config.Dir")
 	}
@@ -198,6 +202,17 @@ func (s *Store) Recover() (RecoveryStats, error) {
 	// disk round-trip on the first ingest.
 	s.noteMetaCommitted()
 	s.recovery.Store(&rs)
+	if s.met.timings {
+		d := time.Since(t0)
+		s.met.recoverySeconds.Observe(d)
+		s.met.journal.Record("recovery",
+			fmt.Sprintf("restored %d windows, replayed %d WAL records", rs.WindowsRestored, rs.WALRecords),
+			"windows", fmt.Sprint(rs.WindowsRestored),
+			"wal_records", fmt.Sprint(rs.WALRecords),
+			"skipped_records", fmt.Sprint(rs.WALSkippedRecords),
+			"migrated", fmt.Sprint(rs.Migrated),
+			"duration", d.String())
+	}
 	return rs, nil
 }
 
@@ -213,7 +228,7 @@ func (s *Store) commitMigration(dir string) error {
 		return err
 	}
 	now := s.cfg.Now()
-	comp := s.compactions.Load()
+	comp := s.met.compactions.Value()
 	for i, sh := range s.shards {
 		c := int64(0)
 		if i == 0 {
@@ -307,7 +322,7 @@ func (s *Store) recoverSource(src string, rs *RecoveryStats) error {
 			}
 		}
 		sh0.mu.Unlock()
-		s.compactions.Add(snap.Compactions)
+		s.met.compactions.Add(snap.Compactions)
 		for _, ws := range snap.Windows {
 			for _, ss := range ws.Series {
 				// Snapshot trees were normalized at original ingest and
@@ -406,7 +421,12 @@ func (s *Store) recoverSource(src string, rs *RecoveryStats) error {
 	// actual work; here we only count it for Stats.
 	if !s.cfg.IndexDisabled && !indexAdopted &&
 		(rep.Records > 0 || (snap != nil && len(snap.Windows) > 0)) {
-		s.indexRebuilds.Add(1)
+		s.met.indexRebuilds.Inc()
+		if s.met.timings {
+			s.met.journal.Record("index_rebuild",
+				fmt.Sprintf("source %s carried no usable frame index; rebuilding from retained windows", filepath.Base(src)),
+				"source", filepath.Base(src))
+		}
 	}
 	if len(rep.Warnings) > 0 && src != s.cfg.Dir {
 		prefix := filepath.Base(src) + ": "

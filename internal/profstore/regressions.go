@@ -82,11 +82,18 @@ func (s *Store) TrendSweep() {
 	if s.cfg.Trend.Disabled && s.cfg.IndexDisabled {
 		return
 	}
+	var t0 time.Time
+	if s.met.timings {
+		t0 = time.Now()
+	}
 	now := s.cfg.Now()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sh.closeWindowsLocked(now)
 		sh.mu.Unlock()
+	}
+	if s.met.timings {
+		s.met.sweepSeconds.Observe(time.Since(t0))
 	}
 }
 

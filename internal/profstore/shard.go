@@ -103,19 +103,21 @@ type shard struct {
 	// transitions.
 	curWinNS int64
 
-	wal            *persist.WAL
-	walAppends     int64
-	walBytes       int64
-	prunedSegments int64
+	wal *persist.WAL
+	// met is the store-wide telemetry handle set (shared across shards;
+	// every counter is atomic). WAL append/byte/prune counts live there
+	// so Stats() and /metrics read one source.
+	met *storeMetrics
 }
 
-func newShard(id int, cfg Config) *shard {
+func newShard(id int, cfg Config, met *storeMetrics) *shard {
 	sh := &shard{
 		id:     id,
 		cfg:    cfg,
 		fine:   make(map[int64]*window),
 		coarse: make(map[int64]*window),
 		gens:   make(map[winKey]uint64),
+		met:    met,
 	}
 	if cfg.Dir != "" {
 		sh.dir = shardDir(cfg.Dir, id)
@@ -137,7 +139,14 @@ func shardDir(dataDir string, id int) string {
 // normalized tree into the current fine window. payload is nil for
 // memory-only stores.
 func (sh *shard) ingest(labels Labels, normalized *cct.Tree, payload []byte) (time.Time, error) {
+	var t0 time.Time
+	if sh.met.timings {
+		t0 = time.Now()
+	}
 	sh.mu.Lock()
+	if sh.met.timings {
+		sh.met.lockWaitSeconds.Observe(time.Since(t0))
+	}
 	defer sh.mu.Unlock()
 	now := sh.cfg.Now()
 	start := now.Truncate(sh.cfg.Window)
@@ -175,6 +184,11 @@ func (sh *shard) closeWindowsLocked(asOf time.Time) {
 	if sh.tracker == nil && sh.idx == nil {
 		return
 	}
+	var t0 time.Time
+	if sh.met.timings {
+		t0 = time.Now()
+	}
+	closed := 0
 	asNS := asOf.UnixNano()
 	metric := sh.cfg.Trend.Metric
 	for _, k := range sortedKeys(sh.fine) {
@@ -198,6 +212,17 @@ func (sh *shard) closeWindowsLocked(asOf time.Time) {
 			}
 		}
 		sh.closeCursor = k + 1
+		closed++
+		if sh.met.timings {
+			sh.met.journal.Record("window_close", fmt.Sprintf("shard %d closed window %s (%d series)", sh.id, w.start.UTC().Format(time.RFC3339), len(w.series)),
+				"shard", fmt.Sprint(sh.id), "start", w.start.UTC().Format(time.RFC3339), "series", fmt.Sprint(len(w.series)))
+		}
+	}
+	if closed > 0 {
+		sh.met.windowsClosed.Add(int64(closed))
+		if sh.met.timings {
+			sh.met.closeSeconds.Observe(time.Since(t0))
+		}
 	}
 }
 
@@ -236,8 +261,8 @@ func (sh *shard) walAppendLocked(startNS, tstampNS int64, payload []byte) error 
 	if err != nil {
 		return fmt.Errorf("profstore: shard %d wal append: %w", sh.id, err)
 	}
-	sh.walAppends++
-	sh.walBytes += n
+	sh.met.walAppends.Inc()
+	sh.met.walBytes.Add(n)
 	return nil
 }
 
@@ -252,6 +277,12 @@ func (sh *shard) openWALLocked() error {
 	if err != nil {
 		return err
 	}
+	m := persist.WALMetrics{Fsyncs: sh.met.walFsyncs}
+	if sh.met.timings {
+		m.AppendSeconds = sh.met.walAppendSeconds
+		m.FsyncSeconds = sh.met.walFsyncSeconds
+	}
+	w.SetMetrics(m)
 	sh.wal = w
 	return nil
 }
@@ -343,7 +374,7 @@ func (sh *shard) pruneWALRangeLocked(lo, hi int64) {
 		return
 	}
 	if n, err := sh.wal.PruneRange(lo, hi); err == nil {
-		sh.prunedSegments += int64(n)
+		sh.met.walPruned.Add(int64(n))
 	}
 }
 
@@ -382,7 +413,7 @@ func (sh *shard) snapshot(now time.Time, compactions int64) (persist.Info, error
 	// the currently-appending segment survives this (see persist.Prune).
 	sh.mu.Lock()
 	if n, perr := sh.wal.Prune(offsets); perr == nil {
-		sh.prunedSegments += int64(n)
+		sh.met.walPruned.Add(int64(n))
 	}
 	sh.mu.Unlock()
 	return info, nil

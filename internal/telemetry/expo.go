@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). The output is deterministic for a
+// given set of values: families are sorted by name, series by label
+// signature, histogram buckets by bound, and floats use the shortest
+// round-trip formatting. Counter and gauge values render as integers;
+// callback gauges and histogram sums render as floats (sums in seconds).
+//
+// Callback metrics are invoked under the registry mutex — cheap reads
+// only, and never re-entrant registration or rendering.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeFamily(w, r.families[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f *family) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	sigs := make([]string, 0, len(f.series))
+	for sig := range f.series {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		if err := writeSeries(w, f, sig, f.series[sig]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, sig string, s *msSeries) error {
+	switch {
+	case s.hist != nil:
+		return writeHistogram(w, f.name, s)
+	case s.intFn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, sig, s.intFn())
+		return err
+	case s.floatFn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, sig, formatFloat(s.floatFn()))
+		return err
+	case s.counter != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, sig, s.counter.Value())
+		return err
+	case s.gauge != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, sig, s.gauge.Value())
+		return err
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative _bucket series (le bounds in
+// seconds), then _sum (seconds) and _count. The +Inf bucket equals
+// _count by construction: both are the sum of the same bucket counts.
+func writeHistogram(w io.Writer, name string, s *msSeries) error {
+	var cum int64
+	for i := 0; i < histFinite; i++ {
+		cum += s.hist.buckets[i].Load()
+		le := formatFloat(float64(BucketBound(i)) / 1e9)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketSig(s.labels, le), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.hist.buckets[histNumBuckets-1].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketSig(s.labels, "+Inf"), cum); err != nil {
+		return err
+	}
+	sig := labelSignature(s.labels)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, sig, formatFloat(s.hist.Sum().Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sig, cum)
+	return err
+}
+
+// bucketSig renders a histogram series' label block with the le label
+// appended (after the sorted base labels, the conventional position).
+func bucketSig(sorted []Label, le string) string {
+	withLE := make([]Label, 0, len(sorted)+1)
+	withLE = append(withLE, sorted...)
+	withLE = append(withLE, Label{Key: "le", Value: le})
+	// Not re-sorted: le conventionally renders last regardless of order.
+	sig := "{"
+	for i, l := range withLE {
+		if i > 0 {
+			sig += ","
+		}
+		sig += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return sig + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

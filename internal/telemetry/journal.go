@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultJournalCap is the journal size NewRegistry installs: enough to
+// hold hours of lifecycle events (window closes, compactions, snapshots)
+// at production rhythm while bounding memory to a few hundred KB.
+const DefaultJournalCap = 1024
+
+// Event is one structured lifecycle record: a monotonic sequence number
+// (the stable cursor for incremental reads), a wall-clock stamp, a kind
+// tag for filtering, a human-oriented message, and optional key/value
+// detail fields.
+type Event struct {
+	Seq     int64             `json:"seq"`
+	Time    time.Time         `json:"time"`
+	Kind    string            `json:"kind"`
+	Message string            `json:"message"`
+	Fields  map[string]string `json:"fields,omitempty"`
+}
+
+// Journal is a bounded ring buffer of Events. Recording is mutex-guarded
+// but cheap (no I/O, one slot write); it is meant for lifecycle
+// transitions — window closes, compactions, snapshots, recoveries, slow
+// requests — not per-operation traffic. When the ring wraps, the oldest
+// events are overwritten and counted as dropped. A nil *Journal no-ops.
+type Journal struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int   // ring slot the next event lands in
+	seq     int64 // last sequence number issued
+	total   int64 // events ever recorded
+	dropped int64 // events overwritten by ring wrap
+	now     func() time.Time
+}
+
+// NewJournal returns a journal retaining the last capacity events
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{ring: make([]Event, 0, capacity), now: time.Now}
+}
+
+// SetClock replaces the journal's wall clock (tests and virtual-clock
+// harnesses). Not safe to call concurrently with Record.
+func (j *Journal) SetClock(now func() time.Time) {
+	if j != nil && now != nil {
+		j.now = now
+	}
+}
+
+// Record appends one event. kv lists detail fields as alternating
+// key/value strings; a trailing key without a value is dropped.
+func (j *Journal) Record(kind, message string, kv ...string) {
+	if j == nil {
+		return
+	}
+	var fields map[string]string
+	if len(kv) >= 2 {
+		fields = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			fields[kv[i]] = kv[i+1]
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	j.total++
+	ev := Event{Seq: j.seq, Time: j.now(), Kind: kind, Message: message, Fields: fields}
+	if len(j.ring) < cap(j.ring) {
+		j.ring = append(j.ring, ev)
+		j.next = len(j.ring) % cap(j.ring)
+		return
+	}
+	j.ring[j.next] = ev
+	j.next = (j.next + 1) % cap(j.ring)
+	j.dropped++
+}
+
+// Filter selects events from a journal read. The zero value matches
+// everything.
+type Filter struct {
+	// Kinds restricts to the listed kinds; empty matches all.
+	Kinds []string
+	// SinceSeq keeps events with Seq > SinceSeq (the incremental-read
+	// cursor: pass the last Seq you saw).
+	SinceSeq int64
+	// Since keeps events stamped at or after this instant.
+	Since time.Time
+	// Limit keeps only the newest Limit matching events; 0 means all
+	// retained.
+	Limit int
+}
+
+// Select returns the retained events matching f, oldest first.
+func (j *Journal) Select(f Filter) []Event {
+	if j == nil {
+		return nil
+	}
+	var kinds map[string]bool
+	if len(f.Kinds) > 0 {
+		kinds = make(map[string]bool, len(f.Kinds))
+		for _, k := range f.Kinds {
+			kinds[k] = true
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.ring))
+	// Oldest-first walk: the slot at next is the oldest once the ring is
+	// full; before that the ring is in append order from index 0.
+	start := 0
+	if len(j.ring) == cap(j.ring) {
+		start = j.next
+	}
+	for i := 0; i < len(j.ring); i++ {
+		ev := j.ring[(start+i)%len(j.ring)]
+		if ev.Seq <= f.SinceSeq {
+			continue
+		}
+		if kinds != nil && !kinds[ev.Kind] {
+			continue
+		}
+		if !f.Since.IsZero() && ev.Time.Before(f.Since) {
+			continue
+		}
+		out = append(out, ev)
+	}
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}
+
+// Stats reports how many events were ever recorded and how many the ring
+// has overwritten.
+func (j *Journal) Stats() (total, dropped int64) {
+	if j == nil {
+		return 0, 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total, j.dropped
+}

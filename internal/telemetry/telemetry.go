@@ -1,0 +1,366 @@
+// Package telemetry is the self-observability layer: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket log-scale latency
+// histograms) plus a bounded ring-buffer journal of structured lifecycle
+// events (journal.go). The design constraint is the ingest hot path:
+// recording into any pre-registered metric is zero-alloc and lock-free
+// (a handful of atomic adds), so instrumentation can stay on by default
+// without moving the pinned ingest benchmark profile.
+//
+// Registration is idempotent: asking for a (name, labels) pair that
+// already exists returns the same handle, so independently-initialized
+// components can share a registry without coordination. Registering an
+// existing name under a different metric type panics — that is a wiring
+// bug, not a runtime condition. Callback metrics (CounterFunc/GaugeFunc)
+// replace their callback on re-registration, so a component re-created
+// over the same registry (a recovered store, a test restart) takes over
+// its gauges instead of leaving them reading freed state.
+//
+// All handle methods are nil-receiver safe: a component holding nil
+// metric handles records into the void at the cost of one branch, which
+// is how telemetry is disabled without a second code path.
+//
+// WritePrometheus (expo.go) renders the registry in the Prometheus text
+// exposition format, deterministically: families sorted by name, series
+// sorted by label signature, fixed float formatting.
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair qualifying a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value. The zero value is ready to
+// use; a nil *Counter no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 for the value to stay monotonic; Add does
+// not enforce it).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer value that can go up and down. The
+// zero value is ready to use; a nil *Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket layout: powers of two in nanoseconds, from 1.024µs
+// (1<<10 ns) doubling up to ~17.2s (1<<34 ns), then +Inf. Fixed and
+// preallocated so Observe is a bucket-index computation plus two atomic
+// adds — no allocation, no lock, no dynamic bucket management.
+const (
+	histMinShift   = 10 // smallest finite bound: 1<<10 ns = 1.024µs
+	histFinite     = 25 // finite bounds: 1<<10 .. 1<<34 ns
+	histNumBuckets = histFinite + 1
+)
+
+// BucketBound returns the upper bound of finite bucket i in nanoseconds.
+func BucketBound(i int) int64 { return 1 << (histMinShift + i) }
+
+// Histogram is a fixed-bucket log2-scale latency distribution. A nil
+// *Histogram no-ops. The bucket counts and the running sum are updated
+// with independent atomic adds, so a concurrent scrape can observe a sum
+// slightly ahead of the counts (never torn values) — the usual
+// monitoring-grade consistency.
+type Histogram struct {
+	buckets [histNumBuckets]atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.sumNS.Add(ns)
+}
+
+// bucketIndex maps a non-negative duration to its bucket: bucket i covers
+// (1<<(9+i), 1<<(10+i)] ns, with i=0 also absorbing [0, 1024] and the
+// last bucket absorbing everything past the largest finite bound.
+func bucketIndex(ns int64) int {
+	if ns <= 1<<histMinShift {
+		return 0
+	}
+	i := bits.Len64(uint64(ns-1)) - histMinShift
+	if i >= histNumBuckets {
+		return histNumBuckets - 1
+	}
+	return i
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// metric kinds, for type-conflict detection and TYPE rendering.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// msSeries is one label combination of a family: exactly one backing is
+// set. Callback backings are invoked at scrape time, under the registry
+// mutex — they must not register metrics or scrape themselves.
+type msSeries struct {
+	labels  []Label // sorted by key; render signature is sig
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	intFn   func() int64
+	floatFn func() float64
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series map[string]*msSeries // label signature → series
+}
+
+// Registry holds metric families and the event journal. Registration and
+// rendering take its mutex; recording into issued handles never does.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	journal  *Journal
+}
+
+// NewRegistry returns an empty registry with a DefaultJournalCap-entry
+// event journal.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		journal:  NewJournal(DefaultJournalCap),
+	}
+}
+
+// Journal returns the registry's event journal (nil for a nil registry).
+func (r *Registry) Journal() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.journal
+}
+
+// series resolves (name, labels) inside kind k's family, creating family
+// and series as needed. Panics on a kind conflict: two components
+// disagreeing about a metric's type is a bug to surface, not to paper
+// over.
+func (r *Registry) series(name, help string, k kind, labels []Label) *msSeries {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	sig := labelSignature(sorted)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*msSeries)}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	s := f.series[sig]
+	if s == nil {
+		s = &msSeries{labels: sorted}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), registering it on
+// first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.series(name, help, kindCounter, labels)
+	if s.counter == nil && s.intFn == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.series(name, help, kindGauge, labels)
+	if s.gauge == nil && s.floatFn == nil && s.intFn == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram for (name, labels), registering it on
+// first use.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.series(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = &Histogram{}
+	}
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is read by fn at scrape
+// time (for counts that already live elsewhere under their own locks).
+// Re-registering replaces the callback. fn must not call back into the
+// registry.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.series(name, help, kindCounter, labels)
+	s.counter, s.intFn = nil, fn
+}
+
+// GaugeFunc registers a gauge whose value is read by fn at scrape time.
+// Re-registering replaces the callback. fn must not call back into the
+// registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.series(name, help, kindGauge, labels)
+	s.gauge, s.intFn, s.floatFn = nil, nil, fn
+}
+
+// labelSignature renders sorted labels as {k="v",...} — the series
+// identity and, verbatim, the exposition label block.
+func labelSignature(sorted []Label) string {
+	if len(sorted) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes for label
+// values: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,341 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/expo.golden from the current renderer")
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "help"); again != c {
+		t.Fatal("re-registration returned a different counter handle")
+	}
+	g := r.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	// Distinct label sets are distinct series; label order is not part of
+	// the identity.
+	a := r.Counter("lbl_total", "", L("x", "1"), L("y", "2"))
+	b := r.Counter("lbl_total", "", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	other := r.Counter("lbl_total", "", L("x", "other"))
+	if other == a {
+		t.Fatal("distinct label values shared a series")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "")
+	j := r.Journal()
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	j.Record("kind", "msg")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles recorded values")
+	}
+	if events := j.Select(Filter{}); events != nil {
+		t.Fatal("nil journal returned events")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	r.CounterFunc("f_total", "", func() int64 { return 1 })
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dual", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{1024 * time.Nanosecond, 0},
+		{1025 * time.Nanosecond, 1},
+		{2048 * time.Nanosecond, 1},
+		{2049 * time.Nanosecond, 2},
+		{time.Millisecond, 10},       // 1e6 ns <= 1<<20 = 1048576
+		{2 * time.Millisecond, 11},   // <= 1<<21
+		{time.Second, 20},            // 1e9 <= 1<<30 = 1073741824
+		{17 * time.Second, 24},       // <= 1<<34
+		{18 * time.Second, 25},       // past the largest finite bound
+		{40 * time.Minute, 25},       // deep overflow clamps
+		{-5 * time.Millisecond, 0},   // negative clamps to zero
+		{time.Duration(1 << 62), 25}, // extreme clamps
+	}
+	for _, tc := range cases {
+		h := &Histogram{}
+		h.Observe(tc.d)
+		got := -1
+		for i := range h.buckets {
+			if h.buckets[i].Load() == 1 {
+				got = i
+				break
+			}
+		}
+		if got != tc.want {
+			t.Errorf("Observe(%v): bucket %d, want %d", tc.d, got, tc.want)
+		}
+		if h.Count() != 1 {
+			t.Errorf("Observe(%v): count %d, want 1", tc.d, h.Count())
+		}
+	}
+	h := &Histogram{}
+	h.Observe(3 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	if got, want := h.Sum(), 8*time.Millisecond; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestJournalRingAndFilters(t *testing.T) {
+	j := NewJournal(4)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	i := 0
+	j.SetClock(func() time.Time {
+		i++
+		return base.Add(time.Duration(i) * time.Second)
+	})
+	for n := 1; n <= 6; n++ {
+		kind := "even"
+		if n%2 == 1 {
+			kind = "odd"
+		}
+		j.Record(kind, fmt.Sprintf("event %d", n), "n", fmt.Sprint(n))
+	}
+	all := j.Select(Filter{})
+	if len(all) != 4 {
+		t.Fatalf("retained %d events, want 4", len(all))
+	}
+	if all[0].Seq != 3 || all[3].Seq != 6 {
+		t.Fatalf("retained range [%d,%d], want [3,6]", all[0].Seq, all[3].Seq)
+	}
+	for k := 1; k < len(all); k++ {
+		if all[k].Seq != all[k-1].Seq+1 {
+			t.Fatal("events not in sequence order")
+		}
+	}
+	if all[1].Fields["n"] != "4" {
+		t.Fatalf("fields = %v, want n=4", all[1].Fields)
+	}
+	total, dropped := j.Stats()
+	if total != 6 || dropped != 2 {
+		t.Fatalf("stats = (%d, %d), want (6, 2)", total, dropped)
+	}
+
+	odd := j.Select(Filter{Kinds: []string{"odd"}})
+	if len(odd) != 2 || odd[0].Seq != 3 || odd[1].Seq != 5 {
+		t.Fatalf("kind filter returned %+v", odd)
+	}
+	since := j.Select(Filter{SinceSeq: 4})
+	if len(since) != 2 || since[0].Seq != 5 {
+		t.Fatalf("seq filter returned %+v", since)
+	}
+	byTime := j.Select(Filter{Since: base.Add(5 * time.Second)})
+	if len(byTime) != 2 || byTime[0].Seq != 5 {
+		t.Fatalf("time filter returned %+v", byTime)
+	}
+	last := j.Select(Filter{Limit: 1})
+	if len(last) != 1 || last[0].Seq != 6 {
+		t.Fatalf("limit filter returned %+v", last)
+	}
+}
+
+// goldenRegistry builds a registry with one of everything at fixed
+// values, the corpus for the rendering pin.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("demo_requests_total", "Requests served.", L("endpoint", "/ingest"), L("code", "2xx"))
+	c.Add(42)
+	r.Counter("demo_requests_total", "Requests served.", L("endpoint", "/ingest"), L("code", "5xx")).Add(2)
+	r.Counter("demo_requests_total", "Requests served.", L("endpoint", "/hotspots"), L("code", "2xx")).Add(7)
+	g := r.Gauge("demo_inflight_requests", "Requests in flight.")
+	g.Set(3)
+	r.CounterFunc("demo_ingested_total", "Profiles ingested.", func() int64 { return 1234 })
+	r.GaugeFunc("demo_last_ingest_timestamp_seconds", "Unix time of the last ingest.", func() float64 { return 1754567890.5 })
+	h := r.Histogram("demo_request_seconds", "Request latency.", L("endpoint", "/ingest"))
+	h.Observe(100 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	h.Observe(time.Minute) // overflow bucket
+	r.Counter("demo_escapes_total", "Label escaping.", L("path", "a\\b\"c\nd")).Inc()
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition output byte-for-byte:
+// sorted families, sorted series, the fixed bucket ladder, and the float
+// formatting are all part of the contract /metrics consumers (and the CI
+// smoke greps) rely on. Regenerate with -update-golden only for a
+// deliberate format change.
+func TestWritePrometheusGolden(t *testing.T) {
+	path := filepath.Join("testdata", "expo.golden")
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition output diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// Two renders of live handles must be identical: map iteration order
+	// must not leak into the output.
+	var again bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of identical registries differ")
+	}
+}
+
+// TestTelemetryStress hammers every recording path concurrently with
+// scrapes and journal reads; run under -race this is the data-race pin
+// for the lock-free hot path against the rendering snapshot.
+func TestTelemetryStress(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stress_total", "")
+	g := r.Gauge("stress_inflight", "")
+	h := r.Histogram("stress_seconds", "")
+	j := r.Journal()
+	r.GaugeFunc("stress_fn", "", func() float64 { return float64(c.Value()) })
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i%5000) * time.Microsecond)
+				if i%100 == 0 {
+					j.Record("stress", "tick", "writer", fmt.Sprint(id))
+				}
+				g.Add(-1)
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				j.Select(Filter{Kinds: []string{"stress"}, Limit: 10})
+				// Late registration must be safe mid-traffic.
+				r.Counter("stress_late_total", "", L("i", fmt.Sprint(i%3))).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), int64(writers*perG); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got, want := h.Count(), int64(writers*perG); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantLine := fmt.Sprintf("stress_total %d\n", writers*perG)
+	if !strings.Contains(buf.String(), wantLine) {
+		t.Fatalf("final exposition missing %q", wantLine)
+	}
+}
+
+// TestHistogramExpositionInvariants checks the +Inf bucket equals _count
+// and buckets are cumulative, the properties histogram_quantile needs.
+func TestHistogramExpositionInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inv_seconds", "")
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var prev, inf, count int64
+	inf = -1
+	for _, line := range strings.Split(buf.String(), "\n") {
+		var v int64
+		switch {
+		case strings.HasPrefix(line, "inv_seconds_bucket{le=\"+Inf\"}"):
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &inf)
+		case strings.HasPrefix(line, "inv_seconds_bucket"):
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v)
+			if v < prev {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			prev = v
+		case strings.HasPrefix(line, "inv_seconds_count"):
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &count)
+		}
+	}
+	if inf != 1000 || count != 1000 {
+		t.Fatalf("+Inf bucket = %d, _count = %d, want 1000", inf, count)
+	}
+}
