@@ -114,7 +114,7 @@ func runLoadgen(cfg profstore.Config, clients int, loads string, iters, rounds i
 	if err != nil {
 		return err
 	}
-	srv := newHTTPServer("", newHandler(store, maxBody, 0))
+	srv := newHTTPServer("", newHandler(store, maxBody, 0, false))
 	go srv.Serve(ln)
 	defer srv.Close()
 	baseURL := "http://" + ln.Addr().String()
@@ -351,7 +351,7 @@ func runLoadgenMixed(cfg profstore.Config, clients, readers int, loads string, i
 	if err != nil {
 		return err
 	}
-	srv := newHTTPServer("", newHandler(store, maxBody, 0))
+	srv := newHTTPServer("", newHandler(store, maxBody, 0, false))
 	go srv.Serve(ln)
 	defer srv.Close()
 	baseURL := "http://" + ln.Addr().String()

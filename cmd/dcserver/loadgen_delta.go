@@ -1,0 +1,313 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepcontext"
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profdb"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/profstore"
+)
+
+// runLoadgenDelta benchmarks delta streaming against full uploads on the
+// same workload shape: each (client, workload) cell holds a cumulative
+// profile — the state a long-lived profiling agent accumulates — and per
+// round a quarter of its kernel contexts receive new samples. Phase one
+// POSTs the whole profile through /ingest every round (the v2 path);
+// phase two replays the identical mutation schedule through /stream
+// sessions, so after the first full frame every round ships only the
+// changed subtrees, batched per client. Both phases land in disjoint
+// window ranges of one store, and the run finishes by asserting the two
+// ranges answer /hotspots identically — the delta path must be an
+// encoding change, never a data change.
+//
+// The RESULT lines carry ingests/s and bytes/ingest for both phases plus
+// the delta:full byte ratio; CI's delta-smoke step gates on them.
+func runLoadgenDelta(cfg profstore.Config, clients int, loads string, iters, rounds int, maxBody int64) error {
+	var workloads []string
+	known := make(map[string]bool)
+	for _, w := range deepcontext.WorkloadNames() {
+		known[w] = true
+	}
+	for _, w := range strings.Split(loads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if !known[w] {
+			return fmt.Errorf("loadgen: unknown workload %q (known: %s)",
+				w, strings.Join(deepcontext.WorkloadNames(), ", "))
+		}
+		workloads = append(workloads, w)
+	}
+	if len(workloads) == 0 {
+		return fmt.Errorf("loadgen: no workloads")
+	}
+	if clients <= 0 {
+		clients = 1
+	}
+	if rounds < 2 {
+		rounds = 2
+	}
+
+	base := time.Now()
+	var offset atomic.Int64
+	cfg.Now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	store := profstore.New(cfg)
+	defer store.Close()
+	window := store.Config().Window
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := newHTTPServer("", newHandler(store, maxBody, 0, false))
+	go srv.Serve(ln)
+	defer srv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	cells := clients * len(workloads)
+	fmt.Printf("loadgen-delta: server on %s — %d clients x %d workloads x %d rounds (iters %d)\n",
+		baseURL, clients, len(workloads), rounds, iters)
+
+	// Profile every cell once; both phases replay the same evolution from
+	// fresh copies of these bytes, so they ingest identical sequences.
+	baseBytes := make([][]byte, cells)
+	var genWg sync.WaitGroup
+	genErrs := make(chan error, cells)
+	for c := 0; c < clients; c++ {
+		for i, w := range workloads {
+			genWg.Add(1)
+			go func(c, i int, w string) {
+				defer genWg.Done()
+				body, err := encodeOne(w, c, i, iters, kernelScale{})
+				if err != nil {
+					genErrs <- err
+					return
+				}
+				baseBytes[c*len(workloads)+i] = body
+			}(c, i, w)
+		}
+	}
+	genWg.Wait()
+	close(genErrs)
+	for err := range genErrs {
+		return fmt.Errorf("loadgen: profile generation: %w", err)
+	}
+
+	// Each cell's kernel contexts are collected once at load; the per-round
+	// mutation then touches its rotating quarter directly instead of
+	// re-walking the tree — tree walks inside the timed phases would be
+	// harness cost, not ingest-path cost.
+	loadCells := func(c int) ([]*profiler.Profile, [][]*cct.Node, error) {
+		ps := make([]*profiler.Profile, len(workloads))
+		ks := make([][]*cct.Node, len(workloads))
+		for i := range workloads {
+			p, err := profdb.Load(bytes.NewReader(baseBytes[c*len(workloads)+i]))
+			if err != nil {
+				return nil, nil, err
+			}
+			ps[i] = p
+			ks[i] = kernelNodes(p.Tree)
+		}
+		return ps, ks, nil
+	}
+
+	// Per-client state persists across rounds; the round loop is the outer
+	// loop so every round lands in its own window of the virtual clock.
+	p1ps := make([][]*profiler.Profile, clients)
+	p1ks := make([][][]*cct.Node, clients)
+	for c := 0; c < clients; c++ {
+		if p1ps[c], p1ks[c], err = loadCells(c); err != nil {
+			return fmt.Errorf("loadgen-delta: %w", err)
+		}
+	}
+
+	// Phase 1: full uploads — the cumulative profile re-encoded and
+	// re-POSTed whole, every round.
+	p1Start := cfg.Now().Truncate(window)
+	var fullOK, fullBytes atomic.Int64
+	var failed atomic.Int64
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		var rwg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			rwg.Add(1)
+			go func(c int) {
+				defer rwg.Done()
+				httpc := &http.Client{Timeout: time.Minute}
+				for i, p := range p1ps[c] {
+					deltaMutate(p.Tree, p1ks[c][i], r)
+					var buf bytes.Buffer
+					if err := profdb.Save(&buf, p); err != nil {
+						failed.Add(1)
+						continue
+					}
+					if err := postBody(httpc, baseURL, buf.Bytes()); err != nil {
+						failed.Add(1)
+						fmt.Printf("loadgen-delta: client %d full: %v\n", c, err)
+						continue
+					}
+					fullOK.Add(1)
+					fullBytes.Add(int64(buf.Len()))
+				}
+			}(c)
+		}
+		rwg.Wait()
+		offset.Add(int64(window))
+	}
+	fullElapsed := time.Since(t0)
+
+	// Phase 2: delta streams replaying the identical schedule from fresh
+	// copies.
+	p2ps := make([][]*profiler.Profile, clients)
+	p2ks := make([][][]*cct.Node, clients)
+	scs := make([]*streamClient, clients)
+	for c := 0; c < clients; c++ {
+		if p2ps[c], p2ks[c], err = loadCells(c); err != nil {
+			return fmt.Errorf("loadgen-delta: %w", err)
+		}
+		scs[c] = newStreamClient(&http.Client{Timeout: time.Minute}, baseURL, fmt.Sprintf("loadgen-%d", c))
+	}
+	p2Start := cfg.Now().Truncate(window)
+	var deltaOK atomic.Int64
+	t1 := time.Now()
+	for r := 0; r < rounds; r++ {
+		var rwg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			rwg.Add(1)
+			go func(c int) {
+				defer rwg.Done()
+				for i, p := range p2ps[c] {
+					deltaMutate(p.Tree, p2ks[c][i], r)
+				}
+				pending := p2ps[c]
+				for attempt := 0; len(pending) > 0 && attempt < 3; attempt++ {
+					res, err := scs[c].send(pending)
+					if err != nil {
+						failed.Add(int64(len(pending)))
+						fmt.Printf("loadgen-delta: client %d stream: %v\n", c, err)
+						return
+					}
+					deltaOK.Add(int64(res.Acked))
+					if len(res.Nacked) == 0 && !res.Reset {
+						return
+					}
+					var retry []*profiler.Profile
+					for _, p := range pending {
+						if res.Reset || res.Nacked[profstore.LabelsOf(p.Meta).Key()] {
+							retry = append(retry, p)
+						}
+					}
+					pending = retry
+				}
+				failed.Add(int64(len(pending)))
+			}(c)
+		}
+		rwg.Wait()
+		offset.Add(int64(window))
+	}
+	deltaElapsed := time.Since(t1)
+	var deltaBytes, resyncs, nackTotal int64
+	for _, sc := range scs {
+		sc.closeSession()
+		deltaBytes += sc.wireBytes
+		resyncs += sc.resyncs
+		nackTotal += sc.nacks
+	}
+
+	if failed.Load() > 0 {
+		return fmt.Errorf("loadgen-delta: %d failed ingests", failed.Load())
+	}
+	want := int64(cells * rounds)
+	if fullOK.Load() != want || deltaOK.Load() != want {
+		return fmt.Errorf("loadgen-delta: ingest counts diverged: full=%d delta=%d want=%d",
+			fullOK.Load(), deltaOK.Load(), want)
+	}
+
+	// The proof obligation: both phases must answer /hotspots identically
+	// over their own window ranges.
+	httpc := &http.Client{Timeout: time.Minute}
+	rows1, err := hotspotRows(httpc, baseURL, p1Start, p2Start)
+	if err != nil {
+		return fmt.Errorf("loadgen-delta: phase-1 hotspots: %w", err)
+	}
+	rows2, err := hotspotRows(httpc, baseURL, p2Start, p2Start.Add(time.Duration(rounds)*window))
+	if err != nil {
+		return fmt.Errorf("loadgen-delta: phase-2 hotspots: %w", err)
+	}
+	equal := reflect.DeepEqual(rows1, rows2)
+
+	fullPer := fullBytes.Load() / want
+	deltaPer := deltaBytes / want
+	fullRate := float64(fullOK.Load()) / fullElapsed.Seconds()
+	deltaRate := float64(deltaOK.Load()) / deltaElapsed.Seconds()
+	fmt.Printf("loadgen-delta: RESULT full ingests=%d ingests_per_s=%.1f bytes_per_ingest=%d\n",
+		fullOK.Load(), fullRate, fullPer)
+	fmt.Printf("loadgen-delta: RESULT delta ingests=%d ingests_per_s=%.1f bytes_per_ingest=%d resyncs=%d nacks=%d rows_equal=%v\n",
+		deltaOK.Load(), deltaRate, deltaPer, resyncs, nackTotal, equal)
+	fmt.Printf("loadgen-delta: RESULT ratio bytes=%.4f speedup=%.2f\n",
+		float64(deltaPer)/float64(fullPer), deltaRate/fullRate)
+	if !equal {
+		return fmt.Errorf("loadgen-delta: delta and full phases answered /hotspots differently")
+	}
+	return nil
+}
+
+// kernelNodes collects a tree's kernel contexts once, so the per-round
+// mutation is proportional to the touched set rather than the tree.
+func kernelNodes(t *cct.Tree) []*cct.Node {
+	var kernels []*cct.Node
+	t.Visit(func(n *cct.Node) {
+		if n.Kind == cct.KindKernel {
+			kernels = append(kernels, n)
+		}
+	})
+	return kernels
+}
+
+// deltaMutate advances one cumulative profile by a round: every fourth
+// kernel context (rotating with the round) receives new samples, the
+// steady-state shape where most of the tree is unchanged between
+// uploads.
+func deltaMutate(t *cct.Tree, kernels []*cct.Node, r int) {
+	id, ok := t.Schema.Lookup(defaultMetric)
+	if !ok {
+		return
+	}
+	for i, n := range kernels {
+		if i%4 == r%4 {
+			t.AddMetric(n, id, float64(1000*(r+1)+i))
+		}
+	}
+}
+
+// hotspotRows fetches /hotspots rows for one window range.
+func hotspotRows(httpc *http.Client, baseURL string, from, to time.Time) (any, error) {
+	q := url.Values{}
+	q.Set("from", from.Format(time.RFC3339Nano))
+	q.Set("to", to.Format(time.RFC3339Nano))
+	q.Set("top", "0")
+	var out struct {
+		Rows []struct {
+			Label string  `json:"label"`
+			Excl  float64 `json:"excl"`
+			Incl  float64 `json:"incl"`
+			Count int64   `json:"count"`
+			Frac  float64 `json:"frac"`
+		} `json:"rows"`
+	}
+	if err := getJSON(httpc, baseURL+"/hotspots?"+q.Encode(), &out); err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
+}

@@ -113,7 +113,7 @@ func runLoadgenFleet(cfg profstore.Config, seriesN, readers int, loads string, i
 	if err != nil {
 		return err
 	}
-	srv := newHTTPServer("", newHandler(store, maxBody, 0))
+	srv := newHTTPServer("", newHandler(store, maxBody, 0, false))
 	go srv.Serve(ln)
 	defer srv.Close()
 	baseURL := "http://" + ln.Addr().String()

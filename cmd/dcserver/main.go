@@ -14,6 +14,8 @@
 // Endpoints:
 //
 //	POST /ingest                         .dcp body (single or bundle)
+//	POST /stream?session=<id>            profdb v3 delta-ingest session
+//	                                     (gob StreamBatch body; -no-delta disables)
 //	GET  /hotspots?metric=&top=&from=&to=&workload=&vendor=&framework=
 //	GET  /diff?before=&after=&metric=&top=     window-vs-window signed diff
 //	GET  /flame?format=html|folded&from=&to=   (or before=/after= for signed)
@@ -55,6 +57,17 @@
 //	dcserver -loadgen -clients 8 -loads UNet,DLRM-small,Resnet   # ingest demo
 //	dcserver -loadgen -mixed -clients 4 -readers 8 -duration 5s  # read/write bench
 //	dcserver -loadgen -fleet -series 500 -duration 5s            # /topk + /search bench
+//	dcserver -loadgen -delta -clients 4 -rounds 20               # delta vs full ingest bench
+//
+// Long-lived profiling agents should prefer POST /stream: after one full
+// upload per series, each round ships only the changed subtrees (profdb
+// v3 delta frames, batched so the store takes one shard-lock acquisition
+// per batch), cutting steady-state ingest bytes by an order of
+// magnitude. A desynced session (server restart, lost batch, checksum
+// mismatch) is NACKed and the client falls back to full uploads, so
+// /stream never loses data relative to /ingest — the WAL records the
+// materialized full profile either way. -no-delta is the kill switch:
+// it refuses /stream with 503 and clients fall back to /ingest.
 //
 // Fleet-wide queries (/topk ranks frames across every matching series,
 // /search finds the series containing a frame) are served from per-window
@@ -116,6 +129,7 @@ func main() {
 
 		loadgen  = flag.Bool("loadgen", false, "run the multi-client ingest demo instead of serving")
 		mixed    = flag.Bool("mixed", false, "loadgen: mixed read/write mode — readers hammer queries while writers ingest")
+		delta    = flag.Bool("delta", false, "loadgen: delta-streaming bench — clients drive /stream sessions and a full-upload control group, reporting bytes/ingest for both")
 		fleet    = flag.Bool("fleet", false, "loadgen: fleet-query benchmark — many series, readers hammer /topk and /search (RESULT qps line)")
 		series   = flag.Int("series", 200, "loadgen -fleet: distinct label series to seed")
 		clients  = flag.Int("clients", 8, "loadgen: concurrent clients")
@@ -126,6 +140,7 @@ func main() {
 		rounds   = flag.Int("rounds", 2, "loadgen: ingest rounds (each lands in its own window)")
 
 		noIndex = flag.Bool("no-index", false, "disable the fleet-query frame index (TopK/Search fall back to folding trees; results are identical)")
+		noDelta = flag.Bool("no-delta", false, "refuse POST /stream delta sessions with 503 (kill switch; clients fall back to full /ingest uploads)")
 
 		noTelemetry = flag.Bool("no-telemetry", false, "disable latency timings and the event journal (counters and /metrics stay on)")
 		slowRequest = flag.Duration("slow-request", defaultSlowRequest, "journal requests taking at least this long (0 disables)")
@@ -176,6 +191,8 @@ func main() {
 		}
 		var err error
 		switch {
+		case *delta:
+			err = runLoadgenDelta(cfg, *clients, *loads, *iters, *rounds, *maxBody)
 		case *fleet:
 			err = runLoadgenFleet(cfg, *series, *readers, *loads, *iters, *duration, *maxBody)
 		case *mixed:
@@ -230,7 +247,7 @@ func main() {
 	if *noTelemetry {
 		slow = 0 // -no-telemetry silences the journal end to end
 	}
-	srv := newHTTPServer(*addr, newHandler(store, *maxBody, slow))
+	srv := newHTTPServer(*addr, newHandler(store, *maxBody, slow, *noDelta))
 	fmt.Printf("dcserver: listening on %s (window %v, retention %d fine + %d coarse, %d shards, cache %d)\n",
 		ln.Addr(), store.Config().Window, store.Config().Retention, store.Config().CoarseRetention,
 		store.Config().Shards, store.Config().CacheSize)

@@ -15,17 +15,21 @@ import (
 )
 
 // newHandler wires the ingest/query API over one store. maxBody caps
-// POST /ingest bodies in bytes; requests taking slow or longer land in
-// the event journal (0 disables). Every route is instrumented into the
-// store's telemetry registry, which /metrics and /debug/events expose.
-func newHandler(store *profstore.Store, maxBody int64, slow time.Duration) http.Handler {
-	s := &server{store: store, maxBody: maxBody, started: time.Now()}
+// POST /ingest and /stream bodies in bytes; requests taking slow or
+// longer land in the event journal (0 disables); noDelta is the kill
+// switch that refuses /stream sessions (clients fall back to full
+// /ingest uploads). Every route is instrumented into the store's
+// telemetry registry, which /metrics and /debug/events expose.
+func newHandler(store *profstore.Store, maxBody int64, slow time.Duration, noDelta bool) http.Handler {
+	s := &server{store: store, maxBody: maxBody, noDelta: noDelta, started: time.Now()}
+	s.streams = newStreamRegistry(store.Telemetry())
 	m := newServerMetrics(store.Telemetry(), slow)
 	mux := http.NewServeMux()
 	handle := func(route string, h http.HandlerFunc) {
 		mux.HandleFunc(route, m.wrap(route, h))
 	}
 	handle("/ingest", s.handleIngest)
+	handle("/stream", s.handleStream)
 	handle("/hotspots", get(s.handleHotspots))
 	handle("/diff", get(s.handleDiff))
 	handle("/flame", get(s.handleFlame))
@@ -57,6 +61,8 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 type server struct {
 	store   *profstore.Store
 	maxBody int64
+	noDelta bool
+	streams *streamRegistry
 	started time.Time
 }
 

@@ -65,7 +65,7 @@ func dcpBytes(t *testing.T, p *profiler.Profile) []byte {
 func newTestServer(t *testing.T, clock *testClock, maxBody int64) (*httptest.Server, *profstore.Store) {
 	t.Helper()
 	store := profstore.New(profstore.Config{Window: time.Minute, Now: clock.Now})
-	ts := httptest.NewServer(newHandler(store, maxBody, defaultSlowRequest))
+	ts := httptest.NewServer(newHandler(store, maxBody, defaultSlowRequest, false))
 	t.Cleanup(ts.Close)
 	return ts, store
 }
@@ -389,7 +389,7 @@ func TestRestartWithDataDirIsByteIdentical(t *testing.T) {
 			if _, err := store.Recover(); err != nil {
 				t.Fatal(err)
 			}
-			ts := httptest.NewServer(newHandler(store, profdb.DefaultMaxBytes, defaultSlowRequest))
+			ts := httptest.NewServer(newHandler(store, profdb.DefaultMaxBytes, defaultSlowRequest, false))
 			postIngest(t, ts, dcpBytes(t, testProfile("UNet", 1))).Body.Close()
 			postIngest(t, ts, dcpBytes(t, testProfile("DLRM", 2))).Body.Close()
 			clock.Advance(time.Minute)
@@ -419,7 +419,7 @@ func TestRestartWithDataDirIsByteIdentical(t *testing.T) {
 			if rs.SnapshotLoaded != tc.graceful {
 				t.Fatalf("snapshot loaded = %v, want %v (%+v)", rs.SnapshotLoaded, tc.graceful, rs)
 			}
-			ts2 := httptest.NewServer(newHandler(revived, profdb.DefaultMaxBytes, defaultSlowRequest))
+			ts2 := httptest.NewServer(newHandler(revived, profdb.DefaultMaxBytes, defaultSlowRequest, false))
 			defer ts2.Close()
 			if got := getBytes(t, ts2, "/hotspots?top=10"); !bytes.Equal(got, wantHot) {
 				t.Fatalf("/hotspots changed across restart:\n got %s\nwant %s", got, wantHot)

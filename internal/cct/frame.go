@@ -95,6 +95,27 @@ func (f Frame) Key() string {
 	}
 }
 
+// SameKey reports whether two frames unify — Key() equality — without
+// materializing either key string. The delta encoder compares every
+// paired node once per upload, so this comparison must not allocate.
+func SameKey(a, b Frame) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindPython:
+		return a.File == b.File && a.Line == b.Line
+	case KindOperator, KindThread:
+		return a.Name == b.Name
+	case KindInstruction:
+		return a.PC == b.PC
+	case KindNative, KindGPUAPI, KindKernel:
+		return a.Lib == b.Lib && a.PC == b.PC
+	default:
+		return true
+	}
+}
+
 // Label renders the frame for display.
 func (f Frame) Label() string {
 	switch f.Kind {

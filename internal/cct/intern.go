@@ -101,3 +101,53 @@ func (in *Interner) Len() int {
 	defer in.mu.RUnlock()
 	return len(in.frames)
 }
+
+// ExactInterner assigns dense FrameIDs to verbatim frames — every field
+// compared, unlike Interner's unification-key equivalence. Wire protocols
+// use it as a per-session frame dictionary: each distinct frame crosses
+// the wire once and is referenced by its dense ID thereafter, and because
+// assignment order is deterministic the receiver reconstructs the same
+// table by appending. Not safe for concurrent use; a session is driven by
+// one goroutine.
+type ExactInterner struct {
+	ids    map[Frame]FrameID
+	frames []Frame
+}
+
+// NewExactInterner returns an empty exact-frame dictionary.
+func NewExactInterner() *ExactInterner {
+	return &ExactInterner{ids: make(map[Frame]FrameID, 64)}
+}
+
+// Intern returns the FrameID for exactly f, assigning the next dense ID on
+// first sight.
+func (in *ExactInterner) Intern(f Frame) FrameID {
+	if id, ok := in.ids[f]; ok {
+		return id
+	}
+	id := FrameID(len(in.frames))
+	in.ids[f] = id
+	in.frames = append(in.frames, f)
+	return id
+}
+
+// FrameOf returns the frame assigned id, reporting false for IDs never
+// assigned.
+func (in *ExactInterner) FrameOf(id FrameID) (Frame, bool) {
+	if int(id) >= len(in.frames) {
+		return Frame{}, false
+	}
+	return in.frames[id], true
+}
+
+// Frames returns the dictionary entries from id onward, in assignment
+// order — the suffix a sender ships after interning a batch.
+func (in *ExactInterner) Frames(from FrameID) []Frame {
+	if int(from) >= len(in.frames) {
+		return nil
+	}
+	return in.frames[from:]
+}
+
+// Len reports the number of assigned IDs.
+func (in *ExactInterner) Len() int { return len(in.frames) }

@@ -71,7 +71,15 @@ func MapFrames(t *Tree, fn func(Frame) Frame) *Tree {
 	size := out.Schema.Len()
 	var rec func(dst, src *Node)
 	rec = func(dst, src *Node) {
-		dst.ensure(size)
+		// dst nodes are fresh (or, on a unification collision, already
+		// full-size), so size the arrays in one allocation each instead of
+		// ensure's incremental growth — this clone runs on every ingest.
+		if len(dst.Excl) < size {
+			dst.Excl = make([]Metric, size)
+		}
+		if len(dst.Incl) < size {
+			dst.Incl = make([]Metric, size)
+		}
 		for i, m := range src.Excl {
 			if !m.Empty() {
 				dst.Excl[remap[i]].Merge(m)
@@ -100,7 +108,7 @@ func NormalizeAddresses(t *Tree) *Tree {
 	return MapFrames(t, func(f Frame) Frame {
 		switch f.Kind {
 		case KindNative, KindGPUAPI, KindKernel, KindInstruction:
-			f.PC = stableID(f.Name + "@" + f.Lib)
+			f.PC = stableID2(f.Name, f.Lib)
 		}
 		return f
 	})
@@ -108,7 +116,20 @@ func NormalizeAddresses(t *Tree) *Tree {
 
 // stableID is FNV-1a, a deterministic stand-in for an address.
 func stableID(s string) uint64 {
-	h := uint64(14695981039346656037)
+	return fnvStr(14695981039346656037, s)
+}
+
+// stableID2 hashes a+"@"+b without building the joined string — it runs
+// once per address-unified node on every ingest's normalization clone.
+// The digest is identical to stableID(a+"@"+b).
+func stableID2(a, b string) uint64 {
+	h := fnvStr(14695981039346656037, a)
+	h ^= '@'
+	h *= 1099511628211
+	return fnvStr(h, b)
+}
+
+func fnvStr(h uint64, s string) uint64 {
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
 		h *= 1099511628211

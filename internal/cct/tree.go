@@ -87,11 +87,18 @@ func (n *Node) ExclMetric(id MetricID) *Metric {
 }
 
 func (n *Node) ensure(size int) {
-	for len(n.Excl) < size {
-		n.Excl = append(n.Excl, Metric{})
+	// Grow in one exact-size allocation per array: merge and record paths
+	// call this for every fresh node, and append's doubling both
+	// over-allocates and re-zeroes the array several times on the way up.
+	if len(n.Excl) < size {
+		e := make([]Metric, size)
+		copy(e, n.Excl)
+		n.Excl = e
 	}
-	for len(n.Incl) < size {
-		n.Incl = append(n.Incl, Metric{})
+	if len(n.Incl) < size {
+		c := make([]Metric, size)
+		copy(c, n.Incl)
+		n.Incl = c
 	}
 }
 

@@ -37,6 +37,8 @@ type storeMetrics struct {
 	windowsClosed  *telemetry.Counter
 	snapshots      *telemetry.Counter
 	snapshotErrors *telemetry.Counter
+	batches        *telemetry.Counter
+	batchProfiles  *telemetry.Counter
 	walAppends     *telemetry.Counter
 	walBytes       *telemetry.Counter
 	walFsyncs      *telemetry.Counter
@@ -75,6 +77,8 @@ func newStoreMetrics(reg *telemetry.Registry, timings bool) *storeMetrics {
 		windowsClosed:  reg.Counter("profstore_windows_closed_total", "Fine windows closed (observed by the trend tracker and indexed)."),
 		snapshots:      reg.Counter("profstore_snapshots_total", "Snapshots committed."),
 		snapshotErrors: reg.Counter("profstore_snapshot_errors_total", "Snapshot attempts that failed."),
+		batches:        reg.Counter("profstore_ingest_batches_total", "Batch ingests applied (one shard-lock acquisition per shard per batch)."),
+		batchProfiles:  reg.Counter("profstore_ingest_batch_profiles_total", "Profiles ingested through the batch path."),
 		walAppends:     reg.Counter("profstore_wal_appends_total", "WAL records appended."),
 		walBytes:       reg.Counter("profstore_wal_appended_bytes_total", "WAL bytes appended (frame headers included)."),
 		walFsyncs:      reg.Counter("profstore_wal_fsyncs_total", "WAL segment fsyncs."),

@@ -428,6 +428,103 @@ func (s *Store) Ingest(p *profiler.Profile) (time.Time, error) {
 	return start, err
 }
 
+// PreparedProfile is one batch-ingest entry: the profile's series labels,
+// its normalized tree, and its WAL payload, all captured at Prepare time.
+// Because Prepare snapshots everything ingestion reads, the source profile
+// may be mutated (or delta-materialized further) before the batch lands.
+type PreparedProfile struct {
+	labels     Labels
+	normalized *cct.Tree
+	payload    []byte
+}
+
+// PayloadBytes reports the entry's WAL payload size (0 for a memory-only
+// store) — what one full upload of this profile costs on the wire.
+func (pp *PreparedProfile) PayloadBytes() int { return len(pp.payload) }
+
+// Prepare runs the lock-free half of Ingest — WAL encoding and address
+// normalization, both full-tree walks — and returns an entry for
+// IngestPrepared. The streaming ingest session prepares each materialized
+// profile as it is decoded, then applies whole batches under one shard
+// lock acquisition.
+func (s *Store) Prepare(p *profiler.Profile) (PreparedProfile, error) {
+	if p == nil || p.Tree == nil {
+		return PreparedProfile{}, fmt.Errorf("profstore: nil profile")
+	}
+	var payload []byte
+	if s.cfg.Dir != "" {
+		if err := s.ensureMeta(); err != nil {
+			return PreparedProfile{}, err
+		}
+		var err error
+		if payload, err = persist.EncodeProfile(p); err != nil {
+			return PreparedProfile{}, fmt.Errorf("profstore: encode for wal: %w", err)
+		}
+	}
+	return PreparedProfile{
+		labels:     LabelsOf(p.Meta),
+		normalized: cct.NormalizeAddresses(p.Tree),
+		payload:    payload,
+	}, nil
+}
+
+// IngestPrepared folds a batch of prepared profiles into the store,
+// acquiring each shard's write lock once for all of that shard's entries
+// instead of once per profile. Within a shard, entries apply in batch
+// order (WAL append before merge, exactly as Ingest), and the whole batch
+// shares one clock read — a batch lands in a single window per shard.
+// Returned window starts align with the batch; on error, entries of the
+// failing shard past the failure and all entries of higher-numbered shards
+// are not applied and report zero starts.
+func (s *Store) IngestPrepared(batch []PreparedProfile) ([]time.Time, error) {
+	var t0 time.Time
+	if s.met.timings {
+		t0 = time.Now()
+	}
+	starts := make([]time.Time, len(batch))
+	if len(batch) == 0 {
+		return starts, nil
+	}
+	// Group entries by shard, preserving batch order within each group.
+	// Shards are locked one at a time in ascending id order — the
+	// store-wide lock order — though never nested.
+	byShard := make(map[int][]int)
+	for i := range batch {
+		id := s.shardFor(batch[i].labels.Key()).id
+		byShard[id] = append(byShard[id], i)
+	}
+	for _, id := range sortedKeys(byShard) {
+		idxs := byShard[id]
+		start, err := s.shards[id].ingestBatch(batch, idxs)
+		if err != nil {
+			return starts, err
+		}
+		for _, i := range idxs {
+			starts[i] = start
+		}
+	}
+	s.met.batches.Inc()
+	s.met.batchProfiles.Add(int64(len(batch)))
+	if s.met.timings {
+		s.met.ingestSeconds.Observe(time.Since(t0))
+	}
+	return starts, nil
+}
+
+// IngestBatch prepares and ingests profiles as one batch; see
+// IngestPrepared. The profiles must be distinct objects — callers reusing
+// one evolving profile (the delta session) prepare each state eagerly.
+func (s *Store) IngestBatch(ps []*profiler.Profile) ([]time.Time, error) {
+	batch := make([]PreparedProfile, len(ps))
+	for i, p := range ps {
+		var err error
+		if batch[i], err = s.Prepare(p); err != nil {
+			return make([]time.Time, len(ps)), err
+		}
+	}
+	return s.IngestPrepared(batch)
+}
+
 // WindowInfo describes one retained bucket.
 type WindowInfo struct {
 	Start    time.Time     `json:"start"`

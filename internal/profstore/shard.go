@@ -174,6 +174,48 @@ func (sh *shard) ingest(labels Labels, normalized *cct.Tree, payload []byte) (ti
 	return start, nil
 }
 
+// ingestBatch applies the batch entries selected by idxs (in order) under
+// one acquisition of the shard's write lock: one clock read, one
+// window-close pass, then WAL append + merge per entry exactly as ingest.
+// A WAL failure aborts the batch; earlier entries are fully applied
+// (appended and merged), matching a sequence of single ingests.
+func (sh *shard) ingestBatch(batch []PreparedProfile, idxs []int) (time.Time, error) {
+	var t0 time.Time
+	if sh.met.timings {
+		t0 = time.Now()
+	}
+	sh.mu.Lock()
+	if sh.met.timings {
+		sh.met.lockWaitSeconds.Observe(time.Since(t0))
+	}
+	defer sh.mu.Unlock()
+	now := sh.cfg.Now()
+	start := now.Truncate(sh.cfg.Window)
+	if sh.tracker != nil || sh.idx != nil {
+		if ns := start.UnixNano(); ns != sh.curWinNS {
+			if ns < sh.closeCursor {
+				if sh.tracker != nil {
+					sh.tracker.NoteLate()
+				}
+			} else {
+				sh.closeWindowsLocked(now)
+				sh.curWinNS = ns
+			}
+		}
+	}
+	for _, i := range idxs {
+		if batch[i].payload != nil {
+			if err := sh.walAppendLocked(start.UnixNano(), now.UnixNano(), batch[i].payload); err != nil {
+				return time.Time{}, err
+			}
+		}
+		sh.mergeIntoWindowLocked(start, batch[i].labels, batch[i].normalized)
+		sh.ingested++
+	}
+	sh.lastIngest = now
+	return start, nil
+}
+
 // closeWindowsLocked processes every fine window that closed by asOf —
 // and has not been closed yet — oldest first, each series in sorted key
 // order: the trend tracker observes it and the frame index gains its
@@ -499,7 +541,7 @@ func (sh *shard) closeWAL() {
 
 // sortedKeys returns m's keys ascending — iteration order for every fold
 // or drop that must be deterministic.
-func sortedKeys[K interface{ ~int64 | ~string }, V any](m map[K]V) []K {
+func sortedKeys[K interface{ ~int | ~int64 | ~string }, V any](m map[K]V) []K {
 	out := make([]K, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -17,8 +17,8 @@ import (
 // that adds an allocation (or a byte) to Ingest shows up here before it
 // shows up in a benchmark diff.
 const (
-	pinnedIngestAllocs = 70
-	pinnedIngestBytes  = 14976
+	pinnedIngestAllocs = 56
+	pinnedIngestBytes  = 14304
 )
 
 // bytesPerRun is testing.AllocsPerRun's missing sibling: average bytes
