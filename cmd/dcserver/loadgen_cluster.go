@@ -1,0 +1,314 @@
+package main
+
+// loadgen -cluster: the multi-node ingest benchmark. It boots a 3-node
+// in-process cluster (each node a full dcserver handler over its own
+// store, all on one shared virtual clock) plus a single-node control,
+// drives the same pre-encoded ingest load through both, and then checks
+// the tentpole invariant the hard way: /hotspots and /topk answered by
+// the cluster must be byte-identical to the single node holding the
+// union of the data. The RESULT line reports both throughputs and their
+// ratio; the >=1.8x scaling gate is only asserted on multi-core hosts —
+// on one CPU three in-process nodes time-slice one core and the ratio
+// measures scheduling overhead, not scaling (see docs/OPERATIONS.md §11).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepcontext"
+	"deepcontext/internal/cluster"
+	"deepcontext/internal/profstore"
+)
+
+// clusterBenchRatio is the ingest scaling the 3-node RESULT line asserts
+// on hosts with more than one CPU.
+const clusterBenchRatio = 1.8
+
+// lgNode is one in-process cluster member.
+type lgNode struct {
+	id    string
+	url   string
+	ln    net.Listener
+	store *profstore.Store
+	srv   *http.Server
+}
+
+func (n *lgNode) close() {
+	if n.srv != nil {
+		n.srv.Close()
+	}
+	if n.store != nil {
+		n.store.Close()
+	}
+}
+
+// bootLGCluster starts n dcserver nodes on ephemeral ports. With n == 1
+// the node runs without a coordinator — the single-node control.
+func bootLGCluster(cfg profstore.Config, n int, maxBody int64) ([]*lgNode, *cluster.Table, error) {
+	nodes := make([]*lgNode, n)
+	tbl := &cluster.Table{Generation: 1}
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		id := fmt.Sprintf("n%d", i+1)
+		nodes[i] = &lgNode{id: id, ln: ln, url: "http://" + ln.Addr().String()}
+		tbl.Nodes = append(tbl.Nodes, cluster.Node{ID: id, Addr: nodes[i].url})
+	}
+	for _, nd := range nodes {
+		nd.store = profstore.New(cfg)
+		var coord *cluster.Coordinator
+		if n > 1 {
+			var err error
+			coord, err = cluster.New(cluster.Config{
+				Self: nd.id, Store: nd.store, Table: tbl, Telemetry: nd.store.Telemetry(),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		_, h := newServerHandler(nd.store, coord, maxBody, 0, false)
+		nd.srv = newHTTPServer("", h)
+		go nd.srv.Serve(nd.ln)
+	}
+	return nodes, tbl, nil
+}
+
+// cellLabels is the label series postOne/encodeOne assigns one (client,
+// workload-index) cell — duplicated here so the generator can route a
+// body to its owning node without decoding it.
+func cellLabels(workload string, client, index int) profstore.Labels {
+	vendor := "nvidia"
+	if (client+index)%2 == 1 {
+		vendor = "amd"
+	}
+	fw := "pytorch"
+	if client%2 == 1 {
+		fw = "jax"
+	}
+	return profstore.Labels{Workload: workload, Vendor: vendor, Framework: fw}
+}
+
+// runLoadgenCluster drives the cluster ingest benchmark and equivalence
+// check described at the top of the file.
+func runLoadgenCluster(cfg profstore.Config, clients int, loads string, iters, rounds int, maxBody int64) error {
+	var workloads []string
+	known := make(map[string]bool)
+	for _, w := range deepcontext.WorkloadNames() {
+		known[w] = true
+	}
+	for _, w := range strings.Split(loads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if !known[w] {
+			return fmt.Errorf("loadgen: unknown workload %q (known: %s)",
+				w, strings.Join(deepcontext.WorkloadNames(), ", "))
+		}
+		workloads = append(workloads, w)
+	}
+	if len(workloads) == 0 {
+		return fmt.Errorf("loadgen: no workloads")
+	}
+	if clients <= 0 {
+		clients = 1
+	}
+	if rounds <= 0 {
+		rounds = 1
+	}
+
+	// Both deployments share one virtual clock, so every profile lands in
+	// the same window on either side and the byte-equality check is exact.
+	base := time.Now()
+	var offset atomic.Int64
+	cfg.Now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+
+	// Pre-encode every (client, workload) cell once; the bench re-POSTs
+	// these bodies so throughput measures the ingest path.
+	type cell struct {
+		body []byte
+		key  string
+	}
+	cells := make([]cell, clients*len(workloads))
+	var genWg sync.WaitGroup
+	genErrs := make(chan error, len(cells))
+	for c := 0; c < clients; c++ {
+		for i, w := range workloads {
+			genWg.Add(1)
+			go func(c, i int, w string) {
+				defer genWg.Done()
+				body, err := encodeOne(w, c, i, iters, kernelScale{})
+				if err != nil {
+					genErrs <- err
+					return
+				}
+				cells[c*len(workloads)+i] = cell{body: body, key: cellLabels(w, c, i).Key()}
+			}(c, i, w)
+		}
+	}
+	genWg.Wait()
+	close(genErrs)
+	for err := range genErrs {
+		return fmt.Errorf("loadgen: profile generation: %w", err)
+	}
+
+	// ingestPhase drives `clients` concurrent posters for `rounds` rounds
+	// against target(cellIndex), advancing the shared clock one window per
+	// round, and returns the achieved qps.
+	window := cfg.Window
+	if window <= 0 {
+		window = time.Minute
+	}
+	ingestPhase := func(target func(i int) string) (float64, error) {
+		var fail atomic.Int64
+		start := time.Now()
+		total := 0
+		for r := 0; r < rounds; r++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					hc := &http.Client{Timeout: time.Minute}
+					for i := range workloads {
+						idx := c*len(workloads) + i
+						if err := postBody(hc, target(idx), cells[idx].body); err != nil {
+							fail.Add(1)
+							fmt.Printf("loadgen-cluster: client %d: %v\n", c, err)
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			total += clients * len(workloads)
+			offset.Add(int64(window))
+		}
+		elapsed := time.Since(start)
+		if fail.Load() > 0 {
+			return 0, fmt.Errorf("loadgen: %d failed ingests", fail.Load())
+		}
+		return float64(total) / elapsed.Seconds(), nil
+	}
+
+	// Single-node control first.
+	single, _, err := bootLGCluster(cfg, 1, maxBody)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, nd := range single {
+			nd.close()
+		}
+	}()
+	singleQPS, err := ingestPhase(func(int) string { return single[0].url })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen-cluster: single node: %.1f ingests/s (%d clients x %d workloads x %d rounds)\n",
+		singleQPS, clients, len(workloads), rounds)
+
+	// Reset the clock so the cluster run replays the identical timeline.
+	offset.Store(0)
+
+	nodes, tbl, err := bootLGCluster(cfg, 3, maxBody)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.close()
+		}
+	}()
+	urlByID := map[string]string{}
+	for _, nd := range nodes {
+		urlByID[nd.id] = nd.url
+	}
+	ring := tbl.Ring()
+	// Clients route each series to its owning node — the scatter half of
+	// the design; the router path is exercised separately below.
+	clusterQPS, err := ingestPhase(func(i int) string { return urlByID[ring.Owner(cells[i].key)] })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen-cluster: 3 nodes (owner-routed): %.1f ingests/s\n", clusterQPS)
+
+	// Router path: one extra round POSTed entirely to node 1, which must
+	// forward the remote-owned series. Both deployments get the round so
+	// they stay equal.
+	hc := &http.Client{Timeout: time.Minute}
+	for idx := range cells {
+		if err := postBody(hc, nodes[0].url, cells[idx].body); err != nil {
+			return fmt.Errorf("loadgen: router ingest: %w", err)
+		}
+		if err := postBody(hc, single[0].url, cells[idx].body); err != nil {
+			return fmt.Errorf("loadgen: control ingest: %w", err)
+		}
+	}
+	offset.Add(int64(window))
+
+	// The tentpole invariant: scatter-gathered answers are byte-identical
+	// to the single node holding the union of the data.
+	for _, q := range []string{"/hotspots?top=10", "/topk?k=10"} {
+		got, err := fetchRaw(hc, nodes[0].url+q)
+		if err != nil {
+			return fmt.Errorf("loadgen: cluster %s: %w", q, err)
+		}
+		want, err := fetchRaw(hc, single[0].url+q)
+		if err != nil {
+			return fmt.Errorf("loadgen: single %s: %w", q, err)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("loadgen: cluster %s diverged from single node (%d vs %d bytes)", q, len(got), len(want))
+		}
+		fmt.Printf("loadgen-cluster: %s byte-identical across deployments (%d bytes)\n", q, len(want))
+	}
+	var st cluster.Status
+	if err := getJSON(hc, nodes[0].url+"/cluster/status", &st); err != nil {
+		return fmt.Errorf("loadgen: cluster status: %w", err)
+	}
+	if st.Degraded {
+		return fmt.Errorf("loadgen: cluster unexpectedly degraded: %+v", st)
+	}
+
+	ratio := clusterQPS / singleQPS
+	gated := runtime.NumCPU() > 1
+	ok := !gated || ratio >= clusterBenchRatio
+	note := ""
+	if !gated {
+		note = " (1 cpu: scaling gate skipped — nodes time-slice one core)"
+	}
+	fmt.Printf("loadgen-cluster: RESULT nodes=3 qps=%.1f single_qps=%.1f ratio=%.2f ok=%v%s\n",
+		clusterQPS, singleQPS, ratio, ok, note)
+	if !ok {
+		return fmt.Errorf("loadgen: cluster ingest scaled %.2fx, want >= %.1fx", ratio, clusterBenchRatio)
+	}
+	return nil
+}
+
+// fetchRaw GETs a URL and returns the raw response body, failing on any
+// non-200 status.
+func fetchRaw(hc *http.Client, url string) ([]byte, error) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return data, nil
+}

@@ -28,6 +28,10 @@
 //	GET  /healthz
 //	GET  /metrics                              Prometheus text exposition
 //	GET  /debug/events?kind=&since=&limit=     internal lifecycle journal
+//	GET  /cluster/status                       routing table + peer health (cluster mode)
+//	POST /cluster/{partials,ingest,export,import,table,drop,join}
+//	                                           node-to-node data movement (cluster mode;
+//	                                           trusted surface — see docs/OPERATIONS.md §11)
 //
 // Every request, store mutation and persistence step is observed in an
 // in-process telemetry registry served on /metrics (request latency by
@@ -58,6 +62,7 @@
 //	dcserver -loadgen -mixed -clients 4 -readers 8 -duration 5s  # read/write bench
 //	dcserver -loadgen -fleet -series 500 -duration 5s            # /topk + /search bench
 //	dcserver -loadgen -delta -clients 4 -rounds 20               # delta vs full ingest bench
+//	dcserver -loadgen -cluster -clients 4 -rounds 10             # 3-node cluster vs single node
 //
 // Long-lived profiling agents should prefer POST /stream: after one full
 // upload per series, each round ships only the changed subtrees (profdb
@@ -83,6 +88,17 @@
 // Restarting with an explicit -store-shards (or over a pre-shard data
 // directory) migrates the directory in place during recovery, staged and
 // crash-safe.
+//
+// Cluster mode (-node-id with -peers, or a committed CLUSTER.json in the
+// data dir) partitions series across N dcserver nodes by consistent
+// hash: /ingest and /stream forward remote-owned profiles to their
+// owning node, the query endpoints scatter-gather and fold partial
+// results in canonical order — a healthy cluster answers byte-identical
+// to a single node holding the union of the data; a down peer degrades
+// responses to the survivors' share with a coverage annotation.
+// Membership changes go through POST /cluster/join (staged export →
+// import → commit → drop; idempotent). See docs/OPERATIONS.md §11 for
+// the runbook.
 package main
 
 import (
@@ -93,11 +109,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"deepcontext/internal/cct"
+	"deepcontext/internal/cluster"
 	"deepcontext/internal/profdb"
 	"deepcontext/internal/profstore"
 	"deepcontext/internal/profstore/trend"
@@ -127,18 +145,21 @@ func main() {
 		webhookURL      = flag.String("webhook-url", "", "POST newly confirmed /regressions findings to this URL")
 		webhookInterval = flag.Duration("webhook-interval", 30*time.Second, "webhook poll interval")
 
-		loadgen  = flag.Bool("loadgen", false, "run the multi-client ingest demo instead of serving")
-		mixed    = flag.Bool("mixed", false, "loadgen: mixed read/write mode — readers hammer queries while writers ingest")
-		delta    = flag.Bool("delta", false, "loadgen: delta-streaming bench — clients drive /stream sessions and a full-upload control group, reporting bytes/ingest for both")
-		fleet    = flag.Bool("fleet", false, "loadgen: fleet-query benchmark — many series, readers hammer /topk and /search (RESULT qps line)")
-		series   = flag.Int("series", 200, "loadgen -fleet: distinct label series to seed")
-		clients  = flag.Int("clients", 8, "loadgen: concurrent clients")
-		readers  = flag.Int("readers", 0, "loadgen -mixed: concurrent query clients (0 = 2x -clients)")
-		duration = flag.Duration("duration", 5*time.Second, "loadgen -mixed: wall time to sustain the mixed load")
-		loads    = flag.String("loads", "UNet,DLRM-small,Resnet", "loadgen: comma-separated workloads")
-		iters    = flag.Int("iters", 10, "loadgen: iterations per profiled run")
-		rounds   = flag.Int("rounds", 2, "loadgen: ingest rounds (each lands in its own window)")
+		loadgen    = flag.Bool("loadgen", false, "run the multi-client ingest demo instead of serving")
+		clusterGen = flag.Bool("cluster", false, "loadgen: cluster ingest-router benchmark — 3 in-process nodes behind a router vs a single node (RESULT qps line)")
+		mixed      = flag.Bool("mixed", false, "loadgen: mixed read/write mode — readers hammer queries while writers ingest")
+		delta      = flag.Bool("delta", false, "loadgen: delta-streaming bench — clients drive /stream sessions and a full-upload control group, reporting bytes/ingest for both")
+		fleet      = flag.Bool("fleet", false, "loadgen: fleet-query benchmark — many series, readers hammer /topk and /search (RESULT qps line)")
+		series     = flag.Int("series", 200, "loadgen -fleet: distinct label series to seed")
+		clients    = flag.Int("clients", 8, "loadgen: concurrent clients")
+		readers    = flag.Int("readers", 0, "loadgen -mixed: concurrent query clients (0 = 2x -clients)")
+		duration   = flag.Duration("duration", 5*time.Second, "loadgen -mixed: wall time to sustain the mixed load")
+		loads      = flag.String("loads", "UNet,DLRM-small,Resnet", "loadgen: comma-separated workloads")
+		iters      = flag.Int("iters", 10, "loadgen: iterations per profiled run")
+		rounds     = flag.Int("rounds", 2, "loadgen: ingest rounds (each lands in its own window)")
 
+		nodeID  = flag.String("node-id", "", "this node's cluster ID (enables cluster mode with -peers or a committed CLUSTER.json)")
+		peers   = flag.String("peers", "", "cluster membership as id=addr,id=addr,... including this node; a CLUSTER.json committed in -data-dir takes precedence")
 		noIndex = flag.Bool("no-index", false, "disable the fleet-query frame index (TopK/Search fall back to folding trees; results are identical)")
 		noDelta = flag.Bool("no-delta", false, "refuse POST /stream delta sessions with 503 (kill switch; clients fall back to full /ingest uploads)")
 
@@ -191,6 +212,8 @@ func main() {
 		}
 		var err error
 		switch {
+		case *clusterGen:
+			err = runLoadgenCluster(cfg, *clients, *loads, *iters, *rounds, *maxBody)
 		case *delta:
 			err = runLoadgenDelta(cfg, *clients, *loads, *iters, *rounds, *maxBody)
 		case *fleet:
@@ -236,6 +259,50 @@ func main() {
 		fmt.Printf("dcserver: webhook notifier posting new regressions to %s every %v\n", *webhookURL, *webhookInterval)
 	}
 
+	// Cluster mode: a committed CLUSTER.json in the data dir is the
+	// authoritative membership (it is each node's join commit point);
+	// -peers only bootstraps a node that has never committed a table.
+	var coord *cluster.Coordinator
+	if *nodeID != "" || *peers != "" {
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "dcserver: -peers requires -node-id")
+			os.Exit(1)
+		}
+		var tbl *cluster.Table
+		var tblPath string
+		if *dataDir != "" {
+			tblPath = filepath.Join(*dataDir, cluster.TableFile)
+			t, err := cluster.LoadTable(tblPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dcserver: cluster:", err)
+				os.Exit(1)
+			}
+			tbl = t
+		}
+		if tbl == nil {
+			if *peers == "" {
+				fmt.Fprintln(os.Stderr, "dcserver: -node-id needs -peers (or a committed CLUSTER.json in -data-dir)")
+				os.Exit(1)
+			}
+			t, err := cluster.ParsePeers(*peers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dcserver: cluster:", err)
+				os.Exit(1)
+			}
+			tbl = t
+		}
+		var err error
+		coord, err = cluster.New(cluster.Config{
+			Self: *nodeID, Store: store, Table: tbl, Path: tblPath, Telemetry: store.Telemetry(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcserver: cluster:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dcserver: cluster node %s (table generation %d, %d nodes)\n",
+			*nodeID, tbl.Generation, len(tbl.Nodes))
+	}
+
 	// Listen before serving so ":0" (ephemeral port) reports the actual
 	// bound address — scripts scrape it from this line.
 	ln, err := net.Listen("tcp", *addr)
@@ -247,7 +314,8 @@ func main() {
 	if *noTelemetry {
 		slow = 0 // -no-telemetry silences the journal end to end
 	}
-	srv := newHTTPServer(*addr, newHandler(store, *maxBody, slow, *noDelta))
+	app, handler := newServerHandler(store, coord, *maxBody, slow, *noDelta)
+	srv := newHTTPServer(*addr, handler)
 	fmt.Printf("dcserver: listening on %s (window %v, retention %d fine + %d coarse, %d shards, cache %d)\n",
 		ln.Addr(), store.Config().Window, store.Config().Retention, store.Config().CoarseRetention,
 		store.Config().Shards, store.Config().CacheSize)
@@ -278,6 +346,12 @@ func main() {
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "dcserver:", err)
 		os.Exit(1)
+	}
+	// Serve can return while Shutdown is still waiting on (or gave up on)
+	// active handlers; drain the in-flight writes so the shutdown snapshot
+	// cannot race a /stream batch or /ingest that is still applying.
+	if !app.drain(10 * time.Second) {
+		fmt.Fprintln(os.Stderr, "dcserver: drain: in-flight writes still running; snapshotting anyway")
 	}
 	if !*noTelemetry {
 		store.Telemetry().Journal().Record("server_stop", ln.Addr().String())

@@ -113,15 +113,31 @@ func (s *server) handleRegressions(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Sweep first so windows that closed since the last ingest are
-	// observed — findings stay current even on a quiet store.
-	s.store.TrendSweep()
-	rows := regressionRows(s.store.Regressions(q))
+	var rows []regressionRow
+	var stats *profstore.TrendStats
+	var cov *profstore.Coverage
+	if s.cluster != nil {
+		// Every node sweeps and reports raw findings; the coordinator
+		// ownership-filters, merges in canonical order and applies the
+		// limit globally. Trend stats sum across nodes.
+		findings, st, coverage, err := s.cluster.Regressions(r.Context(), q)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		rows, stats, cov = regressionRows(findings), st, coverage
+	} else {
+		// Sweep first so windows that closed since the last ingest are
+		// observed — findings stay current even on a quiet store.
+		s.store.TrendSweep()
+		rows, stats = regressionRows(s.store.Regressions(q)), s.store.Stats().Trend
+	}
 	writeJSON(w, struct {
-		Count int                   `json:"count"`
-		Trend *profstore.TrendStats `json:"trend"`
-		Rows  []regressionRow       `json:"rows"`
-	}{len(rows), s.store.Stats().Trend, rows})
+		Count    int                   `json:"count"`
+		Trend    *profstore.TrendStats `json:"trend"`
+		Coverage *profstore.Coverage   `json:"coverage,omitempty"`
+		Rows     []regressionRow       `json:"rows"`
+	}{len(rows), stats, cov, rows})
 }
 
 // webhookPayload is the body POSTed to -webhook-url: the newly confirmed

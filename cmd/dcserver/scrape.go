@@ -97,15 +97,20 @@ func endpointQuantiles(expo, endpoint string, qs ...float64) ([]time.Duration, b
 
 // scrapedLatencies renders " <name>_p50_ms=… <name>_p99_ms=…" fragments
 // for each endpoint (leading space included), ready to append to a
-// RESULT line. Endpoints without observations are skipped.
+// RESULT line. An endpoint with no observations (or missing from the
+// exposition entirely) renders explicit n/a values — silently skipping
+// it made a zero-traffic run's RESULT line indistinguishable from a
+// scrape that failed to parse, and interpolating a quantile out of an
+// all-zero histogram would fabricate a latency.
 func scrapedLatencies(expo string, endpoints ...string) string {
 	var sb strings.Builder
 	for _, ep := range endpoints {
+		name := strings.TrimPrefix(ep, "/")
 		qs, ok := endpointQuantiles(expo, ep, 0.50, 0.99)
 		if !ok {
+			fmt.Fprintf(&sb, " %s_p50_ms=n/a %s_p99_ms=n/a", name, name)
 			continue
 		}
-		name := strings.TrimPrefix(ep, "/")
 		fmt.Fprintf(&sb, " %s_p50_ms=%.3f %s_p99_ms=%.3f",
 			name, float64(qs[0].Nanoseconds())/1e6, name, float64(qs[1].Nanoseconds())/1e6)
 	}

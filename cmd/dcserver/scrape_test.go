@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// An endpoint absent from the exposition must render explicit n/a
+// fragments, not silently vanish from the RESULT line.
+func TestScrapedLatenciesEmptyExposition(t *testing.T) {
+	got := scrapedLatencies("", "/ingest", "/hotspots")
+	want := " ingest_p50_ms=n/a ingest_p99_ms=n/a hotspots_p50_ms=n/a hotspots_p99_ms=n/a"
+	if got != want {
+		t.Fatalf("scrapedLatencies on empty exposition = %q, want %q", got, want)
+	}
+}
+
+// A histogram that exists but saw zero observations must not be
+// interpolated — rank 0 against all-zero cumulative counts would
+// fabricate a 0ms latency that looks like a measurement.
+func TestScrapedLatenciesZeroObservations(t *testing.T) {
+	expo := strings.Join([]string{
+		`dcserver_request_seconds_bucket{endpoint="/ingest",le="0.001"} 0`,
+		`dcserver_request_seconds_bucket{endpoint="/ingest",le="0.01"} 0`,
+		`dcserver_request_seconds_bucket{endpoint="/ingest",le="+Inf"} 0`,
+		``,
+	}, "\n")
+	if _, ok := endpointQuantiles(expo, "/ingest", 0.5); ok {
+		t.Fatal("endpointQuantiles reported ok for a zero-observation histogram")
+	}
+	got := scrapedLatencies(expo, "/ingest")
+	want := " ingest_p50_ms=n/a ingest_p99_ms=n/a"
+	if got != want {
+		t.Fatalf("scrapedLatencies on zero observations = %q, want %q", got, want)
+	}
+}
+
+// A single overflow-only bucket has no finite bound to interpolate
+// within; the quantile degrades to the last finite bound (zero) rather
+// than dividing by an empty range.
+func TestEndpointQuantilesSingleOverflowBucket(t *testing.T) {
+	expo := `dcserver_request_seconds_bucket{endpoint="/ingest",le="+Inf"} 5` + "\n"
+	qs, ok := endpointQuantiles(expo, "/ingest", 0.5, 0.99)
+	if !ok {
+		t.Fatal("endpointQuantiles reported no data for a populated overflow bucket")
+	}
+	for i, q := range qs {
+		if q != 0 {
+			t.Fatalf("quantile %d = %v, want 0s (no finite bound to interpolate)", i, q)
+		}
+	}
+}
+
+// The happy path still interpolates: all mass in one finite bucket puts
+// every quantile inside it.
+func TestEndpointQuantilesInterpolation(t *testing.T) {
+	expo := strings.Join([]string{
+		`dcserver_request_seconds_bucket{endpoint="/ingest",le="0.01"} 0`,
+		`dcserver_request_seconds_bucket{endpoint="/ingest",le="0.1"} 10`,
+		`dcserver_request_seconds_bucket{endpoint="/ingest",le="+Inf"} 10`,
+		``,
+	}, "\n")
+	qs, ok := endpointQuantiles(expo, "/ingest", 0.5)
+	if !ok {
+		t.Fatal("endpointQuantiles reported no data")
+	}
+	want := time.Duration(0.055 * float64(time.Second))
+	if diff := qs[0] - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("p50 = %v, want ~%v", qs[0], want)
+	}
+}

@@ -1,15 +1,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"deepcontext"
+	"deepcontext/internal/cct"
+	"deepcontext/internal/cluster"
 	"deepcontext/internal/profdb"
 	"deepcontext/internal/profstore"
 )
@@ -21,7 +26,17 @@ import (
 // /ingest uploads). Every route is instrumented into the store's
 // telemetry registry, which /metrics and /debug/events expose.
 func newHandler(store *profstore.Store, maxBody int64, slow time.Duration, noDelta bool) http.Handler {
-	s := &server{store: store, maxBody: maxBody, noDelta: noDelta, started: time.Now()}
+	_, h := newServerHandler(store, nil, maxBody, slow, noDelta)
+	return h
+}
+
+// newServerHandler is newHandler plus the pieces main needs a handle on:
+// the *server itself (for the shutdown write drain) and, when coord is
+// non-nil, cluster mode — /ingest and /stream route each series to its
+// owning node, the query endpoints scatter-gather across the table, and
+// the /cluster/* control surface is registered.
+func newServerHandler(store *profstore.Store, coord *cluster.Coordinator, maxBody int64, slow time.Duration, noDelta bool) (*server, http.Handler) {
+	s := &server{store: store, cluster: coord, maxBody: maxBody, noDelta: noDelta, started: time.Now()}
 	s.streams = newStreamRegistry(store.Telemetry())
 	m := newServerMetrics(store.Telemetry(), slow)
 	mux := http.NewServeMux()
@@ -42,7 +57,17 @@ func newHandler(store *profstore.Store, maxBody int64, slow time.Duration, noDel
 	handle("/healthz", get(s.handleHealthz))
 	handle("/metrics", get(s.handleMetrics))
 	handle("/debug/events", get(s.handleEvents))
-	return mux
+	if coord != nil {
+		handle("/cluster/status", get(s.handleClusterStatus))
+		handle("/cluster/partials", post(s.handleClusterPartials))
+		handle("/cluster/ingest", post(s.handleClusterIngest))
+		handle("/cluster/export", post(s.handleClusterExport))
+		handle("/cluster/import", post(s.handleClusterImport))
+		handle("/cluster/table", post(s.handleClusterTable))
+		handle("/cluster/drop", post(s.handleClusterDrop))
+		handle("/cluster/join", post(s.handleClusterJoin))
+	}
+	return s, mux
 }
 
 // newHTTPServer wraps the handler in an http.Server with sane production
@@ -60,11 +85,56 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 
 type server struct {
 	store   *profstore.Store
+	cluster *cluster.Coordinator
 	maxBody int64
 	noDelta bool
 	streams *streamRegistry
 	started time.Time
+
+	// Shutdown write drain: beginWrite/endWrite bracket every mutating
+	// handler; drain flips draining (new writes get 503) and waits for the
+	// in-flight ones, so the shutdown snapshot never races an /ingest or
+	// /stream batch that http.Server.Shutdown gave up waiting on.
+	drainMu  sync.RWMutex
+	draining bool
+	writes   sync.WaitGroup
 }
+
+// beginWrite registers an in-flight mutating request; it reports false
+// (and the caller must 503) once the server is draining.
+func (s *server) beginWrite() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.writes.Add(1)
+	return true
+}
+
+func (s *server) endWrite() { s.writes.Done() }
+
+// drain stops accepting writes and waits up to timeout for the in-flight
+// ones to finish, reporting whether the store is quiescent. Called after
+// Serve returns and before the shutdown snapshot.
+func (s *server) drain(timeout time.Duration) bool {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.writes.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+var errDraining = errors.New("server is shutting down")
 
 // get rejects every method but GET (and HEAD, which net/http serves
 // through the GET handler body-suppressed — liveness probes use it) with
@@ -73,6 +143,18 @@ func get(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// post rejects every method but POST with 405.
+func post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
@@ -103,12 +185,23 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
 }
 
+// statusClientClosedRequest is nginx's 499: the client went away before
+// the response. Nothing reads the body, but the code keeps the request
+// distinguishable in the endpoint metrics.
+const statusClientClosedRequest = 499
+
 // writeQueryError maps store query failures to HTTP codes: a bad metric
-// name is the client's mistake (400, retrying is pointless), while an
-// empty window range is 404 (data may arrive later).
+// name is the client's mistake (400, retrying is pointless), a canceled
+// or timed-out request is 499 (the client is gone; the fold was
+// abandoned mid-way), while an empty window range is 404 (data may
+// arrive later).
 func writeQueryError(w http.ResponseWriter, err error) {
 	if errors.Is(err, profstore.ErrUnknownMetric) {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, statusClientClosedRequest, err)
 		return
 	}
 	writeError(w, http.StatusNotFound, err)
@@ -162,13 +255,21 @@ func queryInt(r *http.Request, name string, def int) int {
 }
 
 // POST /ingest — body is a .dcp database (single profile or v2 bundle);
-// every contained profile is folded into the current window.
+// every contained profile is folded into the current window. In cluster
+// mode the handler is the ingest router: entries this node owns land
+// locally, the rest travel to their owning node as one forwarded batch
+// per destination.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	if !s.beginWrite() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	defer s.endWrite()
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	entries, err := profdb.LoadBundleLimit(body, s.maxBody)
 	if err != nil {
@@ -180,14 +281,19 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	type resp struct {
-		Ingested int      `json:"ingested"`
-		Series   []string `json:"series"`
-		Windows  []string `json:"windows"`
-	}
-	var out resp
+	var out cluster.IngestSummary
 	seenWin := map[string]bool{}
+	var forwards map[string][]*deepcontext.Profile
 	for _, e := range entries {
+		if s.cluster != nil {
+			if owner := s.cluster.OwnerOf(profstore.LabelsOf(e.Profile.Meta)); owner != s.cluster.Self() {
+				if forwards == nil {
+					forwards = map[string][]*deepcontext.Profile{}
+				}
+				forwards[owner] = append(forwards[owner], e.Profile)
+				continue
+			}
+		}
 		start, err := s.store.Ingest(e.Profile)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -200,7 +306,61 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			out.Windows = append(out.Windows, ws)
 		}
 	}
+	for _, owner := range sortedKeys(forwards) {
+		sum, err := s.cluster.ForwardIngest(r.Context(), owner, forwards[owner])
+		if err != nil {
+			// The local share (and any earlier forward) already landed;
+			// 502 tells the client this bundle was only partially applied.
+			writeError(w, http.StatusBadGateway, err)
+			return
+		}
+		out.Ingested += sum.Ingested
+		out.Series = append(out.Series, sum.Series...)
+		for _, ws := range sum.Windows {
+			if !seenWin[ws] {
+				seenWin[ws] = true
+				out.Windows = append(out.Windows, ws)
+			}
+		}
+	}
 	writeJSONStatus(w, http.StatusAccepted, out)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// queryHotspots dispatches to the local store or, in cluster mode, the
+// scatter-gather coordinator. Healthy-cluster responses are
+// byte-identical to a single node holding the union of the data; with a
+// node down the result carries a coverage annotation instead.
+func (s *server) queryHotspots(ctx context.Context, from, to time.Time, filter profstore.Labels, metric string, top int) ([]profstore.Hotspot, profstore.AggregateInfo, error) {
+	if s.cluster != nil {
+		return s.cluster.Hotspots(ctx, from, to, filter, metric, top)
+	}
+	return s.store.Hotspots(ctx, from, to, filter, metric, top)
+}
+
+// queryDiff is queryHotspots' /diff counterpart.
+func (s *server) queryDiff(ctx context.Context, before, after time.Time, filter profstore.Labels, metric string, top int) (*profstore.DiffResult, error) {
+	if s.cluster != nil {
+		return s.cluster.Diff(ctx, before, after, filter, metric, top)
+	}
+	return s.store.Diff(ctx, before, after, filter, metric, top)
+}
+
+// queryAggregate is queryHotspots' counterpart for the aggregate-shaped
+// endpoints (/flame, /analyze).
+func (s *server) queryAggregate(ctx context.Context, from, to time.Time, filter profstore.Labels) (*cct.Tree, profstore.AggregateInfo, error) {
+	if s.cluster != nil {
+		return s.cluster.Aggregate(ctx, from, to, filter)
+	}
+	return s.store.Aggregate(ctx, from, to, filter)
 }
 
 // GET /hotspots?metric=&top=&workload=&vendor=&framework=&from=&to=
@@ -211,7 +371,7 @@ func (s *server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	metric := r.URL.Query().Get("metric")
-	rows, info, err := s.store.Hotspots(from, to, queryLabels(r), metric, queryInt(r, "top", 20))
+	rows, info, err := s.queryHotspots(r.Context(), from, to, queryLabels(r), metric, queryInt(r, "top", 20))
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -239,7 +399,7 @@ func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("diff needs before= and after= window times: %v", err))
 		return
 	}
-	res, err := s.store.Diff(before, after, queryLabels(r), q.Get("metric"), queryInt(r, "top", 20))
+	res, err := s.queryDiff(r.Context(), before, after, queryLabels(r), q.Get("metric"), queryInt(r, "top", 20))
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -261,7 +421,7 @@ func (s *server) handleFlame(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("signed flame needs both before= and after="))
 			return
 		}
-		res, err := s.store.Diff(before, after, queryLabels(r), metric, 0)
+		res, err := s.queryDiff(r.Context(), before, after, queryLabels(r), metric, 0)
 		if err != nil {
 			writeQueryError(w, err)
 			return
@@ -275,7 +435,7 @@ func (s *server) handleFlame(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		tree, info, err := s.store.Aggregate(from, to, queryLabels(r))
+		tree, info, err := s.queryAggregate(r.Context(), from, to, queryLabels(r))
 		if err != nil {
 			writeQueryError(w, err)
 			return
@@ -317,7 +477,7 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	tree, info, err := s.store.Aggregate(from, to, queryLabels(r))
+	tree, info, err := s.queryAggregate(r.Context(), from, to, queryLabels(r))
 	if err != nil {
 		writeQueryError(w, err)
 		return

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deepcontext/internal/cluster"
 	"deepcontext/internal/profdb"
 	"deepcontext/internal/profstore"
 	"deepcontext/internal/telemetry"
@@ -241,6 +242,11 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errDeltaDisabled)
 		return
 	}
+	if !s.beginWrite() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	defer s.endWrite()
 	id := r.URL.Query().Get("session")
 	if id == "" || len(id) > maxSessionIDLen {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("stream needs ?session=<id> (at most %d bytes)", maxSessionIDLen))
@@ -286,6 +292,11 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		met.batches.Inc()
 		met.batchFrames.Add(int64(len(b.Frames)))
 
+		// In cluster mode, frames whose series another node owns are
+		// re-encoded as full frames the moment they materialize (the
+		// session base mutates under the next delta) and forwarded per
+		// destination after the local share lands.
+		var fwd map[string]*cluster.Forwarder
 		var prep []profstore.PreparedProfile
 		for i := range b.Frames {
 			f := &b.Frames[i]
@@ -327,6 +338,25 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 					s.streams.journal.Record("stream_resync", id, "series", key, "reason", "full_resync")
 				}
 			}
+			if s.cluster != nil {
+				if owner := s.cluster.OwnerOf(profstore.LabelsOf(f.Meta)); owner != s.cluster.Self() {
+					if fwd == nil {
+						fwd = map[string]*cluster.Forwarder{}
+					}
+					fw := fwd[owner]
+					if fw == nil {
+						fw = cluster.NewForwarder()
+						fwd[owner] = fw
+					}
+					if err := fw.Add(p); err != nil {
+						s.streams.drop(sess, "forward_encode_error")
+						writeError(w, http.StatusInternalServerError, err)
+						return
+					}
+					ack.Applied++
+					continue
+				}
+			}
 			// Prepare snapshots the materialized profile (encode for the
 			// WAL, normalize addresses) immediately: the session base
 			// mutates in place when the next delta frame applies.
@@ -345,6 +375,23 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 				// dropping the session forces a clean full resync.
 				s.streams.drop(sess, "ingest_error")
 				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+		for _, owner := range sortedKeys(fwd) {
+			fw := fwd[owner]
+			body, err := fw.Bytes()
+			if err != nil {
+				s.streams.drop(sess, "forward_encode_error")
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			if _, err := s.cluster.ForwardBytes(r.Context(), owner, body, fw.Len()); err != nil {
+				// Never retried — a re-delivered merge would double-count.
+				// Drop the session and surface the failure; the client
+				// decides whether to re-drive the round.
+				s.streams.drop(sess, "forward_error")
+				writeError(w, http.StatusBadGateway, err)
 				return
 			}
 		}

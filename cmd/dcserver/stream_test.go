@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
@@ -77,8 +78,8 @@ func assertStoresAgree(t *testing.T, got, want *profstore.Store) {
 		}
 		return string(b)
 	}
-	gr, gi, gerr := got.Hotspots(time.Time{}, time.Time{}, profstore.Labels{}, cct.MetricGPUTime, 0)
-	wr, wi, werr := want.Hotspots(time.Time{}, time.Time{}, profstore.Labels{}, cct.MetricGPUTime, 0)
+	gr, gi, gerr := got.Hotspots(context.Background(), time.Time{}, time.Time{}, profstore.Labels{}, cct.MetricGPUTime, 0)
+	wr, wi, werr := want.Hotspots(context.Background(), time.Time{}, time.Time{}, profstore.Labels{}, cct.MetricGPUTime, 0)
 	if (gerr == nil) != (werr == nil) {
 		t.Fatalf("hotspots: stream err %v, reference err %v", gerr, werr)
 	}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"deepcontext/internal/telemetry"
+)
+
+// Options tunes the per-peer HTTP client.
+type Options struct {
+	// Timeout bounds one attempt (default 5s).
+	Timeout time.Duration
+	// Retries is how many times a failed idempotent request is retried
+	// (default 2, so 3 attempts). Ingest forwards never retry — a
+	// re-delivered merge would double-count.
+	Retries int
+	// Backoff is the first retry's delay, doubling per retry (default
+	// 50ms).
+	Backoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// peer is one remote node's client: retry/timeout/backoff plus per-peer
+// telemetry (request counters by outcome and a latency histogram, labeled
+// with the peer id — the same labeled-handle pattern dcserver's endpoint
+// metrics use).
+type peer struct {
+	id   string
+	base string
+	hc   *http.Client
+	opts Options
+
+	ok      *telemetry.Counter
+	failed  *telemetry.Counter
+	retries *telemetry.Counter
+	latency *telemetry.Histogram
+
+	mu          sync.Mutex
+	up          bool
+	lastErr     string
+	lastContact time.Time
+}
+
+func newPeer(n Node, reg *telemetry.Registry, opts Options) *peer {
+	p := &peer{
+		id:   n.ID,
+		base: n.Addr,
+		hc:   &http.Client{Timeout: opts.Timeout},
+		opts: opts,
+		up:   true,
+	}
+	if reg != nil {
+		l := telemetry.L("peer", n.ID)
+		p.ok = reg.Counter("dcserver_cluster_peer_requests_total",
+			"Cluster peer requests by outcome.", l, telemetry.L("outcome", "ok"))
+		p.failed = reg.Counter("dcserver_cluster_peer_requests_total",
+			"Cluster peer requests by outcome.", l, telemetry.L("outcome", "error"))
+		p.retries = reg.Counter("dcserver_cluster_peer_retries_total",
+			"Cluster peer request retries.", l)
+		p.latency = reg.Histogram("dcserver_cluster_peer_seconds",
+			"Cluster peer request latency.", l)
+	}
+	return p
+}
+
+// status snapshots the peer's last-known health.
+func (p *peer) status() (up bool, lastErr string, lastContact time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up, p.lastErr, p.lastContact
+}
+
+func (p *peer) note(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lastContact = time.Now()
+	if err != nil {
+		p.up = false
+		p.lastErr = err.Error()
+	} else {
+		p.up = true
+		p.lastErr = ""
+	}
+}
+
+// remoteError is a non-2xx peer response; the body's error text (dcserver's
+// {"error": ...} shape) is preserved so the coordinator can re-serve the
+// owning node's exact query error.
+type remoteError struct {
+	status int
+	msg    string
+}
+
+func (e *remoteError) Error() string { return e.msg }
+
+// retryable reports whether an attempt's failure is worth retrying:
+// transport errors and 5xx yes, 4xx no (the request itself is bad).
+func retryable(err error) bool {
+	var re *remoteError
+	if errors.As(err, &re) {
+		return re.status >= 500
+	}
+	return true
+}
+
+// do performs one HTTP exchange with retries (retry=true) or a single
+// attempt (retry=false), decoding a JSON response into out when non-nil.
+func (p *peer) do(ctx context.Context, method, path, contentType string, body []byte, out any, retry bool) error {
+	attempts := 1
+	if retry {
+		attempts += p.opts.Retries
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if p.retries != nil {
+				p.retries.Inc()
+			}
+			delay := p.opts.Backoff << (attempt - 1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err = p.attempt(ctx, method, path, contentType, body, out)
+		if err == nil {
+			p.note(nil)
+			return nil
+		}
+		if ctx.Err() != nil || !retryable(err) {
+			break
+		}
+	}
+	p.note(err)
+	return fmt.Errorf("cluster: peer %s %s%s: %w", p.id, p.base, path, err)
+}
+
+func (p *peer) attempt(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	var t0 time.Time
+	if p.latency != nil {
+		t0 = time.Now()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, p.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := p.hc.Do(req)
+	if p.latency != nil {
+		p.latency.Observe(time.Since(t0))
+	}
+	if err != nil {
+		if p.failed != nil {
+			p.failed.Inc()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		if p.failed != nil {
+			p.failed.Inc()
+		}
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		if p.failed != nil {
+			p.failed.Inc()
+		}
+		msg := strings.TrimSpace(string(data))
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &remoteError{status: resp.StatusCode, msg: msg}
+	}
+	if p.ok != nil {
+		p.ok.Inc()
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// postJSON marshals in and POSTs it, decoding the JSON response into out.
+func (p *peer) postJSON(ctx context.Context, path string, in, out any, retry bool) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encode request: %w", err)
+	}
+	return p.do(ctx, http.MethodPost, path, "application/json", body, out, retry)
+}

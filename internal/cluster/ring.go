@@ -1,0 +1,79 @@
+package cluster
+
+import "sort"
+
+// vnodesPerNode is how many ring points each node contributes. 64 keeps the
+// per-node key share within a few percent of fair for small clusters while
+// the whole ring stays a few KB.
+const vnodesPerNode = 64
+
+// fnv64a is the 64-bit FNV-1a of s — the same hash family shard.go routes
+// series to lock stripes with, widened to 64 bits for ring placement.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Ring is a consistent-hash ring over the table's nodes. Construction is a
+// pure function of the node IDs, so every process holding an equal table
+// routes every key identically — the cluster-level analogue of shardFor's
+// determinism.
+type Ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// NewRing builds the ring: vnodesPerNode points per node at
+// fnv64a("id#vnode"), sorted by (hash, id) so even a hash collision breaks
+// ties identically everywhere.
+func NewRing(nodes []Node) *Ring {
+	r := &Ring{points: make([]ringPoint, 0, len(nodes)*vnodesPerNode)}
+	var buf [20]byte
+	for _, n := range nodes {
+		for v := 0; v < vnodesPerNode; v++ {
+			b := append(buf[:0], n.ID...)
+			b = append(b, '#')
+			b = appendUint(b, uint64(v))
+			r.points = append(r.points, ringPoint{hash: fnv64a(string(b)), id: n.ID})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v >= 10 {
+		b = appendUint(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// Ring builds the table's ring.
+func (t *Table) Ring() *Ring { return NewRing(t.Nodes) }
+
+// Owner returns the node ID owning a series key: the first ring point at or
+// clockwise of the key's hash.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv64a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].id
+}

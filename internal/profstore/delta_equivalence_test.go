@@ -1,6 +1,7 @@
 package profstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -262,8 +263,8 @@ func runDeltaEquivalenceScript(t *testing.T, seed int64) {
 		}
 		for _, pr := range pairs {
 			for qi, q := range hotspotQueries {
-				wantRows, wantInfo, wantErr := pr.full.Hotspots(time.Time{}, time.Time{}, q.filter, q.metric, q.top)
-				gotRows, gotInfo, gotErr := pr.delta.Hotspots(time.Time{}, time.Time{}, q.filter, q.metric, q.top)
+				wantRows, wantInfo, wantErr := pr.full.Hotspots(context.Background(), time.Time{}, time.Time{}, q.filter, q.metric, q.top)
+				gotRows, gotInfo, gotErr := pr.delta.Hotspots(context.Background(), time.Time{}, time.Time{}, q.filter, q.metric, q.top)
 				if (gotErr == nil) != (wantErr == nil) {
 					t.Fatalf("step %d %s hotspots[%d]: delta err %v, full err %v", step, pr.name, qi, gotErr, wantErr)
 				}
@@ -273,8 +274,8 @@ func runDeltaEquivalenceScript(t *testing.T, seed int64) {
 						step, pr.name, qi, mustJSON(t, gotRows), mustJSON(t, wantRows))
 				}
 			}
-			wantRows, wantInfo, wantErr := pr.full.TopK(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 0)
-			gotRows, gotInfo, gotErr := pr.delta.TopK(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 0)
+			wantRows, wantInfo, wantErr := pr.full.TopK(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 0)
+			gotRows, gotInfo, gotErr := pr.delta.TopK(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 0)
 			if (gotErr == nil) != (wantErr == nil) {
 				t.Fatalf("step %d %s topk: delta err %v, full err %v", step, pr.name, gotErr, wantErr)
 			}
@@ -283,8 +284,8 @@ func runDeltaEquivalenceScript(t *testing.T, seed int64) {
 				t.Fatalf("step %d %s topk diverged:\n got %s\nwant %s",
 					step, pr.name, mustJSON(t, gotRows), mustJSON(t, wantRows))
 			}
-			wantSearch, _, wantErr := pr.full.Search(time.Time{}, time.Time{}, Labels{}, "gemm", cct.MetricGPUTime, 0)
-			gotSearch, _, gotErr := pr.delta.Search(time.Time{}, time.Time{}, Labels{}, "gemm", cct.MetricGPUTime, 0)
+			wantSearch, _, wantErr := pr.full.Search(context.Background(), time.Time{}, time.Time{}, Labels{}, "gemm", cct.MetricGPUTime, 0)
+			gotSearch, _, gotErr := pr.delta.Search(context.Background(), time.Time{}, time.Time{}, Labels{}, "gemm", cct.MetricGPUTime, 0)
 			if (gotErr == nil) != (wantErr == nil) {
 				t.Fatalf("step %d %s search: delta err %v, full err %v", step, pr.name, gotErr, wantErr)
 			}
@@ -299,8 +300,8 @@ func runDeltaEquivalenceScript(t *testing.T, seed int64) {
 			}
 			if len(wins) >= 2 {
 				before, after := wins[0].Start, wins[len(wins)-1].Start
-				wantDiff, wantErr := pr.full.Diff(before, after, Labels{}, cct.MetricGPUTime, 5)
-				gotDiff, gotErr := pr.delta.Diff(before, after, Labels{}, cct.MetricGPUTime, 5)
+				wantDiff, wantErr := pr.full.Diff(context.Background(), before, after, Labels{}, cct.MetricGPUTime, 5)
+				gotDiff, gotErr := pr.delta.Diff(context.Background(), before, after, Labels{}, cct.MetricGPUTime, 5)
 				if (gotErr == nil) != (wantErr == nil) {
 					t.Fatalf("step %d %s diff: delta err %v, full err %v", step, pr.name, gotErr, wantErr)
 				}
@@ -482,7 +483,7 @@ func TestDeltaStreamStress(t *testing.T) {
 						break
 					}
 				}
-				s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 5)
+				s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 5)
 				s.Windows()
 			}
 		}()
@@ -494,7 +495,7 @@ func TestDeltaStreamStress(t *testing.T) {
 	if got := s.Stats().Ingested; got != (deltaWriters+fullWriters)*uploadsPer {
 		t.Fatalf("ingested = %d, want %d", got, (deltaWriters+fullWriters)*uploadsPer)
 	}
-	tree, _, err := s.Aggregate(time.Time{}, time.Time{}, Labels{})
+	tree, _, err := s.Aggregate(context.Background(), time.Time{}, time.Time{}, Labels{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package profstore
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -361,7 +362,7 @@ func runEquivalenceScript(t *testing.T, seed int64) {
 		for qi, q := range queries {
 			wantRows, wantInfo, wantErr := ref.hotspots(q.from, q.to, q.filter, q.metric, q.top)
 			for _, v := range variants {
-				gotRows, gotInfo, gotErr := v.s.Hotspots(q.from, q.to, q.filter, q.metric, q.top)
+				gotRows, gotInfo, gotErr := v.s.Hotspots(context.Background(), q.from, q.to, q.filter, q.metric, q.top)
 				if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, ErrNoData) && !errors.Is(gotErr, ErrUnknownMetric)) {
 					t.Fatalf("step %d %s hotspots[%d]: err %v, ref err %v", step, v.name, qi, gotErr, wantErr)
 				}
@@ -399,7 +400,7 @@ func runEquivalenceScript(t *testing.T, seed int64) {
 		for qi, q := range topkQueries {
 			wantRows, wantInfo, wantErr := ref.topK(q.from, q.to, q.filter, q.metric, q.k)
 			for _, v := range variants {
-				gotRows, gotInfo, gotErr := v.s.TopK(q.from, q.to, q.filter, q.metric, q.k)
+				gotRows, gotInfo, gotErr := v.s.TopK(context.Background(), q.from, q.to, q.filter, q.metric, q.k)
 				if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, ErrNoData) && !errors.Is(gotErr, ErrUnknownMetric)) {
 					t.Fatalf("step %d %s topk[%d]: err %v, ref err %v", step, v.name, qi, gotErr, wantErr)
 				}
@@ -426,7 +427,7 @@ func runEquivalenceScript(t *testing.T, seed int64) {
 		for qi, q := range searchQueries {
 			wantRows, wantInfo, wantErr := ref.search(time.Time{}, time.Time{}, q.filter, q.frame, q.metric, q.limit)
 			for _, v := range variants {
-				gotRows, gotInfo, gotErr := v.s.Search(time.Time{}, time.Time{}, q.filter, q.frame, q.metric, q.limit)
+				gotRows, gotInfo, gotErr := v.s.Search(context.Background(), time.Time{}, time.Time{}, q.filter, q.frame, q.metric, q.limit)
 				if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, ErrNoData) && !errors.Is(gotErr, ErrUnknownMetric)) {
 					t.Fatalf("step %d %s search[%d]: err %v, ref err %v", step, v.name, qi, gotErr, wantErr)
 				}
@@ -448,7 +449,7 @@ func runEquivalenceScript(t *testing.T, seed int64) {
 			}
 			wantDiff, wantErr := ref.diff(b, a, filter, cct.MetricGPUTime, 0)
 			for _, v := range variants {
-				gotDiff, gotErr := v.s.Diff(b, a, filter, cct.MetricGPUTime, 0)
+				gotDiff, gotErr := v.s.Diff(context.Background(), b, a, filter, cct.MetricGPUTime, 0)
 				if (gotErr == nil) != (wantErr == nil) {
 					t.Fatalf("step %d %s diff(%v,%v): err %v, ref err %v", step, v.name, b, a, gotErr, wantErr)
 				}

@@ -1,6 +1,7 @@
 package profstore_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -58,7 +59,7 @@ func Example_snapshotAndRecover() {
 	defer revived.Close()
 	fmt.Printf("snapshot loaded: %v, windows restored: %d\n", rs.SnapshotLoaded, rs.WindowsRestored)
 
-	rows, info, err := revived.Hotspots(time.Time{}, time.Time{}, profstore.Labels{}, cct.MetricGPUTime, 1)
+	rows, info, err := revived.Hotspots(context.Background(), time.Time{}, time.Time{}, profstore.Labels{}, cct.MetricGPUTime, 1)
 	if err != nil {
 		panic(err)
 	}

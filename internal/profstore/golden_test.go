@@ -2,6 +2,7 @@ package profstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -75,7 +76,7 @@ func goldenImage(t *testing.T, s *Store) []byte {
 		{"unet-jax-none-ok", time.Time{}, time.Time{}, Labels{Workload: "unet"}, cct.MetricGPUTime, 5},
 		{"bounded", base.Add(time.Minute), base.Add(4 * time.Minute), Labels{}, cct.MetricGPUTime, 0},
 	} {
-		rows, info, err := s.Hotspots(q.from, q.to, q.filter, q.metric, q.top)
+		rows, info, err := s.Hotspots(context.Background(), q.from, q.to, q.filter, q.metric, q.top)
 		if err != nil {
 			t.Fatalf("hotspots %s: %v", q.name, err)
 		}
@@ -92,7 +93,7 @@ func goldenImage(t *testing.T, s *Store) []byte {
 		{base, base.Add(5 * time.Minute), Labels{}},
 		{base.Add(4 * time.Minute), base.Add(5 * time.Minute), Labels{Workload: "unet"}},
 	} {
-		res, err := s.Diff(q.before, q.after, q.filter, cct.MetricGPUTime, 0)
+		res, err := s.Diff(context.Background(), q.before, q.after, q.filter, cct.MetricGPUTime, 0)
 		if err != nil {
 			t.Fatalf("diff %v vs %v: %v", q.before, q.after, err)
 		}
@@ -121,7 +122,7 @@ func goldenImage(t *testing.T, s *Store) []byte {
 		{"cpu", time.Time{}, time.Time{}, Labels{}, cct.MetricCPUTime, 0},
 		{"bounded", base.Add(time.Minute), base.Add(4 * time.Minute), Labels{}, "", 0},
 	} {
-		rows, info, err := s.TopK(q.from, q.to, q.filter, q.metric, q.k)
+		rows, info, err := s.TopK(context.Background(), q.from, q.to, q.filter, q.metric, q.k)
 		if err != nil {
 			t.Fatalf("topk %s: %v", q.name, err)
 		}
@@ -150,7 +151,7 @@ func goldenImage(t *testing.T, s *Store) []byte {
 		{"operator-cpu", "aten::relu", Labels{}, cct.MetricCPUTime, 0},
 		{"python-frame", "train.py:10 (main)", Labels{}, "", 0},
 	} {
-		rows, info, err := s.Search(time.Time{}, time.Time{}, q.filter, q.frame, q.metric, q.limit)
+		rows, info, err := s.Search(context.Background(), time.Time{}, time.Time{}, q.filter, q.frame, q.metric, q.limit)
 		if err != nil {
 			t.Fatalf("search %s: %v", q.name, err)
 		}

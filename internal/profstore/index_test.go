@@ -1,6 +1,7 @@
 package profstore
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -201,7 +202,7 @@ func TestIndexStatsRaceUnderIngest(t *testing.T) {
 					t.Errorf("negative index counters: %+v", st.Index)
 					return
 				}
-				s.TopK(time.Time{}, time.Time{}, Labels{}, "", 3)
+				s.TopK(context.Background(), time.Time{}, time.Time{}, Labels{}, "", 3)
 				s.TrendSweep()
 			}
 		}()

@@ -1,0 +1,619 @@
+package profstore
+
+// Cluster partials: the export/fold layer under internal/cluster's
+// scatter-gather queries. Each node serializes its matched (bucket, series)
+// pairs — tree bytes for the aggregate-shaped queries, close-time aggregates
+// for the fleet queries — and the coordinator folds the union in the exact
+// (tier, bucket start, series key) order of the single-node fold, driving
+// the same unexported accumulators (rankHotspots, topkAcc, searchAcc,
+// buildDiffResult). A cluster of N therefore answers byte-identical to one
+// node holding the same data, which the multi-node equivalence matrix pins.
+//
+// The same partial encoding doubles as the handoff payload: a node joining
+// the cluster imports moved series with replace semantics (idempotent under
+// re-delivery) plus their trend-tracker state, and the old owner drops what
+// it no longer owns after the routing table commits.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"deepcontext/internal/cct"
+	"deepcontext/internal/profiler"
+	"deepcontext/internal/profstore/persist"
+	"deepcontext/internal/profstore/trend"
+)
+
+// Coverage annotates a degraded cluster result: how many nodes were asked
+// and how many answered. Complete results — including every single-node
+// query — leave it nil, so healthy responses stay byte-identical to the
+// single-node goldens.
+type Coverage struct {
+	NodesTotal int      `json:"nodes_total"`
+	NodesUp    int      `json:"nodes_up"`
+	Down       []string `json:"down,omitempty"`
+}
+
+// PartialBucket identifies one resolution bucket of a partial.
+type PartialBucket struct {
+	Coarse  bool  `json:"coarse"`
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+}
+
+// AggData is the wire form of a close-time series aggregate (index.go's
+// seriesAgg): parallel label/kind rows with one metric-sum vector each.
+// JSON float64 round-trips are exact, so a folded aggregate is bit-equal
+// whether it traveled or not.
+type AggData struct {
+	Labels  []string    `json:"labels"`
+	Kinds   []string    `json:"kinds"`
+	Metrics []string    `json:"metrics"`
+	Sums    [][]float64 `json:"sums"`
+}
+
+func (a *AggData) toSeriesAgg() *seriesAgg {
+	return &seriesAgg{labels: a.Labels, kinds: a.Kinds, metrics: a.Metrics, sums: a.Sums}
+}
+
+func aggData(a *seriesAgg) *AggData {
+	return &AggData{Labels: a.labels, Kinds: a.kinds, Metrics: a.metrics, Sums: a.sums}
+}
+
+// SeriesPartial is one (bucket, series) contribution to a scatter-gather
+// fold: the series' tree bytes (persist's profdb encoding) or its close-time
+// aggregate, depending on the query kind.
+type SeriesPartial struct {
+	Bucket   PartialBucket `json:"bucket"`
+	Key      string        `json:"key"`
+	Labels   Labels        `json:"labels"`
+	Profiles int           `json:"profiles"`
+	Tree     []byte        `json:"tree,omitempty"`
+	Agg      *AggData      `json:"agg,omitempty"`
+}
+
+// DecodeTree decodes the partial's tree bytes.
+func (p *SeriesPartial) DecodeTree() (*cct.Tree, error) {
+	prof, err := persist.DecodeProfile(p.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("profstore: partial %s@%d: %w", p.Key, p.Bucket.StartNS, err)
+	}
+	return prof.Tree, nil
+}
+
+// PartialMode selects what each exported partial carries.
+type PartialMode int
+
+const (
+	// PartialTrees exports encoded series trees — the aggregate-shaped
+	// queries (hotspots, diff, flame, analyze) and handoff need them.
+	PartialTrees PartialMode = iota
+	// PartialAggs exports close-time aggregates — all TopK and Search need.
+	PartialAggs
+)
+
+// PartialsQuery selects what Partials exports.
+type PartialsQuery struct {
+	From, To time.Time
+	Filter   Labels
+	Mode     PartialMode
+	// Keep, when set, restricts the export to series keys it accepts —
+	// handoff exports pass "new owner differs from me" here.
+	Keep func(key string) bool
+	// WithTrend carries the exported series' trend-tracker state, so a
+	// handed-off series keeps its regression history and watermark.
+	WithTrend bool
+}
+
+// PartialSet is one node's export: matched partials in canonical fold order
+// plus, for handoff, the moved series' trend state (trend.EncodeStates).
+type PartialSet struct {
+	Series []SeriesPartial `json:"series,omitempty"`
+	Trend  []byte          `json:"trend,omitempty"`
+}
+
+// Partials exports this store's contribution to a scatter-gather fold (or a
+// handoff) under one all-shard read lock. Trees are encoded under the lock —
+// the coordinator folds decoded copies, never live trees, so ingest can
+// proceed the moment the lock drops. Matching nothing returns an empty set,
+// not ErrNoData: only the coordinator sees the whole cluster.
+func (s *Store) Partials(ctx context.Context, q PartialsQuery) (PartialSet, error) {
+	var set PartialSet
+	var encErr error
+	s.rlockAll()
+	foldTier := func(coarse bool) {
+		if encErr != nil || ctx.Err() != nil {
+			return
+		}
+		buckets := s.bucketsLocked(coarse)
+		for _, start := range sortedKeys(buckets) {
+			if encErr != nil || ctx.Err() != nil {
+				return
+			}
+			wins := buckets[start]
+			st := wins[0].start
+			if !q.From.IsZero() && st.Before(q.From) {
+				continue
+			}
+			if !q.To.IsZero() && !st.Before(q.To) {
+				continue
+			}
+			bucket := PartialBucket{Coarse: coarse, StartNS: start, DurNS: int64(wins[0].dur)}
+			merged := mergeSeriesViews(wins)
+			for _, k := range sortedKeys(merged) {
+				ser := merged[k]
+				if !ser.labels.Matches(q.Filter) {
+					continue
+				}
+				if q.Keep != nil && !q.Keep(k) {
+					continue
+				}
+				p, err := makePartial(bucket, k, ser, q.Mode)
+				if err != nil {
+					encErr = err
+					return
+				}
+				set.Series = append(set.Series, p)
+			}
+		}
+	}
+	foldTier(false)
+	foldTier(true)
+	if encErr == nil && q.WithTrend {
+		set.Trend, encErr = s.exportTrendLocked(q.Keep)
+	}
+	s.runlockAll()
+	if encErr != nil {
+		return PartialSet{}, encErr
+	}
+	if err := ctx.Err(); err != nil {
+		return PartialSet{}, fmt.Errorf("profstore: partials canceled: %w", err)
+	}
+	return set, nil
+}
+
+func makePartial(bucket PartialBucket, key string, ser *series, mode PartialMode) (SeriesPartial, error) {
+	p := SeriesPartial{Bucket: bucket, Key: key, Labels: ser.labels, Profiles: ser.profiles}
+	switch mode {
+	case PartialAggs:
+		agg := ser.agg
+		if agg == nil {
+			agg = computeSeriesAgg(ser.tree)
+		}
+		p.Agg = aggData(agg)
+	default:
+		blob, err := persist.EncodeProfile(&profiler.Profile{
+			Tree: ser.tree,
+			Meta: profiler.Meta{
+				Workload:  ser.labels.Workload,
+				Vendor:    ser.labels.Vendor,
+				Framework: ser.labels.Framework,
+			},
+		})
+		if err != nil {
+			return p, fmt.Errorf("profstore: encode partial %s@%d: %w", key, bucket.StartNS, err)
+		}
+		p.Tree = blob
+	}
+	return p, nil
+}
+
+// exportTrendLocked collects the trend state of every series keep accepts,
+// across all shards. Callers hold all shard read locks.
+func (s *Store) exportTrendLocked(keep func(key string) bool) ([]byte, error) {
+	moved := make(map[string]*trend.SeriesState)
+	for _, sh := range s.shards {
+		if sh.tracker == nil {
+			continue
+		}
+		blob, err := sh.tracker.EncodeState()
+		if err != nil {
+			return nil, fmt.Errorf("profstore: export trend state: %w", err)
+		}
+		if len(blob) == 0 {
+			continue
+		}
+		states, err := trend.DecodeState(blob)
+		if err != nil {
+			return nil, fmt.Errorf("profstore: export trend state: %w", err)
+		}
+		for key, st := range states {
+			if keep == nil || keep(key) {
+				moved[key] = st
+			}
+		}
+	}
+	return trend.EncodeStates(moved)
+}
+
+// sortPartials orders a multi-node union into the store's canonical fold
+// order: fine tier first, bucket starts ascending, series keys ascending.
+// Series keys are disjoint across nodes (each routes to one owner), so the
+// order is total.
+func sortPartials(parts []SeriesPartial) {
+	sort.SliceStable(parts, func(i, j int) bool {
+		a, b := parts[i], parts[j]
+		if a.Bucket.Coarse != b.Bucket.Coarse {
+			return !a.Bucket.Coarse
+		}
+		if a.Bucket.StartNS != b.Bucket.StartNS {
+			return a.Bucket.StartNS < b.Bucket.StartNS
+		}
+		return a.Key < b.Key
+	})
+}
+
+// foldPartialInfo walks sorted partials computing the same AggregateInfo a
+// single-node fold reports, invoking visit per partial in canonical order.
+func foldPartialInfo(parts []SeriesPartial, visit func(p *SeriesPartial) error) (AggregateInfo, error) {
+	info := AggregateInfo{}
+	seen := make(map[string]bool)
+	haveBucket := false
+	var lastBucket PartialBucket
+	for i := range parts {
+		p := &parts[i]
+		if !haveBucket || p.Bucket != lastBucket {
+			haveBucket = true
+			lastBucket = p.Bucket
+			info.Windows++
+		}
+		if err := visit(p); err != nil {
+			return info, err
+		}
+		info.Profiles += p.Profiles
+		if !seen[p.Key] {
+			seen[p.Key] = true
+			info.Series = append(info.Series, p.Key)
+		}
+	}
+	sort.Strings(info.Series)
+	return info, nil
+}
+
+// FoldAggregate merges a multi-node union of tree partials into one fresh
+// tree, byte-equal to Store.Aggregate over the same data. The from/to/filter
+// arguments only shape the ErrNoData message, which mirrors the single-node
+// text exactly (HTTP error bodies are compared too).
+func FoldAggregate(parts []SeriesPartial, from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
+	sortPartials(parts)
+	out := cct.New()
+	info, err := foldPartialInfo(parts, func(p *SeriesPartial) error {
+		tree, err := p.DecodeTree()
+		if err != nil {
+			return err
+		}
+		cct.Merge(out, tree)
+		return nil
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	if info.Windows == 0 {
+		return nil, info, fmt.Errorf("no data for filter %s in [%v, %v): %w", filter.Key(), from, to, ErrNoData)
+	}
+	return out, info, nil
+}
+
+// FoldHotspots ranks a multi-node union of tree partials, byte-equal to
+// Store.Hotspots.
+func FoldHotspots(parts []SeriesPartial, from, to time.Time, filter Labels, metric string, top int) ([]Hotspot, AggregateInfo, error) {
+	if metric == "" {
+		metric = cct.MetricGPUTime
+	}
+	tree, info, err := FoldAggregate(parts, from, to, filter)
+	if err != nil {
+		return nil, info, err
+	}
+	rows, err := rankHotspots(tree, metric, top)
+	if err != nil {
+		return nil, info, err
+	}
+	return rows, info, nil
+}
+
+// FoldTopK ranks a multi-node union of aggregate partials, byte-equal to
+// Store.TopK.
+func FoldTopK(parts []SeriesPartial, from, to time.Time, filter Labels, metric string, k int) ([]TopKRow, AggregateInfo, error) {
+	if metric == "" {
+		metric = cct.MetricGPUTime
+	}
+	sortPartials(parts)
+	acc := newTopKAcc(metric)
+	info, err := foldPartialInfo(parts, func(p *SeriesPartial) error {
+		if p.Agg == nil {
+			return fmt.Errorf("profstore: partial %s@%d carries no aggregate", p.Key, p.Bucket.StartNS)
+		}
+		acc.addSeries(p.Key, p.Agg.toSeriesAgg())
+		return nil
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	if info.Windows == 0 {
+		return nil, info, fmt.Errorf("no data for filter %s in [%v, %v): %w", filter.Key(), from, to, ErrNoData)
+	}
+	rows, err := acc.finish(k)
+	if err != nil {
+		return nil, info, err
+	}
+	return rows, info, nil
+}
+
+// FoldSearch ranks a multi-node union of aggregate partials, byte-equal to
+// Store.Search. The coordinator folds without the inverted index — the index
+// only prunes work, never changes results.
+func FoldSearch(parts []SeriesPartial, from, to time.Time, filter Labels, frame, metric string, limit int) ([]SearchRow, AggregateInfo, error) {
+	if metric == "" {
+		metric = cct.MetricGPUTime
+	}
+	sortPartials(parts)
+	acc := newSearchAcc(frame, metric)
+	info, err := foldPartialInfo(parts, func(p *SeriesPartial) error {
+		if p.Agg == nil {
+			return fmt.Errorf("profstore: partial %s@%d carries no aggregate", p.Key, p.Bucket.StartNS)
+		}
+		acc.addSeries(p.Key, p.Labels, p.Agg.toSeriesAgg())
+		return nil
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	if info.Windows == 0 {
+		return nil, info, fmt.Errorf("no data for filter %s in [%v, %v): %w", filter.Key(), from, to, ErrNoData)
+	}
+	rows, err := acc.finish(limit)
+	if err != nil {
+		return nil, info, err
+	}
+	return rows, info, nil
+}
+
+// DiffPartials is one node's export for one diff instant: whether each tier
+// holds a bucket containing the instant, and the filter-matched series of
+// each. The coordinator needs both tiers because resolution — fine preferred
+// over coarse — is a cluster-wide decision: one node still holding a fine
+// window pins the whole diff to the fine tier, exactly as one shard does on
+// a single node.
+type DiffPartials struct {
+	FineStartNS   int64           `json:"fine_start_ns"`
+	CoarseStartNS int64           `json:"coarse_start_ns"`
+	FineExists    bool            `json:"fine_exists"`
+	CoarseExists  bool            `json:"coarse_exists"`
+	Fine          []SeriesPartial `json:"fine,omitempty"`
+	Coarse        []SeriesPartial `json:"coarse,omitempty"`
+}
+
+// DiffPartials exports this store's contribution to one diff instant.
+func (s *Store) DiffPartials(ctx context.Context, t time.Time, filter Labels) (DiffPartials, error) {
+	out := DiffPartials{
+		FineStartNS:   t.Truncate(s.cfg.Window).UnixNano(),
+		CoarseStartNS: t.Truncate(s.cfg.coarse()).UnixNano(),
+	}
+	var encErr error
+	s.rlockAll()
+	collect := func(coarse bool, startNS int64) (bool, []SeriesPartial) {
+		var wins []*window
+		for _, sh := range s.shards {
+			m := sh.fine
+			if coarse {
+				m = sh.coarse
+			}
+			if w := m[startNS]; w != nil {
+				wins = append(wins, w)
+			}
+		}
+		if len(wins) == 0 {
+			return false, nil
+		}
+		bucket := PartialBucket{Coarse: coarse, StartNS: startNS, DurNS: int64(wins[0].dur)}
+		merged := mergeSeriesViews(wins)
+		var parts []SeriesPartial
+		for _, k := range sortedKeys(merged) {
+			ser := merged[k]
+			if !ser.labels.Matches(filter) {
+				continue
+			}
+			p, err := makePartial(bucket, k, ser, PartialTrees)
+			if err != nil {
+				encErr = err
+				return true, nil
+			}
+			parts = append(parts, p)
+		}
+		return true, parts
+	}
+	out.FineExists, out.Fine = collect(false, out.FineStartNS)
+	if encErr == nil {
+		out.CoarseExists, out.Coarse = collect(true, out.CoarseStartNS)
+	}
+	s.runlockAll()
+	if encErr != nil {
+		return DiffPartials{}, encErr
+	}
+	if err := ctx.Err(); err != nil {
+		return DiffPartials{}, fmt.Errorf("profstore: partials canceled: %w", err)
+	}
+	return out, nil
+}
+
+// FoldDiffSide resolves and merges one side of a cluster diff: fine tier if
+// any node holds a fine bucket containing t, else coarse, else the same
+// "no window contains" error a single node reports. The caller wraps the
+// error with the before/after prefix, mirroring Store.Diff.
+func FoldDiffSide(parts []DiffPartials, t time.Time, filter Labels) (*cct.Tree, error) {
+	coarse := true
+	var series []SeriesPartial
+	exists := false
+	for _, p := range parts {
+		if p.FineExists {
+			coarse = false
+		}
+	}
+	for _, p := range parts {
+		if coarse {
+			exists = exists || p.CoarseExists
+			series = append(series, p.Coarse...)
+		} else {
+			exists = exists || p.FineExists
+			series = append(series, p.Fine...)
+		}
+	}
+	if !exists {
+		return nil, fmt.Errorf("no window contains %v: %w", t, ErrNoData)
+	}
+	if len(series) == 0 {
+		return nil, fmt.Errorf("no series match %s in window %v: %w",
+			filter.Key(), time.Unix(0, series0Start(parts, coarse)), ErrNoData)
+	}
+	sortPartials(series)
+	out := cct.New()
+	for i := range series {
+		tree, err := series[i].DecodeTree()
+		if err != nil {
+			return nil, err
+		}
+		cct.Merge(out, tree)
+	}
+	return out, nil
+}
+
+func series0Start(parts []DiffPartials, coarse bool) int64 {
+	for _, p := range parts {
+		if coarse && p.CoarseExists {
+			return p.CoarseStartNS
+		}
+		if !coarse && p.FineExists {
+			return p.FineStartNS
+		}
+	}
+	return 0
+}
+
+// BuildDiff assembles the signed comparison of two folded sides, byte-equal
+// to Store.Diff over the same data.
+func BuildDiff(beforeTree, afterTree *cct.Tree, metric string, top int) (*DiffResult, error) {
+	if metric == "" {
+		metric = cct.MetricGPUTime
+	}
+	return buildDiffResult(beforeTree, afterTree, metric, top)
+}
+
+// SortFindings orders a multi-node union of findings in the canonical
+// /regressions order — (window start, series, frame, direction) — and
+// applies limit by keeping the newest, exactly like Store.Regressions.
+func SortFindings(fs []trend.Finding, limit int) []trend.Finding {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.AfterUnixNano != b.AfterUnixNano {
+			return a.AfterUnixNano < b.AfterUnixNano
+		}
+		if a.Series != b.Series {
+			return a.Series < b.Series
+		}
+		if a.Frame != b.Frame {
+			return a.Frame < b.Frame
+		}
+		return a.Direction > b.Direction
+	})
+	if limit > 0 && len(fs) > limit {
+		fs = fs[len(fs)-limit:]
+	}
+	return fs
+}
+
+// ImportPartials installs handed-off series with replace semantics — a
+// re-delivered import overwrites rather than double-counts, so a crashed
+// handoff can simply re-run — and adopts the carried trend state (watermark
+// rules make that idempotent too). It returns how many series-buckets were
+// installed.
+func (s *Store) ImportPartials(set PartialSet) (int, error) {
+	n := 0
+	for i := range set.Series {
+		p := &set.Series[i]
+		tree, err := p.DecodeTree()
+		if err != nil {
+			return n, err
+		}
+		sh := s.shardFor(p.Key)
+		sh.mu.Lock()
+		sh.replaceSeriesLocked(p.Bucket.StartNS, p.Bucket.DurNS, p.Bucket.Coarse, p.Key, p.Labels, tree, p.Profiles)
+		sh.mu.Unlock()
+		n++
+	}
+	if len(set.Trend) > 0 && !s.cfg.Trend.Disabled {
+		states, err := trend.DecodeState(set.Trend)
+		if err != nil {
+			return n, fmt.Errorf("profstore: import trend state: %w", err)
+		}
+		for _, key := range sortedKeys(states) {
+			sh := s.shardFor(key)
+			sh.mu.Lock()
+			sh.tracker.Adopt(key, states[key])
+			sh.mu.Unlock()
+		}
+	}
+	return n, nil
+}
+
+// replaceSeriesLocked installs one handed-off series tree, overwriting any
+// existing series of the same key in the bucket (adoptSeriesLocked's merge
+// semantics would double-count a re-delivered handoff). Callers hold sh.mu
+// exclusively.
+func (sh *shard) replaceSeriesLocked(startNS, durNS int64, coarse bool, key string, labels Labels, tree *cct.Tree, profiles int) {
+	m := sh.fine
+	if coarse {
+		m = sh.coarse
+	}
+	w := m[startNS]
+	if w == nil {
+		w = &window{
+			start:  time.Unix(0, startNS),
+			dur:    time.Duration(durNS),
+			series: make(map[string]*series),
+		}
+		m[startNS] = w
+	}
+	w.series[key] = &series{labels: labels, tree: tree, profiles: profiles}
+	sh.gens[winKey{startNS, coarse}]++
+}
+
+// DropSeries removes every series whose key drop accepts, from both tiers of
+// every shard, along with its trend state — the old owner's cleanup after a
+// handoff commits. Emptied windows are deleted. Frame-index postings stay
+// (they are over-approximate, hence sound); WAL records of dropped series
+// are neutralized by the snapshot the caller takes right after. It returns
+// how many series-buckets were removed.
+func (s *Store) DropSeries(drop func(key string) bool) int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, coarse := range []bool{false, true} {
+			m := sh.fine
+			if coarse {
+				m = sh.coarse
+			}
+			for _, start := range sortedKeys(m) {
+				w := m[start]
+				for _, key := range sortedKeys(w.series) {
+					if !drop(key) {
+						continue
+					}
+					delete(w.series, key)
+					n++
+					sh.gens[winKey{start, coarse}]++
+					if sh.tracker != nil {
+						sh.tracker.Remove(key)
+					}
+				}
+				if len(w.series) == 0 {
+					delete(m, start)
+					delete(sh.gens, winKey{start, coarse})
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}

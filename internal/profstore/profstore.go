@@ -109,6 +109,7 @@
 package profstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -581,11 +582,14 @@ func (s *Store) bucketsLocked(coarse bool) map[int64][]*window {
 	return out
 }
 
-// AggregateInfo summarizes what an aggregate query matched.
+// AggregateInfo summarizes what an aggregate query matched. Coverage is set
+// only on degraded cluster results (see internal/cluster); single-node
+// queries always leave it nil so the JSON shape is unchanged.
 type AggregateInfo struct {
-	Windows  int      `json:"windows"`
-	Profiles int      `json:"profiles"`
-	Series   []string `json:"series"`
+	Windows  int       `json:"windows"`
+	Profiles int       `json:"profiles"`
+	Series   []string  `json:"series"`
+	Coverage *Coverage `json:"coverage,omitempty"`
 }
 
 // Aggregate merges every series matching filter in buckets whose start lies
@@ -593,7 +597,9 @@ type AggregateInfo struct {
 // bucket / through the newest). The stored trees are never modified; with
 // the query cache disabled the result is owned by the caller, with it
 // enabled the result may be shared and must be treated as read-only.
-func (s *Store) Aggregate(from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
+// Cancellation of ctx is honored at bucket boundaries; a canceled fold
+// returns ctx's error (wrapped) and is never cached.
+func (s *Store) Aggregate(ctx context.Context, from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
 	type aggResult struct {
 		tree *cct.Tree
 		info AggregateInfo
@@ -610,7 +616,7 @@ func (s *Store) Aggregate(from, to time.Time, filter Labels) (*cct.Tree, Aggrega
 			return r.tree, r.info, nil
 		}
 	}
-	tree, info, err := s.aggregateAllLocked(from, to, filter)
+	tree, info, err := s.aggregateAllLocked(ctx, from, to, filter)
 	s.runlockAll()
 	if err != nil {
 		return nil, info, err
@@ -627,13 +633,19 @@ func (s *Store) Aggregate(from, to time.Time, filter Labels) (*cct.Tree, Aggrega
 // tie-breaking in ranked queries, is identical for every shard count and
 // fully deterministic across calls and restarts. Callers hold all shard
 // read locks.
-func (s *Store) aggregateAllLocked(from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
+func (s *Store) aggregateAllLocked(ctx context.Context, from, to time.Time, filter Labels) (*cct.Tree, AggregateInfo, error) {
 	out := cct.New()
 	info := AggregateInfo{}
 	seen := make(map[string]bool)
 	foldTier := func(coarse bool) {
 		buckets := s.bucketsLocked(coarse)
 		for _, start := range sortedKeys(buckets) {
+			// A disconnected client must not keep an all-shard fold
+			// running; one atomic load per bucket is noise next to the
+			// merges.
+			if ctx.Err() != nil {
+				return
+			}
 			wins := buckets[start]
 			st := wins[0].start
 			if !from.IsZero() && st.Before(from) {
@@ -664,6 +676,9 @@ func (s *Store) aggregateAllLocked(from, to time.Time, filter Labels) (*cct.Tree
 	}
 	foldTier(false)
 	foldTier(true)
+	if err := ctx.Err(); err != nil {
+		return nil, info, fmt.Errorf("profstore: aggregate canceled: %w", err)
+	}
 	if info.Windows == 0 {
 		return nil, info, fmt.Errorf("no data for filter %s in [%v, %v): %w", filter.Key(), from, to, ErrNoData)
 	}
@@ -792,7 +807,7 @@ type Hotspot struct {
 // Hotspots returns the top calling contexts by exclusive metric over the
 // aggregate of [from, to) under filter. With the query cache enabled the
 // returned rows may be shared and must be treated as read-only.
-func (s *Store) Hotspots(from, to time.Time, filter Labels, metric string, top int) ([]Hotspot, AggregateInfo, error) {
+func (s *Store) Hotspots(ctx context.Context, from, to time.Time, filter Labels, metric string, top int) ([]Hotspot, AggregateInfo, error) {
 	if metric == "" {
 		metric = cct.MetricGPUTime
 	}
@@ -812,7 +827,7 @@ func (s *Store) Hotspots(from, to time.Time, filter Labels, metric string, top i
 			return r.rows, r.info, nil
 		}
 	}
-	tree, info, err := s.aggregateAllLocked(from, to, filter)
+	tree, info, err := s.aggregateAllLocked(ctx, from, to, filter)
 	s.runlockAll()
 	if err != nil {
 		return nil, info, err
@@ -883,6 +898,9 @@ type DiffResult struct {
 	AfterTotal  float64   `json:"after_total"`
 	Net         float64   `json:"net"`
 	Rows        []DiffRow `json:"rows"`
+	// Coverage is set only on degraded cluster results (see
+	// internal/cluster); single-node diffs always leave it nil.
+	Coverage *Coverage `json:"coverage,omitempty"`
 	// Tree is the signed delta tree (after − before) for flame rendering;
 	// omitted from JSON.
 	Tree *cct.Tree `json:"-"`
@@ -893,7 +911,7 @@ type DiffResult struct {
 // Stored trees were normalized at ingest, so the result matches cmd/dcdiff
 // over the same profiles (up to child order). With the query cache enabled
 // the result may be shared and must be treated as read-only.
-func (s *Store) Diff(before, after time.Time, filter Labels, metric string, top int) (*DiffResult, error) {
+func (s *Store) Diff(ctx context.Context, before, after time.Time, filter Labels, metric string, top int) (*DiffResult, error) {
 	if metric == "" {
 		metric = cct.MetricGPUTime
 	}
@@ -925,9 +943,19 @@ func (s *Store) Diff(before, after time.Time, filter Labels, metric string, top 
 			return v.(*DiffResult), nil
 		}
 	}
+	// Cancellation is honored between the two bucket folds — each one is a
+	// single bucket's worth of work, the same granularity the range queries
+	// check at.
+	if err := ctx.Err(); err != nil {
+		s.runlockAll()
+		return nil, fmt.Errorf("profstore: diff canceled: %w", err)
+	}
 	beforeTree, bErr := s.aggregateBucketLocked(bWins, filter)
 	afterTree, aErr := s.aggregateBucketLocked(aWins, filter)
 	s.runlockAll()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("profstore: diff canceled: %w", err)
+	}
 	if bErr != nil {
 		return nil, fmt.Errorf("profstore: before: %w", bErr)
 	}

@@ -1,6 +1,7 @@
 package profstore
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -79,7 +80,7 @@ func TestIngestWindowingAndHotspots(t *testing.T) {
 		t.Fatalf("windows = %+v", wins)
 	}
 
-	rows, info, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 10)
+	rows, info, err := s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestIngestWindowingAndHotspots(t *testing.T) {
 	}
 
 	// Unknown metric is a typed failure, not empty rows.
-	if _, _, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, "bogus_metric", 10); err == nil {
+	if _, _, err := s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, "bogus_metric", 10); err == nil {
 		t.Fatal("bogus metric should fail")
 	}
 }
@@ -117,7 +118,7 @@ func TestLabelFiltering(t *testing.T) {
 	mustIngest(t, s, synthProfile("DLRM", "Nvidia", "jax", 0x30, 4))
 
 	total := func(filter Labels) float64 {
-		tree, _, err := s.Aggregate(time.Time{}, time.Time{}, filter)
+		tree, _, err := s.Aggregate(context.Background(), time.Time{}, time.Time{}, filter)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func TestLabelFiltering(t *testing.T) {
 	if got := total(Labels{Workload: "unet", Vendor: "amd"}); got != 280 {
 		t.Fatalf("unet/amd total = %v", got)
 	}
-	if _, _, err := s.Aggregate(time.Time{}, time.Time{}, Labels{Workload: "nope"}); err == nil {
+	if _, _, err := s.Aggregate(context.Background(), time.Time{}, time.Time{}, Labels{Workload: "nope"}); err == nil {
 		t.Fatal("unmatched filter should fail")
 	}
 }
@@ -172,7 +173,7 @@ func TestConcurrentIngestMatchesSerialMerge(t *testing.T) {
 				}
 				// Results vary while ingestion races on; only panics and
 				// data races (under -race) are failures here.
-				s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 5)
+				s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 5)
 				s.Windows()
 				s.Stats()
 			}
@@ -195,7 +196,7 @@ func TestConcurrentIngestMatchesSerialMerge(t *testing.T) {
 	close(done)
 	readers.Wait()
 
-	got, info, err := s.Aggregate(time.Time{}, time.Time{}, Labels{})
+	got, info, err := s.Aggregate(context.Background(), time.Time{}, time.Time{}, Labels{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestCompactionConservesTotalsAndDropsExpired(t *testing.T) {
 		clock.Advance(time.Minute)
 	}
 	totalOf := func() float64 {
-		tree, _, err := s.Aggregate(time.Time{}, time.Time{}, Labels{})
+		tree, _, err := s.Aggregate(context.Background(), time.Time{}, time.Time{}, Labels{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,7 +265,7 @@ func TestCompactionConservesTotalsAndDropsExpired(t *testing.T) {
 	if st.FineWindows != 0 || st.CoarseWindows != 0 {
 		t.Fatalf("store not empty after retention: %+v", st)
 	}
-	if _, _, err := s.Aggregate(time.Time{}, time.Time{}, Labels{}); err == nil {
+	if _, _, err := s.Aggregate(context.Background(), time.Time{}, time.Time{}, Labels{}); err == nil {
 		t.Fatal("empty store should fail aggregate")
 	}
 }
@@ -278,7 +279,7 @@ type diffRowKey struct {
 }
 
 // The acceptance check: a /diff of two windows must match what cmd/dcdiff
-// computes for the same profiles — normalize each side, cct.Diff(after,
+// computes for the same profiles — normalize each side, cct.Diff(context.Background(), after,
 // before), rank changed contexts by |delta| — up to child order.
 func TestDiffMatchesDcdiffSemantics(t *testing.T) {
 	clock := newClock(base)
@@ -295,7 +296,7 @@ func TestDiffMatchesDcdiffSemantics(t *testing.T) {
 	clock.Advance(time.Minute)
 	mustIngest(t, s, afterP)
 
-	res, err := s.Diff(base, base.Add(time.Minute), Labels{}, cct.MetricGPUTime, 0)
+	res, err := s.Diff(context.Background(), base, base.Add(time.Minute), Labels{}, cct.MetricGPUTime, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestDiffCoarseFallbackReadsOnlyThatBucket(t *testing.T) {
 		t.Fatalf("setup stats = %+v", st)
 	}
 
-	res, err := s.Diff(base, base.Add(3*time.Minute), Labels{}, cct.MetricGPUTime, 0)
+	res, err := s.Diff(context.Background(), base, base.Add(3*time.Minute), Labels{}, cct.MetricGPUTime, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,14 +386,14 @@ func TestDiffCoarseFallbackReadsOnlyThatBucket(t *testing.T) {
 func TestTypedQueryErrors(t *testing.T) {
 	clock := newClock(base)
 	s := New(Config{Window: time.Minute, Now: clock.Now})
-	if _, _, err := s.Aggregate(time.Time{}, time.Time{}, Labels{}); !errors.Is(err, ErrNoData) {
+	if _, _, err := s.Aggregate(context.Background(), time.Time{}, time.Time{}, Labels{}); !errors.Is(err, ErrNoData) {
 		t.Fatalf("empty store: err = %v, want ErrNoData", err)
 	}
 	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x1, 1))
-	if _, _, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, "bogus", 5); !errors.Is(err, ErrUnknownMetric) {
+	if _, _, err := s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, "bogus", 5); !errors.Is(err, ErrUnknownMetric) {
 		t.Fatalf("bogus metric: err = %v, want ErrUnknownMetric", err)
 	}
-	if _, err := s.Diff(base, base.Add(time.Hour), Labels{}, cct.MetricGPUTime, 0); !errors.Is(err, ErrNoData) {
+	if _, err := s.Diff(context.Background(), base, base.Add(time.Hour), Labels{}, cct.MetricGPUTime, 0); !errors.Is(err, ErrNoData) {
 		t.Fatalf("missing window: err = %v, want ErrNoData", err)
 	}
 }
@@ -401,7 +402,7 @@ func TestDiffMissingWindowFails(t *testing.T) {
 	clock := newClock(base)
 	s := New(Config{Window: time.Minute, Now: clock.Now})
 	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x1, 1))
-	if _, err := s.Diff(base.Add(time.Hour), base, Labels{}, cct.MetricGPUTime, 0); err == nil {
+	if _, err := s.Diff(context.Background(), base.Add(time.Hour), base, Labels{}, cct.MetricGPUTime, 0); err == nil {
 		t.Fatal("diff against an absent window should fail")
 	}
 }

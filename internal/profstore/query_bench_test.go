@@ -1,6 +1,7 @@
 package profstore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -40,7 +41,7 @@ func benchmarkHotspots(b *testing.B, cacheSize int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 10); err != nil {
+		if _, _, err := s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +91,7 @@ func benchmarkTopK(b *testing.B, indexDisabled bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := s.TopK(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 10); err != nil {
+		if _, _, err := s.TopK(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -111,7 +112,7 @@ func benchmarkSearchRare(b *testing.B, indexDisabled bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, _, err := s.Search(time.Time{}, time.Time{}, Labels{}, "rare_kernel", cct.MetricGPUTime, 0)
+		rows, _, err := s.Search(context.Background(), time.Time{}, time.Time{}, Labels{}, "rare_kernel", cct.MetricGPUTime, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package profstore
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -18,11 +19,11 @@ import (
 // is literally a byte comparison.
 func queryImage(t *testing.T, s *Store, before, after time.Time) []byte {
 	t.Helper()
-	rows, info, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 0)
+	rows, info, err := s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diff, err := s.Diff(before, after, Labels{}, cct.MetricGPUTime, 0)
+	diff, err := s.Diff(context.Background(), before, after, Labels{}, cct.MetricGPUTime, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestRecoverSurvivesCorruptSnapshot(t *testing.T) {
 	if rs.WALRecords != 2 {
 		t.Fatalf("WAL-only replay records = %d, want 2", rs.WALRecords)
 	}
-	rows, _, err := revived.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 1)
+	rows, _, err := revived.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 1)
 	if err != nil || rows[0].Excl != 300 {
 		t.Fatalf("rows = %+v (%v)", rows, err)
 	}
@@ -323,7 +324,7 @@ func TestRecoverSkipsCorruptWALTail(t *testing.T) {
 	if rs.WALRecords != 1 || rs.WALSkippedSegments != 1 || len(rs.Warnings) == 0 {
 		t.Fatalf("recovery = %+v", rs)
 	}
-	rows, _, err := revived.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 1)
+	rows, _, err := revived.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 1)
 	if err != nil || rows[0].Excl != 100 {
 		t.Fatalf("rows = %+v (%v)", rows, err)
 	}
@@ -363,7 +364,7 @@ func TestCompactionSnapshotIngestRace(t *testing.T) {
 	for _, bg := range []func(){
 		func() { s.CompactNow() },
 		func() { s.Snapshot() },
-		func() { s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 5) },
+		func() { s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 5) },
 		func() { s.Windows(); s.Stats() },
 	} {
 		wg.Add(1)
@@ -398,7 +399,7 @@ func TestCompactionSnapshotIngestRace(t *testing.T) {
 	close(stopBg)
 	wg.Wait()
 
-	tree, info, err := s.Aggregate(time.Time{}, time.Time{}, Labels{})
+	tree, info, err := s.Aggregate(context.Background(), time.Time{}, time.Time{}, Labels{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +419,7 @@ func TestCompactionSnapshotIngestRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer revived.Close()
-	rTree, rInfo, err := revived.Aggregate(time.Time{}, time.Time{}, Labels{})
+	rTree, rInfo, err := revived.Aggregate(context.Background(), time.Time{}, time.Time{}, Labels{})
 	if err != nil {
 		t.Fatal(err)
 	}

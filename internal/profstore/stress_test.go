@@ -1,6 +1,7 @@
 package profstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,7 +14,7 @@ import (
 // seriesTotal reads one series' aggregate GPU total; absent data reads 0.
 func seriesTotal(t *testing.T, s *Store, filter Labels) float64 {
 	t.Helper()
-	tree, _, err := s.Aggregate(time.Time{}, time.Time{}, filter)
+	tree, _, err := s.Aggregate(context.Background(), time.Time{}, time.Time{}, filter)
 	if err != nil {
 		if errors.Is(err, ErrNoData) {
 			return 0
@@ -55,11 +56,11 @@ func TestShardedStressConservedSumsAndFreshReads(t *testing.T) {
 	for _, bg := range []func(){
 		func() { s.CompactNow() },
 		func() { s.Snapshot() },
-		func() { s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 5) },
+		func() { s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 5) },
 		func() { s.Windows(); s.Stats() },
 		func() {
 			if len(s.Windows()) >= 1 {
-				s.Diff(base, clock.Now(), Labels{}, cct.MetricGPUTime, 3)
+				s.Diff(context.Background(), base, clock.Now(), Labels{}, cct.MetricGPUTime, 3)
 			}
 		},
 	} {
@@ -155,7 +156,7 @@ func TestShardedStressConservedSumsAndFreshReads(t *testing.T) {
 // (or a series whose gemm never landed yet) reads 0.
 func searchExcl(t *testing.T, s *Store, filter Labels) float64 {
 	t.Helper()
-	rows, _, err := s.Search(time.Time{}, time.Time{}, filter, "gemm", cct.MetricGPUTime, 0)
+	rows, _, err := s.Search(context.Background(), time.Time{}, time.Time{}, filter, "gemm", cct.MetricGPUTime, 0)
 	if err != nil {
 		if errors.Is(err, ErrNoData) {
 			return 0
@@ -196,8 +197,8 @@ func TestShardedStressTopKSearch(t *testing.T) {
 	var bgWg sync.WaitGroup
 	for _, bg := range []func(){
 		func() { s.CompactNow() },
-		func() { s.TopK(time.Time{}, time.Time{}, Labels{}, "", 5) },
-		func() { s.Search(time.Time{}, time.Time{}, Labels{}, "relu", "", 0) },
+		func() { s.TopK(context.Background(), time.Time{}, time.Time{}, Labels{}, "", 5) },
+		func() { s.Search(context.Background(), time.Time{}, time.Time{}, Labels{}, "relu", "", 0) },
 		func() { s.TrendSweep(); s.Stats() },
 	} {
 		bgWg.Add(1)
@@ -261,7 +262,7 @@ func TestShardedStressTopKSearch(t *testing.T) {
 				t.Fatalf("pass %d: series W%d gemm = %v, want %v", pass, g, got, gemmPer*perWriter)
 			}
 		}
-		rows, _, err := s.TopK(time.Time{}, time.Time{}, Labels{}, "", 0)
+		rows, _, err := s.TopK(context.Background(), time.Time{}, time.Time{}, Labels{}, "", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -298,14 +299,14 @@ func TestCacheServesAndInvalidatesPrecisely(t *testing.T) {
 	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x20, 2))
 
 	hot := func() float64 {
-		rows, _, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 1)
+		rows, _, err := s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return rows[0].Excl
 	}
 	boundedHot := func() float64 {
-		rows, _, err := s.Hotspots(base, base.Add(time.Minute), Labels{}, cct.MetricGPUTime, 1)
+		rows, _, err := s.Hotspots(context.Background(), base, base.Add(time.Minute), Labels{}, cct.MetricGPUTime, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -375,7 +376,7 @@ func TestCacheEviction(t *testing.T) {
 	defer s.Close()
 	mustIngest(t, s, synthProfile("UNet", "Nvidia", "pytorch", 0x10, 1))
 	for top := 1; top <= 10; top++ {
-		if _, _, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, top); err != nil {
+		if _, _, err := s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, cct.MetricGPUTime, top); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package profstore
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -154,10 +155,10 @@ func TestStatsMatchesExposition(t *testing.T) {
 		clock.Advance(time.Minute)
 		s.CompactNow()
 	}
-	if _, _, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, "", 5); err != nil {
+	if _, _, err := s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, "", 5); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Hotspots(time.Time{}, time.Time{}, Labels{}, "", 5); err != nil {
+	if _, _, err := s.Hotspots(context.Background(), time.Time{}, time.Time{}, Labels{}, "", 5); err != nil {
 		t.Fatal(err)
 	}
 

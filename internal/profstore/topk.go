@@ -10,6 +10,7 @@ package profstore
 // golden and property tests against the naive uncached reference.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -254,7 +255,7 @@ func (s *searchAcc) finish(limit int) ([]SearchRow, error) {
 // whose current window has not closed yet is aggregated on the fly). With
 // the query cache enabled the returned rows may be shared and must be
 // treated as read-only.
-func (s *Store) TopK(from, to time.Time, filter Labels, metric string, k int) ([]TopKRow, AggregateInfo, error) {
+func (s *Store) TopK(ctx context.Context, from, to time.Time, filter Labels, metric string, k int) ([]TopKRow, AggregateInfo, error) {
 	if metric == "" {
 		metric = cct.MetricGPUTime
 	}
@@ -275,7 +276,7 @@ func (s *Store) TopK(from, to time.Time, filter Labels, metric string, k int) ([
 		}
 	}
 	acc := newTopKAcc(metric)
-	info, err := s.foldAggsLocked(from, to, filter, func(key string, _ Labels, ser *series) {
+	info, err := s.foldAggsLocked(ctx, from, to, filter, func(key string, _ Labels, ser *series) {
 		agg := ser.agg
 		if agg == nil {
 			agg = computeSeriesAgg(ser.tree)
@@ -304,7 +305,7 @@ func (s *Store) TopK(from, to time.Time, filter Labels, metric string, k int) ([
 // are aggregated on the fly and always inspected. With the query cache
 // enabled the returned rows may be shared and must be treated as
 // read-only.
-func (s *Store) Search(from, to time.Time, filter Labels, frame, metric string, limit int) ([]SearchRow, AggregateInfo, error) {
+func (s *Store) Search(ctx context.Context, from, to time.Time, filter Labels, frame, metric string, limit int) ([]SearchRow, AggregateInfo, error) {
 	if metric == "" {
 		metric = cct.MetricGPUTime
 	}
@@ -325,7 +326,7 @@ func (s *Store) Search(from, to time.Time, filter Labels, frame, metric string, 
 		}
 	}
 	acc := newSearchAcc(frame, metric)
-	info, err := s.foldAggsLocked(from, to, filter, func(key string, labels Labels, ser *series) {
+	info, err := s.foldAggsLocked(ctx, from, to, filter, func(key string, labels Labels, ser *series) {
 		if agg := ser.agg; agg != nil {
 			// Indexed bucket: the metric-name union never needs the tree,
 			// and the posting list can prove the frame absent.
@@ -359,12 +360,16 @@ func (s *Store) Search(from, to time.Time, filter Labels, frame, metric string, 
 // series key) fold order, invoking visit for each. It returns the same
 // AggregateInfo shape as Aggregate and ErrNoData when nothing matched.
 // Callers hold all shard read locks.
-func (s *Store) foldAggsLocked(from, to time.Time, filter Labels, visit func(key string, labels Labels, ser *series)) (AggregateInfo, error) {
+func (s *Store) foldAggsLocked(ctx context.Context, from, to time.Time, filter Labels, visit func(key string, labels Labels, ser *series)) (AggregateInfo, error) {
 	info := AggregateInfo{}
 	seen := make(map[string]bool)
 	foldTier := func(coarse bool) {
 		buckets := s.bucketsLocked(coarse)
 		for _, start := range sortedKeys(buckets) {
+			// Same bucket-boundary cancellation as aggregateAllLocked.
+			if ctx.Err() != nil {
+				return
+			}
 			wins := buckets[start]
 			st := wins[0].start
 			if !from.IsZero() && st.Before(from) {
@@ -395,6 +400,9 @@ func (s *Store) foldAggsLocked(from, to time.Time, filter Labels, visit func(key
 	}
 	foldTier(false)
 	foldTier(true)
+	if err := ctx.Err(); err != nil {
+		return info, fmt.Errorf("profstore: fold canceled: %w", err)
+	}
 	if info.Windows == 0 {
 		return info, fmt.Errorf("no data for filter %s in [%v, %v): %w", filter.Key(), from, to, ErrNoData)
 	}

@@ -373,6 +373,22 @@ func (t *Tracker) EncodeState() ([]byte, error) {
 	return json.Marshal(t.series)
 }
 
+// EncodeStates serializes a filtered per-series state map in EncodeState's
+// format — cluster handoff exports carry only the moved series' states.
+func EncodeStates(states map[string]*SeriesState) ([]byte, error) {
+	if len(states) == 0 {
+		return nil, nil
+	}
+	return json.Marshal(states)
+}
+
+// Remove forgets one series entirely — state, watermark and retained
+// findings. A node dropping a handed-off series calls this so the new owner
+// (which adopted the state) is the single source of its findings.
+func (t *Tracker) Remove(key string) {
+	delete(t.series, key)
+}
+
 // DecodeState parses an EncodeState blob into per-series states, so a
 // recovering store can route each series to its current shard.
 func DecodeState(data []byte) (map[string]*SeriesState, error) {

@@ -2,6 +2,7 @@ package profstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -195,7 +196,7 @@ func TestRegressionsGoldenSemantics(t *testing.T) {
 		share float64
 	}{{f.BeforeUnixNano, f.BeforeShare}, {f.AfterUnixNano, f.Share}} {
 		from := time.Unix(0, check.ns)
-		tree, _, err := s.Aggregate(from, from.Add(cfg.Window), Labels{Workload: f.Workload, Vendor: f.Vendor, Framework: f.Framework})
+		tree, _, err := s.Aggregate(context.Background(), from, from.Add(cfg.Window), Labels{Workload: f.Workload, Vendor: f.Vendor, Framework: f.Framework})
 		if err != nil {
 			t.Fatalf("re-derive window %d: %v", check.ns, err)
 		}
@@ -358,7 +359,7 @@ func TestRegressionsPropertyRederivable(t *testing.T) {
 					continue // window already folded coarse; share-exact replay needs fine data
 				}
 				labels := Labels{Workload: f.Workload, Vendor: f.Vendor, Framework: f.Framework}
-				res, err := ref.Diff(time.Unix(0, f.BeforeUnixNano), time.Unix(0, f.AfterUnixNano), labels, f.Metric, 0)
+				res, err := ref.Diff(context.Background(), time.Unix(0, f.BeforeUnixNano), time.Unix(0, f.AfterUnixNano), labels, f.Metric, 0)
 				if err != nil {
 					t.Fatalf("seed %d step %d: uncached diff over flagged pair failed: %v (%+v)", seed, step, err, f)
 				}
